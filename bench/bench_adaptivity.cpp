@@ -1,0 +1,49 @@
+// E5 — Adaptivity: cost depends on participants k, not system size n.
+//
+// Theorem A.5: with k participants the algorithm takes O(log* k) time and
+// O(kn) messages. We fix n and sweep k; time should stay near-flat in k
+// while messages grow linearly in k.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/harness.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace elect;
+  bench::print_header(
+      "E5", "adaptivity: k participants at fixed n = 128",
+      "Thm A.5: O(log* k) time and O(kn) messages — contention-adaptive");
+
+  const int n = 128;
+  const std::vector<int> ks = {1, 2, 4, 8, 16, 32, 64, 128};
+  const int trials = 5;
+
+  exp::table t({"k", "max comm calls (mean)", "total messages (mean)",
+                "messages/(k*n)"});
+  std::vector<double> xs, time_series, message_series;
+
+  for (const int k : ks) {
+    exp::trial_config config;
+    config.kind = exp::algo::leader_elect;
+    config.n = n;
+    config.participants = k;
+    config.seed = 1;
+    const auto aggregate = exp::run_trials(config, trials);
+    const double time = aggregate.max_comm_calls.mean();
+    const double messages = aggregate.total_messages.mean();
+    xs.push_back(k);
+    time_series.push_back(time);
+    message_series.push_back(messages);
+    t.add_row({std::to_string(k), exp::fmt(time, 1), exp::fmt_int(messages),
+               exp::fmt(messages / (static_cast<double>(k) * n), 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::print_fit("time vs k", xs, time_series);
+  bench::print_fit("messages vs k", xs, message_series);
+  std::cout << "\nExpected shape: time near-flat in k (log*/const laws); "
+               "messages linear in k; messages/(k*n) flat.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E1 — Election time: PoisonPill LeaderElect vs the tournament baseline.
+//
+// Theorem A.5: the paper's algorithm elects a leader in O(log* k)
+// expected communicate calls per processor; the tournament [AGTV92] needs
+// Θ(log n). We sweep n (with k = n participants), measure the time proxy
+// of Claim 2.1 (max communicate calls by any participant), and fit both
+// series against candidate growth laws. The absolute numbers are
+// simulator-specific; the shape — flat-ish vs logarithmic, and the
+// widening gap — is the reproduced result.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/harness.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace elect;
+  bench::print_header(
+      "E1", "election time vs n (ours vs tournament)",
+      "Thm A.5: O(log* k) communicate calls/processor vs Θ(log n) for the "
+      "tournament tree");
+
+  const std::vector<int> sizes = {8, 16, 32, 64, 128, 256};
+  const int trials_ours = 5;
+  const int trials_tournament = 3;
+
+  exp::table t({"n", "log2 n", "log* n", "ours: max comm calls (mean)",
+                "tournament: max comm calls (mean)", "ratio tourn/ours"});
+  std::vector<double> xs, ours_series, tournament_series;
+
+  for (const int n : sizes) {
+    exp::trial_config ours;
+    ours.kind = exp::algo::leader_elect;
+    ours.n = n;
+    ours.seed = 1;
+    const auto ours_agg = exp::run_trials(ours, trials_ours);
+
+    exp::trial_config tournament = ours;
+    tournament.kind = exp::algo::tournament;
+    const auto tournament_agg =
+        exp::run_trials(tournament, trials_tournament);
+
+    const double ours_mean = ours_agg.max_comm_calls.mean();
+    const double tournament_mean = tournament_agg.max_comm_calls.mean();
+    xs.push_back(n);
+    ours_series.push_back(ours_mean);
+    tournament_series.push_back(tournament_mean);
+
+    t.add_row({std::to_string(n), exp::fmt(std::log2(n), 1),
+               std::to_string(log_star(n)), exp::fmt(ours_mean, 1),
+               exp::fmt(tournament_mean, 1),
+               exp::fmt(tournament_mean / ours_mean, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::print_fit("ours", xs, ours_series);
+  bench::print_fit("tournament", xs, tournament_series);
+
+  const auto growth = [](const std::vector<double>& series) {
+    return series.back() / series.front();
+  };
+  std::cout << "\nGrowth across the sweep (n grew "
+            << exp::fmt(xs.back() / xs.front(), 0)
+            << "x): ours " << exp::fmt(growth(ours_series), 2)
+            << "x, tournament " << exp::fmt(growth(tournament_series), 2)
+            << "x. log2(n) grew "
+            << exp::fmt(std::log2(xs.back()) / std::log2(xs.front()), 2)
+            << "x, log*(n) grew "
+            << exp::fmt(static_cast<double>(log_star(xs.back())) /
+                            static_cast<double>(log_star(xs.front())),
+                        2)
+            << "x.\n";
+  std::cout << "Expected shape: `ours` grows like log* n (nearly flat; a "
+               "low best-R² here just reflects flatness), `tournament` "
+               "like log n; the ratio column widens with n.\n";
+  return 0;
+}

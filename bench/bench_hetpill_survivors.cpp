@@ -1,0 +1,75 @@
+// E4 — Heterogeneous PoisonPill survivor decomposition (Lemmas 3.6, 3.7).
+//
+// Lemma 3.6: expected O(log k) survivors that flipped 0;
+// Lemma 3.7: expected O(log² k) processors that flip 1.
+// Total expected survivors per phase: O(log² k) — the key improvement
+// over the plain technique's Θ(sqrt k). Sweep k under the sequential
+// adversary (the plain technique's worst case) and uniform scheduling.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/harness.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace elect;
+  bench::print_header(
+      "E4", "Heterogeneous PoisonPill survivors per phase",
+      "Lemma 3.6: O(log k) zero-flip survivors; Lemma 3.7: O(log^2 k) "
+      "one-flippers; total O(log^2 k) — breaking the plain sqrt barrier");
+
+  const std::vector<int> sizes = {8, 16, 32, 64, 128};
+  const int trials = 12;
+
+  exp::table t({"k", "log2 k", "log2^2 k", "survivors seq (mean)",
+                "zero-flip surv seq", "one-flippers seq",
+                "survivors uniform", "plain-PP survivors seq (contrast)"});
+  std::vector<double> xs, het_series, plain_series;
+
+  for (const int n : sizes) {
+    exp::trial_config het;
+    het.kind = exp::algo::het_pp_phase;
+    het.n = n;
+    het.seed = 1;
+    het.adversary = "sequential";
+    const auto het_seq = exp::run_trials(het, trials);
+    if (het_seq.winners.min() < 1.0) {
+      std::cerr << "SURVIVOR INVARIANT VIOLATION at k=" << n << "\n";
+      return EXIT_FAILURE;
+    }
+    het.adversary = "uniform";
+    const auto het_uni = exp::run_trials(het, trials);
+
+    exp::trial_config plain = het;
+    plain.kind = exp::algo::plain_pp_phase;
+    plain.adversary = "sequential";
+    const auto plain_seq = exp::run_trials(plain, trials);
+
+    const double log2k = std::log2(static_cast<double>(n));
+    xs.push_back(n);
+    het_series.push_back(het_seq.winners.mean());
+    plain_series.push_back(plain_seq.winners.mean());
+    t.add_row({std::to_string(n), exp::fmt(log2k, 1),
+               exp::fmt(log2k * log2k, 1),
+               exp::fmt(het_seq.winners.mean(), 1),
+               exp::fmt(het_seq.zero_flip_survivors.mean(), 1),
+               exp::fmt(het_seq.one_flippers.mean(), 1),
+               exp::fmt(het_uni.winners.mean(), 1),
+               exp::fmt(plain_seq.winners.mean(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::print_fit("het survivors (sequential)", xs, het_series);
+  bench::print_fit("plain survivors (sequential)", xs, plain_series);
+  std::cout << "\nExpected shape: heterogeneous survivors polylog "
+               "(log/log^2 laws rank first), plain survivors sqrt(n); the "
+               "gap grows with k.\n"
+               "Note: under the strictly sequential schedule the first "
+               "participant has |l| = 1 and flips 1 with probability 1, so "
+               "every later 0-flipper observes a non-low status and dies — "
+               "zero-flip survivors are exactly 0 there, comfortably inside "
+               "Lemma 3.6's O(log k) upper bound.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E8 — Wall-clock latency on real threads (google-benchmark).
+//
+// The reproduction hint says a multicore laptop with std::atomic-style
+// primitives suffices: this bench runs the identical protocol coroutines
+// on the thread-per-processor runtime and measures end-to-end election /
+// renaming latency, ours vs the tournament baseline. Shape expectation:
+// the tournament's latency grows noticeably faster with n than
+// LeaderElect's (its winner must ascend log2(n) sequential levels).
+#include <benchmark/benchmark.h>
+
+#include "election/leader_elect.hpp"
+#include "election/tournament.hpp"
+#include "engine/node.hpp"
+#include "mt/cluster.hpp"
+#include "renaming/renaming.hpp"
+
+namespace {
+
+using namespace elect;
+
+std::uint64_t next_seed() {
+  static std::uint64_t seed = 1;
+  return seed++;
+}
+
+void run_election(int n, bool tournament) {
+  mt::cluster cluster(n, next_seed());
+  for (process_id pid = 0; pid < n; ++pid) {
+    if (tournament) {
+      cluster.attach(pid, [](engine::node& node) {
+        return engine::erase_result(
+            election::tournament_elect(node, election::tournament_params{}));
+      });
+    } else {
+      cluster.attach(pid, [](engine::node& node) {
+        return engine::erase_result(election::leader_elect(node));
+      });
+    }
+  }
+  cluster.start();
+  cluster.wait();
+}
+
+void BM_LeaderElect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) run_election(n, /*tournament=*/false);
+}
+
+void BM_Tournament(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) run_election(n, /*tournament=*/true);
+}
+
+void BM_Renaming(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mt::cluster cluster(n, next_seed());
+    for (process_id pid = 0; pid < n; ++pid) {
+      cluster.attach(pid, [](engine::node& node) {
+        return renaming::get_name(node, renaming::renaming_params{});
+      });
+    }
+    cluster.start();
+    cluster.wait();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LeaderElect)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
+BENCHMARK(BM_Tournament)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
+BENCHMARK(BM_Renaming)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E3 — Plain PoisonPill survivors per phase (Claims 3.1 / 3.2).
+//
+// Claim 3.2: O(sqrt n) expected survivors under any strong-adversary
+// schedule; the sequential schedule makes this tight. We sweep n and
+// measure survivors under the portfolio of adversaries. Every trial also
+// re-checks Claim 3.1 (>= 1 survivor).
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/harness.hpp"
+#include "exp/table.hpp"
+
+int main() {
+  using namespace elect;
+  bench::print_header(
+      "E3", "plain PoisonPill survivors per phase",
+      "Claim 3.1: always >= 1 survivor; Claim 3.2: expected O(sqrt n) "
+      "survivors, tight under the sequential schedule");
+
+  const std::vector<int> sizes = {16, 36, 64, 121, 196};
+  const std::vector<std::string> adversaries = {"uniform", "round-robin",
+                                                "sequential",
+                                                "flip-adaptive"};
+  const int trials = 8;
+
+  exp::table t({"n", "sqrt n", "uniform", "round-robin", "sequential",
+                "flip-adaptive"});
+  std::vector<double> xs, sequential_series;
+
+  for (const int n : sizes) {
+    std::vector<std::string> row = {std::to_string(n),
+                                    exp::fmt(std::sqrt(double(n)), 1)};
+    for (const std::string& adversary : adversaries) {
+      exp::trial_config config;
+      config.kind = exp::algo::plain_pp_phase;
+      config.n = n;
+      config.seed = 1;
+      config.adversary = adversary;
+      const auto aggregate = exp::run_trials(config, trials);
+      if (aggregate.winners.min() < 1.0) {
+        std::cerr << "CLAIM 3.1 VIOLATION at n=" << n << " adv=" << adversary
+                  << "\n";
+        return EXIT_FAILURE;
+      }
+      row.push_back(exp::fmt(aggregate.winners.mean(), 1));
+      if (adversary == "sequential") {
+        xs.push_back(n);
+        sequential_series.push_back(aggregate.winners.mean());
+      }
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::print_fit("survivors under sequential adversary", xs,
+                   sequential_series);
+  std::cout << "\nExpected shape: all columns track sqrt(n) (the "
+               "sequential column is the tight Θ(sqrt n) case; the "
+               "flip-adaptive attack buys the adversary nothing thanks to "
+               "the commit stage — contrast with E10).\n";
+  return 0;
+}

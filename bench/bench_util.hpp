@@ -1,0 +1,55 @@
+// Shared helpers for the experiment binaries: headers, fit-ranking
+// printouts, and a tiny stopwatch. Each bench regenerates one experiment
+// from DESIGN.md §3 and prints markdown tables that EXPERIMENTS.md embeds.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/fit.hpp"
+
+namespace elect::bench {
+
+inline std::string exp_fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  return buffer;
+}
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_claim) {
+  std::cout << "\n## " << id << " — " << title << "\n\n";
+  std::cout << "Paper claim: " << paper_claim << "\n\n";
+}
+
+/// Print the top growth-law fits for a measured series.
+inline void print_fit(const std::string& series_name,
+                      const std::vector<double>& xs,
+                      const std::vector<double>& ys, int top = 3) {
+  const auto ranked = rank_growth_laws(xs, ys);
+  std::cout << "Shape fit for `" << series_name << "` (best R² first): ";
+  for (int i = 0; i < top && i < static_cast<int>(ranked.size()); ++i) {
+    if (i > 0) std::cout << ", ";
+    std::cout << ranked[i].law << " (R²=" << exp_fmt(ranked[i].r_squared)
+              << ")";
+  }
+  std::cout << "\n";
+}
+
+class stopwatch {
+ public:
+  stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace elect::bench

@@ -1,0 +1,54 @@
+#include "abd/register.hpp"
+
+#include "engine/views.hpp"
+
+namespace elect::abd {
+
+using engine::tagged_register;
+
+namespace {
+
+/// Highest-tag register record across the collected views; nullopt tag
+/// (writer == no_process, timestamp == 0) if nobody has written yet.
+tagged_register<std::int64_t> max_tag(
+    const std::vector<engine::view_entry>& views, std::int64_t default_value) {
+  tagged_register<std::int64_t> best{0, no_process, default_value};
+  engine::for_each_view<tagged_register<std::int64_t>>(
+      views, [&](const tagged_register<std::int64_t>& reg) {
+        best.merge(reg);
+      });
+  return best;
+}
+
+}  // namespace
+
+engine::task<std::int64_t> write(engine::node& self, engine::var_id reg,
+                                 std::int64_t value) {
+  // Phase 1: discover the highest existing tag.
+  const auto views = co_await self.collect(reg);
+  const tagged_register<std::int64_t> current = max_tag(views, 0);
+
+  // Phase 2: install (max_ts + 1, self, value) at a quorum.
+  const tagged_register<std::int64_t> record{current.timestamp + 1, self.id(),
+                                             value};
+  auto delta = self.stage_register(reg, record);
+  co_await self.propagate(reg, delta);
+  co_return static_cast<std::int64_t>(record.timestamp);
+}
+
+engine::task<std::int64_t> read(engine::node& self, engine::var_id reg,
+                                std::int64_t default_value) {
+  // Phase 1: collect and select the max-tag record.
+  const auto views = co_await self.collect(reg);
+  const tagged_register<std::int64_t> best = max_tag(views, default_value);
+
+  // Phase 2: write back the selected record so any later read sees a tag
+  // at least this high (linearizability of reads).
+  if (best.writer != no_process) {
+    auto delta = self.stage_register(reg, best);
+    co_await self.propagate(reg, delta);
+  }
+  co_return best.value;
+}
+
+}  // namespace elect::abd

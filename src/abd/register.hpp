@@ -1,0 +1,43 @@
+// ABD atomic register emulation over the communicate primitive
+// ([ABND95] — "Sharing memory robustly in message-passing systems").
+//
+// This is the substrate the paper's related work uses to port
+// shared-memory algorithms into message passing ("emulate efficient
+// shared-memory solutions via simulations"; each register operation costs
+// O(n) messages). We provide a multi-writer multi-reader register:
+//
+//   write(v): collect to learn the highest (timestamp, writer) tag, then
+//             propagate (max_ts + 1, self, v) to a quorum;
+//   read():   collect, pick the max-tag value, then *write back* that
+//             value to a quorum before returning — the write-back is what
+//             makes concurrent reads linearizable.
+//
+// Each operation is 2 communicate calls = Θ(n) messages.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/ids.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::abd {
+
+/// Name of an ABD register. `space` distinguishes independent registers.
+[[nodiscard]] inline engine::var_id register_var(std::uint32_t space,
+                                                 std::uint32_t index = 0) {
+  return {engine::var_family::abd_register, space, index};
+}
+
+/// Write `value`; returns the timestamp the write was performed at.
+[[nodiscard]] engine::task<std::int64_t> write(engine::node& self,
+                                               engine::var_id reg,
+                                               std::int64_t value);
+
+/// Read the register; `default_value` is returned if it was never
+/// written. Linearizable with respect to concurrent reads and writes.
+[[nodiscard]] engine::task<std::int64_t> read(engine::node& self,
+                                              engine::var_id reg,
+                                              std::int64_t default_value = 0);
+
+}  // namespace elect::abd

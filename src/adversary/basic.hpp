@@ -1,0 +1,65 @@
+// Baseline scheduling strategies: uniform-random and round-robin.
+//
+// These are the "benign" ends of the adversary portfolio — every
+// experiment also runs them so the adversarial strategies have a
+// reference point.
+#pragma once
+
+#include <string>
+
+#include "sim/kernel.hpp"
+
+namespace elect::adversary {
+
+/// Picks uniformly at random among all enabled atoms (each in-flight
+/// message delivery and each steppable processor counts as one atom).
+/// Fair with probability 1.
+class uniform_random final : public sim::adversary {
+ public:
+  [[nodiscard]] std::string name() const override { return "uniform-random"; }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    const std::size_t deliveries = k.in_flight().size();
+    const std::size_t steps = k.steppable().size();
+    ELECT_CHECK(deliveries + steps > 0);
+    const std::uint64_t choice = k.adversary_rng().below(deliveries + steps);
+    if (choice < deliveries) {
+      return sim::action::deliver(k.in_flight().ids()[choice]);
+    }
+    return sim::action::step(k.steppable()[choice - deliveries]);
+  }
+};
+
+/// Cycles through processors; for the processor under the cursor it first
+/// steps it if possible, otherwise delivers one message addressed to it.
+/// Produces nearly synchronous, lock-step executions — the schedule most
+/// favourable to round-based protocols.
+class round_robin final : public sim::adversary {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    const int n = k.n();
+    for (int attempt = 0; attempt < n; ++attempt) {
+      const process_id pid = cursor_;
+      cursor_ = (cursor_ + 1) % n;
+      if (!k.crashed(pid) && k.node_at(pid).can_step()) {
+        return sim::action::step(pid);
+      }
+      if (!k.in_flight_to(pid).empty()) {
+        return sim::action::deliver(k.in_flight_to(pid).ids().front());
+      }
+    }
+    // Nothing found at any cursor position; fall back to any enabled atom.
+    if (!k.in_flight().empty()) {
+      return sim::action::deliver(k.in_flight().ids().front());
+    }
+    ELECT_CHECK(!k.steppable().empty());
+    return sim::action::step(k.steppable().front());
+  }
+
+ private:
+  process_id cursor_ = 0;
+};
+
+}  // namespace elect::adversary

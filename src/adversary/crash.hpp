@@ -1,0 +1,91 @@
+// Crash-injecting adversary wrapper.
+//
+// Wraps any base strategy and injects crash faults: victims are chosen at
+// random (optionally restricted to participants), crash times are spread
+// over the early part of the execution where they do the most damage
+// (participants mid-communicate), and the in-flight messages of crashed
+// senders can optionally be dropped — the model permits dropping messages
+// of faulty processors only.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace elect::adversary {
+
+struct crash_config {
+  /// How many processors to crash; clamped to the kernel's budget.
+  int crashes = 0;
+  /// Probability per pick of firing the next pending crash.
+  double crash_rate = 0.02;
+  /// Restrict victims to participants (true) or any processor (false).
+  bool participants_only = true;
+  /// After a crash, also drop that sender's in-flight messages.
+  bool drop_in_flight = true;
+};
+
+class crash_injector final : public sim::adversary {
+ public:
+  crash_injector(std::unique_ptr<sim::adversary> base, crash_config config)
+      : base_(std::move(base)), config_(config) {
+    ELECT_CHECK(base_ != nullptr);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "crash(" + base_->name() + ")";
+  }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    // Drop in-flight messages of already-crashed senders first.
+    if (config_.drop_in_flight) {
+      for (const process_id victim : victims_) {
+        if (!k.in_flight_from(victim).empty()) {
+          return sim::action::drop(k.in_flight_from(victim).ids().front());
+        }
+      }
+    }
+    if (remaining_ < 0) remaining_ = config_.crashes;  // lazy init
+    if (remaining_ > 0 && k.can_crash() &&
+        k.adversary_rng().bernoulli(config_.crash_rate)) {
+      if (const process_id victim = choose_victim(k); victim != no_process) {
+        --remaining_;
+        victims_.push_back(victim);
+        return sim::action::crash(victim);
+      }
+    }
+    return base_->pick(k);
+  }
+
+  [[nodiscard]] bool on_stalled(sim::kernel& k) override {
+    return base_->on_stalled(k);
+  }
+
+ private:
+  [[nodiscard]] process_id choose_victim(sim::kernel& k) {
+    std::vector<process_id> candidates;
+    if (config_.participants_only) {
+      for (const process_id pid : k.participants()) {
+        if (!k.crashed(pid) && !k.node_at(pid).protocol_done()) {
+          candidates.push_back(pid);
+        }
+      }
+    } else {
+      for (process_id pid = 0; pid < k.n(); ++pid) {
+        if (!k.crashed(pid)) candidates.push_back(pid);
+      }
+    }
+    if (candidates.empty()) return no_process;
+    return candidates[k.adversary_rng().below(candidates.size())];
+  }
+
+  std::unique_ptr<sim::adversary> base_;
+  crash_config config_;
+  int remaining_ = -1;
+  std::vector<process_id> victims_;
+};
+
+}  // namespace elect::adversary

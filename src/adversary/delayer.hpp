@@ -1,0 +1,52 @@
+// Contention-information delayer (anti-renaming adversary, paper §4).
+//
+// The renaming analysis must survive an adversary that keeps processors'
+// Contended[] views stale and correlated "to increase the probability of
+// a collision". This strategy starves exactly the propagate(Contended)
+// traffic: such requests are delivered only when no other action is
+// enabled, so bin-occupancy information spreads as late as the model
+// allows while leader-election traffic flows normally.
+#pragma once
+
+#include <string>
+
+#include "engine/ids.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect::adversary {
+
+class contention_delayer final : public sim::adversary {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "contention-delayer";
+  }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    const auto delayed = [&](std::uint64_t id) {
+      const engine::message& m = k.message_for(id);
+      const engine::var_id* var = m.request_var();
+      return var != nullptr &&
+             var->family == engine::var_family::contended &&
+             std::holds_alternative<engine::propagate_request>(m.body);
+    };
+
+    // Prefer any step.
+    if (!k.steppable().empty()) {
+      const std::size_t index =
+          k.adversary_rng().below(k.steppable().size());
+      return sim::action::step(k.steppable()[index]);
+    }
+    // Then any non-delayed delivery (random start, early exit).
+    const auto& ids = k.in_flight().ids();
+    ELECT_CHECK(!ids.empty());
+    const std::size_t start = k.adversary_rng().below(ids.size());
+    for (std::size_t offset = 0; offset < ids.size(); ++offset) {
+      const std::uint64_t id = ids[(start + offset) % ids.size()];
+      if (!delayed(id)) return sim::action::deliver(id);
+    }
+    // Only delayed contention traffic remains; release one message.
+    return sim::action::deliver(ids[start]);
+  }
+};
+
+}  // namespace elect::adversary

@@ -1,0 +1,60 @@
+// The flip-inspecting adaptive adversary (paper §1, "Techniques").
+//
+// This is the strategy that breaks naive sifting: the adversary examines
+// each processor's coin flip the moment it happens (the debug probe
+// publishes it, as the strong-adversary model allows) and then freezes
+// every processor that flipped 1 — neither stepping it nor delivering any
+// message it sent after the flip — while processors that flipped 0 run to
+// completion. Under a naive sifter the 0-flippers then observe no 1 and
+// all survive.
+//
+// Against PoisonPill the same strategy is defanged by the commit ("poison
+// pill") stage: a processor's Commit status must reach a quorum *before*
+// it flips, so by the time the adversary learns the flip, the evidence
+// that kills low-priority observers is already replicated. The survivor
+// benchmarks (E3) measure exactly this contrast.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "sim/kernel.hpp"
+
+namespace elect::adversary {
+
+class flip_adaptive final : public sim::adversary {
+ public:
+  [[nodiscard]] std::string name() const override { return "flip-adaptive"; }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    // A processor is frozen while its most recent coin flip is 1 and some
+    // other participant is still running. (Frozen processors are released
+    // when only they remain, to preserve fairness/termination.)
+    const bool any_zero_running = [&] {
+      for (const process_id pid : k.participants()) {
+        if (k.crashed(pid) || k.node_at(pid).protocol_done()) continue;
+        if (k.node_at(pid).probe().coin != 1) return true;
+      }
+      return false;
+    }();
+
+    const auto frozen = [&](process_id pid) {
+      return any_zero_running && k.node_at(pid).probe().coin == 1;
+    };
+
+    // Prefer steps of unfrozen processors.
+    for (const process_id pid : k.steppable()) {
+      if (!frozen(pid)) return sim::action::step(pid);
+    }
+    // Then deliveries of messages sent by unfrozen processors.
+    for (const std::uint64_t id : k.in_flight().ids()) {
+      if (!frozen(k.message_for(id).from)) return sim::action::deliver(id);
+    }
+    // Only frozen work remains: release it (fairness).
+    if (!k.steppable().empty()) return sim::action::step(k.steppable().front());
+    ELECT_CHECK(!k.in_flight().empty());
+    return sim::action::deliver(k.in_flight().ids().front());
+  }
+};
+
+}  // namespace elect::adversary

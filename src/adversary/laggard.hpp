@@ -1,0 +1,77 @@
+// Laggard ("bubble") adversary.
+//
+// Keeps a chosen subset of participants from invoking their protocols
+// until every other participant has finished, then releases them. This is
+// the schedule behind:
+//   * linearizability tests — a late arrival must observe the closed door
+//     and lose (Figure 5);
+//   * the adaptivity experiment (E5) — with k active participants the
+//     remaining n-k processors act only as servers;
+//   * the lower-bound intuition (§5) — processors kept in a "bubble"
+//     cannot decide without communicating.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace elect::adversary {
+
+class laggard final : public sim::adversary {
+ public:
+  laggard(std::unique_ptr<sim::adversary> base,
+          std::vector<process_id> laggards)
+      : base_(std::move(base)),
+        laggards_(std::move(laggards)) {
+    ELECT_CHECK(base_ != nullptr);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "laggard(" + base_->name() + ")";
+  }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    if (!initialized_) {
+      for (const process_id pid : laggards_) k.hold_protocol(pid, true);
+      initialized_ = true;
+    }
+    if (!released_ && front_runners_done(k)) {
+      for (const process_id pid : laggards_) k.hold_protocol(pid, false);
+      released_ = true;
+    }
+    return base_->pick(k);
+  }
+
+  [[nodiscard]] bool on_stalled(sim::kernel& k) override {
+    if (!released_ && front_runners_done(k)) {
+      for (const process_id pid : laggards_) k.hold_protocol(pid, false);
+      released_ = true;
+      if (k.anything_enabled()) return true;
+    }
+    return base_->on_stalled(k);
+  }
+
+  [[nodiscard]] bool released() const noexcept { return released_; }
+
+ private:
+  [[nodiscard]] bool front_runners_done(const sim::kernel& k) const {
+    const std::unordered_set<process_id> lag(laggards_.begin(),
+                                             laggards_.end());
+    for (const process_id pid : k.participants()) {
+      if (lag.contains(pid) || k.crashed(pid)) continue;
+      if (!k.node_at(pid).protocol_done()) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<sim::adversary> base_;
+  std::vector<process_id> laggards_;
+  bool initialized_ = false;
+  bool released_ = false;
+};
+
+}  // namespace elect::adversary

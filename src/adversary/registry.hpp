@@ -1,0 +1,47 @@
+// Name-keyed adversary factory used by the experiment harness and tests
+// to sweep a portfolio of strategies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/basic.hpp"
+#include "adversary/crash.hpp"
+#include "adversary/delayer.hpp"
+#include "adversary/flip_adaptive.hpp"
+#include "adversary/laggard.hpp"
+#include "adversary/sequential.hpp"
+#include "common/check.hpp"
+
+namespace elect::adversary {
+
+/// Construct an adversary by name. Recognized names:
+///   "uniform", "round-robin", "sequential", "flip-adaptive",
+///   "contention-delayer", "crash-uniform" (wraps uniform; crashes up to
+///   the model budget).
+[[nodiscard]] inline std::unique_ptr<sim::adversary> make(
+    const std::string& name, int n = 0) {
+  if (name == "uniform") return std::make_unique<uniform_random>();
+  if (name == "round-robin") return std::make_unique<round_robin>();
+  if (name == "sequential") return std::make_unique<sequential>();
+  if (name == "flip-adaptive") return std::make_unique<flip_adaptive>();
+  if (name == "contention-delayer") {
+    return std::make_unique<contention_delayer>();
+  }
+  if (name == "crash-uniform") {
+    crash_config config;
+    config.crashes = n > 0 ? max_crash_faults(n) : 1;
+    return std::make_unique<crash_injector>(
+        std::make_unique<uniform_random>(), config);
+  }
+  ELECT_CHECK_MSG(false, "unknown adversary name: " + name);
+  return nullptr;  // unreachable
+}
+
+/// The non-crashing strategies every experiment sweeps by default.
+[[nodiscard]] inline std::vector<std::string> standard_portfolio() {
+  return {"uniform", "round-robin", "sequential", "flip-adaptive"};
+}
+
+}  // namespace elect::adversary

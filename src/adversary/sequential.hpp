@@ -1,0 +1,98 @@
+// The sequential adversary (paper §3.2).
+//
+// "Let the adversary schedule processors to execute PoisonPill
+// sequentially": participants are invoked one at a time, each running its
+// entire protocol to completion — with the rest of the system serving its
+// quorum operations — before the next participant is even invoked.
+//
+// Against plain PoisonPill this is the worst case that makes the O(√n)
+// survivor bound tight: the prefix of participants that flip 0 before the
+// first 1 all survive, and so do all participants that flip 1.
+// Against the heterogeneous variant (Claim 3.5) it is exactly the
+// schedule the closure-property argument defuses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace elect::adversary {
+
+class sequential final : public sim::adversary {
+ public:
+  sequential() = default;
+
+  /// Invoke participants in the given order (default: attach order).
+  explicit sequential(std::vector<process_id> order)
+      : explicit_order_(std::move(order)) {}
+
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+
+  [[nodiscard]] sim::action pick(sim::kernel& k) override {
+    if (!initialized_) initialize(k);
+    advance_cursor(k);
+
+    if (cursor_ < order_.size()) {
+      const process_id current = order_[cursor_];
+      // 1. Let the current participant compute.
+      if (!k.crashed(current) && k.node_at(current).can_step()) {
+        return sim::action::step(current);
+      }
+      // 2. Flush its outbound requests so the system can serve them.
+      if (!k.in_flight_from(current).empty()) {
+        return sim::action::deliver(k.in_flight_from(current).ids().front());
+      }
+      // 3. Deliver replies addressed to it.
+      if (!k.in_flight_to(current).empty()) {
+        return sim::action::deliver(k.in_flight_to(current).ids().front());
+      }
+      // 4. Let some other processor serve pending requests (their own
+      //    protocols are held, so these steps only serve).
+      for (const process_id pid : k.steppable()) {
+        if (pid != current && k.node_at(pid).mailbox_size() > 0) {
+          return sim::action::step(pid);
+        }
+      }
+    }
+    // Fallback: stay fair.
+    if (!k.in_flight().empty()) {
+      return sim::action::deliver(k.in_flight().ids().front());
+    }
+    ELECT_CHECK(!k.steppable().empty());
+    return sim::action::step(k.steppable().front());
+  }
+
+  [[nodiscard]] bool on_stalled(sim::kernel& k) override {
+    // Quiescence between participants: the current one has finished and
+    // the next is still held. Advance the cursor (which releases it).
+    if (!initialized_) initialize(k);
+    advance_cursor(k);
+    return k.anything_enabled();
+  }
+
+ private:
+  void initialize(sim::kernel& k) {
+    order_ = explicit_order_.empty() ? k.participants() : explicit_order_;
+    // Hold everyone, then release only the head of the order.
+    for (const process_id pid : order_) k.hold_protocol(pid, true);
+    if (!order_.empty()) k.hold_protocol(order_.front(), false);
+    initialized_ = true;
+  }
+
+  void advance_cursor(sim::kernel& k) {
+    while (cursor_ < order_.size()) {
+      const process_id pid = order_[cursor_];
+      if (!k.crashed(pid) && !k.node_at(pid).protocol_done()) return;
+      ++cursor_;
+      if (cursor_ < order_.size()) k.hold_protocol(order_[cursor_], false);
+    }
+  }
+
+  std::vector<process_id> explicit_order_;
+  std::vector<process_id> order_;
+  std::size_t cursor_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace elect::adversary

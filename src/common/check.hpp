@@ -1,0 +1,36 @@
+// Internal invariant checking.
+//
+// ELECT_CHECK is active in every build type (unlike <cassert>): a failed
+// check in a distributed protocol is a safety violation we always want to
+// hear about, including in benchmarks built with NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace elect::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "ELECT_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace elect::detail
+
+#define ELECT_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::elect::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+    }                                                                      \
+  } while (false)
+
+#define ELECT_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::elect::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                      \
+  } while (false)

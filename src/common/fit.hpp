@@ -1,0 +1,106 @@
+// Scaling-shape fitting.
+//
+// The paper's claims are asymptotic (O(log* n) time, O(kn) messages,
+// O(sqrt n) survivors, ...). The benchmark harness measures a series
+// y(n) and asks: which candidate growth law f(n) explains it best?
+// We fit y ≈ a*f(n) + b by least squares for each candidate and report
+// the coefficient of determination R²; the harness prints the ranking so
+// EXPERIMENTS.md can record "measured shape matches the claimed bound".
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace elect {
+
+/// A candidate growth law with a printable name.
+struct growth_law {
+  std::string name;
+  std::function<double(double)> f;
+};
+
+/// The standard portfolio of candidate laws used across experiments.
+[[nodiscard]] inline std::vector<growth_law> standard_growth_laws() {
+  return {
+      {"const", [](double) { return 1.0; }},
+      {"log* n", [](double n) { return static_cast<double>(log_star(n)); }},
+      {"log log n",
+       [](double n) { return n > 2.0 ? std::log2(std::log2(n)) : 0.0; }},
+      {"log n", [](double n) { return std::log2(n); }},
+      {"log^2 n",
+       [](double n) {
+         const double l = std::log2(n);
+         return l * l;
+       }},
+      {"sqrt n", [](double n) { return std::sqrt(n); }},
+      {"n", [](double n) { return n; }},
+      {"n log n", [](double n) { return n * std::log2(n); }},
+      {"n^2", [](double n) { return n * n; }},
+  };
+}
+
+/// Result of fitting y ≈ a*f(x) + b.
+struct fit_result {
+  std::string law;
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit of y ≈ a*f(x) + b. Returns R² (1 = perfect).
+[[nodiscard]] inline fit_result fit_law(const growth_law& law,
+                                        const std::vector<double>& xs,
+                                        const std::vector<double>& ys) {
+  ELECT_CHECK(xs.size() == ys.size());
+  ELECT_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sf = 0, sy = 0, sff = 0, sfy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = law.f(xs[i]);
+    sf += f;
+    sy += ys[i];
+    sff += f * f;
+    sfy += f * ys[i];
+  }
+  const double denom = n * sff - sf * sf;
+  fit_result result;
+  result.law = law.name;
+  if (std::abs(denom) < 1e-12) {
+    // Law is (numerically) constant over the sampled range; fit intercept.
+    result.a = 0.0;
+    result.b = sy / n;
+  } else {
+    result.a = (n * sfy - sf * sy) / denom;
+    result.b = (sy - result.a * sf) / n;
+  }
+  double ss_res = 0, ss_tot = 0;
+  const double ymean = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = result.a * law.f(xs[i]) + result.b;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  result.r_squared = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return result;
+}
+
+/// Fit every candidate law and return results sorted by descending R².
+[[nodiscard]] inline std::vector<fit_result> rank_growth_laws(
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    std::vector<growth_law> laws = standard_growth_laws()) {
+  std::vector<fit_result> results;
+  results.reserve(laws.size());
+  for (const auto& law : laws) results.push_back(fit_law(law, xs, ys));
+  std::sort(results.begin(), results.end(),
+            [](const fit_result& a, const fit_result& b) {
+              return a.r_squared > b.r_squared;
+            });
+  return results;
+}
+
+}  // namespace elect

@@ -1,0 +1,64 @@
+// Small mathematical helpers used by protocols and by the experiment
+// harness: iterated logarithm, integer log2, and the coin-flip biases the
+// paper prescribes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace elect {
+
+/// Iterated logarithm base 2: the number of times log2 must be applied to
+/// `x` before the result drops to <= 1. log_star(1) = 0, log_star(2) = 1,
+/// log_star(4) = 2, log_star(16) = 3, log_star(65536) = 4.
+[[nodiscard]] inline int log_star(double x) noexcept {
+  int iterations = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++iterations;
+  }
+  return iterations;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) noexcept {
+  int log = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
+  int log = floor_log2(x);
+  return (std::uint64_t{1} << log) == x ? log : log + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// The plain PoisonPill coin bias (Figure 1, line 4): probability of
+/// flipping 1 (high priority) with n processors is 1/sqrt(n).
+[[nodiscard]] inline double poison_pill_bias(int n) noexcept {
+  ELECT_CHECK(n >= 1);
+  return 1.0 / std::sqrt(static_cast<double>(n));
+}
+
+/// The heterogeneous PoisonPill bias (Figure 2, lines 18-19):
+/// probability 1 when |l| == 1, otherwise ln(|l|)/|l|.
+/// The natural logarithm is what the analysis of Claim 3.5 uses:
+/// (1 - ln u / u)^u = O(1/u).
+[[nodiscard]] inline double het_poison_pill_bias(std::size_t list_size) noexcept {
+  ELECT_CHECK(list_size >= 1);
+  if (list_size == 1) return 1.0;
+  const double l = static_cast<double>(list_size);
+  return std::log(l) / l;
+}
+
+}  // namespace elect

@@ -1,0 +1,130 @@
+// Deterministic, splittable random number generation.
+//
+// All randomness in the library flows through `rng_stream`, a xoshiro256**
+// generator whose state is derived from a root seed plus an arbitrary list
+// of integer labels (e.g. {node_id, protocol_instance}). Deriving streams
+// by label — instead of sharing one generator — makes every simulated
+// execution a pure function of (seed, adversary), which is what lets tests
+// replay executions bit-for-bit.
+//
+// xoshiro256** is Blackman & Vigna's public-domain generator; we implement
+// it from scratch here (no external dependency) together with splitmix64,
+// the recommended seeding mixer.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace elect {
+
+/// splitmix64 step: advances `state` and returns the next mixed value.
+/// Used for seeding and for hashing label sequences into stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A deterministic xoshiro256** stream.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be plugged into
+/// <random> distributions, though the convenience members below are
+/// preferred (they are reproducible across standard library versions,
+/// which std:: distributions are not).
+class rng_stream {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Stream seeded from a single root value.
+  explicit rng_stream(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Stream seeded from a root value and a sequence of labels.
+  /// Distinct label sequences yield statistically independent streams.
+  rng_stream(std::uint64_t seed, std::initializer_list<std::uint64_t> labels) noexcept {
+    std::uint64_t s = seed;
+    std::uint64_t acc = splitmix64_next(s);
+    for (std::uint64_t label : labels) {
+      s ^= label + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+      acc = splitmix64_next(s);
+    }
+    reseed(acc);
+  }
+
+  /// Derive a child stream labelled by `label`, without disturbing this
+  /// stream's state.
+  [[nodiscard]] rng_stream derive(std::uint64_t label) const noexcept {
+    std::uint64_t s = state_[0] ^ (state_[2] + label);
+    return rng_stream(splitmix64_next(s));
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept { return next_u64(); }
+
+  result_type next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 bits of entropy.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    ELECT_CHECK(bound > 0);
+    // Rejection sampling on the top bits.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    ELECT_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+ private:
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64_next(s);
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace elect

@@ -1,0 +1,89 @@
+// Statistical accumulators used by the experiment harness and by
+// statistical tests: running moments, sample quantiles, and simple
+// confidence summaries.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace elect {
+
+/// Accumulates samples and reports mean / stddev / min / max / quantiles.
+/// Stores all samples (experiments here are small enough that exact
+/// quantiles are affordable and preferable to sketches).
+class sample_stats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : samples_) sum += x;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double ss = 0.0;
+    for (double x : samples_) ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+  }
+
+  [[nodiscard]] double min() const {
+    ELECT_CHECK(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double max() const {
+    ELECT_CHECK(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Exact sample quantile, q in [0, 1], by nearest-rank.
+  [[nodiscard]] double quantile(double q) const {
+    ELECT_CHECK(!samples_.empty());
+    ELECT_CHECK(q >= 0.0 && q <= 1.0);
+    sort_if_needed();
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  /// Half-width of a ~95% normal-approximation confidence interval for the
+  /// mean. Zero when fewer than 2 samples.
+  [[nodiscard]] double ci95_halfwidth() const {
+    if (samples_.size() < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace elect

@@ -1,0 +1,30 @@
+// Fundamental identifiers and model constants shared by every module.
+//
+// The model (paper §2): n processors connected by point-to-point channels;
+// algorithms tolerate up to t <= ceil(n/2)-1 crash failures; every
+// `communicate` call waits for acknowledgements from a *quorum* of
+// floor(n/2)+1 processors, so that any two quorums intersect.
+#pragma once
+
+#include <cstdint>
+
+namespace elect {
+
+/// Identity of a processor. Processors are numbered 0..n-1.
+using process_id = std::int32_t;
+
+/// Sentinel for "no processor".
+inline constexpr process_id no_process = -1;
+
+/// Size of a quorum among `n` processors: floor(n/2) + 1.
+/// Any two quorums intersect in at least one processor.
+[[nodiscard]] constexpr int quorum_size(int n) noexcept { return n / 2 + 1; }
+
+/// Maximum number of crash faults tolerated: t <= ceil(n/2) - 1.
+/// With at most this many crashes, at least quorum_size(n) processors
+/// stay alive, so every communicate call completes.
+[[nodiscard]] constexpr int max_crash_faults(int n) noexcept {
+  return (n + 1) / 2 - 1;
+}
+
+}  // namespace elect

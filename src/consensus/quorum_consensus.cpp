@@ -1,0 +1,115 @@
+#include "consensus/quorum_consensus.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/views.hpp"
+
+namespace elect::consensus {
+
+using engine::owned_array;
+
+namespace {
+
+engine::var_id stage_var(std::uint32_t space, std::uint32_t round,
+                         std::uint32_t stage) {
+  // Stage A and B of each consensus round use disjoint variables.
+  return {engine::var_family::duel_stage, space, (round << 1) | stage};
+}
+
+/// Distinct non-bottom int64 cell values across all views, ascending.
+std::vector<std::int64_t> distinct_values(
+    const std::vector<engine::view_entry>& views) {
+  std::vector<std::int64_t> values;
+  engine::for_each_view<owned_array<std::int64_t>>(
+      views, [&](const owned_array<std::int64_t>& array) {
+        for (process_id j = 0; j < array.size(); ++j) {
+          if (const std::int64_t* v = array.get(j)) values.push_back(*v);
+        }
+      });
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+constexpr std::int64_t encode_record(std::int64_t candidate, bool strong) {
+  return candidate * 2 + (strong ? 1 : 0);
+}
+constexpr std::int64_t record_candidate(std::int64_t record) {
+  return record / 2;
+}
+constexpr bool record_strong(std::int64_t record) { return (record & 1) != 0; }
+
+}  // namespace
+
+engine::task<std::int64_t> decide(engine::node& self, std::uint32_t space,
+                                  std::int64_t proposal) {
+  ELECT_CHECK_MSG(proposal >= 0, "consensus proposals must be non-negative");
+  std::int64_t value = proposal;
+
+  for (std::uint32_t round = 1;; ++round) {
+    ELECT_CHECK_MSG(round < (1u << 30), "consensus round overflow");
+
+    // --- Stage A: propose, then look at the round's proposal set. ------
+    const engine::var_id a = stage_var(space, round, 0);
+    {
+      auto delta = self.stage_own_cell<std::int64_t>(a, value);
+      co_await self.propagate(a, delta);
+    }
+    const std::vector<std::int64_t> proposals =
+        distinct_values(co_await self.collect(a));
+    ELECT_CHECK(!proposals.empty());  // we always see our own proposal
+    const bool strong = proposals.size() == 1;
+    const std::int64_t candidate = proposals.front();  // min = deterministic
+
+    // --- Stage B: adopt-commit. ----------------------------------------
+    const engine::var_id b = stage_var(space, round, 1);
+    {
+      auto delta = self.stage_own_cell<std::int64_t>(
+          b, encode_record(candidate, strong));
+      co_await self.propagate(b, delta);
+    }
+    const std::vector<std::int64_t> records =
+        distinct_values(co_await self.collect(b));
+    ELECT_CHECK(!records.empty());
+
+    bool all_committed_same = true;
+    std::int64_t committed = -1;
+    for (const std::int64_t record : records) {
+      if (record_strong(record)) {
+        committed = record_candidate(record);
+      } else {
+        all_committed_same = false;
+      }
+    }
+    if (all_committed_same) {
+      // Every record is strong; two strong candidates cannot differ.
+      for (const std::int64_t record : records) {
+        ELECT_CHECK_MSG(record_candidate(record) ==
+                            record_candidate(records.front()),
+                        "two distinct strong candidates in one round");
+      }
+      co_return record_candidate(records.front());
+    }
+    if (committed >= 0) {
+      // Someone committed: adopt their candidate.
+      value = committed;
+      continue;
+    }
+    // No commit anywhere: choose the next value by a local fair coin
+    // among the candidates observed this round.
+    std::vector<std::int64_t> candidates;
+    candidates.reserve(records.size());
+    for (const std::int64_t record : records) {
+      candidates.push_back(record_candidate(record));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    const std::uint64_t pick = self.rng().below(candidates.size());
+    value = candidates[pick];
+    self.probe().coin = static_cast<std::int64_t>(pick);
+  }
+}
+
+}  // namespace elect::consensus

@@ -1,0 +1,43 @@
+// Randomized wait-free consensus over quorums (adopt-commit + local coin).
+//
+// The tournament baseline [AGTV92] decides each match by two-processor
+// randomized consensus. We implement the classic round-based structure
+// directly on the communicate primitive:
+//
+//   round r, stage A (proposal): write your value; collect the round's
+//     proposals. Seeing exactly one distinct value makes your candidate
+//     *strong* (two distinct strong candidates are impossible: whichever
+//     A-write completes last is seen by the other's collect — quorum
+//     intersection);
+//   round r, stage B (adopt-commit): write (candidate, strong); collect.
+//     If every observed record is (c, strong) — decide c. Else if any is
+//     (c, strong) — adopt c. Else pick your next value by a local fair
+//     coin among the candidates you observed.
+//
+// Safety is deterministic (adopt-commit); only termination is
+// probabilistic. Against a strong adaptive adversary the per-round
+// agreement probability is at least a constant, so the expected number of
+// rounds is O(1) — which is what keeps each tournament match O(1)
+// communicate calls.
+//
+// Also of standalone interest: consensus trivially solves leader election
+// ("return the winner's identifier"), but is strictly harder (§1 Related
+// Work) — randomized consensus has Ω(n) time complexity [AC08], which is
+// why the paper's test-and-set result does not follow from it.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::consensus {
+
+/// Decide a common value among the proposals concurrently submitted to
+/// `space`. Any number of proposers; wait-free; safety deterministic.
+/// Proposals must be non-negative (the sign bit is used internally).
+[[nodiscard]] engine::task<std::int64_t> decide(engine::node& self,
+                                                std::uint32_t space,
+                                                std::int64_t proposal);
+
+}  // namespace elect::consensus

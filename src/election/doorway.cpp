@@ -1,0 +1,21 @@
+#include "election/doorway.hpp"
+
+#include "engine/views.hpp"
+
+namespace elect::election {
+
+engine::task<gate_result> doorway(engine::node& self,
+                                  engine::var_id door_var) {
+  self.probe().phase = static_cast<std::int64_t>(phase_marker::doorway);
+
+  // Lines 56-58: collect the door from a quorum; lose if it is closed.
+  const auto views = co_await self.collect(door_var);
+  if (engine::any_flag_set(views)) co_return gate_result::lose;
+
+  // Lines 59-60: close the door and propagate the closure.
+  auto delta = self.stage_flag(door_var);
+  co_await self.propagate(door_var, delta);
+  co_return gate_result::proceed;
+}
+
+}  // namespace elect::election

@@ -1,0 +1,24 @@
+// Doorway — Figure 5 of the paper.
+//
+// The standard mechanism [AGTV92] that makes test-and-set linearizable:
+// a participant first collects the door bit from a quorum; if anyone has
+// already closed the door it returns LOSE immediately (a WIN by someone
+// who started earlier is linearizable before it). Otherwise it closes the
+// door and propagates the closure before competing.
+//
+// Consequence (used by Lemma A.3): no processor can lose before the
+// eventual winner has invoked its operation.
+#pragma once
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+/// Run the doorway for `door_var`. Returns proceed or lose.
+[[nodiscard]] engine::task<gate_result> doorway(engine::node& self,
+                                                engine::var_id door_var);
+
+}  // namespace elect::election

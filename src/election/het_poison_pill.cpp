@@ -1,0 +1,86 @@
+#include "election/het_poison_pill.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math.hpp"
+#include "engine/views.hpp"
+
+namespace elect::election {
+
+using engine::het_status;
+using engine::owned_array;
+using engine::pp_status;
+
+engine::task<pp_result> het_poison_pill(engine::node& self,
+                                        het_poison_pill_params params) {
+  const int n = self.n();
+
+  // Lines 14-15: commit (with an empty list) and propagate.
+  self.probe().phase = static_cast<std::int64_t>(phase_marker::poison_pill);
+  self.probe().status = static_cast<std::int64_t>(pp_status::commit);
+  {
+    auto delta = self.stage_own_cell<het_status>(
+        params.status_var, het_status{pp_status::commit, {}});
+    co_await self.propagate(params.status_var, delta);
+  }
+
+  // Lines 16-17: collect and record the participant list ℓ.
+  std::vector<process_id> ell;
+  {
+    const auto views = co_await self.collect(params.status_var);
+    ell = engine::participants_in_views<het_status>(views, n);
+  }
+  // Our own commit reached a quorum before the collect, and any two
+  // quorums intersect, so we always appear in our own list.
+  ELECT_CHECK_MSG(std::find(ell.begin(), ell.end(), self.id()) != ell.end(),
+                  "processor missing from its own participant list");
+  self.probe().list_size = static_cast<std::int64_t>(ell.size());
+
+  // Lines 18-20: bias the coin by |ℓ| and flip.
+  const double bias = het_poison_pill_bias(ell.size());
+  const int coin = self.rng().bernoulli(bias) ? 1 : 0;
+  self.probe().coin = coin;
+
+  // Lines 21-23: record priority + list, propagate.
+  const pp_status my_priority =
+      coin == 1 ? pp_status::high_pri : pp_status::low_pri;
+  self.probe().status = static_cast<std::int64_t>(my_priority);
+  {
+    auto delta = self.stage_own_cell<het_status>(
+        params.status_var, het_status{my_priority, ell});
+    co_await self.propagate(params.status_var, delta);
+  }
+
+  // Line 24: collect again.
+  const auto views = co_await self.collect(params.status_var);
+
+  // Lines 25-29: a low-priority processor builds the closure set L (all
+  // observed participants plus every ℓ list carried by an observed
+  // status) and dies iff some j in L has no reported low priority.
+  if (my_priority == pp_status::low_pri) {
+    std::vector<bool> in_closure(static_cast<std::size_t>(n), false);
+    std::vector<bool> seen_low(static_cast<std::size_t>(n), false);
+    engine::for_each_view<owned_array<het_status>>(
+        views, [&](const owned_array<het_status>& status_array) {
+          for (process_id j = 0; j < n; ++j) {
+            const het_status* s = status_array.get(j);
+            if (s == nullptr) continue;
+            in_closure[static_cast<std::size_t>(j)] = true;  // line 27
+            for (const process_id q : s->list) {             // line 26
+              in_closure[static_cast<std::size_t>(q)] = true;
+            }
+            if (s->stat == pp_status::low_pri) {
+              seen_low[static_cast<std::size_t>(j)] = true;
+            }
+          }
+        });
+    for (process_id j = 0; j < n; ++j) {  // line 28
+      const auto index = static_cast<std::size_t>(j);
+      if (in_closure[index] && !seen_low[index]) co_return pp_result::die;
+    }
+  }
+  co_return pp_result::survive;  // line 30
+}
+
+}  // namespace elect::election

@@ -1,0 +1,34 @@
+// Heterogeneous PoisonPill — Figure 2 of the paper.
+//
+// The refinement that breaks the Ω(sqrt(n)) survivor barrier of the plain
+// technique. After committing, each processor records the list ℓ of all
+// processors it has observed participating (including itself), derives
+// its coin bias from |ℓ| (probability 1 if |ℓ| = 1, else ln|ℓ|/|ℓ|), and
+// augments its priority status with ℓ. A low-priority survivor must have
+// observed a *low* priority for every processor in its closure set L —
+// the union of every ℓ list it saw and every participant it observed.
+//
+// Guarantees (reproduced by tests/benches):
+//   * at least one survivor (same argument as Claim 3.1);
+//   * Claim 3.3 — closure property of survivor views;
+//   * Lemma 3.6 — O(log k) expected survivors that flipped 0;
+//   * Lemma 3.7 — O(log² k) expected processors that flip 1.
+#pragma once
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+struct het_poison_pill_params {
+  /// The Status[] variable of this phase (disjoint per round).
+  engine::var_id status_var = het_status_var(election_id{0}, 1);
+};
+
+/// Run one Heterogeneous PoisonPill phase on `self`.
+[[nodiscard]] engine::task<pp_result> het_poison_pill(
+    engine::node& self, het_poison_pill_params params);
+
+}  // namespace elect::election

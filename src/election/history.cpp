@@ -1,0 +1,74 @@
+#include "election/history.hpp"
+
+#include <algorithm>
+
+namespace elect::election {
+
+std::optional<std::string> validate_tas_history(
+    const std::vector<tas_op>& ops) {
+  // Basic sanity: an outcome implies invocation and return ordering.
+  for (const tas_op& op : ops) {
+    if (op.outcome.has_value()) {
+      if (op.invoke_time == UINT64_MAX || op.return_time == UINT64_MAX) {
+        return "op of processor " + std::to_string(op.pid) +
+               " returned without invoke/return timestamps";
+      }
+      if (op.return_time < op.invoke_time) {
+        return "op of processor " + std::to_string(op.pid) +
+               " returned before it was invoked";
+      }
+    }
+  }
+
+  // Unique winner.
+  std::vector<const tas_op*> winners;
+  std::vector<const tas_op*> losers;
+  bool any_incomplete_invoked = false;
+  std::uint64_t earliest_incomplete_invoke = UINT64_MAX;
+  for (const tas_op& op : ops) {
+    if (op.outcome == tas_result::win) winners.push_back(&op);
+    if (op.outcome == tas_result::lose) losers.push_back(&op);
+    if (!op.outcome.has_value() && op.invoke_time != UINT64_MAX) {
+      any_incomplete_invoked = true;
+      earliest_incomplete_invoke =
+          std::min(earliest_incomplete_invoke, op.invoke_time);
+    }
+  }
+  if (winners.size() > 1) {
+    return "multiple winners (" + std::to_string(winners.size()) + ")";
+  }
+
+  const std::uint64_t earliest_lose_return = [&] {
+    std::uint64_t t = UINT64_MAX;
+    for (const tas_op* l : losers) t = std::min(t, l->return_time);
+    return t;
+  }();
+
+  if (winners.size() == 1) {
+    // The winner must have invoked before any loser returned; otherwise
+    // that loser's operation completed strictly before the winner's
+    // began, and no valid linearization puts WIN first.
+    if (winners.front()->invoke_time > earliest_lose_return) {
+      return "a loser returned (event " +
+             std::to_string(earliest_lose_return) +
+             ") before the winner invoked (event " +
+             std::to_string(winners.front()->invoke_time) + ")";
+    }
+    return std::nullopt;
+  }
+
+  // No winner returned. If nothing returned LOSE either, the history is
+  // trivially fine. Otherwise some operation must be linearizable as the
+  // (never-returning) winner: an invoked-but-incomplete operation that
+  // began before every loser returned.
+  if (losers.empty()) return std::nullopt;
+  if (!any_incomplete_invoked) {
+    return "all participants returned LOSE (no winner possible)";
+  }
+  if (earliest_incomplete_invoke > earliest_lose_return) {
+    return "every loser returned before any potential winner invoked";
+  }
+  return std::nullopt;
+}
+
+}  // namespace elect::election

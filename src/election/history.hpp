@@ -1,0 +1,39 @@
+// Linearizability checking for test-and-set histories.
+//
+// The spec (§2, "Problem Statements"): every correct participant returns;
+// at most one returns WIN; operations are linearizable — they can be
+// ordered such that (1) the first operation is WIN and every other is
+// LOSE, and (2) the order of non-overlapping operations is respected.
+// The real-time consequence the checker enforces: no processor may
+// *return* LOSE before the eventual winner *invokes* its operation
+// (otherwise the winner's operation would have to linearize before an
+// operation that completed strictly before it began).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "election/outcomes.hpp"
+
+namespace elect::election {
+
+/// One participant's operation in a finished (or crashed) execution.
+/// Times are kernel event indices; UINT64_MAX means "never happened".
+struct tas_op {
+  process_id pid = no_process;
+  std::uint64_t invoke_time = UINT64_MAX;
+  std::uint64_t return_time = UINT64_MAX;
+  /// Set only if the operation returned.
+  std::optional<tas_result> outcome;
+  bool crashed = false;
+};
+
+/// Validate a test-and-set history. Returns std::nullopt if the history
+/// is linearizable and safe, or a human-readable violation description.
+[[nodiscard]] std::optional<std::string> validate_tas_history(
+    const std::vector<tas_op>& ops);
+
+}  // namespace elect::election

@@ -1,0 +1,40 @@
+#include "election/leader_elect.hpp"
+
+#include "election/doorway.hpp"
+#include "election/het_poison_pill.hpp"
+#include "election/preround.hpp"
+
+namespace elect::election {
+
+engine::task<tas_result> leader_elect(engine::node& self,
+                                      leader_elect_params params) {
+  // Lines 63-64: the doorway gate.
+  self.probe().round = 0;
+  if (co_await doorway(self, door_var(params.instance)) == gate_result::lose) {
+    co_return tas_result::lose;
+  }
+
+  // Lines 65-72: rounds of PreRound + HeterogeneousPoisonPill. Every
+  // processor starts in round 1; HeterogeneousPoisonPill protocols of
+  // different rounds are completely disjoint.
+  const engine::var_id rounds = round_var(params.instance);
+  for (std::int64_t r = 1; r <= params.max_rounds; ++r) {
+    self.probe().round = r;
+
+    const gate_result gate = co_await preround(self, rounds, r);
+    if (gate == gate_result::win) co_return tas_result::win;
+    if (gate == gate_result::lose) co_return tas_result::lose;
+
+    const pp_result pill = co_await het_poison_pill(
+        self, het_poison_pill_params{
+                  het_status_var(params.instance,
+                                 static_cast<std::uint32_t>(r))});
+    if (pill == pp_result::die) co_return tas_result::lose;
+  }
+  ELECT_CHECK_MSG(false, "leader_elect exceeded max_rounds — either the "
+                         "round limit is absurdly low or survivor decay is "
+                         "broken");
+  co_return tas_result::lose;  // unreachable
+}
+
+}  // namespace elect::election

@@ -1,0 +1,44 @@
+// LeaderElect — Figure 6: the paper's main algorithm.
+//
+// Doorway, then rounds of (PreRound filter → Heterogeneous PoisonPill).
+// All participants enter round 1; only the survivors of round r enter
+// round r+1. PreRound detects both outcomes: a processor two rounds ahead
+// of everyone else wins; a processor behind anyone loses.
+//
+// Guarantees (Theorem A.5, reproduced by tests/benches):
+//   * linearizable test-and-set: at most one winner, at least one winner
+//     when all participants return, no loser returns before the winner
+//     invokes;
+//   * termination with probability 1 under up to ceil(n/2)-1 crashes;
+//   * O(log* k) expected communicate calls per processor for k
+//     participants, under any adaptive adversary;
+//   * O(kn) expected total messages.
+#pragma once
+
+#include <cstdint>
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+struct leader_elect_params {
+  /// Which election instance this is (disjoint variables per instance).
+  election_id instance{0};
+  /// Safety valve for simulation: abort after this many rounds (the
+  /// expected number is O(log* k); hitting this limit aborts the run).
+  std::int64_t max_rounds = 1'000'000;
+};
+
+/// Run leader election on `self`. Returns WIN or LOSE.
+[[nodiscard]] engine::task<tas_result> leader_elect(engine::node& self,
+                                                    leader_elect_params params);
+
+/// Convenience: leader election for instance 0 with defaults.
+[[nodiscard]] inline engine::task<tas_result> leader_elect(engine::node& self) {
+  return leader_elect(self, leader_elect_params{});
+}
+
+}  // namespace elect::election

@@ -1,0 +1,30 @@
+// Result types shared by the election protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace elect::election {
+
+/// SURVIVE / DIE of a PoisonPill phase (Figures 1 and 2).
+enum class pp_result : std::int64_t { die = 0, survive = 1 };
+
+/// Result of PreRound (Figure 4) and Doorway (Figure 5).
+enum class gate_result : std::int64_t { lose = 0, win = 1, proceed = 2 };
+
+/// WIN / LOSE of leader election (test-and-set).
+enum class tas_result : std::int64_t { lose = 0, win = 1 };
+
+[[nodiscard]] inline std::string to_string(tas_result r) {
+  return r == tas_result::win ? "WIN" : "LOSE";
+}
+
+/// Protocol phase markers published through the debug probe.
+enum class phase_marker : std::int64_t {
+  idle = -1,
+  doorway = 0,
+  preround = 1,
+  poison_pill = 2,
+};
+
+}  // namespace elect::election

@@ -1,0 +1,72 @@
+#include "election/poison_pill.hpp"
+
+#include <vector>
+
+#include "engine/views.hpp"
+
+namespace elect::election {
+
+using engine::owned_array;
+using engine::pp_status;
+
+engine::task<pp_result> poison_pill(engine::node& self,
+                                    poison_pill_params params) {
+  const double bias = params.high_priority_bias > 0.0
+                          ? params.high_priority_bias
+                          : poison_pill_bias(self.n());
+
+  // Lines 2-3: commit to the coin flip and propagate the commit status.
+  self.probe().phase = static_cast<std::int64_t>(phase_marker::poison_pill);
+  self.probe().status = static_cast<std::int64_t>(pp_status::commit);
+  {
+    auto delta =
+        self.stage_own_cell<pp_status>(params.status_var, pp_status::commit);
+    co_await self.propagate(params.status_var, delta);
+  }
+
+  // Line 4: flip the biased coin. The flip becomes visible to the strong
+  // adversary (via the probe) the moment it happens — but by now the
+  // commit above has already reached a quorum.
+  const int coin = self.rng().bernoulli(bias) ? 1 : 0;
+  self.probe().coin = coin;
+
+  // Lines 5-7: record the priority and propagate it.
+  const pp_status my_status =
+      coin == 1 ? pp_status::high_pri : pp_status::low_pri;
+  self.probe().status = static_cast<std::int64_t>(my_status);
+  {
+    auto delta = self.stage_own_cell<pp_status>(params.status_var, my_status);
+    co_await self.propagate(params.status_var, delta);
+  }
+
+  // Line 8: collect views of Status from a quorum.
+  const std::vector<engine::view_entry> views =
+      co_await self.collect(params.status_var);
+
+  // Lines 9-11: a low-priority processor dies iff it observes some j that
+  // is Commit or High-Pri in some view and Low-Pri in no view.
+  if (my_status == pp_status::low_pri) {
+    const int n = self.n();
+    std::vector<bool> seen_active(static_cast<std::size_t>(n), false);
+    std::vector<bool> seen_low(static_cast<std::size_t>(n), false);
+    engine::for_each_view<owned_array<pp_status>>(
+        views, [&](const owned_array<pp_status>& status_array) {
+          for (process_id j = 0; j < n; ++j) {
+            if (const pp_status* s = status_array.get(j)) {
+              if (*s == pp_status::commit || *s == pp_status::high_pri) {
+                seen_active[static_cast<std::size_t>(j)] = true;
+              } else if (*s == pp_status::low_pri) {
+                seen_low[static_cast<std::size_t>(j)] = true;
+              }
+            }
+          }
+        });
+    for (process_id j = 0; j < n; ++j) {
+      const auto index = static_cast<std::size_t>(j);
+      if (seen_active[index] && !seen_low[index]) co_return pp_result::die;
+    }
+  }
+  co_return pp_result::survive;
+}
+
+}  // namespace elect::election

@@ -1,0 +1,39 @@
+// The PoisonPill technique — Figure 1 of the paper.
+//
+// One elimination phase. Each participant:
+//   1. takes the "poison pill": sets Status[i] = Commit and propagates it
+//      to a quorum — *before* flipping its coin, so the adversary cannot
+//      learn the flip without the commit evidence being replicated;
+//   2. flips a biased coin (probability 1/sqrt(n) of high priority) and
+//      propagates the resulting Low-Pri / High-Pri status;
+//   3. collects the Status array from a quorum and, if it has low
+//      priority, DIEs iff it sees some processor j that is Commit or
+//      High-Pri in some view and Low-Pri in none (Figure 1, line 10).
+//
+// Guarantees (reproduced by tests/benches):
+//   * Claim 3.1 — if all participants return, at least one survives;
+//   * Claim 3.2 — expected O(sqrt(n)) survivors under any schedule, and
+//     the sequential schedule makes this tight (Θ(sqrt(n))).
+#pragma once
+
+#include "common/math.hpp"
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+struct poison_pill_params {
+  /// The Status[] variable of this phase.
+  engine::var_id status_var = pp_status_var(election_id{0}, 1);
+  /// Probability of flipping 1 (high priority); <= 0 means the paper's
+  /// default 1/sqrt(n). Exposed for the bias-ablation experiment (E9).
+  double high_priority_bias = -1.0;
+};
+
+/// Run one PoisonPill phase on `self`. Returns SURVIVE or DIE.
+[[nodiscard]] engine::task<pp_result> poison_pill(engine::node& self,
+                                                  poison_pill_params params);
+
+}  // namespace elect::election

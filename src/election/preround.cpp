@@ -1,0 +1,30 @@
+#include "election/preround.hpp"
+
+#include "engine/views.hpp"
+
+namespace elect::election {
+
+engine::task<gate_result> preround(engine::node& self,
+                                   engine::var_id round_var, std::int64_t r) {
+  self.probe().phase = static_cast<std::int64_t>(phase_marker::preround);
+
+  // Lines 45-46: record and propagate own round.
+  {
+    auto delta = self.stage_own_cell<std::int64_t>(round_var, r);
+    co_await self.propagate(round_var, delta);
+  }
+
+  // Lines 47-48: collect Round[] from a quorum; R is the maximum round of
+  // any *other* processor in any view (unwritten cells read as round 0 —
+  // "int Round[n] = {0}").
+  const auto views = co_await self.collect(round_var);
+  const std::int64_t max_other =
+      engine::max_int_in_views(views, self.id(), /*bottom_value=*/0);
+
+  // Lines 49-53.
+  if (r < max_other) co_return gate_result::lose;
+  if (max_other < r - 1) co_return gate_result::win;
+  co_return gate_result::proceed;
+}
+
+}  // namespace elect::election

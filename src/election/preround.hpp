@@ -1,0 +1,30 @@
+// PreRound — Figure 4 of the paper (round-number filter, after [SSW91]).
+//
+// Before participating in round r, a processor propagates r to a quorum,
+// collects the Round[] array, and compares r with the maximum round R it
+// observed among *other* processors:
+//   * r < R      — someone is ahead: LOSE;
+//   * R < r - 1  — everyone else is at least two rounds behind, so no one
+//                  can ever pass us: WIN;
+//   * otherwise  — PROCEED into the round.
+//
+// The quorum-intersection argument of Lemma A.2 makes WIN exclusive: if p
+// wins at round r, no other processor ever completed propagating r-1, and
+// every other processor subsequently observes r and loses.
+#pragma once
+
+#include <cstdint>
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+/// Run the PreRound filter for round `r` (r >= 1) of instance `round_var`.
+[[nodiscard]] engine::task<gate_result> preround(engine::node& self,
+                                                 engine::var_id round_var,
+                                                 std::int64_t r);
+
+}  // namespace elect::election

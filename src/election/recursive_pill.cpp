@@ -1,0 +1,47 @@
+#include "election/recursive_pill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "election/doorway.hpp"
+#include "election/poison_pill.hpp"
+#include "election/preround.hpp"
+
+namespace elect::election {
+
+engine::task<tas_result> recursive_pill_elect(engine::node& self,
+                                              recursive_pill_params params) {
+  self.probe().round = 0;
+  if (co_await doorway(self, door_var(params.instance)) == gate_result::lose) {
+    co_return tas_result::lose;
+  }
+
+  const engine::var_id rounds = round_var(params.instance);
+  // Expected participant population of the current round; all processors
+  // compute the same deterministic schedule, so their biases agree.
+  double population = static_cast<double>(self.n());
+
+  for (std::int64_t r = 1; r <= params.max_rounds; ++r) {
+    self.probe().round = r;
+
+    const gate_result gate = co_await preround(self, rounds, r);
+    if (gate == gate_result::win) co_return tas_result::win;
+    if (gate == gate_result::lose) co_return tas_result::lose;
+
+    poison_pill_params phase;
+    phase.status_var =
+        pp_status_var(params.instance, static_cast<std::uint32_t>(r));
+    phase.high_priority_bias =
+        std::min(1.0, 1.0 / std::sqrt(std::max(population, 1.0)));
+    const pp_result pill = co_await poison_pill(self, phase);
+    if (pill == pp_result::die) co_return tas_result::lose;
+
+    // A phase over m participants leaves ~2*sqrt(m) expected survivors
+    // (Claim 3.2 and its tight sequential schedule).
+    population = std::max(1.0, 2.0 * std::sqrt(population) + 1.0);
+  }
+  ELECT_CHECK_MSG(false, "recursive_pill_elect exceeded max_rounds");
+  co_return tas_result::lose;  // unreachable
+}
+
+}  // namespace elect::election

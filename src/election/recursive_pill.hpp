@@ -1,0 +1,34 @@
+// Recursive plain-PoisonPill election — the remark closing §3.1:
+// "It is possible to apply this technique recursively with some extra
+// care and construct an algorithm with an expected O(log log n) time
+// complexity."
+//
+// Same skeleton as Figure 6 (doorway, then PreRound-gated elimination
+// rounds), but each round runs the *plain* Figure-1 phase, with the coin
+// bias re-derived from the expected surviving population: round 1 uses
+// 1/sqrt(n); a phase with m participants leaves ~2*sqrt(m) expected
+// survivors, so round r+1 biases against m_{r+1} = 2*sqrt(m_r) + 1.
+// Population shrinks as n -> sqrt -> fourth root -> ..., giving
+// O(log log n) expected rounds — better than a tournament, worse than
+// the heterogeneous O(log* n). Benchmark E11 compares all three.
+#pragma once
+
+#include <cstdint>
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+struct recursive_pill_params {
+  election_id instance{0};
+  std::int64_t max_rounds = 1'000'000;
+};
+
+/// Run the recursive plain-PoisonPill election. Returns WIN or LOSE.
+[[nodiscard]] engine::task<tas_result> recursive_pill_elect(
+    engine::node& self, recursive_pill_params params);
+
+}  // namespace elect::election

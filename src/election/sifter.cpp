@@ -1,0 +1,55 @@
+#include "election/sifter.hpp"
+
+#include "common/math.hpp"
+#include "engine/views.hpp"
+
+namespace elect::election {
+
+using engine::owned_array;
+
+engine::task<pp_result> naive_sifter_round(engine::node& self,
+                                           sifter_params params) {
+  const double bias =
+      params.bias > 0.0 ? params.bias : poison_pill_bias(self.n());
+
+  // Flip first — this is the naive part: the strong adversary sees the
+  // flip before anything about it has been replicated.
+  const int coin = self.rng().bernoulli(bias) ? 1 : 0;
+  self.probe().coin = coin;
+
+  // Write the flip and propagate it.
+  {
+    auto delta = self.stage_own_cell<std::int64_t>(params.flips_var, coin);
+    co_await self.propagate(params.flips_var, delta);
+  }
+
+  // Read the flips; survive iff we flipped 1 or saw no 1.
+  const auto views = co_await self.collect(params.flips_var);
+  if (coin == 1) co_return pp_result::survive;
+  bool saw_one = false;
+  engine::for_each_view<owned_array<std::int64_t>>(
+      views, [&](const owned_array<std::int64_t>& flips) {
+        for (process_id j = 0; j < flips.size() && !saw_one; ++j) {
+          const std::int64_t* f = flips.get(j);
+          saw_one = f != nullptr && *f == 1;
+        }
+      });
+  co_return saw_one ? pp_result::die : pp_result::survive;
+}
+
+engine::task<pp_result> naive_sifter_chain(engine::node& self,
+                                           election_id instance,
+                                           std::vector<double> biases) {
+  self.probe().round = 0;
+  for (std::size_t r = 0; r < biases.size(); ++r) {
+    const pp_result result = co_await naive_sifter_round(
+        self, sifter_params{
+                  sifter_var(instance, static_cast<std::uint32_t>(r + 1)),
+                  biases[r]});
+    if (result == pp_result::die) co_return pp_result::die;
+    self.probe().round = static_cast<std::int64_t>(r + 1);
+  }
+  co_return pp_result::survive;
+}
+
+}  // namespace elect::election

@@ -1,0 +1,41 @@
+// Naive sifting — the strawman from the paper's introduction, plus the
+// weak-adversary sifter of [AA11] it descends from.
+//
+// A sifting round WITHOUT the poison-pill commit stage: each participant
+// flips a biased coin, writes the outcome to its flip register, reads the
+// registers, and survives iff it flipped 1 or saw no 1. Against a weak
+// (oblivious) adversary this eliminates all but ~sqrt(n) participants per
+// round; a strong adversary that sees the flips simply schedules all the
+// 0-flippers to finish before any 1-flipper's write propagates, forcing
+// everyone to survive. Experiment E10 measures exactly this contrast, and
+// it is the motivation for PoisonPill's commit stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+struct sifter_params {
+  engine::var_id flips_var = sifter_var(election_id{0}, 1);
+  /// Probability of flipping 1; <= 0 means 1/sqrt(n).
+  double bias = -1.0;
+};
+
+/// One naive sifting round. Returns SURVIVE or DIE.
+[[nodiscard]] engine::task<pp_result> naive_sifter_round(engine::node& self,
+                                                         sifter_params params);
+
+/// Multiple chained sifting rounds (only survivors continue); biases[r]
+/// is the round-r probability of flipping 1 (<= 0 entries mean 1/sqrt(n)).
+/// The probe's `round` field records how many rounds this processor
+/// survived. Returns SURVIVE iff the processor survived every round.
+[[nodiscard]] engine::task<pp_result> naive_sifter_chain(
+    engine::node& self, election_id instance, std::vector<double> biases);
+
+}  // namespace elect::election

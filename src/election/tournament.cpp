@@ -1,0 +1,60 @@
+#include "election/tournament.hpp"
+
+#include "common/math.hpp"
+#include "consensus/quorum_consensus.hpp"
+#include "election/doorway.hpp"
+
+namespace elect::election {
+
+namespace {
+
+/// Variable space of one tree-node match: election instance in the high
+/// 16 bits, tree node index in the low 16.
+std::uint32_t match_space(election_id instance, std::uint32_t tree_node) {
+  ELECT_CHECK_MSG(instance.value < (1u << 16),
+                  "tournament: election instance id exceeds 16 bits");
+  ELECT_CHECK_MSG(tree_node < (1u << 16),
+                  "tournament: tree too large (n > 32768)");
+  return (instance.value << 16) | tree_node;
+}
+
+}  // namespace
+
+engine::task<tas_result> tournament_elect(engine::node& self,
+                                          tournament_params params) {
+  if (params.with_doorway) {
+    self.probe().round = 0;
+    // Reuse the Figure-5 doorway: the instance's door variable is shared
+    // with LeaderElect's naming scheme, so never run both algorithms on
+    // the same instance id.
+    if (co_await doorway(self, door_var(params.instance)) ==
+        gate_result::lose) {
+      co_return tas_result::lose;
+    }
+  }
+
+  // Heap-numbered complete binary tree: leaves occupy
+  // [leaf_count, 2*leaf_count); internal nodes [1, leaf_count);
+  // node 1 is the root.
+  const auto leaf_count =
+      static_cast<std::uint32_t>(next_pow2(static_cast<std::uint64_t>(
+          self.n() > 1 ? self.n() : 2)));
+  std::uint32_t tree_node =
+      leaf_count + static_cast<std::uint32_t>(self.id());
+
+  std::int64_t level = 0;
+  while (tree_node > 1) {
+    tree_node /= 2;  // ascend to the parent match
+    ++level;
+    self.probe().round = level;  // levels played, for instrumentation
+    const std::int64_t winner = co_await consensus::decide(
+        self, match_space(params.instance, tree_node),
+        static_cast<std::int64_t>(self.id()));
+    if (winner != static_cast<std::int64_t>(self.id())) {
+      co_return tas_result::lose;
+    }
+  }
+  co_return tas_result::win;
+}
+
+}  // namespace elect::election

@@ -1,0 +1,39 @@
+// Tournament-tree test-and-set — the [AGTV92] baseline the paper beats.
+//
+// Participants are the leaves of a complete binary tree; each internal
+// node is a "match" decided by two-processor randomized consensus
+// (consensus/quorum_consensus.hpp — O(1) expected communicate calls per
+// match). Winners ascend; the processor that wins the root match returns
+// WIN, everyone else LOSE.
+//
+// Time complexity is Θ(log n): the winner must ascend through ceil(log2
+// n) levels sequentially. This is exactly the logarithmic barrier the
+// PoisonPill algorithm's O(log* n) breaks — experiment E1 plots the two
+// side by side.
+//
+// Note: like the original, this baseline is not linearizable without an
+// extra doorway; `with_doorway` adds the same Figure-5 gate used by
+// LeaderElect so both algorithms meet the same spec in comparison runs.
+#pragma once
+
+#include <cstdint>
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+struct tournament_params {
+  /// Election instance; must fit in 16 bits (variable-space encoding).
+  election_id instance{0};
+  /// Add the Figure-5 doorway in front (for linearizable comparisons).
+  bool with_doorway = false;
+};
+
+/// Run the tournament on `self`. Returns WIN or LOSE.
+[[nodiscard]] engine::task<tas_result> tournament_elect(
+    engine::node& self, tournament_params params);
+
+}  // namespace elect::election

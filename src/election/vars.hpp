@@ -1,0 +1,48 @@
+// Variable naming scheme for leader-election instances.
+//
+// A single system runs many leader-election instances concurrently (the
+// renaming algorithm runs one per name); each instance gets a disjoint
+// set of replicated variables, keyed by the instance id.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/ids.hpp"
+
+namespace elect::election {
+
+/// Identifies one leader-election (test-and-set) instance.
+struct election_id {
+  std::uint32_t value = 0;
+};
+
+/// The Doorway door bit of an instance (Figure 5).
+[[nodiscard]] inline engine::var_id door_var(election_id e) {
+  return {engine::var_family::door, e.value, 0};
+}
+
+/// The PreRound Round[] array of an instance (Figure 4).
+[[nodiscard]] inline engine::var_id round_var(election_id e) {
+  return {engine::var_family::round_array, e.value, 0};
+}
+
+/// The HeterogeneousPoisonPill Status[] array of round r of an instance.
+/// Protocols for different rounds are completely disjoint (§3.3).
+[[nodiscard]] inline engine::var_id het_status_var(election_id e,
+                                                   std::uint32_t round) {
+  return {engine::var_family::het_status_array, e.value, round};
+}
+
+/// The plain PoisonPill Status[] array (standalone phases; Figure 1).
+[[nodiscard]] inline engine::var_id pp_status_var(election_id e,
+                                                  std::uint32_t round) {
+  return {engine::var_family::pp_status_array, e.value, round};
+}
+
+/// Flip registers of the naive / weak-adversary sifter.
+[[nodiscard]] inline engine::var_id sifter_var(election_id e,
+                                               std::uint32_t round) {
+  return {engine::var_family::sifter_flips, e.value, round};
+}
+
+}  // namespace elect::election

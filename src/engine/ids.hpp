@@ -1,0 +1,72 @@
+// Identifiers for replicated variables.
+//
+// Every protocol variable in the paper (Status[], Round[], door,
+// Contended[], ...) is a named replicated variable. A var_id names one:
+// its family (which protocol array it is), the protocol instance it
+// belongs to (e.g. which name's leader election, which tournament match),
+// and the phase/round within that instance.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace elect::engine {
+
+/// Which protocol array a variable is. The family fixes the value type
+/// stored in the variable (see values.hpp).
+enum class var_family : std::uint32_t {
+  /// owned_array<pp_status> — plain PoisonPill Status[] (Figure 1).
+  pp_status_array = 0,
+  /// owned_array<het_status> — Heterogeneous PoisonPill Status[] (Figure 2).
+  het_status_array = 1,
+  /// owned_array<int64> — PreRound Round[] (Figure 4).
+  round_array = 2,
+  /// or_flag — the Doorway door bit (Figure 5).
+  door = 3,
+  /// or_flags — the renaming Contended[] bitmap (Figure 3).
+  contended = 4,
+  /// owned_array<int64> — naive/weak-adversary sifter coin flips.
+  sifter_flips = 5,
+  /// owned_array<int64> — two-party duel consensus stage records
+  /// (tournament baseline; see consensus/duel.hpp).
+  duel_stage = 6,
+  /// tagged_register<int64> — ABD multi-writer register (abd/register.hpp).
+  abd_register = 7,
+  /// owned_array<int64> — scratch family for tests.
+  test_i64_array = 8,
+  /// or_flags — scratch family for tests.
+  test_flags = 9,
+};
+
+[[nodiscard]] std::string to_string(var_family family);
+
+/// Fully-qualified name of a replicated variable.
+struct var_id {
+  var_family family{};
+  /// Protocol instance (e.g. renaming name index, or an election id).
+  std::uint32_t instance = 0;
+  /// Round / phase within the instance (e.g. PoisonPill round number, or
+  /// an encoded (tree-node, duel-round, stage) for tournament matches).
+  std::uint32_t round = 0;
+
+  friend auto operator<=>(const var_id&, const var_id&) = default;
+};
+
+[[nodiscard]] std::string to_string(const var_id& id);
+
+struct var_id_hash {
+  [[nodiscard]] std::size_t operator()(const var_id& id) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(id.family);
+    h = h * 0x9e3779b97f4a7c15ULL + id.instance;
+    h = h * 0x9e3779b97f4a7c15ULL + id.round;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace elect::engine

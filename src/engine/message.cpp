@@ -1,0 +1,24 @@
+#include "engine/message.hpp"
+
+namespace elect::engine {
+
+std::string describe(const message& m) {
+  std::string kind = std::visit(
+      [](const auto& body) -> std::string {
+        using body_type = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<body_type, propagate_request>) {
+          return "propagate(" + to_string(body.var) + ")";
+        } else if constexpr (std::is_same_v<body_type, collect_request>) {
+          return "collect(" + to_string(body.var) + ")";
+        } else if constexpr (std::is_same_v<body_type, ack_reply>) {
+          return "ack";
+        } else {
+          return "collect-reply";
+        }
+      },
+      m.body);
+  return std::to_string(m.from) + "->" + std::to_string(m.to) + " " + kind +
+         " tok=" + std::to_string(m.token);
+}
+
+}  // namespace elect::engine

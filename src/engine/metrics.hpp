@@ -1,0 +1,69 @@
+// Complexity accounting.
+//
+// Per the paper's complexity definitions (§2): message complexity is the
+// total number of point-to-point messages (we count requests, ACKs and
+// collect replies separately, plus approximate wire bytes for
+// bit-complexity studies); time complexity is measured through Claim 2.1
+// as the maximum number of `communicate` calls any processor performs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace elect::engine {
+
+struct metrics {
+  explicit metrics(int n)
+      : communicate_calls(static_cast<std::size_t>(n), 0),
+        computation_steps(static_cast<std::size_t>(n), 0),
+        stale_replies(static_cast<std::size_t>(n), 0) {}
+
+  // Global message counters (maintained by the transport; in the
+  // multithreaded runtime the transport keeps its own atomic counters and
+  // leaves these zero).
+  std::uint64_t requests_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t collect_replies_sent = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t dropped_messages = 0;
+
+  // Per-processor counters (each maintained only by that processor's
+  // execution context — single writer, so they are safe in both runtimes).
+  std::vector<std::uint64_t> communicate_calls;
+  std::vector<std::uint64_t> computation_steps;
+  std::vector<std::uint64_t> stale_replies;
+
+  [[nodiscard]] std::uint64_t total_stale_replies() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t s : stale_replies) total += s;
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return requests_sent + acks_sent + collect_replies_sent;
+  }
+
+  [[nodiscard]] std::uint64_t max_communicate_calls() const {
+    return communicate_calls.empty()
+               ? 0
+               : *std::max_element(communicate_calls.begin(),
+                                   communicate_calls.end());
+  }
+
+  /// Max communicate calls among a subset of processors (participants).
+  [[nodiscard]] std::uint64_t max_communicate_calls_among(
+      const std::vector<process_id>& ids) const {
+    std::uint64_t best = 0;
+    for (process_id id : ids) {
+      best = std::max(best,
+                      communicate_calls[static_cast<std::size_t>(id)]);
+    }
+    return best;
+  }
+};
+
+}  // namespace elect::engine

@@ -1,0 +1,139 @@
+#include "engine/node.hpp"
+
+#include <utility>
+
+namespace elect::engine {
+
+node::node(process_id id, int n, transport& out, rng_stream rng, metrics& m)
+    : id_(id), out_(out), rng_(rng), metrics_(m), store_(n) {
+  ELECT_CHECK(id >= 0 && id < n);
+}
+
+void node::attach_protocol(task<std::int64_t> protocol) {
+  ELECT_CHECK_MSG(!root_.valid(), "node already has a protocol attached");
+  ELECT_CHECK(protocol.valid());
+  root_ = std::move(protocol);
+}
+
+void node::begin_op(bool is_collect) {
+  ELECT_CHECK_MSG(!op_.active, "communicate call while another is pending");
+  op_.active = true;
+  op_.is_collect = is_collect;
+  op_.token = next_token_++;
+  op_.needed = quorum();
+  op_.reply_count = 0;
+  op_.replied.assign(static_cast<std::size_t>(n()), false);
+  op_.views.clear();
+  metrics_.communicate_calls[static_cast<std::size_t>(id_)]++;
+}
+
+void node::broadcast(const var_id& id, const var_delta* delta) {
+  // The communicate primitive sends to all n processors, including the
+  // caller itself; the self-message travels through the network like any
+  // other (the adversary may delay it).
+  for (process_id to = 0; to < n(); ++to) {
+    message m;
+    m.from = id_;
+    m.to = to;
+    m.token = op_.token;
+    if (delta != nullptr) {
+      m.body = propagate_request{id, *delta};
+    } else {
+      m.body = collect_request{id};
+    }
+    out_.send(std::move(m));
+  }
+}
+
+propagate_awaitable node::propagate(const var_id& id, var_delta delta) {
+  begin_op(/*is_collect=*/false);
+  broadcast(id, &delta);
+  return propagate_awaitable(*this);
+}
+
+collect_awaitable node::collect(const var_id& id) {
+  begin_op(/*is_collect=*/true);
+  broadcast(id, nullptr);
+  return collect_awaitable(*this);
+}
+
+void node::handle(const message& m) {
+  if (const auto* propagate = std::get_if<propagate_request>(&m.body)) {
+    store_.merge(propagate->var, propagate->delta);
+    out_.send(message{id_, m.from, m.token, ack_reply{}});
+    return;
+  }
+  if (const auto* collect = std::get_if<collect_request>(&m.body)) {
+    out_.send(
+        message{id_, m.from, m.token, collect_reply{store_.snapshot(collect->var)}});
+    return;
+  }
+  // A reply: absorb it into the pending op if it matches; otherwise it is
+  // a stale reply for an op that already reached quorum.
+  if (!op_.active || m.token != op_.token) {
+    metrics_.stale_replies[static_cast<std::size_t>(id_)]++;
+    return;
+  }
+  auto from = static_cast<std::size_t>(m.from);
+  ELECT_CHECK(from < op_.replied.size());
+  if (op_.replied[from]) {
+    metrics_.stale_replies[static_cast<std::size_t>(id_)]++;
+    return;
+  }
+  op_.replied[from] = true;
+  op_.reply_count++;
+  if (op_.is_collect) {
+    const auto* reply = std::get_if<collect_reply>(&m.body);
+    ELECT_CHECK_MSG(reply != nullptr, "collect op received a bare ACK");
+    op_.views.push_back(view_entry{m.from, reply->snapshot});
+  } else {
+    ELECT_CHECK_MSG(std::holds_alternative<ack_reply>(m.body),
+                    "propagate op received a snapshot reply");
+  }
+}
+
+void node::computation_step() {
+  metrics_.computation_steps[static_cast<std::size_t>(id_)]++;
+  // Receive everything delivered since the last computation step.
+  while (!mailbox_.empty()) {
+    message m = std::move(mailbox_.front());
+    mailbox_.pop_front();
+    handle(m);
+  }
+  // Advance the protocol: initial start (unless invocation is being held
+  // back by the scheduler), or resume a communicate call whose quorum is
+  // now complete.
+  if (root_.valid() && !started_ && !held_) {
+    started_ = true;
+    root_.resume();
+    return;
+  }
+  if (waiting_ && op_.active && op_.reply_count >= op_.needed) {
+    auto handle = waiting_;
+    waiting_ = nullptr;
+    handle.resume();
+  }
+}
+
+void propagate_awaitable::await_suspend(std::coroutine_handle<> handle) {
+  self_->set_waiting(handle);
+}
+
+void propagate_awaitable::await_resume() {
+  ELECT_CHECK(self_->op_.active);
+  ELECT_CHECK(self_->op_.reply_count >= self_->op_.needed);
+  self_->op_.active = false;
+}
+
+void collect_awaitable::await_suspend(std::coroutine_handle<> handle) {
+  self_->set_waiting(handle);
+}
+
+std::vector<view_entry> collect_awaitable::await_resume() {
+  ELECT_CHECK(self_->op_.active);
+  ELECT_CHECK(self_->op_.reply_count >= self_->op_.needed);
+  self_->op_.active = false;
+  return std::move(self_->op_.views);
+}
+
+}  // namespace elect::engine

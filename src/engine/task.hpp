@@ -1,0 +1,134 @@
+// Coroutine task type for protocol code.
+//
+// Protocols are written as straight-line coroutines that mirror the
+// paper's pseudocode; the only suspension points are `co_await
+// node.communicate_*()` (and awaiting sub-protocol tasks). Tasks are lazy:
+// they run only when resumed by the runtime that owns the node, so a
+// single-threaded simulator can interleave thousands of them
+// deterministically.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace elect::engine {
+
+template <typename T>
+class task;
+
+namespace detail {
+
+template <typename T>
+struct task_promise {
+  std::optional<T> result;
+  std::exception_ptr error;
+  std::coroutine_handle<> continuation;
+
+  task<T> get_return_object();
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct final_awaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<task_promise> h) noexcept {
+      // Resume whoever co_awaited us (symmetric transfer); if nobody did —
+      // we are a root protocol — return to the runtime.
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  final_awaiter final_suspend() noexcept { return {}; }
+
+  void return_value(T value) { result = std::move(value); }
+
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine computing a T. Move-only; owns the frame.
+template <typename T>
+class [[nodiscard]] task {
+ public:
+  using promise_type = detail::task_promise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  task() = default;
+  explicit task(handle_type handle) : handle_(handle) {}
+
+  task(task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  task& operator=(task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+
+  ~task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+
+  /// Start or continue executing from the runtime (root tasks only).
+  void resume() {
+    ELECT_CHECK(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.done();
+  }
+
+  /// Result of a completed task. Rethrows if the coroutine threw.
+  [[nodiscard]] T result() const {
+    ELECT_CHECK(done());
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+    ELECT_CHECK(handle_.promise().result.has_value());
+    return *handle_.promise().result;
+  }
+
+  // --- Awaitable interface: `co_await subtask` from another coroutine. ---
+
+  [[nodiscard]] bool await_ready() const noexcept {
+    return handle_ == nullptr || handle_.done();
+  }
+
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    handle_.promise().continuation = awaiting;
+    return handle_;  // start the child immediately (symmetric transfer)
+  }
+
+  T await_resume() { return result(); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  handle_type handle_;
+};
+
+namespace detail {
+
+template <typename T>
+task<T> task_promise<T>::get_return_object() {
+  return task<T>(std::coroutine_handle<task_promise>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace elect::engine

@@ -1,0 +1,217 @@
+#include "engine/values.hpp"
+
+#include <type_traits>
+
+#include "engine/ids.hpp"
+
+namespace elect::engine {
+
+std::string to_string(pp_status s) {
+  switch (s) {
+    case pp_status::bottom:
+      return "bottom";
+    case pp_status::commit:
+      return "commit";
+    case pp_status::low_pri:
+      return "low-pri";
+    case pp_status::high_pri:
+      return "high-pri";
+  }
+  return "invalid";
+}
+
+std::string to_string(var_family family) {
+  switch (family) {
+    case var_family::pp_status_array:
+      return "pp_status";
+    case var_family::het_status_array:
+      return "het_status";
+    case var_family::round_array:
+      return "round";
+    case var_family::door:
+      return "door";
+    case var_family::contended:
+      return "contended";
+    case var_family::sifter_flips:
+      return "sifter_flips";
+    case var_family::duel_stage:
+      return "duel_stage";
+    case var_family::abd_register:
+      return "abd_register";
+    case var_family::test_i64_array:
+      return "test_i64";
+    case var_family::test_flags:
+      return "test_flags";
+  }
+  return "invalid";
+}
+
+std::string to_string(const var_id& id) {
+  return to_string(id.family) + "/" + std::to_string(id.instance) + "/" +
+         std::to_string(id.round);
+}
+
+namespace {
+
+// Default-construct the var_value matching a delta alternative.
+struct default_for_delta {
+  int n;
+
+  var_value operator()(const std::monostate&) const { return {}; }
+  var_value operator()(const cell_delta<pp_status>&) const {
+    return owned_array<pp_status>(n);
+  }
+  var_value operator()(const cell_delta<het_status>&) const {
+    return owned_array<het_status>(n);
+  }
+  var_value operator()(const cell_delta<std::int64_t>&) const {
+    return owned_array<std::int64_t>(n);
+  }
+  var_value operator()(const flag_delta&) const { return or_flag{}; }
+  var_value operator()(const flags_delta&) const { return or_flags(n); }
+  var_value operator()(const tagged_register<std::int64_t>&) const {
+    return tagged_register<std::int64_t>{};
+  }
+};
+
+}  // namespace
+
+void merge_delta(var_value& value, const var_delta& delta, int n) {
+  if (std::holds_alternative<std::monostate>(delta)) return;
+  if (std::holds_alternative<std::monostate>(value)) {
+    value = std::visit(default_for_delta{n}, delta);
+  }
+  std::visit(
+      [&value](const auto& d) {
+        using delta_type = std::decay_t<decltype(d)>;
+        if constexpr (std::is_same_v<delta_type, std::monostate>) {
+          // handled above
+        } else if constexpr (std::is_same_v<delta_type,
+                                            cell_delta<pp_status>>) {
+          auto* array = std::get_if<owned_array<pp_status>>(&value);
+          ELECT_CHECK_MSG(array != nullptr, "delta/value family mismatch");
+          array->merge_cell(d.owner, d.cell);
+        } else if constexpr (std::is_same_v<delta_type,
+                                            cell_delta<het_status>>) {
+          auto* array = std::get_if<owned_array<het_status>>(&value);
+          ELECT_CHECK_MSG(array != nullptr, "delta/value family mismatch");
+          array->merge_cell(d.owner, d.cell);
+        } else if constexpr (std::is_same_v<delta_type,
+                                            cell_delta<std::int64_t>>) {
+          auto* array = std::get_if<owned_array<std::int64_t>>(&value);
+          ELECT_CHECK_MSG(array != nullptr, "delta/value family mismatch");
+          array->merge_cell(d.owner, d.cell);
+        } else if constexpr (std::is_same_v<delta_type, flag_delta>) {
+          auto* flag = std::get_if<or_flag>(&value);
+          ELECT_CHECK_MSG(flag != nullptr, "delta/value family mismatch");
+          flag->merge(or_flag{true});
+        } else if constexpr (std::is_same_v<delta_type, flags_delta>) {
+          auto* flags = std::get_if<or_flags>(&value);
+          ELECT_CHECK_MSG(flags != nullptr, "delta/value family mismatch");
+          for (std::uint32_t index : d.indices) {
+            flags->set(static_cast<int>(index));
+          }
+        } else if constexpr (std::is_same_v<delta_type,
+                                            tagged_register<std::int64_t>>) {
+          auto* reg = std::get_if<tagged_register<std::int64_t>>(&value);
+          ELECT_CHECK_MSG(reg != nullptr, "delta/value family mismatch");
+          reg->merge(d);
+        }
+      },
+      delta);
+}
+
+void merge_value(var_value& value, const var_value& incoming, int n) {
+  (void)n;
+  if (std::holds_alternative<std::monostate>(incoming)) return;
+  if (std::holds_alternative<std::monostate>(value)) {
+    value = incoming;
+    return;
+  }
+  std::visit(
+      [&value](const auto& in) {
+        using in_type = std::decay_t<decltype(in)>;
+        if constexpr (!std::is_same_v<in_type, std::monostate>) {
+          auto* local = std::get_if<in_type>(&value);
+          ELECT_CHECK_MSG(local != nullptr, "snapshot family mismatch");
+          local->merge(in);
+        }
+      },
+      incoming);
+}
+
+namespace {
+
+template <typename T>
+std::size_t payload_bytes(const T&) {
+  return sizeof(T);
+}
+
+inline std::size_t payload_bytes(const het_status& s) {
+  return 1 + s.list.size() * sizeof(process_id);
+}
+
+template <typename T>
+std::size_t array_bytes(const owned_array<T>& array) {
+  // Bottom cells cost one presence bit each (rounded up into the per-cell
+  // accounting as one byte per 8 cells, simplified to size()/8 + ...).
+  std::size_t bytes = static_cast<std::size_t>(array.size()) / 8 + 1;
+  for (process_id j = 0; j < array.size(); ++j) {
+    if (const T* v = array.get(j)) bytes += sizeof(std::uint32_t) + payload_bytes(*v);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t wire_size(const var_value& value) {
+  return std::visit(
+      [](const auto& v) -> std::size_t {
+        using value_type = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<value_type, std::monostate>) {
+          return 1;
+        } else if constexpr (std::is_same_v<value_type,
+                                            owned_array<pp_status>> ||
+                             std::is_same_v<value_type,
+                                            owned_array<het_status>> ||
+                             std::is_same_v<value_type,
+                                            owned_array<std::int64_t>>) {
+          return array_bytes(v);
+        } else if constexpr (std::is_same_v<value_type, or_flag>) {
+          return 1;
+        } else if constexpr (std::is_same_v<value_type, or_flags>) {
+          return static_cast<std::size_t>(v.size()) / 8 + 1;
+        } else {
+          return sizeof(value_type);
+        }
+      },
+      value);
+}
+
+std::size_t wire_size(const var_delta& delta) {
+  return std::visit(
+      [](const auto& d) -> std::size_t {
+        using delta_type = std::decay_t<decltype(d)>;
+        if constexpr (std::is_same_v<delta_type, std::monostate>) {
+          return 1;
+        } else if constexpr (std::is_same_v<delta_type, flag_delta>) {
+          return 1;
+        } else if constexpr (std::is_same_v<delta_type, flags_delta>) {
+          return 2 + d.indices.size() * sizeof(std::uint32_t);
+        } else if constexpr (std::is_same_v<delta_type,
+                                            cell_delta<het_status>>) {
+          return sizeof(process_id) + sizeof(std::uint32_t) +
+                 payload_bytes(d.cell.value);
+        } else if constexpr (std::is_same_v<delta_type,
+                                            cell_delta<pp_status>> ||
+                             std::is_same_v<delta_type,
+                                            cell_delta<std::int64_t>>) {
+          return sizeof(d);
+        } else {
+          return sizeof(delta_type);
+        }
+      },
+      delta);
+}
+
+}  // namespace elect::engine

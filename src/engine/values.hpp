@@ -1,0 +1,263 @@
+// Replicated variable values and their merge (join) operations.
+//
+// Every variable the paper's protocols share is a *monotone* value: its
+// per-processor views only ever grow under merge, and merging is
+// commutative, associative and idempotent (a join-semilattice, in CRDT
+// terms). That is exactly the property the protocols rely on — channels
+// may reorder and duplicate delivery order arbitrarily, yet every
+// processor's view converges to the join of what it has received.
+//
+// Three shapes cover every variable in the paper:
+//   * owned_array<T>  — one cell per processor, written only by its owner,
+//                       versioned by a per-owner sequence number
+//                       (Status[], Round[], duel stage records, flips);
+//   * or_flag/or_flags — monotone booleans (door, Contended[]);
+//   * tagged_register<T> — max-(timestamp, writer) register (ABD).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace elect::engine {
+
+// ---------------------------------------------------------------------------
+// Status enums / records used by the election protocols.
+
+/// Plain PoisonPill status (Figure 1). `bottom` is the paper's ⊥.
+enum class pp_status : std::uint8_t {
+  bottom = 0,
+  commit = 1,
+  low_pri = 2,
+  high_pri = 3,
+};
+
+[[nodiscard]] std::string to_string(pp_status s);
+
+/// Heterogeneous PoisonPill status record (Figure 2): a priority plus the
+/// list ℓ of participants the processor had observed when it flipped.
+struct het_status {
+  pp_status stat = pp_status::bottom;
+  std::vector<process_id> list;
+
+  friend bool operator==(const het_status&, const het_status&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// owned_array<T>: per-owner cells with sequence-numbered overwrite.
+
+/// One versioned cell of an owned_array. Only the owning processor writes
+/// its cell; `seq` increases with every local write so that merges keep
+/// the newest value even when channels reorder messages.
+template <typename T>
+struct owned_cell {
+  std::uint32_t seq = 0;
+  T value{};
+
+  friend bool operator==(const owned_cell&, const owned_cell&) = default;
+};
+
+/// An n-slot array where slot j may be written only by processor j.
+/// Unwritten slots read as "bottom" (disengaged optional) — the paper's ⊥.
+template <typename T>
+class owned_array {
+ public:
+  owned_array() = default;
+  explicit owned_array(int n) : cells_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(cells_.size());
+  }
+
+  /// Value of slot `owner`, or nullptr if the slot is still ⊥.
+  [[nodiscard]] const T* get(process_id owner) const {
+    const auto& cell = cell_at(owner);
+    return cell.has_value() ? &cell->value : nullptr;
+  }
+
+  [[nodiscard]] bool is_bottom(process_id owner) const {
+    return !cell_at(owner).has_value();
+  }
+
+  [[nodiscard]] std::uint32_t seq_of(process_id owner) const {
+    const auto& cell = cell_at(owner);
+    return cell.has_value() ? cell->seq : 0;
+  }
+
+  /// Merge a single remote cell: keep whichever of (local, remote) has the
+  /// larger sequence number. Idempotent and order-insensitive.
+  void merge_cell(process_id owner, const owned_cell<T>& incoming) {
+    auto& cell = cell_at(owner);
+    if (!cell.has_value() || cell->seq < incoming.seq) cell = incoming;
+  }
+
+  /// Merge an entire remote array slot-by-slot.
+  void merge(const owned_array& other) {
+    ELECT_CHECK(size() == other.size());
+    for (int j = 0; j < size(); ++j) {
+      const auto& cell = other.cells_[static_cast<std::size_t>(j)];
+      if (cell.has_value()) merge_cell(j, *cell);
+    }
+  }
+
+  friend bool operator==(const owned_array&, const owned_array&) = default;
+
+ private:
+  [[nodiscard]] const std::optional<owned_cell<T>>& cell_at(
+      process_id owner) const {
+    ELECT_CHECK(owner >= 0 && owner < size());
+    return cells_[static_cast<std::size_t>(owner)];
+  }
+  [[nodiscard]] std::optional<owned_cell<T>>& cell_at(process_id owner) {
+    ELECT_CHECK(owner >= 0 && owner < size());
+    return cells_[static_cast<std::size_t>(owner)];
+  }
+
+  std::vector<std::optional<owned_cell<T>>> cells_;
+};
+
+// ---------------------------------------------------------------------------
+// Monotone booleans.
+
+/// A single monotone bit (the Doorway `door`): once true, always true.
+struct or_flag {
+  bool value = false;
+
+  void merge(const or_flag& other) noexcept { value = value || other.value; }
+
+  friend bool operator==(const or_flag&, const or_flag&) = default;
+};
+
+/// A monotone bitmap (the renaming Contended[] array): per-index OR.
+class or_flags {
+ public:
+  or_flags() = default;
+  explicit or_flags(int n) : bits_(static_cast<std::size_t>(n), false) {}
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(bits_.size());
+  }
+
+  [[nodiscard]] bool test(int index) const {
+    ELECT_CHECK(index >= 0 && index < size());
+    return bits_[static_cast<std::size_t>(index)];
+  }
+
+  void set(int index) {
+    ELECT_CHECK(index >= 0 && index < size());
+    bits_[static_cast<std::size_t>(index)] = true;
+  }
+
+  [[nodiscard]] int count_set() const {
+    int count = 0;
+    for (bool bit : bits_) count += bit ? 1 : 0;
+    return count;
+  }
+
+  /// Indices currently set (ascending).
+  [[nodiscard]] std::vector<std::uint32_t> set_indices() const {
+    std::vector<std::uint32_t> out;
+    for (int i = 0; i < size(); ++i) {
+      if (bits_[static_cast<std::size_t>(i)]) {
+        out.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    return out;
+  }
+
+  void merge(const or_flags& other) {
+    ELECT_CHECK(size() == other.size());
+    for (int i = 0; i < size(); ++i) {
+      if (other.bits_[static_cast<std::size_t>(i)]) {
+        bits_[static_cast<std::size_t>(i)] = true;
+      }
+    }
+  }
+
+  friend bool operator==(const or_flags&, const or_flags&) = default;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+// ---------------------------------------------------------------------------
+// ABD-style register.
+
+/// Multi-writer register ordered by (timestamp, writer) lexicographically.
+/// merge keeps the larger tag; used by the ABD shared-memory emulation.
+template <typename T>
+struct tagged_register {
+  std::uint64_t timestamp = 0;
+  process_id writer = no_process;
+  T value{};
+
+  [[nodiscard]] bool tag_less(const tagged_register& other) const noexcept {
+    if (timestamp != other.timestamp) return timestamp < other.timestamp;
+    return writer < other.writer;
+  }
+
+  void merge(const tagged_register& other) {
+    if (tag_less(other)) *this = other;
+  }
+
+  friend bool operator==(const tagged_register&, const tagged_register&) =
+      default;
+};
+
+// ---------------------------------------------------------------------------
+// The variant types carried by messages and stored by nodes.
+
+/// Snapshot of one replicated variable. monostate = never touched (all ⊥).
+using var_value =
+    std::variant<std::monostate, owned_array<pp_status>,
+                 owned_array<het_status>, owned_array<std::int64_t>, or_flag,
+                 or_flags, tagged_register<std::int64_t>>;
+
+/// A delta for one owned cell, tagged with its owner.
+template <typename T>
+struct cell_delta {
+  process_id owner = no_process;
+  owned_cell<T> cell;
+
+  friend bool operator==(const cell_delta&, const cell_delta&) = default;
+};
+
+/// "Set the flag" delta for or_flag.
+struct flag_delta {
+  friend bool operator==(const flag_delta&, const flag_delta&) = default;
+};
+
+/// "Set these indices" delta for or_flags.
+struct flags_delta {
+  std::vector<std::uint32_t> indices;
+
+  friend bool operator==(const flags_delta&, const flags_delta&) = default;
+};
+
+/// Increment carried by a propagate message. Applying a delta to a local
+/// view is a semilattice join restricted to the changed part.
+using var_delta =
+    std::variant<std::monostate, cell_delta<pp_status>, cell_delta<het_status>,
+                 cell_delta<std::int64_t>, flag_delta, flags_delta,
+                 tagged_register<std::int64_t>>;
+
+/// Merge `delta` into `value`, default-constructing the value for `n`
+/// processors if it is still monostate. Aborts on a family/type mismatch
+/// (that would be a protocol bug, not a runtime condition).
+void merge_delta(var_value& value, const var_delta& delta, int n);
+
+/// Merge a full snapshot into `value` (used by ABD read write-back and by
+/// anti-entropy in tests).
+void merge_value(var_value& value, const var_value& incoming, int n);
+
+/// Approximate serialized size in bytes, for message/bit-complexity
+/// accounting. Counts payload bytes, not framing.
+[[nodiscard]] std::size_t wire_size(const var_value& value);
+[[nodiscard]] std::size_t wire_size(const var_delta& delta);
+
+}  // namespace elect::engine

@@ -1,0 +1,90 @@
+// Helpers for folding the view arrays returned by collect.
+//
+// A collect returns >= floor(n/2)+1 snapshots ("Views[k]" in the paper's
+// pseudocode); protocols then quantify over them ("∃k: Views[k][j] = ..."
+// / "∀k': Views[k'][j] ≠ ..."). These helpers express those folds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "engine/node.hpp"
+#include "engine/values.hpp"
+
+namespace elect::engine {
+
+/// Apply `fn(snapshot)` to each view that holds a value of type T
+/// (monostate views — from processors that never touched the variable —
+/// are skipped; for owned arrays they are equivalent to all-⊥ arrays).
+template <typename T, typename Fn>
+void for_each_view(const std::vector<view_entry>& views, Fn&& fn) {
+  for (const view_entry& entry : views) {
+    if (const T* typed = std::get_if<T>(&entry.snapshot)) fn(*typed);
+  }
+}
+
+/// ∃k: pred(Views[k][j]) over non-⊥ cells of owned_array<T> views.
+template <typename T, typename Pred>
+[[nodiscard]] bool any_view_cell(const std::vector<view_entry>& views,
+                                 process_id j, Pred&& pred) {
+  bool found = false;
+  for_each_view<owned_array<T>>(views, [&](const owned_array<T>& array) {
+    if (found) return;
+    if (const T* cell = array.get(j)) found = pred(*cell);
+  });
+  return found;
+}
+
+/// ∃k: Views[k][j] ≠ ⊥ for owned_array<T> views.
+template <typename T>
+[[nodiscard]] bool any_view_nonbottom(const std::vector<view_entry>& views,
+                                      process_id j) {
+  return any_view_cell<T>(views, j, [](const T&) { return true; });
+}
+
+/// The set {j | ∃k : Views[k][j] ≠ ⊥} for owned_array<T> views
+/// (Figure 2 line 17: the participant list ℓ).
+template <typename T>
+[[nodiscard]] std::vector<process_id> participants_in_views(
+    const std::vector<view_entry>& views, int n) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for_each_view<owned_array<T>>(views, [&](const owned_array<T>& array) {
+    for (process_id j = 0; j < n; ++j) {
+      if (!array.is_bottom(j)) seen[static_cast<std::size_t>(j)] = true;
+    }
+  });
+  std::vector<process_id> out;
+  for (process_id j = 0; j < n; ++j) {
+    if (seen[static_cast<std::size_t>(j)]) out.push_back(j);
+  }
+  return out;
+}
+
+/// max over views and over cells j (j ≠ exclude) of int64 owned arrays;
+/// ⊥ cells count as `bottom_value` (Figure 4 line 48 uses 0).
+[[nodiscard]] inline std::int64_t max_int_in_views(
+    const std::vector<view_entry>& views, process_id exclude,
+    std::int64_t bottom_value) {
+  std::int64_t best = bottom_value;
+  for_each_view<owned_array<std::int64_t>>(
+      views, [&](const owned_array<std::int64_t>& array) {
+        for (process_id j = 0; j < array.size(); ++j) {
+          if (j == exclude) continue;
+          if (const std::int64_t* v = array.get(j)) {
+            best = best < *v ? *v : best;
+          }
+        }
+      });
+  return best;
+}
+
+/// ∃ view with the or_flag set (Figure 5 line 57).
+[[nodiscard]] inline bool any_flag_set(const std::vector<view_entry>& views) {
+  bool found = false;
+  for_each_view<or_flag>(views,
+                         [&](const or_flag& flag) { found |= flag.value; });
+  return found;
+}
+
+}  // namespace elect::engine

@@ -1,0 +1,201 @@
+#include "exp/harness.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "adversary/crash.hpp"
+#include "adversary/registry.hpp"
+#include "election/het_poison_pill.hpp"
+#include "election/leader_elect.hpp"
+#include "election/poison_pill.hpp"
+#include "election/recursive_pill.hpp"
+#include "election/sifter.hpp"
+#include "election/tournament.hpp"
+#include "engine/node.hpp"
+#include "renaming/baseline_renaming.hpp"
+#include "renaming/renaming.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect::exp {
+
+std::string to_string(algo a) {
+  switch (a) {
+    case algo::leader_elect:
+      return "leader-elect";
+    case algo::recursive_pill:
+      return "recursive-pill";
+    case algo::tournament:
+      return "tournament";
+    case algo::plain_pp_phase:
+      return "poisonpill-phase";
+    case algo::het_pp_phase:
+      return "het-poisonpill-phase";
+    case algo::naive_sifter:
+      return "naive-sifter";
+    case algo::renaming:
+      return "renaming";
+    case algo::baseline_renaming:
+      return "baseline-renaming";
+  }
+  return "invalid";
+}
+
+namespace {
+
+engine::task<std::int64_t> protocol_for(algo kind, engine::node& node,
+                                        double bias) {
+  switch (kind) {
+    case algo::leader_elect:
+      return engine::erase_result(election::leader_elect(node));
+    case algo::recursive_pill:
+      return engine::erase_result(election::recursive_pill_elect(
+          node, election::recursive_pill_params{}));
+    case algo::tournament:
+      return engine::erase_result(
+          election::tournament_elect(node, election::tournament_params{}));
+    case algo::plain_pp_phase: {
+      election::poison_pill_params params;
+      params.high_priority_bias = bias;
+      return engine::erase_result(election::poison_pill(node, params));
+    }
+    case algo::het_pp_phase:
+      return engine::erase_result(election::het_poison_pill(
+          node, election::het_poison_pill_params{}));
+    case algo::naive_sifter: {
+      election::sifter_params params;
+      params.bias = bias;
+      return engine::erase_result(election::naive_sifter_round(node, params));
+    }
+    case algo::renaming:
+      return renaming::get_name(node, renaming::renaming_params{});
+    case algo::baseline_renaming:
+      return renaming::get_name_baseline(
+          node, renaming::baseline_renaming_params{});
+  }
+  ELECT_CHECK_MSG(false, "invalid algo");
+  return {};
+}
+
+/// WIN for elections, SURVIVE for phases — the "success" outcome value.
+std::int64_t success_value(algo kind) {
+  switch (kind) {
+    case algo::leader_elect:
+    case algo::recursive_pill:
+    case algo::tournament:
+      return static_cast<std::int64_t>(election::tas_result::win);
+    case algo::plain_pp_phase:
+    case algo::het_pp_phase:
+    case algo::naive_sifter:
+      return static_cast<std::int64_t>(election::pp_result::survive);
+    case algo::renaming:
+    case algo::baseline_renaming:
+      return -2;  // every completed rename "succeeds"; handled separately
+  }
+  return -2;
+}
+
+}  // namespace
+
+trial_result run_trial(const trial_config& config) {
+  const int k = config.participants > 0 ? config.participants : config.n;
+  ELECT_CHECK(k >= 1 && k <= config.n);
+
+  std::unique_ptr<sim::adversary> adv =
+      adversary::make(config.adversary, config.n);
+  if (config.crashes > 0) {
+    adversary::crash_config crash;
+    crash.crashes = std::min(config.crashes, max_crash_faults(config.n));
+    adv = std::make_unique<adversary::crash_injector>(std::move(adv), crash);
+  }
+
+  sim::kernel_config kernel_config;
+  kernel_config.n = config.n;
+  kernel_config.seed = config.seed;
+  kernel_config.max_events = config.max_events;
+  sim::kernel kernel(kernel_config, *adv);
+
+  for (process_id pid = 0; pid < k; ++pid) {
+    kernel.attach(pid,
+                  protocol_for(config.kind, kernel.node_at(pid), config.bias));
+  }
+  const auto run = kernel.run();
+
+  trial_result result;
+  result.completed = run.completed;
+  result.events = run.events;
+  const engine::metrics& metrics = kernel.metrics();
+  result.total_messages = metrics.total_messages();
+  result.request_messages = metrics.requests_sent;
+  result.wire_bytes = metrics.wire_bytes;
+  result.trace_hash = kernel.trace_hash();
+
+  std::uint64_t sum_calls = 0;
+  const std::int64_t success = success_value(config.kind);
+  for (process_id pid = 0; pid < k; ++pid) {
+    const engine::node& node = kernel.node_at(pid);
+    const auto calls =
+        metrics.communicate_calls[static_cast<std::size_t>(pid)];
+    result.max_communicate_calls =
+        std::max(result.max_communicate_calls, calls);
+    sum_calls += calls;
+
+    if (kernel.crashed(pid)) {
+      result.crashed_participants++;
+      result.outcomes.push_back(-1);
+    } else if (node.protocol_done()) {
+      const std::int64_t outcome = node.protocol_result();
+      result.outcomes.push_back(outcome);
+      const bool renamed = config.kind == algo::renaming ||
+                           config.kind == algo::baseline_renaming;
+      if (renamed || outcome == success) result.winners++;
+      if (outcome == success && node.probe().coin == 0) {
+        result.zero_flip_survivors++;
+      }
+    } else {
+      result.outcomes.push_back(-1);
+    }
+    if (node.probe().coin == 1) result.one_flippers++;
+    result.rounds.push_back(node.probe().round);
+    result.iterations.push_back(node.probe().iterations);
+  }
+  result.mean_communicate_calls =
+      static_cast<double>(sum_calls) / static_cast<double>(k);
+  return result;
+}
+
+trial_aggregate run_trials(trial_config config, int trials) {
+  trial_aggregate aggregate;
+  aggregate.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    trial_config c = config;
+    c.seed = config.seed + static_cast<std::uint64_t>(t);
+    const trial_result r = run_trial(c);
+    if (!r.completed) {
+      aggregate.incomplete++;
+      continue;
+    }
+    aggregate.max_comm_calls.add(
+        static_cast<double>(r.max_communicate_calls));
+    aggregate.total_messages.add(static_cast<double>(r.total_messages));
+    aggregate.wire_bytes.add(static_cast<double>(r.wire_bytes));
+    aggregate.winners.add(static_cast<double>(r.winners));
+    aggregate.zero_flip_survivors.add(
+        static_cast<double>(r.zero_flip_survivors));
+    aggregate.one_flippers.add(static_cast<double>(r.one_flippers));
+    const auto max_round =
+        r.rounds.empty()
+            ? 0.0
+            : static_cast<double>(
+                  *std::max_element(r.rounds.begin(), r.rounds.end()));
+    aggregate.max_round.add(max_round);
+    const auto max_iter =
+        r.iterations.empty()
+            ? 0.0
+            : static_cast<double>(*std::max_element(r.iterations.begin(),
+                                                    r.iterations.end()));
+    aggregate.max_iterations.add(max_iter);
+  }
+  return aggregate;
+}
+
+}  // namespace elect::exp

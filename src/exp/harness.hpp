@@ -1,0 +1,88 @@
+// Experiment harness: run one algorithm on the simulator under a chosen
+// adversary and extract the complexity metrics the paper's claims are
+// stated in. Every bench binary (bench/) is a thin driver over this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace elect::exp {
+
+/// Which algorithm a trial runs.
+enum class algo {
+  leader_elect,       ///< Figure 6 (the paper's algorithm)
+  recursive_pill,     ///< §3.1's recursive plain-pill O(log log n) variant
+  tournament,         ///< [AGTV92] baseline
+  plain_pp_phase,     ///< one Figure-1 PoisonPill phase
+  het_pp_phase,       ///< one Figure-2 Heterogeneous PoisonPill phase
+  naive_sifter,       ///< one commit-less sifting round (intro strawman)
+  renaming,           ///< Figure 3
+  baseline_renaming,  ///< [AAG+10] random-order probing
+};
+
+[[nodiscard]] std::string to_string(algo a);
+
+struct trial_config {
+  algo kind = algo::leader_elect;
+  int n = 8;
+  /// Number of participants k (first k processors); <= 0 means n.
+  int participants = -1;
+  std::uint64_t seed = 1;
+  /// Adversary name (adversary/registry.hpp).
+  std::string adversary = "uniform";
+  /// If > 0, wrap the adversary with a crash injector for this many
+  /// crashes (clamped to the model budget).
+  int crashes = 0;
+  /// Coin bias override for phase/sifter trials; <= 0 means the default.
+  double bias = -1.0;
+  std::uint64_t max_events = 200'000'000;
+};
+
+struct trial_result {
+  bool completed = false;
+  std::uint64_t events = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t request_messages = 0;
+  std::uint64_t wire_bytes = 0;
+  /// Time proxy per Claim 2.1: max communicate calls among participants.
+  std::uint64_t max_communicate_calls = 0;
+  double mean_communicate_calls = 0.0;
+  /// WIN / SURVIVE count among completed participants.
+  int winners = 0;
+  /// Heterogeneous-phase decomposition (Lemmas 3.6 / 3.7).
+  int zero_flip_survivors = 0;
+  int one_flippers = 0;
+  int crashed_participants = 0;
+  /// Per-participant protocol outcome (-1 if crashed / incomplete).
+  std::vector<std::int64_t> outcomes;
+  /// Per-participant probe().round at the end (rounds reached).
+  std::vector<std::int64_t> rounds;
+  /// Per-participant renaming iteration counts.
+  std::vector<std::int64_t> iterations;
+  std::uint64_t trace_hash = 0;
+};
+
+/// Run one trial. Deterministic in `config`.
+[[nodiscard]] trial_result run_trial(const trial_config& config);
+
+/// Aggregates across trials (seeds config.seed, config.seed+1, ...).
+struct trial_aggregate {
+  int trials = 0;
+  int incomplete = 0;
+  sample_stats max_comm_calls;
+  sample_stats total_messages;
+  sample_stats wire_bytes;
+  sample_stats winners;
+  sample_stats zero_flip_survivors;
+  sample_stats one_flippers;
+  sample_stats max_round;
+  sample_stats max_iterations;
+};
+
+[[nodiscard]] trial_aggregate run_trials(trial_config config, int trials);
+
+}  // namespace elect::exp

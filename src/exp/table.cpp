@@ -1,0 +1,65 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace elect::exp {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  ELECT_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto pad = [&](const std::string& s, std::size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << " " << pad(headers_[c], widths[c]) << " |";
+  }
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " " << pad(row[c], widths[c]) << " |";
+    }
+    out << "\n";
+  }
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string fmt_int(double value) {
+  std::ostringstream out;
+  out << static_cast<long long>(std::llround(value));
+  return out.str();
+}
+
+std::string fmt_ci(double mean, double halfwidth, int precision) {
+  return fmt(mean, precision) + " ± " + fmt(halfwidth, precision);
+}
+
+}  // namespace elect::exp

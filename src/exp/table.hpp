@@ -1,0 +1,34 @@
+// Markdown table / number formatting for bench output. Every bench binary
+// prints its experiment as one or more of these tables; EXPERIMENTS.md
+// embeds them directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace elect::exp {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Add a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render as a GitHub-flavoured markdown table.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+[[nodiscard]] std::string fmt_int(double value);
+/// "mean ± ci95" rendering.
+[[nodiscard]] std::string fmt_ci(double mean, double halfwidth,
+                                 int precision = 2);
+
+}  // namespace elect::exp

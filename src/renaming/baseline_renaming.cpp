@@ -1,0 +1,44 @@
+#include "renaming/baseline_renaming.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "election/leader_elect.hpp"
+
+namespace elect::renaming {
+
+using election::election_id;
+using election::leader_elect;
+using election::leader_elect_params;
+using election::tas_result;
+
+engine::task<std::int64_t> get_name_baseline(
+    engine::node& self, baseline_renaming_params params) {
+  const int name_count = params.name_count > 0 ? params.name_count : self.n();
+
+  // Fisher-Yates with the node's deterministic stream: the random order
+  // in which this processor will probe the names.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(name_count));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::uint64_t j = self.rng().below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+
+  self.probe().iterations = 0;
+  for (const std::int64_t spot : order) {
+    self.probe().contending_for = spot;
+    const tas_result outcome = co_await leader_elect(
+        self,
+        leader_elect_params{election_id{
+            params.space + 1 + static_cast<std::uint32_t>(spot)}});
+    self.probe().iterations++;
+    if (outcome == tas_result::win) co_return spot;
+  }
+  // n processors, n names, and a processor contends for each name at most
+  // once: losing all n elections would mean n distinct other winners.
+  ELECT_CHECK_MSG(false, "baseline renaming lost every name");
+  co_return -1;  // unreachable
+}
+
+}  // namespace elect::renaming

@@ -1,0 +1,33 @@
+// Baseline renaming from [AAG+10] (paper §1, Related Work).
+//
+// "Each processor tries all the names, in random order, until acquiring
+// some one." No contention bookkeeping at all: the processor fixes a
+// uniformly random permutation of the names up front and competes for
+// them one by one via leader election.
+//
+// Despite its similarity to Figure 3, this algorithm has expected Ω(n)
+// time complexity: a late processor may have to try out a linear number
+// of spots (each already taken) before succeeding. Experiment E6
+// contrasts its per-processor iteration count with Figure 3's O(log² n).
+#pragma once
+
+#include <cstdint>
+
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::renaming {
+
+struct baseline_renaming_params {
+  /// Base id for per-name election instances; must not overlap other
+  /// instance ranges in the same system.
+  std::uint32_t space = 1;
+  /// Number of names; <= 0 means n.
+  int name_count = -1;
+};
+
+/// Acquire a unique name in [0, name_count) by random-order probing.
+[[nodiscard]] engine::task<std::int64_t> get_name_baseline(
+    engine::node& self, baseline_renaming_params params);
+
+}  // namespace elect::renaming

@@ -1,0 +1,114 @@
+#include "renaming/renaming.hpp"
+
+#include <vector>
+
+#include "election/leader_elect.hpp"
+#include "election/vars.hpp"
+#include "engine/views.hpp"
+
+namespace elect::renaming {
+
+using election::election_id;
+using election::leader_elect;
+using election::leader_elect_params;
+using election::tas_result;
+using engine::or_flags;
+
+namespace {
+
+engine::var_id contended_var(std::uint32_t space) {
+  return {engine::var_family::contended, space, 0};
+}
+
+election_id name_election(std::uint32_t space, std::int64_t name) {
+  // +1 keeps name elections clear of the bitmap's own instance id.
+  return election_id{space + 1 + static_cast<std::uint32_t>(name)};
+}
+
+}  // namespace
+
+engine::task<std::int64_t> get_name(engine::node& self,
+                                    renaming_params params) {
+  const int name_count = params.name_count > 0 ? params.name_count : self.n();
+  const engine::var_id contended = contended_var(params.space);
+  int spins = 0;
+  self.probe().iterations = 0;
+
+  while (true) {  // line 32
+    // Line 33: collect contention information from a quorum.
+    const auto views = co_await self.collect(contended);
+
+    // Lines 34-36: fold every view into the local Contended[] bitmap.
+    std::vector<bool> seen(static_cast<std::size_t>(name_count), false);
+    engine::for_each_view<or_flags>(views, [&](const or_flags& flags) {
+      for (int j = 0; j < flags.size() && j < name_count; ++j) {
+        if (flags.test(j)) seen[static_cast<std::size_t>(j)] = true;
+      }
+    });
+    std::vector<std::uint32_t> newly;
+    for (int j = 0; j < name_count; ++j) {
+      if (seen[static_cast<std::size_t>(j)]) {
+        newly.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    if (!newly.empty()) self.stage_flags(contended, newly);
+
+    // Line 37: propagate every name we now view as contended.
+    const or_flags* local = self.local_store().view<or_flags>(contended);
+    std::vector<std::uint32_t> known =
+        local != nullptr ? local->set_indices() : std::vector<std::uint32_t>{};
+    {
+      auto delta = engine::var_delta{engine::flags_delta{known}};
+      co_await self.propagate(contended, delta);
+    }
+
+    // Line 38: pick a uniformly random uncontended name in our view.
+    std::vector<std::int64_t> free;
+    free.reserve(static_cast<std::size_t>(name_count));
+    {
+      std::vector<bool> taken(static_cast<std::size_t>(name_count), false);
+      for (const std::uint32_t j : known) {
+        if (j < static_cast<std::uint32_t>(name_count)) {
+          taken[j] = true;
+        }
+      }
+      for (int j = 0; j < name_count; ++j) {
+        if (!taken[static_cast<std::size_t>(j)]) free.push_back(j);
+      }
+    }
+    if (free.empty()) {
+      // Every name is contended in our view and we have won none. In a
+      // crash-free execution this state is unreachable (see renaming.hpp);
+      // spin so crash-injected executions keep serving, but abort loudly
+      // rather than loop forever.
+      ++spins;
+      ELECT_CHECK_MSG(spins <= params.max_spin_iterations,
+                      "renaming dead-end: all names contended, none won "
+                      "(crash corner of Lemma A.6)");
+      continue;
+    }
+    const std::int64_t spot =
+        free[self.rng().below(free.size())];
+    self.probe().contending_for = spot;
+
+    // Line 39: mark the chosen name contended locally.
+    self.stage_flags(contended, {static_cast<std::uint32_t>(spot)});
+
+    // Line 40: compete for the name in its leader-election instance.
+    const tas_result outcome = co_await leader_elect(
+        self, leader_elect_params{name_election(params.space, spot)});
+
+    // Line 41: propagate the contention mark.
+    {
+      auto delta = engine::var_delta{
+          engine::flags_delta{{static_cast<std::uint32_t>(spot)}}};
+      co_await self.propagate(contended, delta);
+    }
+    self.probe().iterations++;
+
+    // Lines 42-43: win iff you are the leader.
+    if (outcome == tas_result::win) co_return spot;
+  }
+}
+
+}  // namespace elect::renaming

@@ -1,0 +1,45 @@
+// Strong (tight) renaming — Figure 3 of the paper.
+//
+// n processors acquire distinct names from {0, ..., n-1} (the paper
+// writes [1..n]; we use 0-based spots). Each processor repeatedly:
+//   1. collects the Contended[] bitmap from a quorum and merges what it
+//      learns into its local view;
+//   2. propagates its (updated) set of contended names;
+//   3. picks a uniformly random name it still sees as uncontended, marks
+//      it contended, and competes for it in that name's leader-election
+//      instance (the full Figure-6 LeaderElect, doorway included);
+//   4. propagates the contention mark, and returns the name iff it won.
+//
+// Guarantees (reproduced by tests/benches):
+//   * Lemma A.6 — no two processors return the same name; termination
+//     with probability 1;
+//   * Theorem 4.2 — expected O(n²) total messages;
+//   * Theorem A.13 — expected O(log² n) communicate calls per processor.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::renaming {
+
+struct renaming_params {
+  /// Base id for per-name election instances and the Contended bitmap;
+  /// distinct renaming instances (or co-resident standalone elections)
+  /// must use disjoint ranges [space, space + name_count].
+  std::uint32_t space = 1;
+  /// Number of names; <= 0 means n.
+  int name_count = -1;
+  /// Safety valve on non-contending (spin) iterations; the algorithm
+  /// aborts loudly if a processor ever sees every name contended without
+  /// having won one (impossible in crash-free executions; reachable only
+  /// through a corner of Lemma A.6 discussed in DESIGN.md).
+  int max_spin_iterations = 1024;
+};
+
+/// Acquire a unique name in [0, name_count). Returns the name.
+[[nodiscard]] engine::task<std::int64_t> get_name(engine::node& self,
+                                                  renaming_params params);
+
+}  // namespace elect::renaming

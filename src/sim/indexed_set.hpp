@@ -1,0 +1,58 @@
+// A set of uint64 ids supporting O(1) insert, erase, membership and
+// uniform random sampling, with deterministic iteration order (insertion
+// order disturbed only by swap-remove). Used by the kernel to track
+// in-flight messages so adversaries can sample them without scanning.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace elect::sim {
+
+class indexed_id_set {
+ public:
+  void insert(std::uint64_t id) {
+    ELECT_CHECK(!contains(id));
+    positions_[id] = ids_.size();
+    ids_.push_back(id);
+  }
+
+  void erase(std::uint64_t id) {
+    const auto it = positions_.find(id);
+    ELECT_CHECK(it != positions_.end());
+    const std::size_t pos = it->second;
+    const std::uint64_t last = ids_.back();
+    ids_[pos] = last;
+    positions_[last] = pos;
+    ids_.pop_back();
+    positions_.erase(it);
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return positions_.find(id) != positions_.end();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+  /// Uniformly random element. Requires non-empty.
+  [[nodiscard]] std::uint64_t sample(rng_stream& rng) const {
+    ELECT_CHECK(!ids_.empty());
+    return ids_[rng.below(ids_.size())];
+  }
+
+  /// All ids, in deterministic (but unspecified) order.
+  [[nodiscard]] const std::vector<std::uint64_t>& ids() const noexcept {
+    return ids_;
+  }
+
+ private:
+  std::vector<std::uint64_t> ids_;
+  std::unordered_map<std::uint64_t, std::size_t> positions_;
+};
+
+}  // namespace elect::sim

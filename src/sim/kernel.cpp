@@ -1,0 +1,226 @@
+#include "sim/kernel.hpp"
+
+#include <utility>
+
+namespace elect::sim {
+
+namespace {
+
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t x) noexcept {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+kernel::kernel(const kernel_config& config, adversary& adversary)
+    : config_(config),
+      adversary_(adversary),
+      metrics_(config.n),
+      adv_rng_(config.seed, {0xadfULL}),
+      crash_budget_(config.crash_budget >= 0 ? config.crash_budget
+                                             : max_crash_faults(config.n)),
+      crashed_(static_cast<std::size_t>(config.n), false),
+      by_from_(static_cast<std::size_t>(config.n)),
+      by_to_(static_cast<std::size_t>(config.n)),
+      steppable_pos_(static_cast<std::size_t>(config.n), -1),
+      invoke_event_(static_cast<std::size_t>(config.n), UINT64_MAX),
+      return_event_(static_cast<std::size_t>(config.n), UINT64_MAX) {
+  ELECT_CHECK(config.n >= 1);
+  ELECT_CHECK_MSG(crash_budget_ <= max_crash_faults(config.n),
+                  "crash budget exceeds the model bound ceil(n/2)-1");
+  nodes_.reserve(static_cast<std::size_t>(config.n));
+  for (process_id pid = 0; pid < config.n; ++pid) {
+    nodes_.push_back(std::make_unique<engine::node>(
+        pid, config.n, *this,
+        rng_stream(config.seed, {0x40deULL, static_cast<std::uint64_t>(pid)}),
+        metrics_));
+  }
+}
+
+engine::node& kernel::node_at(process_id pid) {
+  ELECT_CHECK(pid >= 0 && pid < config_.n);
+  return *nodes_[static_cast<std::size_t>(pid)];
+}
+
+const engine::node& kernel::node_at(process_id pid) const {
+  ELECT_CHECK(pid >= 0 && pid < config_.n);
+  return *nodes_[static_cast<std::size_t>(pid)];
+}
+
+void kernel::attach(process_id pid, engine::task<std::int64_t> protocol) {
+  node_at(pid).attach_protocol(std::move(protocol));
+  participants_.push_back(pid);
+  refresh_steppable(pid);
+}
+
+const indexed_id_set& kernel::in_flight_from(process_id pid) const {
+  ELECT_CHECK(pid >= 0 && pid < config_.n);
+  return by_from_[static_cast<std::size_t>(pid)];
+}
+
+const indexed_id_set& kernel::in_flight_to(process_id pid) const {
+  ELECT_CHECK(pid >= 0 && pid < config_.n);
+  return by_to_[static_cast<std::size_t>(pid)];
+}
+
+const engine::message& kernel::message_for(std::uint64_t id) const {
+  const auto it = messages_.find(id);
+  ELECT_CHECK_MSG(it != messages_.end(), "unknown message id");
+  return it->second;
+}
+
+bool kernel::crashed(process_id pid) const {
+  ELECT_CHECK(pid >= 0 && pid < config_.n);
+  return crashed_[static_cast<std::size_t>(pid)];
+}
+
+void kernel::send(engine::message m) {
+  ELECT_CHECK(m.from >= 0 && m.from < config_.n);
+  ELECT_CHECK(m.to >= 0 && m.to < config_.n);
+  if (std::holds_alternative<engine::ack_reply>(m.body)) {
+    metrics_.acks_sent++;
+  } else if (std::holds_alternative<engine::collect_reply>(m.body)) {
+    metrics_.collect_replies_sent++;
+  } else {
+    metrics_.requests_sent++;
+  }
+  metrics_.wire_bytes += m.wire_bytes();
+  const std::uint64_t id = next_message_id_++;
+  live_.insert(id);
+  by_from_[static_cast<std::size_t>(m.from)].insert(id);
+  by_to_[static_cast<std::size_t>(m.to)].insert(id);
+  messages_.emplace(id, std::move(m));
+}
+
+void kernel::remove_in_flight(std::uint64_t id) {
+  const auto it = messages_.find(id);
+  ELECT_CHECK_MSG(it != messages_.end(), "message not in flight");
+  live_.erase(id);
+  by_from_[static_cast<std::size_t>(it->second.from)].erase(id);
+  by_to_[static_cast<std::size_t>(it->second.to)].erase(id);
+}
+
+void kernel::refresh_steppable(process_id pid) {
+  const auto index = static_cast<std::size_t>(pid);
+  const bool should =
+      !crashed_[index] && nodes_[index]->can_step();
+  const bool present = steppable_pos_[index] >= 0;
+  if (should && !present) {
+    steppable_pos_[index] = static_cast<std::int32_t>(steppable_.size());
+    steppable_.push_back(pid);
+  } else if (!should && present) {
+    const auto pos = static_cast<std::size_t>(steppable_pos_[index]);
+    const process_id last = steppable_.back();
+    steppable_[pos] = last;
+    steppable_pos_[static_cast<std::size_t>(last)] =
+        static_cast<std::int32_t>(pos);
+    steppable_.pop_back();
+    steppable_pos_[index] = -1;
+  }
+}
+
+void kernel::execute(const action& a) {
+  switch (a.kind) {
+    case action_kind::deliver: {
+      ELECT_CHECK_MSG(live_.contains(a.message_id),
+                      "deliver: message not in flight");
+      auto it = messages_.find(a.message_id);
+      engine::message m = std::move(it->second);
+      remove_in_flight(a.message_id);
+      messages_.erase(it);
+      metrics_.deliveries++;
+      const process_id to = m.to;
+      node_at(to).deliver(std::move(m));
+      if (!crashed_[static_cast<std::size_t>(to)]) refresh_steppable(to);
+      trace_hash_ = mix(trace_hash_, 0x01);
+      trace_hash_ = mix(trace_hash_, a.message_id);
+      break;
+    }
+    case action_kind::step: {
+      ELECT_CHECK_MSG(!crashed(a.pid), "step: processor crashed");
+      engine::node& node = node_at(a.pid);
+      ELECT_CHECK_MSG(node.can_step(), "step: nothing to do");
+      const bool was_started = node.protocol_started();
+      const bool was_done = node.protocol_attached() && node.protocol_done();
+      node.computation_step();
+      const auto index = static_cast<std::size_t>(a.pid);
+      if (!was_started && node.protocol_started()) {
+        invoke_event_[index] = events_;
+      }
+      if (node.protocol_attached() && !was_done && node.protocol_done()) {
+        return_event_[index] = events_;
+      }
+      refresh_steppable(a.pid);
+      trace_hash_ = mix(trace_hash_, 0x02);
+      trace_hash_ = mix(trace_hash_, static_cast<std::uint64_t>(a.pid));
+      break;
+    }
+    case action_kind::crash: {
+      ELECT_CHECK_MSG(!crashed(a.pid), "crash: already crashed");
+      ELECT_CHECK_MSG(can_crash(), "crash: budget exhausted");
+      crashed_[static_cast<std::size_t>(a.pid)] = true;
+      crashes_used_++;
+      refresh_steppable(a.pid);
+      trace_hash_ = mix(trace_hash_, 0x03);
+      trace_hash_ = mix(trace_hash_, static_cast<std::uint64_t>(a.pid));
+      break;
+    }
+    case action_kind::drop: {
+      ELECT_CHECK_MSG(live_.contains(a.message_id),
+                      "drop: message not in flight");
+      const engine::message& m = message_for(a.message_id);
+      ELECT_CHECK_MSG(crashed(m.from),
+                      "drop: only messages from crashed senders may drop");
+      remove_in_flight(a.message_id);
+      messages_.erase(a.message_id);
+      metrics_.dropped_messages++;
+      trace_hash_ = mix(trace_hash_, 0x04);
+      trace_hash_ = mix(trace_hash_, a.message_id);
+      break;
+    }
+  }
+  events_++;
+}
+
+bool kernel::finished() const {
+  for (process_id pid : participants_) {
+    if (crashed(pid)) continue;
+    if (!node_at(pid).protocol_done()) return false;
+  }
+  return true;
+}
+
+bool kernel::anything_enabled() const {
+  return !live_.empty() || !steppable_.empty();
+}
+
+kernel::run_result kernel::run() {
+  run_result result;
+  while (!finished()) {
+    if (events_ >= config_.max_events) {
+      result.events = events_;
+      result.completed = false;
+      return result;
+    }
+    if (!anything_enabled()) {
+      // Only held protocol invocations can cause this; give the adversary
+      // a chance to release them.
+      ELECT_CHECK_MSG(adversary_.on_stalled(*this),
+                      "simulation stalled: no enabled action but "
+                      "participants have not finished");
+      ELECT_CHECK_MSG(anything_enabled(),
+                      "adversary reported progress on stall but nothing "
+                      "is enabled");
+      continue;
+    }
+    const action a = adversary_.pick(*this);
+    execute(a);
+  }
+  result.events = events_;
+  result.completed = true;
+  return result;
+}
+
+}  // namespace elect::sim

@@ -1,0 +1,232 @@
+// Deterministic discrete-event simulator of the asynchronous
+// message-passing model (§2) under a strong adaptive adversary.
+//
+// The kernel owns n nodes and the set of in-flight messages. Execution is
+// a sequence of *events*; before each event the kernel asks the adversary
+// to pick one from the enabled set:
+//
+//   * deliver(msg)  — move an in-flight message into its target's mailbox
+//                     (the model's delivery step; allowed even if the
+//                     target has crashed — crashed processors still
+//                     receive, they just never act);
+//   * step(p)       — run processor p's computation step (receive all
+//                     delivered mail, serve requests, advance protocol);
+//                     enabled iff p is alive and has work;
+//   * crash(p)      — crash p (budget: t <= ceil(n/2)-1);
+//   * drop(msg)     — destroy an in-flight message whose *sender* has
+//                     crashed (the model permits dropping messages of
+//                     faulty processors only).
+//
+// The adversary sees everything: message contents, node stores, debug
+// probes (coin flips). Given the same (config, adversary) pair, a run is
+// bit-for-bit reproducible; the kernel maintains a trace hash so tests can
+// assert determinism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "engine/message.hpp"
+#include "engine/metrics.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+#include "sim/indexed_set.hpp"
+
+namespace elect::sim {
+
+class adversary;
+
+enum class action_kind : std::uint8_t { deliver, step, crash, drop };
+
+/// One scheduling decision.
+struct action {
+  action_kind kind{};
+  std::uint64_t message_id = 0;  ///< deliver / drop
+  process_id pid = no_process;   ///< step / crash
+
+  [[nodiscard]] static action deliver(std::uint64_t id) {
+    return {action_kind::deliver, id, no_process};
+  }
+  [[nodiscard]] static action step(process_id pid) {
+    return {action_kind::step, 0, pid};
+  }
+  [[nodiscard]] static action crash(process_id pid) {
+    return {action_kind::crash, 0, pid};
+  }
+  [[nodiscard]] static action drop(std::uint64_t id) {
+    return {action_kind::drop, id, no_process};
+  }
+};
+
+struct kernel_config {
+  int n = 0;
+  std::uint64_t seed = 1;
+  /// Crash budget; -1 means the model maximum ceil(n/2)-1.
+  int crash_budget = -1;
+  /// Safety valve: abort the run after this many events (a correct
+  /// adversary/protocol pair terminates far earlier).
+  std::uint64_t max_events = 200'000'000;
+};
+
+class kernel final : public engine::transport {
+ public:
+  kernel(const kernel_config& config, adversary& adversary);
+
+  kernel(const kernel&) = delete;
+  kernel& operator=(const kernel&) = delete;
+
+  // --- setup ---------------------------------------------------------
+
+  /// Attach a protocol to processor `pid` (making it a participant).
+  void attach(process_id pid, engine::task<std::int64_t> protocol);
+
+  /// Hold back / release the invocation of pid's protocol (the processor
+  /// keeps serving requests while held). Used by adversaries that control
+  /// invocation order (sequential, laggard).
+  void hold_protocol(process_id pid, bool held) {
+    node_at(pid).set_held(held);
+    if (!crashed(pid)) refresh_steppable(pid);
+  }
+
+  // --- execution -----------------------------------------------------
+
+  struct run_result {
+    bool completed = false;     ///< all participants returned or crashed
+    std::uint64_t events = 0;   ///< events executed
+  };
+
+  /// Run until every participant's protocol returned (or the participant
+  /// crashed), or until max_events.
+  run_result run();
+
+  /// Execute one action (exposed for fine-grained tests and for
+  /// hand-written schedules). Aborts on an illegal action.
+  void execute(const action& a);
+
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] bool anything_enabled() const;
+
+  // --- adversary / instrumentation view ------------------------------
+
+  [[nodiscard]] int n() const noexcept { return config_.n; }
+  [[nodiscard]] engine::node& node_at(process_id pid);
+  [[nodiscard]] const engine::node& node_at(process_id pid) const;
+
+  [[nodiscard]] const indexed_id_set& in_flight() const noexcept {
+    return live_;
+  }
+  [[nodiscard]] const indexed_id_set& in_flight_from(process_id pid) const;
+  [[nodiscard]] const indexed_id_set& in_flight_to(process_id pid) const;
+  [[nodiscard]] const engine::message& message_for(std::uint64_t id) const;
+
+  /// Alive processors for which step() is currently enabled.
+  [[nodiscard]] const std::vector<process_id>& steppable() const noexcept {
+    return steppable_;
+  }
+
+  [[nodiscard]] bool crashed(process_id pid) const;
+  [[nodiscard]] int crashes_used() const noexcept { return crashes_used_; }
+  [[nodiscard]] int crash_budget() const noexcept { return crash_budget_; }
+  [[nodiscard]] bool can_crash() const noexcept {
+    return crashes_used_ < crash_budget_;
+  }
+
+  [[nodiscard]] const std::vector<process_id>& participants() const noexcept {
+    return participants_;
+  }
+
+  /// RNG stream reserved for the adversary's own decisions.
+  [[nodiscard]] rng_stream& adversary_rng() noexcept { return adv_rng_; }
+
+  [[nodiscard]] engine::metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const engine::metrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t trace_hash() const noexcept {
+    return trace_hash_;
+  }
+
+  // --- engine::transport ---------------------------------------------
+
+  void send(engine::message m) override;
+
+  /// Protocol result of a finished participant.
+  [[nodiscard]] std::int64_t result_of(process_id pid) const {
+    return node_at(pid).protocol_result();
+  }
+
+  /// Event index at which pid's protocol was invoked (first resumed), or
+  /// UINT64_MAX if it never started. Used by the linearizability checker.
+  [[nodiscard]] std::uint64_t invoke_event(process_id pid) const {
+    return invoke_event_[static_cast<std::size_t>(pid)];
+  }
+
+  /// Event index at which pid's protocol returned, or UINT64_MAX.
+  [[nodiscard]] std::uint64_t return_event(process_id pid) const {
+    return return_event_[static_cast<std::size_t>(pid)];
+  }
+
+ private:
+  void refresh_steppable(process_id pid);
+  void remove_in_flight(std::uint64_t id);
+
+  kernel_config config_;
+  adversary& adversary_;
+  engine::metrics metrics_;
+  rng_stream adv_rng_;
+  int crash_budget_;
+  int crashes_used_ = 0;
+
+  std::vector<std::unique_ptr<engine::node>> nodes_;
+  std::vector<bool> crashed_;
+  std::vector<process_id> participants_;
+
+  std::unordered_map<std::uint64_t, engine::message> messages_;
+  indexed_id_set live_;
+  std::vector<indexed_id_set> by_from_;
+  std::vector<indexed_id_set> by_to_;
+  std::uint64_t next_message_id_ = 1;
+
+  std::vector<process_id> steppable_;
+  std::vector<std::int32_t> steppable_pos_;
+
+  std::uint64_t events_ = 0;
+  std::uint64_t trace_hash_ = 0x243f6a8885a308d3ULL;
+  std::vector<std::uint64_t> invoke_event_;
+  std::vector<std::uint64_t> return_event_;
+};
+
+/// A scheduling strategy. Implementations must always return a *legal*
+/// enabled action (the kernel aborts otherwise) and must be fair enough
+/// that participants eventually finish — within the model this is the
+/// standard requirement that every message is eventually delivered and
+/// every processor is eventually scheduled.
+class adversary {
+ public:
+  virtual ~adversary() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Choose the next event. Called only when at least one deliver/step
+  /// action is enabled.
+  [[nodiscard]] virtual action pick(kernel& k) = 0;
+
+  /// Called when no action is enabled but participants have not finished
+  /// — which can only happen if the adversary is holding protocol
+  /// invocations back (hold_protocol). Release something and return true
+  /// to continue; returning false makes the kernel abort (a genuine
+  /// stall would be a bug).
+  [[nodiscard]] virtual bool on_stalled(kernel& k) {
+    (void)k;
+    return false;
+  }
+};
+
+}  // namespace elect::sim

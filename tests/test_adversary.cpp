@@ -1,0 +1,161 @@
+// Adversary strategy tests: every portfolio strategy must be fair enough
+// to finish runs, and the specialized strategies must exhibit their
+// defining behaviour (sequential invocation order, crash budgets, laggard
+// release, contention starvation).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/basic.hpp"
+#include "adversary/crash.hpp"
+#include "adversary/laggard.hpp"
+#include "adversary/registry.hpp"
+#include "adversary/sequential.hpp"
+#include "election/leader_elect.hpp"
+#include "election/poison_pill.hpp"
+#include "engine/node.hpp"
+#include "exp/harness.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+using engine::erase_result;
+
+TEST(AdversaryRegistry, AllNamesConstruct) {
+  for (const std::string& name :
+       {"uniform", "round-robin", "sequential", "flip-adaptive",
+        "contention-delayer", "crash-uniform"}) {
+    auto adv = adversary::make(name, 8);
+    ASSERT_NE(adv, nullptr) << name;
+  }
+}
+
+TEST(AdversaryRegistry, UnknownNameAborts) {
+  EXPECT_DEATH((void)adversary::make("no-such-strategy", 8), "unknown");
+}
+
+TEST(AdversaryRegistry, PortfolioRunsEverythingToCompletion) {
+  for (const std::string& name : adversary::standard_portfolio()) {
+    exp::trial_config config;
+    config.kind = exp::algo::leader_elect;
+    config.n = 9;
+    config.seed = 3;
+    config.adversary = name;
+    const exp::trial_result result = exp::run_trial(config);
+    EXPECT_TRUE(result.completed) << name;
+    EXPECT_EQ(result.winners, 1) << name;
+  }
+}
+
+TEST(Sequential, InvocationsAreStrictlyOrdered) {
+  // Under the sequential adversary, participant i+1's protocol is
+  // invoked only after participant i's has returned.
+  adversary::sequential adv;
+  const int n = 6;
+  sim::kernel k(sim::kernel_config{.n = n, .seed = 4}, adv);
+  for (process_id pid = 0; pid < n; ++pid) {
+    k.attach(pid, erase_result(election::poison_pill(
+                      k.node_at(pid), election::poison_pill_params{})));
+  }
+  ASSERT_TRUE(k.run().completed);
+  for (process_id pid = 0; pid + 1 < n; ++pid) {
+    EXPECT_LE(k.return_event(pid), k.invoke_event(pid + 1))
+        << "participant " << pid + 1 << " invoked before " << pid
+        << " returned";
+  }
+}
+
+TEST(Sequential, ExplicitOrderRespected) {
+  adversary::sequential adv({2, 0, 1});
+  sim::kernel k(sim::kernel_config{.n = 3, .seed = 5}, adv);
+  for (process_id pid = 0; pid < 3; ++pid) {
+    k.attach(pid, erase_result(election::poison_pill(
+                      k.node_at(pid), election::poison_pill_params{})));
+  }
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_LE(k.return_event(2), k.invoke_event(0));
+  EXPECT_LE(k.return_event(0), k.invoke_event(1));
+}
+
+TEST(CrashInjector, NeverExceedsBudget) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    adversary::crash_config config;
+    config.crashes = 100;  // ask for far more than the budget
+    config.crash_rate = 0.5;
+    adversary::crash_injector adv(
+        std::make_unique<adversary::uniform_random>(), config);
+    sim::kernel k(sim::kernel_config{.n = 9, .seed = seed}, adv);
+    for (process_id pid = 0; pid < 9; ++pid) {
+      k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+    }
+    ASSERT_TRUE(k.run().completed);
+    EXPECT_LE(k.crashes_used(), max_crash_faults(9));
+  }
+}
+
+TEST(CrashInjector, DropsInFlightOfCrashedSenders) {
+  adversary::crash_config config;
+  config.crashes = 2;
+  config.crash_rate = 0.3;
+  config.drop_in_flight = true;
+  adversary::crash_injector adv(
+      std::make_unique<adversary::uniform_random>(), config);
+  sim::kernel k(sim::kernel_config{.n = 7, .seed = 3}, adv);
+  for (process_id pid = 0; pid < 7; ++pid) {
+    k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+  }
+  ASSERT_TRUE(k.run().completed);
+  if (k.crashes_used() > 0) {
+    // Crashed senders' messages were (eventually) dropped, not delivered:
+    // nothing from a crashed sender may remain in flight forever — the
+    // injector prioritizes drops, so by termination none remain.
+    for (process_id pid = 0; pid < 7; ++pid) {
+      if (k.crashed(pid)) EXPECT_TRUE(k.in_flight_from(pid).empty());
+    }
+  }
+}
+
+TEST(Laggard, ReleasesAfterFrontRunnersFinish) {
+  auto base = std::make_unique<adversary::uniform_random>();
+  adversary::laggard adv(std::move(base), {3});
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 6}, adv);
+  for (process_id pid = 0; pid < 4; ++pid) {
+    k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+  }
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_TRUE(adv.released());
+  // The laggard was invoked after every front-runner returned.
+  for (process_id pid = 0; pid < 3; ++pid) {
+    EXPECT_LE(k.return_event(pid), k.invoke_event(3));
+  }
+}
+
+TEST(ContentionDelayer, RenamingStillCorrect) {
+  // Covered by the renaming sweep too; this checks the delayer actually
+  // exercises the delay path on a bigger instance without stalling.
+  exp::trial_config config;
+  config.kind = exp::algo::renaming;
+  config.n = 8;
+  config.seed = 11;
+  config.adversary = "contention-delayer";
+  const exp::trial_result result = exp::run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.winners, 8);
+}
+
+TEST(FlipAdaptive, StillFairEnoughToTerminate) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    exp::trial_config config;
+    config.kind = exp::algo::leader_elect;
+    config.n = 12;
+    config.seed = seed;
+    config.adversary = "flip-adaptive";
+    const exp::trial_result result = exp::run_trial(config);
+    ASSERT_TRUE(result.completed) << "seed " << seed;
+    EXPECT_EQ(result.winners, 1);
+  }
+}
+
+}  // namespace
+}  // namespace elect

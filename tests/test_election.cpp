@@ -1,0 +1,289 @@
+// LeaderElect (Figure 6) property tests — the paper's main theorem A.5:
+// unique winner, linearizability, termination under crashes, adaptivity,
+// and the round-decay structure (Claim A.4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "adversary/basic.hpp"
+#include "adversary/laggard.hpp"
+#include "common/stats.hpp"
+#include "election/history.hpp"
+#include "election/leader_elect.hpp"
+#include "engine/node.hpp"
+#include "exp/harness.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+using election::tas_result;
+using engine::erase_result;
+using exp::algo;
+using exp::run_trial;
+using exp::trial_config;
+using exp::trial_result;
+
+constexpr std::int64_t win_value =
+    static_cast<std::int64_t>(tas_result::win);
+
+class ElectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(ElectionSweep, ExactlyOneWinnerWhenAllReturn) {
+  const auto [n, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    trial_config config;
+    config.kind = algo::leader_elect;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "n=" << n << " adv=" << adversary
+                                  << " seed=" << seed;
+    EXPECT_EQ(result.winners, 1)
+        << "n=" << n << " adv=" << adversary << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ElectionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 33),
+                       ::testing::Values("uniform", "round-robin",
+                                         "sequential", "flip-adaptive")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(Election, AtMostOneWinnerUnderCrashes) {
+  // With crashes, termination of non-faulty participants plus at-most-one
+  // winner must hold; at-least-one cannot be demanded (the would-be
+  // winner may crash).
+  for (int n : {3, 5, 8, 13}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      trial_config config;
+      config.kind = algo::leader_elect;
+      config.n = n;
+      config.seed = seed;
+      config.adversary = "uniform";
+      config.crashes = max_crash_faults(n);
+      const trial_result result = run_trial(config);
+      ASSERT_TRUE(result.completed) << "n=" << n << " seed=" << seed;
+      EXPECT_LE(result.winners, 1) << "n=" << n << " seed=" << seed;
+      // Every non-crashed participant returned (completed == true) —
+      // termination with probability 1 under t <= ceil(n/2)-1 faults.
+    }
+  }
+}
+
+TEST(Election, HistoriesAreLinearizable) {
+  // Build full op histories (invoke/return events from the kernel) and
+  // run them through the checker.
+  for (int n : {2, 4, 7, 12}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      adversary::uniform_random adv;
+      sim::kernel k(sim::kernel_config{.n = n, .seed = seed}, adv);
+      for (process_id pid = 0; pid < n; ++pid) {
+        k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+      }
+      ASSERT_TRUE(k.run().completed);
+      std::vector<election::tas_op> history;
+      for (process_id pid = 0; pid < n; ++pid) {
+        election::tas_op op;
+        op.pid = pid;
+        op.invoke_time = k.invoke_event(pid);
+        op.return_time = k.return_event(pid);
+        op.crashed = k.crashed(pid);
+        if (!op.crashed && k.node_at(pid).protocol_done()) {
+          op.outcome = static_cast<tas_result>(k.result_of(pid));
+        }
+        history.push_back(op);
+      }
+      const auto violation = election::validate_tas_history(history);
+      EXPECT_FALSE(violation.has_value())
+          << "n=" << n << " seed=" << seed << ": " << *violation;
+    }
+  }
+}
+
+TEST(Election, LateArrivalsLoseAtTheDoorway) {
+  // Laggard schedule: half the participants are held until the others
+  // have finished. By then the door is closed (the winner closed it), so
+  // every released laggard must lose — and quickly (one collect).
+  const int n = 8;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto base = std::make_unique<adversary::uniform_random>();
+    adversary::laggard adv(std::move(base), {4, 5, 6, 7});
+    sim::kernel k(sim::kernel_config{.n = n, .seed = seed}, adv);
+    for (process_id pid = 0; pid < n; ++pid) {
+      k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+    }
+    ASSERT_TRUE(k.run().completed);
+    EXPECT_TRUE(adv.released());
+    int winners = 0;
+    for (process_id pid = 0; pid < n; ++pid) {
+      if (k.result_of(pid) == win_value) ++winners;
+      if (pid >= 4) {
+        EXPECT_NE(k.result_of(pid), win_value)
+            << "laggard " << pid << " won (seed " << seed << ")";
+      }
+    }
+    EXPECT_EQ(winners, 1);
+  }
+}
+
+TEST(Election, SoloParticipantWinsInTwoRounds) {
+  // k=1: PreRound returns WIN in round 2 (R=0 < r-1=1).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    adversary::round_robin adv;
+    sim::kernel k(sim::kernel_config{.n = 6, .seed = seed}, adv);
+    k.attach(3, erase_result(election::leader_elect(k.node_at(3))));
+    ASSERT_TRUE(k.run().completed);
+    EXPECT_EQ(k.result_of(3), win_value);
+    EXPECT_EQ(k.node_at(3).probe().round, 2);
+  }
+}
+
+TEST(Election, AdaptivityCommunicateCallsTrackParticipants) {
+  // Theorem A.5 adaptivity: time is O(log* k), not O(log* n). At a fixed
+  // n, runs with k=2 should cost participants no more communicate calls
+  // than runs with k=n (statistically).
+  const int n = 24;
+  const auto mean_calls = [&](int k) {
+    double total = 0;
+    const int trials = 10;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      trial_config config;
+      config.kind = algo::leader_elect;
+      config.n = n;
+      config.participants = k;
+      config.seed = seed;
+      const trial_result result = run_trial(config);
+      EXPECT_TRUE(result.completed);
+      total += static_cast<double>(result.max_communicate_calls);
+    }
+    return total / trials;
+  };
+  EXPECT_LE(mean_calls(2), mean_calls(n) + 2.0);
+}
+
+TEST(Election, RoundsStayTiny) {
+  // O(log* k) rounds: for n up to 33 the max round should be very small
+  // (log*(33) = 3; allow generous slack for the +O(1) constant tail).
+  for (int n : {4, 16, 33}) {
+    sample_stats max_round;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      trial_config config;
+      config.kind = algo::leader_elect;
+      config.n = n;
+      config.seed = seed;
+      const trial_result result = run_trial(config);
+      ASSERT_TRUE(result.completed);
+      max_round.add(static_cast<double>(
+          *std::max_element(result.rounds.begin(), result.rounds.end())));
+    }
+    EXPECT_LE(max_round.max(), 10.0) << "n=" << n;
+    EXPECT_LE(max_round.mean(), 7.0) << "n=" << n;
+  }
+}
+
+TEST(Election, ParticipantDecayPerRound) {
+  // Claim A.4: the expected number of participants decays by a constant
+  // factor every two rounds. Measure the count of participants that
+  // reached round >= 2 versus round >= 4.
+  const int n = 32;
+  double reached_r2 = 0, reached_r4 = 0;
+  const int trials = 15;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    trial_config config;
+    config.kind = algo::leader_elect;
+    config.n = n;
+    config.seed = seed;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    for (const std::int64_t r : result.rounds) {
+      reached_r2 += r >= 2 ? 1 : 0;
+      reached_r4 += r >= 4 ? 1 : 0;
+    }
+  }
+  // Everyone reaches round 1; far fewer reach round 2; fewer still round 4.
+  EXPECT_LT(reached_r2 / trials, n / 2.0);
+  EXPECT_LT(reached_r4, reached_r2);
+}
+
+TEST(Election, MessageComplexityLinearInParticipants) {
+  // O(kn) messages: doubling k at fixed n should scale total messages
+  // roughly linearly (generous factor for variance).
+  const int n = 32;
+  const auto mean_messages = [&](int k) {
+    double total = 0;
+    const int trials = 8;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      trial_config config;
+      config.kind = algo::leader_elect;
+      config.n = n;
+      config.participants = k;
+      config.seed = seed;
+      const trial_result result = run_trial(config);
+      EXPECT_TRUE(result.completed);
+      total += static_cast<double>(result.total_messages);
+    }
+    return total / trials;
+  };
+  const double at_4 = mean_messages(4);
+  const double at_32 = mean_messages(32);
+  EXPECT_GT(at_32, at_4);              // more participants, more messages
+  EXPECT_LT(at_32, at_4 * 8.0 * 4.0);  // but not super-linearly (slack 4x)
+}
+
+TEST(Election, DistinctInstancesAreIndependent) {
+  // Two concurrent elections on disjoint instances: each elects exactly
+  // one winner, and a processor can win one while losing the other.
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 6, .seed = 5}, adv);
+  // Even pids run instance 1, odd pids run instance 2.
+  for (process_id pid = 0; pid < 6; ++pid) {
+    election::leader_elect_params params;
+    params.instance = election::election_id{
+        static_cast<std::uint32_t>(1 + (pid % 2))};
+    k.attach(pid,
+             erase_result(election::leader_elect(k.node_at(pid), params)));
+  }
+  ASSERT_TRUE(k.run().completed);
+  int winners_even = 0, winners_odd = 0;
+  for (process_id pid = 0; pid < 6; ++pid) {
+    if (k.result_of(pid) == win_value) {
+      (pid % 2 == 0 ? winners_even : winners_odd)++;
+    }
+  }
+  EXPECT_EQ(winners_even, 1);
+  EXPECT_EQ(winners_odd, 1);
+}
+
+TEST(Election, DeterministicGivenSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    trial_config config;
+    config.kind = algo::leader_elect;
+    config.n = 9;
+    config.seed = seed;
+    return run_trial(config);
+  };
+  const trial_result a = run_once(123);
+  const trial_result b = run_once(123);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  const trial_result c = run_once(124);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,142 @@
+// Node-level mechanics: protocol attachment rules, misuse detection,
+// message descriptions and wire-byte accounting.
+#include <gtest/gtest.h>
+
+#include "adversary/basic.hpp"
+#include "engine/message.hpp"
+#include "engine/node.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+engine::task<std::int64_t> trivial(engine::node& self) {
+  const engine::var_id var{engine::var_family::test_i64_array, 0, 0};
+  auto delta = self.stage_own_cell<std::int64_t>(var, 1);
+  co_await self.propagate(var, delta);
+  co_return 0;
+}
+
+// A buggy protocol that starts a second communicate while one is pending
+// (it co_awaits the *second* awaitable only). The engine must refuse.
+engine::task<std::int64_t> double_communicate(engine::node& self) {
+  const engine::var_id var{engine::var_family::test_i64_array, 0, 0};
+  auto delta = self.stage_own_cell<std::int64_t>(var, 1);
+  auto first = self.propagate(var, delta);   // begins op 1
+  auto second = self.propagate(var, delta);  // must abort here
+  co_await second;
+  co_await first;
+  co_return 0;
+}
+
+TEST(Node, AttachTwiceAborts) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 2, .seed = 1}, adv);
+  k.attach(0, trivial(k.node_at(0)));
+  EXPECT_DEATH(k.node_at(0).attach_protocol(trivial(k.node_at(0))),
+               "already has a protocol");
+}
+
+TEST(Node, OverlappingCommunicateAborts) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 2, .seed = 1}, adv);
+  k.attach(0, double_communicate(k.node_at(0)));
+  EXPECT_DEATH(
+      {
+        while (!k.node_at(0).protocol_done()) {
+          if (!k.steppable().empty()) {
+            k.execute(sim::action::step(k.steppable().front()));
+          } else {
+            k.execute(sim::action::deliver(k.in_flight().ids().front()));
+          }
+        }
+      },
+      "communicate call while another is pending");
+}
+
+TEST(Node, EraseResultPreservesValue) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 1, .seed = 1}, adv);
+  struct probe_values {
+    static engine::task<std::int64_t> value_7(engine::node& self) {
+      const engine::var_id var{engine::var_family::test_i64_array, 1, 0};
+      auto delta = self.stage_own_cell<std::int64_t>(var, 7);
+      co_await self.propagate(var, delta);
+      co_return 7;
+    }
+  };
+  k.attach(0, probe_values::value_7(k.node_at(0)));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(0), 7);
+}
+
+TEST(Node, WaitingForQuorumVisible) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 3, .seed = 2}, adv);
+  k.attach(0, trivial(k.node_at(0)));
+  EXPECT_FALSE(k.node_at(0).waiting_for_quorum());
+  k.execute(sim::action::step(0));  // starts; sends fan-out; suspends
+  EXPECT_TRUE(k.node_at(0).waiting_for_quorum());
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_FALSE(k.node_at(0).waiting_for_quorum());
+}
+
+TEST(Message, DescribeAndClassify) {
+  engine::message propagate{0, 1, 42,
+                            engine::propagate_request{
+                                {engine::var_family::door, 3, 0},
+                                engine::flag_delta{}}};
+  EXPECT_TRUE(propagate.is_request());
+  EXPECT_FALSE(propagate.is_reply());
+  ASSERT_NE(propagate.request_var(), nullptr);
+  EXPECT_EQ(propagate.request_var()->family, engine::var_family::door);
+  EXPECT_NE(engine::describe(propagate).find("propagate"),
+            std::string::npos);
+
+  engine::message ack{1, 0, 42, engine::ack_reply{}};
+  EXPECT_TRUE(ack.is_reply());
+  EXPECT_EQ(ack.request_var(), nullptr);
+  EXPECT_NE(engine::describe(ack).find("ack"), std::string::npos);
+
+  engine::message collect{0, 1, 43,
+                          engine::collect_request{
+                              {engine::var_family::contended, 1, 0}}};
+  EXPECT_TRUE(collect.is_request());
+  EXPECT_NE(engine::describe(collect).find("collect"), std::string::npos);
+}
+
+TEST(Message, WireBytesOrdering) {
+  const engine::message ack{1, 0, 1, engine::ack_reply{}};
+  engine::owned_array<engine::het_status> big_array(64);
+  for (process_id j = 0; j < 64; ++j) {
+    big_array.merge_cell(
+        j, {1, engine::het_status{engine::pp_status::low_pri,
+                                  std::vector<process_id>(32, 1)}});
+  }
+  const engine::message reply{1, 0, 1, engine::collect_reply{big_array}};
+  EXPECT_LT(ack.wire_bytes(), reply.wire_bytes());
+  EXPECT_GT(reply.wire_bytes(), 64u * 32u * sizeof(process_id));
+}
+
+TEST(Node, RngStreamsDifferAcrossNodes) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 3, .seed = 9}, adv);
+  const auto a = k.node_at(0).rng().next_u64();
+  const auto b = k.node_at(1).rng().next_u64();
+  const auto c = k.node_at(2).rng().next_u64();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(Node, ProbeDefaults) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 2, .seed = 1}, adv);
+  const engine::debug_probe& probe = k.node_at(0).probe();
+  EXPECT_EQ(probe.coin, -1);
+  EXPECT_EQ(probe.round, -1);
+  EXPECT_EQ(probe.phase, -1);
+  EXPECT_EQ(probe.contending_for, -1);
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,94 @@
+// Experiment-harness tests: trial plumbing, aggregation, and the table
+// renderer benches print through.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/harness.hpp"
+#include "exp/table.hpp"
+
+namespace elect {
+namespace {
+
+using exp::algo;
+using exp::run_trial;
+using exp::run_trials;
+using exp::trial_config;
+
+TEST(Harness, AlgoNames) {
+  EXPECT_EQ(exp::to_string(algo::leader_elect), "leader-elect");
+  EXPECT_EQ(exp::to_string(algo::tournament), "tournament");
+  EXPECT_EQ(exp::to_string(algo::renaming), "renaming");
+}
+
+TEST(Harness, TrialPopulatesMetrics) {
+  trial_config config;
+  config.kind = algo::leader_elect;
+  config.n = 8;
+  config.seed = 1;
+  const auto result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.total_messages, 0u);
+  EXPECT_GT(result.request_messages, 0u);
+  EXPECT_GT(result.wire_bytes, result.total_messages);  // >1 byte/message
+  EXPECT_GT(result.max_communicate_calls, 0u);
+  EXPECT_GT(result.mean_communicate_calls, 0.0);
+  EXPECT_EQ(result.outcomes.size(), 8u);
+  EXPECT_EQ(result.rounds.size(), 8u);
+}
+
+TEST(Harness, AggregateCollectsAllTrials) {
+  trial_config config;
+  config.kind = algo::het_pp_phase;
+  config.n = 8;
+  config.seed = 10;
+  const auto aggregate = run_trials(config, 5);
+  EXPECT_EQ(aggregate.trials, 5);
+  EXPECT_EQ(aggregate.incomplete, 0);
+  EXPECT_EQ(aggregate.winners.count(), 5u);
+  EXPECT_GE(aggregate.winners.min(), 1.0);  // >= 1 survivor each trial
+  EXPECT_EQ(aggregate.max_comm_calls.count(), 5u);
+}
+
+TEST(Harness, SeedsVaryAcrossAggregatedTrials) {
+  trial_config config;
+  config.kind = algo::leader_elect;
+  config.n = 8;
+  config.seed = 100;
+  const auto aggregate = run_trials(config, 8);
+  // Message counts should not all be identical across seeds.
+  EXPECT_GT(aggregate.total_messages.stddev(), 0.0);
+}
+
+TEST(Harness, ParticipantsValidated) {
+  trial_config config;
+  config.n = 4;
+  config.participants = 9;  // > n
+  EXPECT_DEATH((void)run_trial(config), "");
+}
+
+TEST(Table, RendersMarkdown) {
+  exp::table t({"n", "time", "messages"});
+  t.add_row({"8", "3.00", "512"});
+  t.add_row({"16", "3.50", "2048"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("| n "), std::string::npos);
+  EXPECT_NE(rendered.find("| 16 "), std::string::npos);
+  EXPECT_NE(rendered.find("|---"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(exp::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(exp::fmt_int(41.7), "42");
+  EXPECT_EQ(exp::fmt_ci(5.0, 0.25), "5.00 ± 0.25");
+}
+
+TEST(Table, MismatchedRowAborts) {
+  exp::table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace elect

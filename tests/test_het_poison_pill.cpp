@@ -1,0 +1,163 @@
+// Heterogeneous PoisonPill (Figure 2) property tests: the at-least-one-
+// survivor invariant across a full sweep, the Lemma 3.6 / 3.7 survivor
+// decomposition envelopes, and the |ℓ|-driven bias behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "exp/harness.hpp"
+
+namespace elect {
+namespace {
+
+using exp::algo;
+using exp::run_trial;
+using exp::trial_config;
+using exp::trial_result;
+
+class HetPoisonPillSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(HetPoisonPillSweep, AtLeastOneSurvivorInEveryExecution) {
+  const auto [n, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "n=" << n << " adv=" << adversary
+                                  << " seed=" << seed;
+    EXPECT_GE(result.winners, 1)
+        << "no survivor: n=" << n << " adv=" << adversary << " seed=" << seed;
+    EXPECT_LE(result.winners, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HetPoisonPillSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 33),
+                       ::testing::Values("uniform", "round-robin",
+                                         "sequential", "flip-adaptive")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(HetPoisonPill, SoloParticipantAlwaysSurvives) {
+  // |ℓ| = 1 forces bias 1: the lone participant flips high and survives.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = 8;
+    config.participants = 1;
+    config.seed = seed;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.winners, 1);
+    EXPECT_EQ(result.one_flippers, 1);  // bias 1 → always flips 1
+  }
+}
+
+TEST(HetPoisonPill, SequentialAdversaryBeatenToPolylog) {
+  // The headline improvement over the plain technique: under the
+  // schedule that forces Θ(sqrt n) plain-PoisonPill survivors, the
+  // heterogeneous phase keeps expected survivors polylogarithmic
+  // (O(log n) zero-flip + O(log² n) one-flip).
+  const int n = 64;
+  sample_stats survivors;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = "sequential";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    survivors.add(result.winners);
+  }
+  const double log2n = std::log2(static_cast<double>(n));  // 6
+  // Generous envelope: mean well under sqrt-regime, within C*log^2.
+  EXPECT_LT(survivors.mean(), 1.5 * log2n * log2n);
+}
+
+TEST(HetPoisonPill, ZeroFlipSurvivorsLogEnvelope) {
+  // Lemma 3.6: E[zero-flip survivors] = O(log k).
+  const int n = 64;
+  sample_stats zero_flip;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = "sequential";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    zero_flip.add(result.zero_flip_survivors);
+  }
+  EXPECT_LT(zero_flip.mean(), 4.0 * std::log2(static_cast<double>(n)));
+}
+
+TEST(HetPoisonPill, OneFlippersPolylogEnvelope) {
+  // Lemma 3.7: E[#processors that flip 1] = O(log² k).
+  const int n = 64;
+  sample_stats one_flippers;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = "sequential";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    one_flippers.add(result.one_flippers);
+  }
+  const double log2n = std::log2(static_cast<double>(n));
+  EXPECT_LT(one_flippers.mean(), 2.0 * log2n * log2n);
+  // And it isn't degenerate: someone flips 1 reasonably often (the first
+  // processor in the sequential order has |ℓ|=1, bias 1).
+  EXPECT_GE(one_flippers.mean(), 1.0);
+}
+
+TEST(HetPoisonPill, SurvivesCrashInjection) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = 9;
+    config.seed = seed;
+    config.adversary = "uniform";
+    config.crashes = max_crash_faults(9);
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "seed " << seed;
+    // All *non-crashed* participants returned; survivors among them can
+    // legitimately be zero only if crashes removed the would-be
+    // survivors, so only sanity-check the range.
+    EXPECT_LE(result.winners, 9);
+  }
+}
+
+TEST(HetPoisonPill, FewerParticipantsFewerSurvivors) {
+  // Adaptivity: with k=4 participants out of n=32, survivor counts track
+  // k, not n.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    trial_config config;
+    config.kind = algo::het_pp_phase;
+    config.n = 32;
+    config.participants = 4;
+    config.seed = seed;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_GE(result.winners, 1);
+    EXPECT_LE(result.winners, 4);
+  }
+}
+
+}  // namespace
+}  // namespace elect

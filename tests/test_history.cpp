@@ -1,0 +1,124 @@
+// Unit tests for the test-and-set linearizability checker on hand-built
+// histories (the checker itself is exercised end-to-end in
+// test_election.cpp).
+#include <gtest/gtest.h>
+
+#include "election/history.hpp"
+
+namespace elect::election {
+namespace {
+
+tas_op completed(process_id pid, std::uint64_t invoke, std::uint64_t ret,
+                 tas_result outcome) {
+  tas_op op;
+  op.pid = pid;
+  op.invoke_time = invoke;
+  op.return_time = ret;
+  op.outcome = outcome;
+  return op;
+}
+
+tas_op running(process_id pid, std::uint64_t invoke) {
+  tas_op op;
+  op.pid = pid;
+  op.invoke_time = invoke;
+  return op;
+}
+
+tas_op crashed_at(process_id pid, std::uint64_t invoke) {
+  tas_op op = running(pid, invoke);
+  op.crashed = true;
+  return op;
+}
+
+TEST(History, SingleWinnerOk) {
+  const auto verdict = validate_tas_history({
+      completed(0, 0, 10, tas_result::win),
+      completed(1, 1, 12, tas_result::lose),
+  });
+  EXPECT_FALSE(verdict.has_value()) << *verdict;
+}
+
+TEST(History, TwoWinnersViolate) {
+  const auto verdict = validate_tas_history({
+      completed(0, 0, 10, tas_result::win),
+      completed(1, 1, 12, tas_result::win),
+  });
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->find("multiple winners"), std::string::npos);
+}
+
+TEST(History, AllLoseViolates) {
+  const auto verdict = validate_tas_history({
+      completed(0, 0, 10, tas_result::lose),
+      completed(1, 1, 12, tas_result::lose),
+  });
+  ASSERT_TRUE(verdict.has_value());
+}
+
+TEST(History, LoserReturnsBeforeWinnerInvokesViolates) {
+  const auto verdict = validate_tas_history({
+      completed(0, 20, 30, tas_result::win),
+      completed(1, 1, 5, tas_result::lose),  // returned before invoke 20
+  });
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->find("before the winner invoked"), std::string::npos);
+}
+
+TEST(History, LoserReturnsAfterWinnerInvokesOk) {
+  const auto verdict = validate_tas_history({
+      completed(0, 4, 30, tas_result::win),
+      completed(1, 1, 5, tas_result::lose),  // invoke 4 <= return 5
+  });
+  EXPECT_FALSE(verdict.has_value()) << *verdict;
+}
+
+TEST(History, CrashedPotentialWinnerExcusesLosers) {
+  // Nobody won, but a participant that invoked early crashed mid-flight:
+  // it linearizes as the winner.
+  const auto verdict = validate_tas_history({
+      crashed_at(0, 0),
+      completed(1, 1, 12, tas_result::lose),
+  });
+  EXPECT_FALSE(verdict.has_value()) << *verdict;
+}
+
+TEST(History, LateCrashedCandidateCannotExcuseEarlyLoser) {
+  // The only potential winner invoked after the loser had already
+  // returned — no valid linearization.
+  const auto verdict = validate_tas_history({
+      crashed_at(0, 50),
+      completed(1, 1, 12, tas_result::lose),
+  });
+  ASSERT_TRUE(verdict.has_value());
+}
+
+TEST(History, OnlyRunningOpsOk) {
+  const auto verdict = validate_tas_history({
+      running(0, 5),
+      running(1, 9),
+  });
+  EXPECT_FALSE(verdict.has_value());
+}
+
+TEST(History, EmptyHistoryOk) {
+  EXPECT_FALSE(validate_tas_history({}).has_value());
+}
+
+TEST(History, ReturnBeforeInvokeIsMalformed) {
+  const auto verdict = validate_tas_history({
+      completed(0, 10, 5, tas_result::win),
+  });
+  ASSERT_TRUE(verdict.has_value());
+}
+
+TEST(History, WinnerWithNoLosersOk) {
+  const auto verdict = validate_tas_history({
+      completed(0, 0, 10, tas_result::win),
+      running(1, 2),
+  });
+  EXPECT_FALSE(verdict.has_value());
+}
+
+}  // namespace
+}  // namespace elect::election

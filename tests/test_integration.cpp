@@ -1,0 +1,179 @@
+// Cross-module integration tests: protocols of different kinds sharing
+// one system, quorum arithmetic across n parities, and determinism of
+// every algorithm in the harness.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "abd/register.hpp"
+#include "adversary/basic.hpp"
+#include "consensus/quorum_consensus.hpp"
+#include "election/leader_elect.hpp"
+#include "election/tournament.hpp"
+#include "engine/node.hpp"
+#include "exp/harness.hpp"
+#include "renaming/renaming.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+using election::tas_result;
+using engine::erase_result;
+
+constexpr std::int64_t win_value =
+    static_cast<std::int64_t>(tas_result::win);
+
+TEST(Integration, MixedProtocolsShareOneSystem) {
+  // One system, three concurrent workloads on disjoint variable spaces:
+  //   pids 0-3  : leader election (instance 70)
+  //   pids 4-7  : renaming over 4 names (space 100)
+  //   pids 8-9  : consensus (space 200)
+  // Everything must terminate and keep its own guarantees.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    adversary::uniform_random adv;
+    sim::kernel k(sim::kernel_config{.n = 10, .seed = seed}, adv);
+    for (process_id pid = 0; pid < 4; ++pid) {
+      k.attach(pid, erase_result(election::leader_elect(
+                        k.node_at(pid),
+                        election::leader_elect_params{
+                            election::election_id{70}})));
+    }
+    for (process_id pid = 4; pid < 8; ++pid) {
+      renaming::renaming_params params;
+      params.space = 100;
+      params.name_count = 4;
+      k.attach(pid, renaming::get_name(k.node_at(pid), params));
+    }
+    for (process_id pid = 8; pid < 10; ++pid) {
+      k.attach(pid, consensus::decide(k.node_at(pid), 200, pid));
+    }
+    ASSERT_TRUE(k.run().completed) << "seed " << seed;
+
+    int winners = 0;
+    for (process_id pid = 0; pid < 4; ++pid) {
+      winners += k.result_of(pid) == win_value ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "seed " << seed;
+
+    std::set<std::int64_t> names;
+    for (process_id pid = 4; pid < 8; ++pid) {
+      const std::int64_t name = k.result_of(pid);
+      EXPECT_GE(name, 0);
+      EXPECT_LT(name, 4);
+      EXPECT_TRUE(names.insert(name).second) << "seed " << seed;
+    }
+
+    EXPECT_EQ(k.result_of(8), k.result_of(9)) << "seed " << seed;
+    EXPECT_TRUE(k.result_of(8) == 8 || k.result_of(8) == 9);
+  }
+}
+
+TEST(Integration, ElectionAndAbdRegisterCoexist) {
+  // The winner of an election publishes its id through an ABD register;
+  // a reader (non-participant in the election) then reads it back.
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 6, .seed = 3}, adv);
+  struct flow {
+    static engine::task<std::int64_t> contender(engine::node& self) {
+      const auto outcome = co_await election::leader_elect(
+          self, election::leader_elect_params{election::election_id{5}});
+      if (outcome == tas_result::win) {
+        co_await abd::write(self, abd::register_var(500), self.id());
+      }
+      co_return static_cast<std::int64_t>(outcome);
+    }
+  };
+  for (process_id pid = 0; pid < 5; ++pid) {
+    k.attach(pid, flow::contender(k.node_at(pid)));
+  }
+  ASSERT_TRUE(k.run().completed);
+  process_id winner = no_process;
+  for (process_id pid = 0; pid < 5; ++pid) {
+    if (k.result_of(pid) == win_value) winner = pid;
+  }
+  ASSERT_NE(winner, no_process);
+  k.attach(5, abd::read(k.node_at(5), abd::register_var(500), -1));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(5), winner);
+}
+
+class QuorumParitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuorumParitySweep, ElectionWorksAtEveryN) {
+  // Quorum arithmetic (floor(n/2)+1) must work for every parity and the
+  // n=1/n=2 degenerate cases.
+  const int n = GetParam();
+  exp::trial_config config;
+  config.kind = exp::algo::leader_elect;
+  config.n = n;
+  config.seed = 42;
+  const auto result = exp::run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.winners, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallN, QuorumParitySweep,
+                         ::testing::Range(1, 17));
+
+class DeterminismSweep : public ::testing::TestWithParam<exp::algo> {};
+
+TEST_P(DeterminismSweep, EveryAlgorithmIsReplayable) {
+  exp::trial_config config;
+  config.kind = GetParam();
+  config.n = 8;
+  config.seed = 77;
+  const auto a = exp::run_trial(config);
+  const auto b = exp::run_trial(config);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.events, b.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, DeterminismSweep,
+    ::testing::Values(exp::algo::leader_elect, exp::algo::recursive_pill,
+                      exp::algo::tournament, exp::algo::plain_pp_phase,
+                      exp::algo::het_pp_phase, exp::algo::naive_sifter,
+                      exp::algo::renaming, exp::algo::baseline_renaming),
+    [](const auto& info) {
+      std::string name = exp::to_string(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Integration, TournamentAndFigure6AgreeOnSpec) {
+  // Run both algorithms on disjoint instances in the same system; each
+  // elects exactly one leader independently.
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 8, .seed = 12}, adv);
+  for (process_id pid = 0; pid < 4; ++pid) {
+    k.attach(pid, erase_result(election::leader_elect(
+                      k.node_at(pid), election::leader_elect_params{
+                                          election::election_id{30}})));
+  }
+  for (process_id pid = 4; pid < 8; ++pid) {
+    election::tournament_params params;
+    params.instance = election::election_id{31};
+    k.attach(pid, erase_result(
+                      election::tournament_elect(k.node_at(pid), params)));
+  }
+  ASSERT_TRUE(k.run().completed);
+  int figure6_winners = 0, tournament_winners = 0;
+  for (process_id pid = 0; pid < 4; ++pid) {
+    figure6_winners += k.result_of(pid) == win_value ? 1 : 0;
+  }
+  for (process_id pid = 4; pid < 8; ++pid) {
+    tournament_winners += k.result_of(pid) == win_value ? 1 : 0;
+  }
+  EXPECT_EQ(figure6_winners, 1);
+  EXPECT_EQ(tournament_winners, 1);
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,248 @@
+// Simulator kernel tests: event mechanics, crash semantics, determinism,
+// hold/release, and the communicate engine's quorum behaviour.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "adversary/basic.hpp"
+#include "adversary/registry.hpp"
+#include "election/leader_elect.hpp"
+#include "engine/node.hpp"
+#include "engine/views.hpp"
+#include "sim/indexed_set.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+using engine::erase_result;
+
+// A trivial protocol that propagates one cell and collects once, then
+// returns the number of views it received.
+engine::task<std::int64_t> one_shot(engine::node& self) {
+  const engine::var_id var{engine::var_family::test_i64_array, 0, 0};
+  auto delta = self.stage_own_cell<std::int64_t>(var, self.id() + 100);
+  co_await self.propagate(var, delta);
+  const auto views = co_await self.collect(var);
+  co_return static_cast<std::int64_t>(views.size());
+}
+
+TEST(IndexedSet, InsertEraseSample) {
+  sim::indexed_id_set set;
+  EXPECT_TRUE(set.empty());
+  set.insert(10);
+  set.insert(20);
+  set.insert(30);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(20));
+  set.erase(20);
+  EXPECT_FALSE(set.contains(20));
+  EXPECT_EQ(set.size(), 2u);
+  rng_stream rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t id = set.sample(rng);
+    EXPECT_TRUE(id == 10 || id == 30);
+  }
+}
+
+TEST(Kernel, OneShotProtocolCompletes) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 1}, adv);
+  k.attach(2, one_shot(k.node_at(2)));
+  const auto result = k.run();
+  ASSERT_TRUE(result.completed);
+  // The collect returns at least a quorum of views.
+  EXPECT_GE(k.result_of(2), quorum_size(5));
+  EXPECT_LE(k.result_of(2), 5);
+}
+
+TEST(Kernel, WorksWithSingleProcessor) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 1, .seed = 3}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(0), 1);
+}
+
+TEST(Kernel, PropagateReachesAllAfterFullDelivery) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 9}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  ASSERT_TRUE(k.run().completed);
+  // Flush every remaining message so all stores converge.
+  while (!k.in_flight().empty()) {
+    k.execute(sim::action::deliver(k.in_flight().ids().front()));
+  }
+  for (process_id pid = 0; pid < 4; ++pid) {
+    while (k.node_at(pid).can_step()) k.execute(sim::action::step(pid));
+    const auto* view =
+        k.node_at(pid).local_store().view<engine::owned_array<std::int64_t>>(
+            {engine::var_family::test_i64_array, 0, 0});
+    ASSERT_NE(view, nullptr) << "pid " << pid;
+    EXPECT_EQ(*view->get(0), 100);
+  }
+}
+
+TEST(Kernel, MetricsCountMessages) {
+  adversary::uniform_random adv;
+  const int n = 6;
+  sim::kernel k(sim::kernel_config{.n = n, .seed = 2}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  ASSERT_TRUE(k.run().completed);
+  const auto& m = k.metrics();
+  // Two communicate calls, each fanning out n requests.
+  EXPECT_EQ(m.communicate_calls[0], 2u);
+  EXPECT_EQ(m.requests_sent, static_cast<std::uint64_t>(2 * n));
+  EXPECT_GE(m.acks_sent + m.collect_replies_sent,
+            static_cast<std::uint64_t>(2 * quorum_size(n)));
+  EXPECT_GT(m.wire_bytes, 0u);
+}
+
+TEST(Kernel, DeterministicTraceAndResult) {
+  auto run_once = [](std::uint64_t seed) {
+    adversary::uniform_random adv;
+    sim::kernel k(sim::kernel_config{.n = 6, .seed = seed}, adv);
+    for (process_id pid = 0; pid < 6; ++pid) {
+      k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+    }
+    EXPECT_TRUE(k.run().completed);
+    std::vector<std::int64_t> results;
+    for (process_id pid = 0; pid < 6; ++pid) {
+      results.push_back(k.result_of(pid));
+    }
+    return std::make_tuple(k.trace_hash(), k.events(), results);
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+  EXPECT_NE(std::get<0>(run_once(77)), std::get<0>(run_once(78)));
+}
+
+TEST(Kernel, CrashBudgetEnforced) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 1}, adv);
+  EXPECT_EQ(k.crash_budget(), max_crash_faults(5));  // = 2
+  k.execute(sim::action::crash(0));
+  k.execute(sim::action::crash(1));
+  EXPECT_FALSE(k.can_crash());
+  EXPECT_TRUE(k.crashed(0));
+  EXPECT_TRUE(k.crashed(1));
+  EXPECT_DEATH(k.execute(sim::action::crash(2)), "budget");
+}
+
+TEST(Kernel, CrashedProcessorTakesNoSteps) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 1}, adv);
+  k.attach(1, one_shot(k.node_at(1)));
+  EXPECT_TRUE(k.node_at(1).can_step());
+  k.execute(sim::action::crash(1));
+  // The node no longer appears in the steppable set.
+  for (const process_id pid : k.steppable()) EXPECT_NE(pid, 1);
+  EXPECT_DEATH(k.execute(sim::action::step(1)), "crashed");
+}
+
+TEST(Kernel, DropOnlyFromCrashedSenders) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 1}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  k.execute(sim::action::step(0));  // sends the propagate fan-out
+  ASSERT_FALSE(k.in_flight_from(0).empty());
+  const std::uint64_t id = k.in_flight_from(0).ids().front();
+  EXPECT_DEATH(k.execute(sim::action::drop(id)), "crashed");
+  k.execute(sim::action::crash(0));
+  k.execute(sim::action::drop(id));
+  EXPECT_EQ(k.metrics().dropped_messages, 1u);
+}
+
+TEST(Kernel, DeliveryToCrashedProcessorAllowed) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 1}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  k.execute(sim::action::step(0));
+  k.execute(sim::action::crash(2));
+  // Find a message addressed to the crashed node and deliver it.
+  ASSERT_FALSE(k.in_flight_to(2).empty());
+  const std::uint64_t id = k.in_flight_to(2).ids().front();
+  k.execute(sim::action::deliver(id));
+  EXPECT_EQ(k.node_at(2).mailbox_size(), 1u);
+  // It still must not step.
+  for (const process_id pid : k.steppable()) EXPECT_NE(pid, 2);
+}
+
+TEST(Kernel, ElectionSurvivesMaximalCrashes) {
+  // Crash the maximum ceil(n/2)-1 processors; the rest must terminate.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto adv = adversary::make("crash-uniform", 7);
+    sim::kernel k(sim::kernel_config{.n = 7, .seed = seed}, *adv);
+    for (process_id pid = 0; pid < 7; ++pid) {
+      k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+    }
+    const auto result = k.run();
+    ASSERT_TRUE(result.completed) << "seed " << seed;
+    int winners = 0;
+    for (process_id pid = 0; pid < 7; ++pid) {
+      if (!k.crashed(pid) &&
+          k.result_of(pid) ==
+              static_cast<std::int64_t>(election::tas_result::win)) {
+        ++winners;
+      }
+    }
+    EXPECT_LE(winners, 1) << "seed " << seed;
+  }
+}
+
+TEST(Kernel, HoldPreventsInvocationButNotServing) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 3, .seed = 1}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  k.attach(1, one_shot(k.node_at(1)));
+  k.hold_protocol(1, true);
+  EXPECT_FALSE(k.node_at(1).can_step());  // nothing to do while held
+  // Run node 0's protocol to completion; node 1 serves but never starts.
+  while (!k.node_at(0).protocol_done()) {
+    ASSERT_TRUE(k.anything_enabled());
+    if (!k.steppable().empty()) {
+      k.execute(sim::action::step(k.steppable().front()));
+    } else {
+      k.execute(sim::action::deliver(k.in_flight().ids().front()));
+    }
+  }
+  EXPECT_FALSE(k.node_at(1).protocol_started());
+  EXPECT_GT(k.metrics().computation_steps[1], 0u);  // it served
+  // Release and finish.
+  k.hold_protocol(1, false);
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_TRUE(k.node_at(1).protocol_done());
+}
+
+TEST(Kernel, InvokeAndReturnEventsRecorded) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 3, .seed = 4}, adv);
+  k.attach(0, one_shot(k.node_at(0)));
+  EXPECT_EQ(k.invoke_event(0), UINT64_MAX);
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_NE(k.invoke_event(0), UINT64_MAX);
+  EXPECT_NE(k.return_event(0), UINT64_MAX);
+  EXPECT_LT(k.invoke_event(0), k.return_event(0));
+  EXPECT_EQ(k.invoke_event(1), UINT64_MAX);  // never attached
+}
+
+TEST(Kernel, StaleRepliesAreIgnoredNotFatal) {
+  // Run a full election and check that late replies (beyond quorum) were
+  // recorded as stale rather than corrupting later ops.
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 11}, adv);
+  for (process_id pid = 0; pid < 5; ++pid) {
+    k.attach(pid, erase_result(election::leader_elect(k.node_at(pid))));
+  }
+  ASSERT_TRUE(k.run().completed);
+  // Flush everything; serving stale traffic must not disturb anyone.
+  while (!k.in_flight().empty()) {
+    k.execute(sim::action::deliver(k.in_flight().ids().front()));
+    while (!k.steppable().empty()) {
+      k.execute(sim::action::step(k.steppable().front()));
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,128 @@
+// Multithreaded runtime stress tests: the same protocol coroutines on
+// real threads, with the OS as the scheduler. Safety invariants must hold
+// under every interleaving these runs produce.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "election/leader_elect.hpp"
+#include "election/tournament.hpp"
+#include "engine/node.hpp"
+#include "mt/cluster.hpp"
+#include "renaming/renaming.hpp"
+
+namespace elect {
+namespace {
+
+using election::tas_result;
+
+constexpr std::int64_t win_value =
+    static_cast<std::int64_t>(tas_result::win);
+
+TEST(MtCluster, ElectionUniqueWinner) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    mt::cluster cluster(8, seed);
+    for (process_id pid = 0; pid < 8; ++pid) {
+      cluster.attach(pid, [](engine::node& node) {
+        return engine::erase_result(election::leader_elect(node));
+      });
+    }
+    cluster.start();
+    cluster.wait();
+    int winners = 0;
+    for (process_id pid = 0; pid < 8; ++pid) {
+      winners += cluster.result_of(pid) == win_value ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "seed " << seed;
+    EXPECT_GT(cluster.total_messages(), 0u);
+  }
+}
+
+TEST(MtCluster, SoloParticipantWins) {
+  mt::cluster cluster(4, 7);
+  cluster.attach(2, [](engine::node& node) {
+    return engine::erase_result(election::leader_elect(node));
+  });
+  cluster.start();
+  cluster.wait();
+  EXPECT_EQ(cluster.result_of(2), win_value);
+}
+
+TEST(MtCluster, PartialParticipation) {
+  mt::cluster cluster(12, 3);
+  for (process_id pid = 0; pid < 5; ++pid) {
+    cluster.attach(pid, [](engine::node& node) {
+      return engine::erase_result(election::leader_elect(node));
+    });
+  }
+  cluster.start();
+  cluster.wait();
+  int winners = 0;
+  for (process_id pid = 0; pid < 5; ++pid) {
+    winners += cluster.result_of(pid) == win_value ? 1 : 0;
+  }
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(MtCluster, TournamentUniqueWinner) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    mt::cluster cluster(8, seed);
+    for (process_id pid = 0; pid < 8; ++pid) {
+      cluster.attach(pid, [](engine::node& node) {
+        return engine::erase_result(
+            election::tournament_elect(node, election::tournament_params{}));
+      });
+    }
+    cluster.start();
+    cluster.wait();
+    int winners = 0;
+    for (process_id pid = 0; pid < 8; ++pid) {
+      winners += cluster.result_of(pid) == win_value ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "seed " << seed;
+  }
+}
+
+TEST(MtCluster, RenamingUniqueNames) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const int n = 6;
+    mt::cluster cluster(n, seed);
+    for (process_id pid = 0; pid < n; ++pid) {
+      cluster.attach(pid, [](engine::node& node) {
+        return renaming::get_name(node, renaming::renaming_params{});
+      });
+    }
+    cluster.start();
+    cluster.wait();
+    std::set<std::int64_t> names;
+    for (process_id pid = 0; pid < n; ++pid) {
+      const std::int64_t name = cluster.result_of(pid);
+      ASSERT_GE(name, 0);
+      ASSERT_LT(name, n);
+      ASSERT_TRUE(names.insert(name).second)
+          << "duplicate name " << name << " (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(MtCluster, RepeatedElectionsStress) {
+  // Many short elections back-to-back shake out shutdown/startup races.
+  for (std::uint64_t round = 0; round < 20; ++round) {
+    mt::cluster cluster(4, 1000 + round);
+    for (process_id pid = 0; pid < 4; ++pid) {
+      cluster.attach(pid, [](engine::node& node) {
+        return engine::erase_result(election::leader_elect(node));
+      });
+    }
+    cluster.start();
+    cluster.wait();
+    int winners = 0;
+    for (process_id pid = 0; pid < 4; ++pid) {
+      winners += cluster.result_of(pid) == win_value ? 1 : 0;
+    }
+    ASSERT_EQ(winners, 1) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace elect

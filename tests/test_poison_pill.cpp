@@ -1,0 +1,209 @@
+// Plain PoisonPill (Figure 1) property tests.
+//
+// The central safety property, Claim 3.1 — if all participants return, at
+// least one survives — is checked across a parameterized sweep of sizes,
+// seeds and adversary strategies: it must hold in EVERY execution, not
+// just on average. Claim 3.2's O(sqrt(n)) survivor bound is checked
+// statistically under the sequential adversary that makes it tight.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "exp/harness.hpp"
+
+namespace elect {
+namespace {
+
+using exp::algo;
+using exp::run_trial;
+using exp::trial_config;
+using exp::trial_result;
+
+class PoisonPillSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(PoisonPillSweep, AtLeastOneSurvivorInEveryExecution) {
+  const auto [n, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trial_config config;
+    config.kind = algo::plain_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "n=" << n << " adv=" << adversary
+                                  << " seed=" << seed;
+    EXPECT_GE(result.winners, 1)
+        << "no survivor: n=" << n << " adv=" << adversary << " seed=" << seed;
+    EXPECT_LE(result.winners, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PoisonPillSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 33),
+                       ::testing::Values("uniform", "round-robin",
+                                         "sequential", "flip-adaptive")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(PoisonPill, AllSurviveWhenEveryoneFlipsLow) {
+  // bias ~ 0: everyone flips 0. In the unlikely event where all flip low
+  // priority, they all survive (the Claim 3.1 proof's edge case) —
+  // *provided* each sees everyone's low priority. Under the sequential
+  // adversary each processor completes its phase in turn, and later
+  // processors observe earlier low priorities; the first processor sees
+  // nobody else committed yet. All survive.
+  trial_config config;
+  config.kind = algo::plain_pp_phase;
+  config.n = 8;
+  config.seed = 3;
+  config.adversary = "sequential";
+  config.bias = 1e-300;  // effectively zero without tripping the default
+  const trial_result result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.winners, 8);
+}
+
+TEST(PoisonPill, AllSurviveWhenEveryoneFlipsHigh) {
+  trial_config config;
+  config.kind = algo::plain_pp_phase;
+  config.n = 8;
+  config.seed = 3;
+  config.adversary = "uniform";
+  config.bias = 1.0;  // everyone flips 1: high priority always survives
+  const trial_result result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.winners, 8);
+}
+
+TEST(PoisonPill, SomeProcessorsActuallyDie) {
+  // With the default bias and a benign schedule, a phase at n=32 kills a
+  // decent fraction of participants (expected survivors ~ O(sqrt n)).
+  int total_survivors = 0;
+  const int trials = 10;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    trial_config config;
+    config.kind = algo::plain_pp_phase;
+    config.n = 32;
+    config.seed = seed;
+    config.adversary = "uniform";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    total_survivors += result.winners;
+  }
+  // Mean survivors must be well below n (32): sqrt(32) ~ 5.7.
+  EXPECT_LT(total_survivors, 16 * trials);
+  EXPECT_GE(total_survivors, trials);  // and at least one per trial
+}
+
+TEST(PoisonPill, SequentialAdversarySurvivorsNearSqrtN) {
+  // Claim 3.2 tightness: under the sequential schedule, expected
+  // survivors = (processors that flip 1) + (prefix of 0-flips before the
+  // first 1) ~ 2*sqrt(n). Check the mean lands in a generous envelope.
+  const int n = 64;
+  const int trials = 30;
+  sample_stats survivors;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    trial_config config;
+    config.kind = algo::plain_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = "sequential";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    survivors.add(result.winners);
+  }
+  const double sqrt_n = std::sqrt(static_cast<double>(n));  // 8
+  EXPECT_GT(survivors.mean(), 0.5 * sqrt_n);
+  EXPECT_LT(survivors.mean(), 6.0 * sqrt_n);
+}
+
+TEST(PoisonPill, HighPriorityAlwaysSurvives) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    trial_config config;
+    config.kind = algo::plain_pp_phase;
+    config.n = 16;
+    config.seed = seed;
+    config.adversary = "uniform";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    // one_flippers counts coin==1 processors; every one of them survives,
+    // so survivors >= one-flippers.
+    EXPECT_GE(result.winners, result.one_flippers) << "seed " << seed;
+  }
+}
+
+TEST(PoisonPill, BiasAblationMonotonicity) {
+  // E9 sanity: at bias 1/sqrt(n) survivors are near the optimum; at very
+  // high and very low biases (under the adversarial sequential schedule)
+  // survivors increase. Uses means over a few seeds.
+  const int n = 49;  // sqrt = 7
+  const auto mean_survivors = [&](double bias) {
+    double total = 0;
+    const int trials = 20;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      trial_config config;
+      config.kind = algo::plain_pp_phase;
+      config.n = n;
+      config.seed = seed;
+      config.adversary = "sequential";
+      config.bias = bias;
+      const trial_result result = run_trial(config);
+      EXPECT_TRUE(result.completed);
+      total += result.winners;
+    }
+    return total / trials;
+  };
+  const double at_optimum = mean_survivors(1.0 / 7.0);
+  const double at_high = mean_survivors(0.9);
+  const double at_low = mean_survivors(0.002);
+  EXPECT_LT(at_optimum, at_high);
+  EXPECT_LT(at_optimum, at_low);
+}
+
+TEST(PoisonPill, AdaptiveFlipAdversaryCannotBeatSqrtEnvelope) {
+  // The catch-22: by the time the adversary sees a flip, the commit is
+  // replicated. Even the flip-adaptive strategy cannot push survivors
+  // beyond the O(sqrt n) regime (contrast with the naive sifter, see
+  // test_sifter.cpp).
+  const int n = 64;
+  sample_stats survivors;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    trial_config config;
+    config.kind = algo::plain_pp_phase;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = "flip-adaptive";
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    survivors.add(result.winners);
+  }
+  EXPECT_LT(survivors.mean(), 6.0 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST(PoisonPill, ParticipantsSubsetOnly) {
+  // k < n participants: non-participants serve but never contend.
+  trial_config config;
+  config.kind = algo::plain_pp_phase;
+  config.n = 16;
+  config.participants = 5;
+  config.seed = 2;
+  config.adversary = "uniform";
+  const trial_result result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GE(result.winners, 1);
+  EXPECT_LE(result.winners, 5);
+  EXPECT_EQ(result.outcomes.size(), 5u);
+}
+
+}  // namespace
+}  // namespace elect

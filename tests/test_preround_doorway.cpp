@@ -1,0 +1,144 @@
+// Controlled-schedule unit tests for the PreRound filter (Figure 4) and
+// the Doorway (Figure 5), driven step by step through the kernel so each
+// branch of the pseudocode is pinned down individually.
+#include <gtest/gtest.h>
+
+#include "adversary/basic.hpp"
+#include "election/doorway.hpp"
+#include "election/preround.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+using election::election_id;
+using election::gate_result;
+
+engine::task<std::int64_t> run_preround(engine::node& self,
+                                        engine::var_id var, std::int64_t r) {
+  co_return static_cast<std::int64_t>(co_await election::preround(self, var, r));
+}
+
+engine::task<std::int64_t> run_doorway(engine::node& self,
+                                       engine::var_id var) {
+  co_return static_cast<std::int64_t>(co_await election::doorway(self, var));
+}
+
+void run_to_completion(sim::kernel& k, process_id pid) {
+  while (!k.node_at(pid).protocol_done()) {
+    ASSERT_TRUE(k.anything_enabled());
+    if (!k.steppable().empty()) {
+      k.execute(sim::action::step(k.steppable().front()));
+    } else {
+      k.execute(sim::action::deliver(k.in_flight().ids().front()));
+    }
+  }
+}
+
+TEST(PreRound, FirstProcessorProceeds) {
+  // Nobody else has written a round: R = 0, r = 1 → PROCEED.
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 1}, adv);
+  const auto var = election::round_var(election_id{1});
+  k.attach(0, run_preround(k.node_at(0), var, 1));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(0), static_cast<std::int64_t>(gate_result::proceed));
+}
+
+TEST(PreRound, TwoRoundLeadWins) {
+  // Processor 0 reaches round 3 while everyone else is still at 1:
+  // R = 1 < r - 1 = 2 → WIN.
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 2}, adv);
+  const auto var = election::round_var(election_id{1});
+  k.attach(1, run_preround(k.node_at(1), var, 1));
+  run_to_completion(k, 1);
+  k.attach(0, run_preround(k.node_at(0), var, 3));
+  run_to_completion(k, 0);
+  EXPECT_EQ(k.result_of(0), static_cast<std::int64_t>(gate_result::win));
+}
+
+TEST(PreRound, BehindLoses) {
+  // Processor 0 announces round 5; processor 1 then enters round 3:
+  // r = 3 < R = 5 → LOSE.
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 3}, adv);
+  const auto var = election::round_var(election_id{1});
+  k.attach(0, run_preround(k.node_at(0), var, 5));
+  run_to_completion(k, 0);
+  k.attach(1, run_preround(k.node_at(1), var, 3));
+  run_to_completion(k, 1);
+  EXPECT_EQ(k.result_of(1), static_cast<std::int64_t>(gate_result::lose));
+}
+
+TEST(PreRound, OneRoundLeadOnlyProceeds) {
+  // R = r - 1 exactly: neither win nor lose.
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 4}, adv);
+  const auto var = election::round_var(election_id{1});
+  k.attach(0, run_preround(k.node_at(0), var, 2));
+  run_to_completion(k, 0);
+  k.attach(1, run_preround(k.node_at(1), var, 3));
+  run_to_completion(k, 1);
+  EXPECT_EQ(k.result_of(1), static_cast<std::int64_t>(gate_result::proceed));
+}
+
+TEST(PreRound, OwnRoundDoesNotCount) {
+  // R is the max over *other* processors: a processor's own round never
+  // makes it lose. Enter round 1 twice in a row (re-announce).
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 3, .seed = 5}, adv);
+  const auto var = election::round_var(election_id{1});
+  k.attach(0, run_preround(k.node_at(0), var, 1));
+  run_to_completion(k, 0);
+  k.attach(1, run_preround(k.node_at(1), var, 1));
+  run_to_completion(k, 1);
+  // Both at round 1: R = 1 = r → proceed (not lose).
+  EXPECT_EQ(k.result_of(1), static_cast<std::int64_t>(gate_result::proceed));
+}
+
+TEST(Doorway, FirstThroughProceedsAndCloses) {
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 6}, adv);
+  const auto var = election::door_var(election_id{1});
+  k.attach(0, run_doorway(k.node_at(0), var));
+  run_to_completion(k, 0);
+  EXPECT_EQ(k.result_of(0), static_cast<std::int64_t>(gate_result::proceed));
+  // The closure reached a quorum: a later arrival must lose.
+  k.attach(1, run_doorway(k.node_at(1), var));
+  run_to_completion(k, 1);
+  EXPECT_EQ(k.result_of(1), static_cast<std::int64_t>(gate_result::lose));
+}
+
+TEST(Doorway, ConcurrentEntrantsMayBothProceed) {
+  // Two processors that both collect before either propagates the closed
+  // door can both proceed — the doorway only filters *late* arrivals.
+  // Under round-robin both run neck-and-neck; whatever happens, at least
+  // one proceeds.
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 7}, adv);
+  const auto var = election::door_var(election_id{1});
+  k.attach(0, run_doorway(k.node_at(0), var));
+  k.attach(1, run_doorway(k.node_at(1), var));
+  ASSERT_TRUE(k.run().completed);
+  const int proceeds =
+      (k.result_of(0) == static_cast<std::int64_t>(gate_result::proceed)) +
+      (k.result_of(1) == static_cast<std::int64_t>(gate_result::proceed));
+  EXPECT_GE(proceeds, 1);
+}
+
+TEST(Doorway, DistinctInstancesIndependent) {
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 8}, adv);
+  k.attach(0, run_doorway(k.node_at(0), election::door_var(election_id{1})));
+  run_to_completion(k, 0);
+  // Door 1 is closed; door 2 is untouched.
+  k.attach(1, run_doorway(k.node_at(1), election::door_var(election_id{2})));
+  run_to_completion(k, 1);
+  EXPECT_EQ(k.result_of(1), static_cast<std::int64_t>(gate_result::proceed));
+}
+
+}  // namespace
+}  // namespace elect

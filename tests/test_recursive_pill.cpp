@@ -1,0 +1,87 @@
+// Recursive plain-PoisonPill election (§3.1 extension) property tests.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "exp/harness.hpp"
+
+namespace elect {
+namespace {
+
+using exp::algo;
+using exp::run_trial;
+using exp::trial_config;
+using exp::trial_result;
+
+class RecursivePillSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(RecursivePillSweep, ExactlyOneWinnerWhenAllReturn) {
+  const auto [n, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    trial_config config;
+    config.kind = algo::recursive_pill;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "n=" << n << " adv=" << adversary
+                                  << " seed=" << seed;
+    EXPECT_EQ(result.winners, 1)
+        << "n=" << n << " adv=" << adversary << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RecursivePillSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16, 33),
+                       ::testing::Values("uniform", "round-robin",
+                                         "sequential")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(RecursivePill, AtMostOneWinnerUnderCrashes) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    trial_config config;
+    config.kind = algo::recursive_pill;
+    config.n = 9;
+    config.seed = seed;
+    config.crashes = max_crash_faults(9);
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "seed " << seed;
+    EXPECT_LE(result.winners, 1);
+  }
+}
+
+TEST(RecursivePill, RoundsStaySmall) {
+  // O(log log n): at n=64 the expected round count is tiny.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trial_config config;
+    config.kind = algo::recursive_pill;
+    config.n = 64;
+    config.seed = seed;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    for (const std::int64_t r : result.rounds) EXPECT_LE(r, 12);
+  }
+}
+
+TEST(RecursivePill, SoloParticipantWins) {
+  trial_config config;
+  config.kind = algo::recursive_pill;
+  config.n = 8;
+  config.participants = 1;
+  config.seed = 4;
+  const trial_result result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.winners, 1);
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,190 @@
+// Renaming (Figure 3) and baseline-renaming property tests: name
+// uniqueness and range in every execution (Lemma A.6), termination,
+// behaviour under the contention-delaying adversary, and iteration-count
+// sanity (Theorem A.13's O(log² n) loop bound vs the baseline's Ω(n)).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "exp/harness.hpp"
+
+namespace elect {
+namespace {
+
+using exp::algo;
+using exp::run_trial;
+using exp::trial_config;
+using exp::trial_result;
+
+class RenamingSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(RenamingSweep, NamesUniqueAndInRange) {
+  const auto [n, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    trial_config config;
+    config.kind = algo::renaming;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed) << "n=" << n << " adv=" << adversary
+                                  << " seed=" << seed;
+    std::set<std::int64_t> names;
+    for (const std::int64_t name : result.outcomes) {
+      ASSERT_GE(name, 0) << "n=" << n << " seed=" << seed;
+      ASSERT_LT(name, n) << "n=" << n << " seed=" << seed;
+      ASSERT_TRUE(names.insert(name).second)
+          << "duplicate name " << name << " (n=" << n << " adv=" << adversary
+          << " seed=" << seed << ")";
+    }
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RenamingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 12),
+                       ::testing::Values("uniform", "round-robin",
+                                         "contention-delayer")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+class BaselineRenamingSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(BaselineRenamingSweep, NamesUniqueAndInRange) {
+  const auto [n, adversary] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    trial_config config;
+    config.kind = algo::baseline_renaming;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    std::set<std::int64_t> names;
+    for (const std::int64_t name : result.outcomes) {
+      ASSERT_GE(name, 0);
+      ASSERT_LT(name, n);
+      ASSERT_TRUE(names.insert(name).second)
+          << "duplicate name (n=" << n << " seed=" << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BaselineRenamingSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values("uniform", "round-robin")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(Renaming, PartialParticipationGetsDistinctNames) {
+  // k < n processors rename; names still unique, within [0, n).
+  trial_config config;
+  config.kind = algo::renaming;
+  config.n = 10;
+  config.participants = 4;
+  config.seed = 7;
+  const trial_result result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  std::set<std::int64_t> names(result.outcomes.begin(),
+                               result.outcomes.end());
+  EXPECT_EQ(names.size(), 4u);
+  for (const std::int64_t name : names) {
+    EXPECT_GE(name, 0);
+    EXPECT_LT(name, 10);
+  }
+}
+
+TEST(Renaming, UniqueNamesUnderCrashes) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    trial_config config;
+    config.kind = algo::renaming;
+    config.n = 7;
+    config.seed = seed;
+    config.adversary = "uniform";
+    config.crashes = 2;
+    const trial_result result = run_trial(config);
+    if (!result.completed) continue;  // pathological crash corner; skip
+    std::set<std::int64_t> names;
+    for (const std::int64_t name : result.outcomes) {
+      if (name < 0) continue;  // crashed participant
+      ASSERT_TRUE(names.insert(name).second)
+          << "duplicate name under crashes (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(Renaming, IterationCountsStayPolylog) {
+  // Theorem A.13 flavour: max loop iterations per processor stay tiny
+  // compared to n (the baseline comparison below shows the contrast).
+  const int n = 16;
+  sample_stats max_iterations;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trial_config config;
+    config.kind = algo::renaming;
+    config.n = n;
+    config.seed = seed;
+    const trial_result result = run_trial(config);
+    ASSERT_TRUE(result.completed);
+    max_iterations.add(static_cast<double>(*std::max_element(
+        result.iterations.begin(), result.iterations.end())));
+  }
+  EXPECT_LT(max_iterations.mean(), 8.0);  // log2(16)^2 = 16; generous half
+}
+
+TEST(Renaming, BaselineProbesMoreThanFigure3) {
+  // The baseline's random-order probing wastes many more elections than
+  // Figure 3's contention-aware choice (expected Ω(n) vs O(log² n) —
+  // visible already at n=16 in *mean total* iterations).
+  const int n = 16;
+  const auto mean_total_iterations = [&](algo kind) {
+    double total = 0;
+    const int trials = 6;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      trial_config config;
+      config.kind = kind;
+      config.n = n;
+      config.seed = seed;
+      const trial_result result = run_trial(config);
+      EXPECT_TRUE(result.completed);
+      for (const std::int64_t iterations : result.iterations) {
+        total += static_cast<double>(iterations);
+      }
+    }
+    return total / trials;
+  };
+  const double ours = mean_total_iterations(algo::renaming);
+  const double baseline = mean_total_iterations(algo::baseline_renaming);
+  EXPECT_LT(ours, baseline);
+}
+
+TEST(Renaming, DeterministicGivenSeed) {
+  trial_config config;
+  config.kind = algo::renaming;
+  config.n = 6;
+  config.seed = 99;
+  const trial_result a = run_trial(config);
+  const trial_result b = run_trial(config);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.outcomes, b.outcomes);
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,97 @@
+// Naive sifter tests — the paper's motivating counterexample (§1):
+// commit-less sifting works against benign schedules but is destroyed by
+// a flip-inspecting adaptive adversary, while PoisonPill is not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "exp/harness.hpp"
+
+namespace elect {
+namespace {
+
+using exp::algo;
+using exp::run_trial;
+using exp::trial_config;
+using exp::trial_result;
+
+double mean_survivors(algo kind, int n, const std::string& adversary,
+                      std::uint64_t trials = 20) {
+  double total = 0;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    trial_config config;
+    config.kind = kind;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary;
+    const trial_result result = run_trial(config);
+    EXPECT_TRUE(result.completed);
+    total += result.winners;
+  }
+  return total / trials;
+}
+
+TEST(Sifter, BenignScheduleSiftsToRoughlySqrtN) {
+  const int n = 64;
+  const double survivors = mean_survivors(algo::naive_sifter, n, "uniform");
+  // Under an oblivious-ish schedule, survivors ~ sqrt(n) + prefix ~ small.
+  EXPECT_LT(survivors, 6.0 * std::sqrt(static_cast<double>(n)));
+  EXPECT_GE(survivors, 1.0);
+}
+
+TEST(Sifter, AdaptiveAdversaryForcesAlmostEveryoneToSurvive) {
+  // The attack: the adversary sees each flip immediately and freezes
+  // 1-flippers' messages; 0-flippers observe no 1 and survive. Expected
+  // survivors ≈ n (all 0-flippers survive ≈ n - sqrt(n), plus the
+  // 1-flippers always survive).
+  const int n = 64;
+  const double survivors =
+      mean_survivors(algo::naive_sifter, n, "flip-adaptive");
+  EXPECT_GT(survivors, 0.85 * n);
+}
+
+TEST(Sifter, PoisonPillResistsTheSameAttack) {
+  // Same adversary, but with the commit stage in the way: survivors stay
+  // in the O(sqrt n) regime. This is the paper's catch-22 at work.
+  const int n = 64;
+  const double sifter_survivors =
+      mean_survivors(algo::naive_sifter, n, "flip-adaptive");
+  const double pp_survivors =
+      mean_survivors(algo::plain_pp_phase, n, "flip-adaptive");
+  EXPECT_LT(pp_survivors, 0.5 * sifter_survivors);
+  EXPECT_LT(pp_survivors, 6.0 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST(Sifter, AlwaysAtLeastOneSurvivor) {
+  // Even the naive sifter keeps the at-least-one-survivor guarantee
+  // (a 1-flipper survives by rule; if nobody flips 1, nobody dies).
+  for (int n : {1, 2, 5, 16}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      trial_config config;
+      config.kind = algo::naive_sifter;
+      config.n = n;
+      config.seed = seed;
+      config.adversary = "uniform";
+      const trial_result result = run_trial(config);
+      ASSERT_TRUE(result.completed);
+      EXPECT_GE(result.winners, 1) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Sifter, BiasOverrideRespected) {
+  // bias 1.0: everyone flips 1 and survives.
+  trial_config config;
+  config.kind = algo::naive_sifter;
+  config.n = 12;
+  config.seed = 1;
+  config.bias = 1.0;
+  const trial_result result = run_trial(config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.winners, 12);
+  EXPECT_EQ(result.one_flippers, 12);
+}
+
+}  // namespace
+}  // namespace elect

@@ -1,0 +1,45 @@
+// End-to-end smoke tests: a full leader election on the simulator under
+// the uniform-random adversary, for a few sizes and seeds.
+#include <gtest/gtest.h>
+
+#include "adversary/basic.hpp"
+#include "election/leader_elect.hpp"
+#include "engine/node.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+TEST(Smoke, SoloParticipantWins) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 4, .seed = 42}, adv);
+  k.attach(0, engine::erase_result(election::leader_elect(k.node_at(0))));
+  const auto result = k.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(k.result_of(0),
+            static_cast<std::int64_t>(election::tas_result::win));
+}
+
+TEST(Smoke, FullParticipationElectsExactlyOneLeader) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    adversary::uniform_random adv;
+    sim::kernel k(sim::kernel_config{.n = 8, .seed = seed}, adv);
+    for (process_id pid = 0; pid < 8; ++pid) {
+      k.attach(pid,
+               engine::erase_result(election::leader_elect(k.node_at(pid))));
+    }
+    const auto result = k.run();
+    ASSERT_TRUE(result.completed) << "seed " << seed;
+    int winners = 0;
+    for (process_id pid = 0; pid < 8; ++pid) {
+      if (k.result_of(pid) ==
+          static_cast<std::int64_t>(election::tas_result::win)) {
+        ++winners;
+      }
+    }
+    EXPECT_EQ(winners, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace elect

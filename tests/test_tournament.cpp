@@ -1,0 +1,299 @@
+// Tournament baseline, quorum consensus, and ABD register tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "abd/register.hpp"
+#include "adversary/basic.hpp"
+#include "adversary/registry.hpp"
+#include "consensus/quorum_consensus.hpp"
+#include "election/tournament.hpp"
+#include "engine/node.hpp"
+#include "exp/harness.hpp"
+#include "sim/kernel.hpp"
+
+namespace elect {
+namespace {
+
+using election::tas_result;
+using engine::erase_result;
+
+constexpr std::int64_t win_value =
+    static_cast<std::int64_t>(tas_result::win);
+
+// ---------------------------------------------------------- consensus --
+
+class ConsensusSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(ConsensusSweep, AgreementAndValidity) {
+  const auto [proposers, adversary] = GetParam();
+  const int n = 7;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto adv = adversary::make(adversary, n);
+    sim::kernel k(sim::kernel_config{.n = n, .seed = seed}, *adv);
+    for (process_id pid = 0; pid < proposers; ++pid) {
+      k.attach(pid, consensus::decide(k.node_at(pid), /*space=*/1,
+                                      /*proposal=*/pid * 10));
+    }
+    ASSERT_TRUE(k.run().completed) << "seed " << seed;
+    std::set<std::int64_t> decisions;
+    for (process_id pid = 0; pid < proposers; ++pid) {
+      decisions.insert(k.result_of(pid));
+    }
+    // Agreement: one decided value.
+    EXPECT_EQ(decisions.size(), 1u) << "seed " << seed;
+    // Validity: it is one of the proposals.
+    const std::int64_t decided = *decisions.begin();
+    EXPECT_EQ(decided % 10, 0);
+    EXPECT_GE(decided, 0);
+    EXPECT_LT(decided, proposers * 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Proposers, ConsensusSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values("uniform", "round-robin",
+                                         "sequential")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "p" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(Consensus, SoloDecidesOwnProposalFast) {
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 2}, adv);
+  k.attach(0, consensus::decide(k.node_at(0), 1, 42));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(0), 42);
+  // Solo: round 1 decides — 4 communicate calls.
+  EXPECT_EQ(k.metrics().communicate_calls[0], 4u);
+}
+
+TEST(Consensus, LatecomerAdoptsEarlierDecision) {
+  // Processor 0 decides alone; then processor 1 proposes a different
+  // value and must adopt 0's decision.
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 3}, adv);
+  k.attach(0, consensus::decide(k.node_at(0), 1, 7));
+  k.attach(1, consensus::decide(k.node_at(1), 1, 9));
+  k.hold_protocol(1, true);
+  while (!k.node_at(0).protocol_done()) {
+    ASSERT_TRUE(k.anything_enabled());
+    if (!k.steppable().empty()) {
+      k.execute(sim::action::step(k.steppable().front()));
+    } else {
+      k.execute(sim::action::deliver(k.in_flight().ids().front()));
+    }
+  }
+  EXPECT_EQ(k.result_of(0), 7);
+  k.hold_protocol(1, false);
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(1), 7);  // agreement with the earlier decision
+}
+
+TEST(Consensus, AgreementUnderCrashes) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto adv = adversary::make("crash-uniform", 9);
+    sim::kernel k(sim::kernel_config{.n = 9, .seed = seed}, *adv);
+    for (process_id pid = 0; pid < 4; ++pid) {
+      k.attach(pid, consensus::decide(k.node_at(pid), 1, pid));
+    }
+    ASSERT_TRUE(k.run().completed);
+    std::set<std::int64_t> decisions;
+    for (process_id pid = 0; pid < 4; ++pid) {
+      if (!k.crashed(pid)) decisions.insert(k.result_of(pid));
+    }
+    EXPECT_LE(decisions.size(), 1u) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------- abd --
+
+engine::task<std::int64_t> write_then_read(engine::node& self,
+                                           engine::var_id reg,
+                                           std::int64_t value) {
+  co_await abd::write(self, reg, value);
+  co_return co_await abd::read(self, reg);
+}
+
+TEST(Abd, ReadYourWrite) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 4}, adv);
+  k.attach(0, write_then_read(k.node_at(0), abd::register_var(9), 1234));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(0), 1234);
+}
+
+TEST(Abd, ReadDefaultWhenUnwritten) {
+  adversary::uniform_random adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 4}, adv);
+  k.attach(1, abd::read(k.node_at(1), abd::register_var(10), -5));
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_EQ(k.result_of(1), -5);
+}
+
+TEST(Abd, SequentialWritesObeyLastWriterWins) {
+  // Writer 0 completes, then writer 1 completes, then a reader must see
+  // writer 1's value (sequential = real-time ordered).
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 5, .seed = 6}, adv);
+  const auto reg = abd::register_var(11);
+  k.attach(0, abd::write(k.node_at(0), reg, 100));
+  k.attach(1, abd::write(k.node_at(1), reg, 200));
+  k.attach(2, abd::read(k.node_at(2), reg, 0));
+  k.hold_protocol(1, true);
+  k.hold_protocol(2, true);
+  auto run_until = [&](process_id pid) {
+    while (!k.node_at(pid).protocol_done()) {
+      ASSERT_TRUE(k.anything_enabled());
+      if (!k.steppable().empty()) {
+        k.execute(sim::action::step(k.steppable().front()));
+      } else {
+        k.execute(sim::action::deliver(k.in_flight().ids().front()));
+      }
+    }
+  };
+  run_until(0);
+  k.hold_protocol(1, false);
+  run_until(1);
+  k.hold_protocol(2, false);
+  run_until(2);
+  EXPECT_EQ(k.result_of(2), 200);
+}
+
+TEST(Abd, ConcurrentWritesConvergeToOneValue) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    adversary::uniform_random adv;
+    sim::kernel k(sim::kernel_config{.n = 6, .seed = seed}, adv);
+    const auto reg = abd::register_var(12);
+    k.attach(0, abd::write(k.node_at(0), reg, 111));
+    k.attach(1, abd::write(k.node_at(1), reg, 222));
+    ASSERT_TRUE(k.run().completed);
+    // Two fresh readers must agree after both writes completed.
+    adversary::uniform_random adv2;
+    k.attach(2, abd::read(k.node_at(2), reg, 0));
+    k.attach(3, abd::read(k.node_at(3), reg, 0));
+    ASSERT_TRUE(k.run().completed);
+    EXPECT_EQ(k.result_of(2), k.result_of(3)) << "seed " << seed;
+    EXPECT_TRUE(k.result_of(2) == 111 || k.result_of(2) == 222);
+  }
+}
+
+// --------------------------------------------------------- tournament --
+
+class TournamentSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(TournamentSweep, ExactlyOneWinner) {
+  const auto [n, adversary_name] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    exp::trial_config config;
+    config.kind = exp::algo::tournament;
+    config.n = n;
+    config.seed = seed;
+    config.adversary = adversary_name;
+    const exp::trial_result result = exp::run_trial(config);
+    ASSERT_TRUE(result.completed) << "n=" << n << " seed=" << seed;
+    EXPECT_EQ(result.winners, 1)
+        << "n=" << n << " adv=" << adversary_name << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TournamentSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 9, 16),
+                       ::testing::Values("uniform", "round-robin",
+                                         "sequential")),
+    [](const auto& info) {
+      std::string name = std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name;
+    });
+
+TEST(Tournament, WinnerPlaysAllLevels) {
+  adversary::round_robin adv;
+  const int n = 16;
+  sim::kernel k(sim::kernel_config{.n = n, .seed = 8}, adv);
+  for (process_id pid = 0; pid < n; ++pid) {
+    k.attach(pid, erase_result(election::tournament_elect(
+                      k.node_at(pid), election::tournament_params{})));
+  }
+  ASSERT_TRUE(k.run().completed);
+  process_id winner = no_process;
+  for (process_id pid = 0; pid < n; ++pid) {
+    if (k.result_of(pid) == win_value) winner = pid;
+  }
+  ASSERT_NE(winner, no_process);
+  // The winner ascended log2(16) = 4 levels.
+  EXPECT_EQ(k.node_at(winner).probe().round, 4);
+}
+
+TEST(Tournament, WithDoorwayLateArrivalLoses) {
+  adversary::round_robin adv;
+  sim::kernel k(sim::kernel_config{.n = 6, .seed = 9}, adv);
+  election::tournament_params params;
+  params.with_doorway = true;
+  for (process_id pid = 0; pid < 6; ++pid) {
+    k.attach(pid, erase_result(
+                      election::tournament_elect(k.node_at(pid), params)));
+  }
+  k.hold_protocol(5, true);
+  while (!k.node_at(0).protocol_done()) {
+    ASSERT_TRUE(k.anything_enabled());
+    if (!k.steppable().empty()) {
+      k.execute(sim::action::step(k.steppable().front()));
+    } else {
+      k.execute(sim::action::deliver(k.in_flight().ids().front()));
+    }
+  }
+  k.hold_protocol(5, false);
+  ASSERT_TRUE(k.run().completed);
+  EXPECT_NE(k.result_of(5), win_value);  // door was closed
+  int winners = 0;
+  for (process_id pid = 0; pid < 6; ++pid) {
+    winners += k.result_of(pid) == win_value ? 1 : 0;
+  }
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(Tournament, TimeGrowsWithN_ElectionDoesNot) {
+  // The headline contrast (E1, statistically weak version): tournament
+  // max communicate calls grow ~log n; LeaderElect stays near-flat.
+  const auto mean_time = [&](exp::algo kind, int n) {
+    double total = 0;
+    const int trials = 6;
+    for (std::uint64_t t = 1; t <= trials; ++t) {
+      exp::trial_config config;
+      config.kind = kind;
+      config.n = n;
+      config.seed = t;
+      const exp::trial_result result = exp::run_trial(config);
+      EXPECT_TRUE(result.completed);
+      total += static_cast<double>(result.max_communicate_calls);
+    }
+    return total / trials;
+  };
+  const double tournament_8 = mean_time(exp::algo::tournament, 8);
+  const double tournament_64 = mean_time(exp::algo::tournament, 64);
+  const double ours_8 = mean_time(exp::algo::leader_elect, 8);
+  const double ours_64 = mean_time(exp::algo::leader_elect, 64);
+  // Tournament cost increases markedly with n.
+  EXPECT_GT(tournament_64, tournament_8 * 1.5);
+  // Ours grows much more slowly.
+  EXPECT_LT(ours_64, ours_8 * 2.0);
+  // And at n=64 ours is cheaper.
+  EXPECT_LT(ours_64, tournament_64);
+}
+
+}  // namespace
+}  // namespace elect

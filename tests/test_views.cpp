@@ -1,0 +1,108 @@
+// Unit tests for the collect-view folding helpers (engine/views.hpp) —
+// the code that implements the paper's "∃k: Views[k][j] ..." conditions.
+#include <gtest/gtest.h>
+
+#include "engine/views.hpp"
+
+namespace elect::engine {
+namespace {
+
+view_entry make_view(process_id replier, var_value value) {
+  return view_entry{replier, std::move(value)};
+}
+
+var_value int_array_view(int n,
+                         std::initializer_list<std::pair<int, std::int64_t>>
+                             cells) {
+  owned_array<std::int64_t> array(n);
+  std::uint32_t seq = 1;
+  for (const auto& [owner, value] : cells) {
+    array.merge_cell(owner, {seq++, value});
+  }
+  return array;
+}
+
+var_value status_view(int n,
+                      std::initializer_list<std::pair<int, pp_status>> cells) {
+  owned_array<pp_status> array(n);
+  std::uint32_t seq = 1;
+  for (const auto& [owner, value] : cells) {
+    array.merge_cell(owner, {seq++, value});
+  }
+  return array;
+}
+
+TEST(Views, AnyViewCellFindsMatch) {
+  std::vector<view_entry> views;
+  views.push_back(make_view(0, status_view(3, {{1, pp_status::commit}})));
+  views.push_back(make_view(1, status_view(3, {{1, pp_status::low_pri}})));
+  EXPECT_TRUE((any_view_cell<pp_status>(views, 1, [](pp_status s) {
+    return s == pp_status::commit;
+  })));
+  EXPECT_TRUE((any_view_cell<pp_status>(views, 1, [](pp_status s) {
+    return s == pp_status::low_pri;
+  })));
+  EXPECT_FALSE((any_view_cell<pp_status>(views, 1, [](pp_status s) {
+    return s == pp_status::high_pri;
+  })));
+  // Slot 0 is bottom everywhere: predicate never fires.
+  EXPECT_FALSE((any_view_cell<pp_status>(views, 0,
+                                         [](pp_status) { return true; })));
+}
+
+TEST(Views, MonostateViewsAreSkipped) {
+  std::vector<view_entry> views;
+  views.push_back(make_view(0, var_value{}));  // untouched replier
+  views.push_back(make_view(1, status_view(2, {{0, pp_status::high_pri}})));
+  EXPECT_TRUE(any_view_nonbottom<pp_status>(views, 0));
+  EXPECT_FALSE(any_view_nonbottom<pp_status>(views, 1));
+}
+
+TEST(Views, ParticipantsUnionAcrossViews) {
+  std::vector<view_entry> views;
+  views.push_back(make_view(0, status_view(4, {{0, pp_status::commit}})));
+  views.push_back(make_view(1, status_view(4, {{2, pp_status::commit}})));
+  views.push_back(make_view(2, var_value{}));
+  const auto participants = participants_in_views<pp_status>(views, 4);
+  EXPECT_EQ(participants, (std::vector<process_id>{0, 2}));
+}
+
+TEST(Views, MaxIntExcludesSelf) {
+  std::vector<view_entry> views;
+  views.push_back(make_view(0, int_array_view(3, {{0, 9}, {1, 4}})));
+  views.push_back(make_view(1, int_array_view(3, {{2, 6}})));
+  // Excluding processor 0: max is 6 (from processor 2).
+  EXPECT_EQ(max_int_in_views(views, 0, 0), 6);
+  // Excluding nobody relevant: 9 dominates.
+  EXPECT_EQ(max_int_in_views(views, 2, 0), 9);
+  // Bottom default applies when everything is excluded or empty.
+  std::vector<view_entry> empty;
+  EXPECT_EQ(max_int_in_views(empty, 0, 7), 7);
+}
+
+TEST(Views, AnyFlagSet) {
+  std::vector<view_entry> views;
+  views.push_back(make_view(0, or_flag{false}));
+  EXPECT_FALSE(any_flag_set(views));
+  views.push_back(make_view(1, or_flag{true}));
+  EXPECT_TRUE(any_flag_set(views));
+  // monostate views don't count as set.
+  std::vector<view_entry> untouched;
+  untouched.push_back(make_view(0, var_value{}));
+  EXPECT_FALSE(any_flag_set(untouched));
+}
+
+TEST(Views, ForEachViewFiltersByType) {
+  std::vector<view_entry> views;
+  views.push_back(make_view(0, or_flag{true}));
+  views.push_back(make_view(1, int_array_view(2, {{0, 5}})));
+  int flags_seen = 0, arrays_seen = 0;
+  for_each_view<or_flag>(views, [&](const or_flag&) { ++flags_seen; });
+  for_each_view<owned_array<std::int64_t>>(
+      views, [&](const owned_array<std::int64_t>&) { ++arrays_seen; });
+  EXPECT_EQ(flags_seen, 1);
+  EXPECT_EQ(arrays_seen, 1);
+}
+
+}  // namespace
+}  // namespace elect::engine
