@@ -1,0 +1,140 @@
+// E9 — Election-service throughput on real threads.
+//
+// Load test for elect::svc: C client threads hammer K keys through one
+// sharded service (N-node pool, S registry shards). Each operation is a
+// try_acquire; winners release immediately, so every key is perpetually
+// re-elected and the service is saturated with fresh Figure-6 instances.
+//
+// Reported per sweep row: aggregate acquire throughput (ops/s), win
+// fraction, p50/p99 acquire latency, messages per acquire, and the
+// transport's mailbox-push coalescing factor. The acceptance row is
+// 64 keys × 8 shards × 32 clients.
+//
+// Build & run:  ./build/bench/bench_svc_throughput
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/table.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace elect;
+
+struct sweep_row {
+  int keys = 0;
+  int clients = 0;
+  int shards = 0;
+  int nodes = 8;
+  int ops_per_client = 0;
+};
+
+struct sweep_result {
+  double seconds = 0.0;
+  svc::service_report report;
+  double throughput = 0.0;
+  double coalescing = 1.0;
+};
+
+sweep_result run_sweep(const sweep_row& row, std::uint64_t seed) {
+  svc::service service(svc::service_config{.nodes = row.nodes,
+                                           .shards = row.shards,
+                                           .seed = seed});
+  std::vector<svc::service::session> sessions;
+  sessions.reserve(static_cast<std::size_t>(row.clients));
+  for (int c = 0; c < row.clients; ++c) sessions.push_back(service.connect());
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(row.clients));
+  for (int c = 0; c < row.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& session = sessions[static_cast<std::size_t>(c)];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int op = 0; op < row.ops_per_client; ++op) {
+        // Stride through the keyspace from a per-client offset so every
+        // key sees both solo and contended epochs.
+        const int k = (c + op) % row.keys;
+        const std::string key = "bench/" + std::to_string(k);
+        if (session.try_acquire(key).won) session.release(key);
+      }
+    });
+  }
+
+  bench::stopwatch timer;
+  go.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double seconds = timer.seconds();
+
+  sweep_result result;
+  result.seconds = seconds;
+  result.report = service.report();
+  result.throughput =
+      static_cast<double>(result.report.acquires) / seconds;
+  result.coalescing =
+      result.report.mailbox_pushes == 0
+          ? 1.0
+          : static_cast<double>(result.report.total_messages) /
+                static_cast<double>(result.report.mailbox_pushes);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E9", "Election-service throughput (keys × clients × shards)",
+      "one leader per (key, epoch) under heavy concurrent load; per-op "
+      "cost stays flat as independent instances multiplex over one pool");
+
+  const std::vector<sweep_row> rows = {
+      {/*keys=*/8, /*clients=*/4, /*shards=*/2, /*nodes=*/8,
+       /*ops_per_client=*/64},
+      {/*keys=*/16, /*clients=*/8, /*shards=*/4, /*nodes=*/8,
+       /*ops_per_client=*/64},
+      {/*keys=*/64, /*clients=*/16, /*shards=*/8, /*nodes=*/8,
+       /*ops_per_client=*/48},
+      // Acceptance row: 64 keys × 8 shards × 32 clients.
+      {/*keys=*/64, /*clients=*/32, /*shards=*/8, /*nodes=*/8,
+       /*ops_per_client=*/32},
+  };
+
+  exp::table table({"keys", "clients", "shards", "nodes", "acquires",
+                    "wins", "acq/s", "p50 ms", "p99 ms", "msg/acq",
+                    "coalesce", "sec"});
+  bench::json_emitter json("svc_throughput");
+  std::string acceptance_json;
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const sweep_row& row = rows[i];
+    const sweep_result result = run_sweep(row, /*seed=*/1 + i);
+    const svc::service_report& report = result.report;
+    table.add_row({std::to_string(row.keys), std::to_string(row.clients),
+                   std::to_string(row.shards), std::to_string(row.nodes),
+                   std::to_string(report.acquires),
+                   std::to_string(report.wins),
+                   exp::fmt_int(result.throughput),
+                   exp::fmt(report.acquire_p50_ms, 3),
+                   exp::fmt(report.acquire_p99_ms, 3),
+                   exp::fmt(report.messages_per_acquire, 1),
+                   exp::fmt(result.coalescing, 2),
+                   exp::fmt(result.seconds, 2)});
+    if (row.keys == 64 && row.clients == 32 && row.shards == 8) {
+      std::ostringstream out;
+      out << "{\"throughput_acq_per_s\":" << result.throughput
+          << ",\"p99_ms\":" << report.acquire_p99_ms
+          << ",\"service\":" << report.to_json() << "}";
+      acceptance_json = out.str();
+    }
+  }
+
+  table.print(std::cout);
+
+  json.table("sweep", table);
+  if (!acceptance_json.empty()) json.raw("acceptance_64x8x32", acceptance_json);
+  json.write();
+  return 0;
+}

@@ -4,12 +4,17 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/fit.hpp"
+#include "exp/table.hpp"
 
 namespace elect::bench {
 
@@ -38,6 +43,72 @@ inline void print_fit(const std::string& series_name,
   }
   std::cout << "\n";
 }
+
+/// Machine-readable results sidecar: accumulates scalar fields and table
+/// rows, then writes `BENCH_<name>.json` next to the bench's stdout
+/// markdown. Every bench emits one so the perf trajectory across PRs can
+/// be diffed without re-parsing tables.
+class json_emitter {
+ public:
+  explicit json_emitter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  json_emitter& field(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + exp::json_escape(value) + "\"");
+  }
+
+  json_emitter& field(const std::string& key, double value) {
+    std::ostringstream out;
+    out.precision(15);  // round-trips counters and rates, no 6-digit loss
+    out << value;
+    return raw(key, out.str());
+  }
+
+  json_emitter& field(const std::string& key, std::uint64_t value) {
+    std::ostringstream out;
+    out << value;
+    return raw(key, out.str());
+  }
+
+  json_emitter& field(const std::string& key, std::int64_t value) {
+    std::ostringstream out;
+    out << value;
+    return raw(key, out.str());
+  }
+
+  json_emitter& field(const std::string& key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Attach a rendered exp::table as a JSON array of row objects.
+  json_emitter& table(const std::string& key, const exp::table& t) {
+    std::ostringstream out;
+    t.print_json(out);
+    return raw(key, out.str());
+  }
+
+  /// Attach pre-serialized JSON verbatim (nested objects/arrays).
+  json_emitter& raw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+    return *this;
+  }
+
+  /// Write BENCH_<name>.json in the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\"bench\":\"" << exp::json_escape(name_) << "\"";
+    for (const auto& [key, json] : fields_) {
+      out << ",\"" << exp::json_escape(key) << "\":" << json;
+    }
+    out << "}\n";
+    std::cout << "\n[json] wrote " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 class stopwatch {
  public:

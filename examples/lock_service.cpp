@@ -1,83 +1,67 @@
-// A toy distributed lock service built from repeated leader elections —
-// the "mutual exclusion" direction the paper's Future Work suggests.
+// A distributed lock built on the election service — the "mutual
+// exclusion" direction the paper's Future Work suggests.
 //
-// Lock round r is one leader-election instance: whoever wins instance r
-// holds the lock for round r. A holder releases by propagating a
-// monotone "released[r]" flag; the losers of round r wait for that flag
-// and then compete in round r+1. Every thread acquires the lock exactly
-// once, so after `threads` rounds everyone has had its critical section.
+// One svc::service key is the lock. Each worker thread opens a session
+// and calls acquire(key): under the hood the service runs one Figure-6
+// leader-election instance per epoch, the unique winner holds the lock,
+// and release() bumps the key's epoch, which both wakes the blocked
+// losers and starts a fresh election for them to contend in. Mutual
+// exclusion per epoch is inherited directly from the unique-winner
+// guarantee of test-and-set; fair hand-off comes from repeated epochs.
 //
-// This is intentionally simple (no fairness, busy-wait on release), but
-// mutual exclusion per round is inherited directly from the unique-winner
-// guarantee of test-and-set.
+// Contrast with the pre-service version of this example, which busy-
+// waited on a hand-rolled release flag: sessions now sleep on the
+// registry's epoch condition variable until the holder releases.
 //
 // Build & run:  ./build/examples/lock_service
 #include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
-#include "election/leader_elect.hpp"
-#include "engine/node.hpp"
-#include "engine/views.hpp"
-#include "mt/cluster.hpp"
+#include "common/check.hpp"
+#include "svc/service.hpp"
 
-namespace {
+int main() {
+  using namespace elect;
+  constexpr int workers = 4;
+  const std::string lock_key = "locks/demo";
 
-using namespace elect;
+  svc::service service(
+      svc::service_config{.nodes = workers, .shards = 2, .seed = 11});
+  std::vector<svc::service::session> sessions;
+  for (int w = 0; w < workers; ++w) sessions.push_back(service.connect());
 
-engine::var_id release_flag(std::uint32_t round) {
-  return {engine::var_family::test_flags, 9000, round};
-}
+  std::atomic<int> holders_inside{0};
+  std::atomic<int> cs_entries{0};
 
-std::atomic<int> holders_inside{0};
-std::atomic<int> cs_entries{0};
-
-/// Acquire-once lock client: competes in rounds until it wins one; runs
-/// its critical section; releases; returns the round it held the lock in.
-engine::task<std::int64_t> lock_client(engine::node& self) {
-  for (std::uint32_t round = 1;; ++round) {
-    const auto outcome = co_await election::leader_elect(
-        self, election::leader_elect_params{
-                  election::election_id{1000 + round}});
-    if (outcome == election::tas_result::win) {
+  std::printf("%d workers contending for a distributed lock:\n", workers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto& session = sessions[static_cast<std::size_t>(w)];
+      const auto held = session.acquire(lock_key);
       // ---- critical section ----
       const int concurrent = holders_inside.fetch_add(1) + 1;
       ELECT_CHECK_MSG(concurrent == 1, "mutual exclusion violated");
       cs_entries.fetch_add(1);
-      std::printf("  round %2u: worker %d in the critical section\n", round,
-                  self.id());
+      std::printf("  epoch %2llu: worker %d in the critical section\n",
+                  static_cast<unsigned long long>(held.epoch), w);
       holders_inside.fetch_sub(1);
-      // ---- release ----
-      auto delta = self.stage_flags(release_flag(round), {0});
-      co_await self.propagate(release_flag(round), delta);
-      co_return static_cast<std::int64_t>(round);
-    }
-    // Lost round `round`: wait until its holder releases, then retry.
-    for (;;) {
-      const auto views = co_await self.collect(release_flag(round));
-      bool released = false;
-      engine::for_each_view<engine::or_flags>(
-          views, [&](const engine::or_flags& flags) {
-            released = released || flags.test(0);
-          });
-      if (released) break;
-    }
+      // ---- release: wakes the losers into a fresh election ----
+      session.release(lock_key);
+    });
   }
-}
+  for (auto& t : threads) t.join();
 
-}  // namespace
-
-int main() {
-  constexpr int workers = 4;
-  mt::cluster cluster(workers, /*seed=*/11);
-  for (process_id pid = 0; pid < workers; ++pid) {
-    cluster.attach(pid,
-                   [](engine::node& node) { return lock_client(node); });
-  }
-  std::printf("%d workers contending for a distributed lock:\n", workers);
-  cluster.start();
-  cluster.wait();
+  const auto report = service.report();
   std::printf("critical-section entries: %d (expected %d), never more "
               "than one holder at a time.\n",
               cs_entries.load(), workers);
+  std::printf("service: %llu acquires, %llu messages (%.1f msg/acquire), "
+              "p99 acquire %.3f ms\n",
+              static_cast<unsigned long long>(report.acquires),
+              static_cast<unsigned long long>(report.total_messages),
+              report.messages_per_acquire, report.acquire_p99_ms);
   return cs_entries.load() == workers ? 0 : 1;
 }

@@ -1,18 +1,26 @@
-// Shard assignment via strong renaming — the task-allocation flavour of
-// the paper's §4: n workers must split n shards among themselves, each
-// taking exactly one, with no coordinator and no agreed-on order.
+// Shard assignment via the election service: n workers must split n
+// shards among themselves, each taking exactly one, with no coordinator
+// and no agreed-on order — the task-allocation flavour of the paper's §4.
 //
-// Each worker runs Figure 3's getName; the name it wins is the shard it
-// owns. The renaming guarantee (names unique, in [0, n)) is exactly the
-// assignment invariant. Runs on real threads.
+// Every shard is a service key; owning a shard means holding its key's
+// leadership. Each worker walks the shard list starting from its own
+// offset and try_acquire()s until it wins one, then stops. One pass
+// suffices: a worker only loses a key to a distinct worker that won it
+// and stopped, and there are as many shards as workers, so the pigeonhole
+// principle hands everyone exactly one shard.
+//
+// The pre-service version of this example ran Figure 3's renaming
+// protocol directly; this one composes the same guarantee (unique
+// ownership) out of the service's per-key test-and-set instances and
+// shows the per-shard metrics the service aggregates along the way.
 //
 // Build & run:  ./build/examples/shard_assigner
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include "engine/node.hpp"
-#include "mt/cluster.hpp"
-#include "renaming/renaming.hpp"
+#include "svc/service.hpp"
 
 int main() {
   using namespace elect;
@@ -22,30 +30,54 @@ int main() {
       "orders-00", "orders-01", "orders-02", "orders-03",
       "events-00", "events-01", "events-02", "events-03"};
 
-  mt::cluster cluster(workers, /*seed=*/7);
-  for (process_id pid = 0; pid < workers; ++pid) {
-    cluster.attach(pid, [](engine::node& node) {
-      return renaming::get_name(node, renaming::renaming_params{});
+  svc::service service(
+      svc::service_config{.nodes = workers, .shards = 4, .seed = 7});
+  std::vector<svc::service::session> sessions;
+  for (int w = 0; w < workers; ++w) sessions.push_back(service.connect());
+
+  std::vector<int> assignment(workers, -1);  // worker -> shard index
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto& session = sessions[static_cast<std::size_t>(w)];
+      for (int probe = 0; probe < workers; ++probe) {
+        const int s = (w + probe) % workers;
+        if (session.try_acquire(shards[s]).won) {
+          assignment[static_cast<std::size_t>(w)] = s;
+          return;
+        }
+      }
     });
   }
-  cluster.start();
-  cluster.wait();
+  for (auto& t : threads) t.join();
 
   std::vector<bool> taken(workers, false);
   std::printf("shard assignment (each worker wins a unique slot):\n");
-  for (process_id pid = 0; pid < workers; ++pid) {
-    const auto shard = cluster.result_of(pid);
-    std::printf("  worker %2d -> shard %lld (%s), after %lld attempts\n",
-                pid, static_cast<long long>(shard), shards[shard],
-                static_cast<long long>(cluster.probe(pid).iterations));
-    if (taken[static_cast<std::size_t>(shard)]) {
-      std::printf("  DUPLICATE ASSIGNMENT — renaming broken!\n");
+  for (int w = 0; w < workers; ++w) {
+    const int s = assignment[static_cast<std::size_t>(w)];
+    if (s < 0) {
+      std::printf("  worker %2d UNASSIGNED — pigeonhole broken!\n", w);
       return 1;
     }
-    taken[static_cast<std::size_t>(shard)] = true;
+    std::printf("  worker %2d -> shard %2d (%s), held by session %d\n", w, s,
+                shards[s], service.registry().leader_of(shards[s]));
+    if (taken[static_cast<std::size_t>(s)]) {
+      std::printf("  DUPLICATE ASSIGNMENT — unique leadership broken!\n");
+      return 1;
+    }
+    taken[static_cast<std::size_t>(s)] = true;
   }
-  std::printf("all %d shards covered exactly once; total messages: %llu\n",
-              workers,
-              static_cast<unsigned long long>(cluster.total_messages()));
+
+  const auto report = service.report();
+  std::printf("all %d shards covered exactly once; %llu acquires, %llu "
+              "messages, p99 acquire %.3f ms\n",
+              workers, static_cast<unsigned long long>(report.acquires),
+              static_cast<unsigned long long>(report.total_messages),
+              report.acquire_p99_ms);
+  std::printf("registry shard occupancy:");
+  for (int s = 0; s < service.registry().shard_count(); ++s) {
+    std::printf(" %zu", service.registry().keys_in_shard(s));
+  }
+  std::printf("\n");
   return 0;
 }

@@ -8,12 +8,28 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace elect::engine {
+
+/// Relaxed atomic access to a per-processor counter slot. Each slot has a
+/// single writer (its processor's execution context), but observers (the
+/// election service's report()) may read concurrently from other threads,
+/// so both sides go through atomic_ref to keep that race-free.
+inline void bump_counter(std::uint64_t& slot) noexcept {
+  std::atomic_ref<std::uint64_t>(slot).fetch_add(1,
+                                                 std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t read_counter(
+    const std::uint64_t& slot) noexcept {
+  return std::atomic_ref<const std::uint64_t>(slot).load(
+      std::memory_order_relaxed);
+}
 
 struct metrics {
   explicit metrics(int n)
@@ -39,7 +55,7 @@ struct metrics {
 
   [[nodiscard]] std::uint64_t total_stale_replies() const {
     std::uint64_t total = 0;
-    for (const std::uint64_t s : stale_replies) total += s;
+    for (const std::uint64_t& s : stale_replies) total += read_counter(s);
     return total;
   }
 
@@ -47,11 +63,20 @@ struct metrics {
     return requests_sent + acks_sent + collect_replies_sent;
   }
 
+  [[nodiscard]] double mean_communicate_calls() const {
+    if (communicate_calls.empty()) return 0.0;
+    std::uint64_t total = 0;
+    for (const std::uint64_t& c : communicate_calls) total += read_counter(c);
+    return static_cast<double>(total) /
+           static_cast<double>(communicate_calls.size());
+  }
+
   [[nodiscard]] std::uint64_t max_communicate_calls() const {
-    return communicate_calls.empty()
-               ? 0
-               : *std::max_element(communicate_calls.begin(),
-                                   communicate_calls.end());
+    std::uint64_t best = 0;
+    for (const std::uint64_t& c : communicate_calls) {
+      best = std::max(best, read_counter(c));
+    }
+    return best;
   }
 
   /// Max communicate calls among a subset of processors (participants).
@@ -59,8 +84,8 @@ struct metrics {
       const std::vector<process_id>& ids) const {
     std::uint64_t best = 0;
     for (process_id id : ids) {
-      best = std::max(best,
-                      communicate_calls[static_cast<std::size_t>(id)]);
+      best = std::max(
+          best, read_counter(communicate_calls[static_cast<std::size_t>(id)]));
     }
     return best;
   }

@@ -24,7 +24,7 @@ void node::begin_op(bool is_collect) {
   op_.reply_count = 0;
   op_.replied.assign(static_cast<std::size_t>(n()), false);
   op_.views.clear();
-  metrics_.communicate_calls[static_cast<std::size_t>(id_)]++;
+  bump_counter(metrics_.communicate_calls[static_cast<std::size_t>(id_)]);
 }
 
 void node::broadcast(const var_id& id, const var_delta* delta) {
@@ -71,13 +71,13 @@ void node::handle(const message& m) {
   // A reply: absorb it into the pending op if it matches; otherwise it is
   // a stale reply for an op that already reached quorum.
   if (!op_.active || m.token != op_.token) {
-    metrics_.stale_replies[static_cast<std::size_t>(id_)]++;
+    bump_counter(metrics_.stale_replies[static_cast<std::size_t>(id_)]);
     return;
   }
   auto from = static_cast<std::size_t>(m.from);
   ELECT_CHECK(from < op_.replied.size());
   if (op_.replied[from]) {
-    metrics_.stale_replies[static_cast<std::size_t>(id_)]++;
+    bump_counter(metrics_.stale_replies[static_cast<std::size_t>(id_)]);
     return;
   }
   op_.replied[from] = true;
@@ -93,7 +93,7 @@ void node::handle(const message& m) {
 }
 
 void node::computation_step() {
-  metrics_.computation_steps[static_cast<std::size_t>(id_)]++;
+  bump_counter(metrics_.computation_steps[static_cast<std::size_t>(id_)]);
   // Receive everything delivered since the last computation step.
   while (!mailbox_.empty()) {
     message m = std::move(mailbox_.front());

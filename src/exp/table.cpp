@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -42,6 +43,87 @@ void table::print(std::ostream& out) const {
     }
     out << "\n";
   }
+}
+
+namespace {
+
+/// True iff the whole cell is a number under the JSON grammar (strtod is
+/// too permissive: it also accepts hex, "+1", ".5", "1.", "inf", ...).
+bool is_number(const std::string& cell) {
+  const char* p = cell.c_str();
+  const char* const end = p + cell.size();
+  const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  if (p != end && *p == '-') ++p;
+  if (p == end) return false;
+  if (*p == '0') {
+    ++p;
+  } else if (digit(*p)) {
+    while (p != end && digit(*p)) ++p;
+  } else {
+    return false;
+  }
+  if (p != end && *p == '.') {
+    ++p;
+    if (p == end || !digit(*p)) return false;
+    while (p != end && digit(*p)) ++p;
+  }
+  if (p != end && (*p == 'e' || *p == 'E')) {
+    ++p;
+    if (p != end && (*p == '+' || *p == '-')) ++p;
+    if (p == end || !digit(*p)) return false;
+    while (p != end && digit(*p)) ++p;
+  }
+  return p == end;
+}
+
+void print_json_string(std::ostream& out, const std::string& s) {
+  out << '"' << json_escape(s) << '"';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void table::print_json(std::ostream& out) const {
+  out << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ",";
+    out << "{";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out << ",";
+      print_json_string(out, headers_[c]);
+      out << ":";
+      if (is_number(rows_[r][c])) {
+        out << rows_[r][c];
+      } else {
+        print_json_string(out, rows_[r][c]);
+      }
+    }
+    out << "}";
+  }
+  out << "]";
 }
 
 std::string fmt(double value, int precision) {

@@ -19,10 +19,19 @@ class table {
   /// Render as a GitHub-flavoured markdown table.
   void print(std::ostream& out) const;
 
+  /// Render as a JSON array of objects keyed by header. Cells that parse
+  /// as numbers are emitted unquoted; everything else is a JSON string.
+  void print_json(std::ostream& out) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Escape a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Returns the body without the
+/// surrounding quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 /// Fixed-precision formatting helpers.
 [[nodiscard]] std::string fmt(double value, int precision = 2);

@@ -4,33 +4,73 @@
 
 namespace elect::mt {
 
-/// Concurrent transport: pushes messages straight into target mailboxes.
+/// Concurrent transport: pushes messages into target mailboxes. In
+/// batching mode a send is staged in a per-(sender, destination) bucket
+/// and the sender's thread flushes all buckets between computation steps,
+/// so the k messages one step produces for a destination cost one lock
+/// acquisition and one wakeup instead of k.
 class cluster::transport_impl final : public engine::transport {
  public:
-  explicit transport_impl(cluster& owner) : owner_(owner) {}
+  transport_impl(cluster& owner, int n, bool batching)
+      : owner_(owner), batching_(batching) {
+    if (batching_) {
+      buckets_.resize(static_cast<std::size_t>(n));
+      for (auto& row : buckets_) row.resize(static_cast<std::size_t>(n));
+    }
+  }
 
   void send(engine::message m) override {
     messages_.fetch_add(1, std::memory_order_relaxed);
     const auto to = static_cast<std::size_t>(m.to);
     ELECT_CHECK(to < owner_.mailboxes_.size());
-    owner_.mailboxes_[to]->push(std::move(m));
+    if (!batching_) {
+      pushes_.fetch_add(1, std::memory_order_relaxed);
+      owner_.mailboxes_[to]->push(std::move(m));
+      return;
+    }
+    const auto from = static_cast<std::size_t>(m.from);
+    ELECT_CHECK(from < buckets_.size());
+    buckets_[from][to].push_back(std::move(m));
+  }
+
+  /// Deliver everything `pid` staged since its last flush. Only pid's own
+  /// thread may call this (the bucket row is single-writer).
+  void flush(process_id pid) {
+    if (!batching_) return;
+    auto& row = buckets_[static_cast<std::size_t>(pid)];
+    for (std::size_t to = 0; to < row.size(); ++to) {
+      if (row[to].empty()) continue;
+      pushes_.fetch_add(1, std::memory_order_relaxed);
+      owner_.mailboxes_[to]->push_batch(row[to]);
+    }
   }
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
     return messages_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] std::uint64_t total_pushes() const noexcept {
+    return pushes_.load(std::memory_order_relaxed);
+  }
+
  private:
   cluster& owner_;
+  bool batching_;
+  /// buckets_[from][to]: messages staged by `from` for `to`.
+  std::vector<std::vector<std::vector<engine::message>>> buckets_;
   std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> pushes_{0};
 };
 
-cluster::cluster(int n, std::uint64_t seed)
+cluster::cluster(int n, std::uint64_t seed, cluster_options options)
     : n_(n),
       seed_(seed),
+      options_(options),
       metrics_(n),
-      transport_(std::make_unique<transport_impl>(*this)),
+      transport_(std::make_unique<transport_impl>(*this, n,
+                                                  options.batch_transport)),
       factories_(static_cast<std::size_t>(n)),
+      idle_hooks_(static_cast<std::size_t>(n)),
       results_(static_cast<std::size_t>(n), -1),
       attached_(static_cast<std::size_t>(n), false) {
   ELECT_CHECK(n >= 1);
@@ -63,6 +103,17 @@ void cluster::attach(process_id pid, protocol_factory factory) {
   pending_protocols_++;
 }
 
+void cluster::set_idle_hook(process_id pid, std::function<void()> hook) {
+  ELECT_CHECK(!started_);
+  ELECT_CHECK(pid >= 0 && pid < n_);
+  idle_hooks_[static_cast<std::size_t>(pid)] = std::move(hook);
+}
+
+void cluster::poke(process_id pid) {
+  ELECT_CHECK(pid >= 0 && pid < n_);
+  mailboxes_[static_cast<std::size_t>(pid)]->poke();
+}
+
 void cluster::start() {
   ELECT_CHECK(!started_);
   started_ = true;
@@ -77,10 +128,13 @@ void cluster::thread_main(process_id pid) {
   engine::node& node = *nodes_[index];
   mailbox& mb = *mailboxes_[index];
 
+  const std::function<void()>& idle_hook = idle_hooks_[index];
+
   if (attached_[index]) {
     node.attach_protocol(factories_[index](node));
     node.computation_step();  // invoke the protocol (sends first requests)
   }
+  transport_->flush(pid);
   bool reported = false;
   const auto report_if_done = [&] {
     if (!reported && attached_[index] && node.protocol_done()) {
@@ -101,6 +155,8 @@ void cluster::thread_main(process_id pid) {
     if (!mb.drain_blocking(batch)) break;  // stopped and empty
     for (engine::message& m : batch) node.deliver(std::move(m));
     node.computation_step();
+    if (idle_hook) idle_hook();  // may resume a parked driver coroutine
+    transport_->flush(pid);      // everything this step staged goes out
     report_if_done();
   }
 }
@@ -132,6 +188,10 @@ const engine::debug_probe& cluster::probe(process_id pid) const {
 
 std::uint64_t cluster::total_messages() const noexcept {
   return transport_->total_messages();
+}
+
+std::uint64_t cluster::total_mailbox_pushes() const noexcept {
+  return transport_->total_pushes();
 }
 
 }  // namespace elect::mt

@@ -45,12 +45,39 @@ class mailbox {
     ready_.notify_one();
   }
 
-  /// Drain everything currently queued; blocks until at least one message
-  /// arrives or stop() is called. Returns false on stop-and-empty.
+  /// Append a whole same-destination batch under one lock acquisition
+  /// with a single wakeup (the coalescing transport's fast path). The
+  /// batch is consumed (left empty, capacity retained).
+  void push_batch(std::vector<engine::message>& batch) {
+    if (batch.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (engine::message& m : batch) queue_.push_back(std::move(m));
+    }
+    ready_.notify_one();
+    batch.clear();
+  }
+
+  /// Wake the owning thread without delivering a message. Out-of-band
+  /// producers (the election service handing a job to a driver coroutine)
+  /// use this to get the event loop to run its idle hook.
+  void poke() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      poked_ = true;
+    }
+    ready_.notify_one();
+  }
+
+  /// Drain everything currently queued by swapping the whole deque out
+  /// under one lock; blocks until a message arrives, the mailbox is
+  /// poked, or stop() is called. Returns false on stop-and-empty; a bare
+  /// poke returns true with `out` empty.
   bool drain_blocking(std::deque<engine::message>& out) {
     std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
-    if (queue_.empty()) return false;
+    ready_.wait(lock, [&] { return stopped_ || poked_ || !queue_.empty(); });
+    poked_ = false;
+    if (queue_.empty()) return !stopped_;
     out.swap(queue_);
     return true;
   }
@@ -76,6 +103,15 @@ class mailbox {
   std::condition_variable ready_;
   std::deque<engine::message> queue_;
   bool stopped_ = false;
+  bool poked_ = false;
+};
+
+struct cluster_options {
+  /// Coalesce same-destination messages produced by one computation step
+  /// into a single mailbox push (one lock + one wakeup per destination
+  /// instead of per message). Delivery order per (sender, destination)
+  /// pair is preserved; the model tolerates any cross-pair reordering.
+  bool batch_transport = true;
 };
 
 /// A set of n processors on n threads. Usage:
@@ -88,7 +124,9 @@ class cluster {
   using protocol_factory =
       std::function<engine::task<std::int64_t>(engine::node&)>;
 
-  cluster(int n, std::uint64_t seed);
+  cluster(int n, std::uint64_t seed)
+      : cluster(n, seed, cluster_options{}) {}
+  cluster(int n, std::uint64_t seed, cluster_options options);
   ~cluster();
 
   cluster(const cluster&) = delete;
@@ -98,6 +136,16 @@ class cluster {
 
   /// Register a protocol for processor pid. Call before start().
   void attach(process_id pid, protocol_factory factory);
+
+  /// Register a hook that pid's thread runs after every computation step
+  /// and on every poke(). The election service uses this to hand queued
+  /// jobs to a long-running driver coroutine from the node's own thread
+  /// (coroutine frames are not thread-safe). Call before start().
+  void set_idle_hook(process_id pid, std::function<void()> hook);
+
+  /// Wake pid's event loop even if no message is in flight (runs the idle
+  /// hook). Safe from any thread once the cluster is constructed.
+  void poke(process_id pid);
 
   /// Launch all threads.
   void start();
@@ -112,17 +160,28 @@ class cluster {
   /// Total messages pushed through the transport.
   [[nodiscard]] std::uint64_t total_messages() const noexcept;
 
+  /// Mailbox pushes performed by the transport. With batching enabled
+  /// this is <= total_messages(); the ratio is the coalescing factor.
+  [[nodiscard]] std::uint64_t total_mailbox_pushes() const noexcept;
+
+  /// Complexity counters for the whole pool (communicate calls etc.).
+  [[nodiscard]] const engine::metrics& runtime_metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   class transport_impl;
   void thread_main(process_id pid);
 
   int n_;
   std::uint64_t seed_;
+  cluster_options options_;
   engine::metrics metrics_;
   std::unique_ptr<transport_impl> transport_;
   std::vector<std::unique_ptr<mailbox>> mailboxes_;
   std::vector<std::unique_ptr<engine::node>> nodes_;
   std::vector<protocol_factory> factories_;
+  std::vector<std::function<void()>> idle_hooks_;
   std::vector<std::thread> threads_;
   std::vector<std::int64_t> results_;
   std::vector<bool> attached_;

@@ -1,0 +1,50 @@
+#include "svc/metrics.hpp"
+
+#include <sstream>
+
+namespace elect::svc {
+
+service_report service_metrics::snapshot() const {
+  service_report report;
+  report.shards.reserve(shards_.size());
+  for (const shard_counters& s : shards_) {
+    shard_report sr;
+    sr.acquires = s.acquires.load(std::memory_order_relaxed);
+    sr.wins = s.wins.load(std::memory_order_relaxed);
+    sr.releases = s.releases.load(std::memory_order_relaxed);
+    report.acquires += sr.acquires;
+    report.wins += sr.wins;
+    report.releases += sr.releases;
+    report.shards.push_back(sr);
+  }
+  report.acquire_p50_ms = acquire_latency_.quantile(0.50) / 1e6;
+  report.acquire_p99_ms = acquire_latency_.quantile(0.99) / 1e6;
+  return report;
+}
+
+std::string service_report::to_json() const {
+  std::ostringstream out;
+  out << "{";
+  out << "\"acquires\":" << acquires << ",";
+  out << "\"wins\":" << wins << ",";
+  out << "\"releases\":" << releases << ",";
+  out << "\"acquire_p50_ms\":" << acquire_p50_ms << ",";
+  out << "\"acquire_p99_ms\":" << acquire_p99_ms << ",";
+  out << "\"total_messages\":" << total_messages << ",";
+  out << "\"mailbox_pushes\":" << mailbox_pushes << ",";
+  out << "\"messages_per_acquire\":" << messages_per_acquire << ",";
+  out << "\"mean_communicate_calls\":" << mean_communicate_calls << ",";
+  out << "\"max_communicate_calls\":" << max_communicate_calls << ",";
+  out << "\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"acquires\":" << shards[i].acquires
+        << ",\"wins\":" << shards[i].wins
+        << ",\"releases\":" << shards[i].releases
+        << ",\"keys\":" << shards[i].keys << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace elect::svc

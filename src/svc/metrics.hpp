@@ -1,0 +1,133 @@
+// Aggregated service metrics: per-shard operation counters plus a
+// lock-free log-bucketed latency histogram for acquire calls.
+//
+// Counters are plain atomics bumped on the hot path; quantiles are read
+// from the histogram only when a report is taken. The service folds in
+// the node pool's engine::metrics (communicate calls) and the transport's
+// message / mailbox-push counters so one report covers the whole stack.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace elect::svc {
+
+/// Histogram over latencies in nanoseconds; bucket b holds samples in
+/// [2^b, 2^(b+1)). Concurrent add(), single-threaded quantile reads.
+class latency_histogram {
+ public:
+  static constexpr int bucket_count = 48;  // up to ~78 hours
+
+  void add(std::uint64_t nanos) noexcept {
+    const int bucket =
+        nanos == 0 ? 0 : std::min(bucket_count - 1,
+                                  static_cast<int>(std::bit_width(nanos)) - 1);
+    counts_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Approximate quantile (q in [0,1]): the geometric midpoint of the
+  /// bucket holding the nearest-rank sample; 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    ELECT_CHECK(q >= 0.0 && q <= 1.0);
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1) + 0.5);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < bucket_count; ++b) {
+      seen += counts_[static_cast<std::size_t>(b)].load(
+          std::memory_order_relaxed);
+      if (seen > rank) {
+        const double low = b == 0 ? 0.0 : static_cast<double>(1ULL << b);
+        const double high = static_cast<double>(2ULL << b);
+        return (low + high) / 2.0;
+      }
+    }
+    return static_cast<double>(1ULL << (bucket_count - 1));
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, bucket_count> counts_{};
+};
+
+/// Hot-path counters for one registry shard.
+struct shard_counters {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> wins{0};
+  std::atomic<std::uint64_t> releases{0};
+};
+
+/// Point-in-time snapshot of one shard.
+struct shard_report {
+  std::uint64_t acquires = 0;
+  std::uint64_t wins = 0;
+  std::uint64_t releases = 0;
+  std::size_t keys = 0;
+};
+
+/// Point-in-time snapshot of the whole service.
+struct service_report {
+  std::vector<shard_report> shards;
+  std::uint64_t acquires = 0;
+  std::uint64_t wins = 0;
+  std::uint64_t releases = 0;
+  double acquire_p50_ms = 0.0;
+  double acquire_p99_ms = 0.0;
+  // Pool-level counters (engine::metrics + transport).
+  std::uint64_t total_messages = 0;
+  std::uint64_t mailbox_pushes = 0;
+  double messages_per_acquire = 0.0;
+  double mean_communicate_calls = 0.0;
+  std::uint64_t max_communicate_calls = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class service_metrics {
+ public:
+  explicit service_metrics(int shard_count)
+      : shards_(static_cast<std::size_t>(shard_count)) {}
+
+  void record_acquire(int shard, bool won, std::uint64_t latency_ns) {
+    auto& s = shards_[static_cast<std::size_t>(shard)];
+    s.acquires.fetch_add(1, std::memory_order_relaxed);
+    if (won) s.wins.fetch_add(1, std::memory_order_relaxed);
+    acquire_latency_.add(latency_ns);
+  }
+
+  void record_release(int shard) {
+    shards_[static_cast<std::size_t>(shard)].releases.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] const latency_histogram& acquire_latency() const noexcept {
+    return acquire_latency_;
+  }
+
+  /// Snapshot the per-shard counters and latency quantiles. The caller
+  /// (service::report) fills in the pool-level fields.
+  [[nodiscard]] service_report snapshot() const;
+
+ private:
+  std::vector<shard_counters> shards_;
+  latency_histogram acquire_latency_;
+};
+
+}  // namespace elect::svc

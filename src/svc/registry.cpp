@@ -1,0 +1,107 @@
+#include "svc/registry.hpp"
+
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace elect::svc {
+
+instance_registry::instance_registry(int shard_count,
+                                     std::uint32_t first_instance)
+    : next_instance_(first_instance) {
+  ELECT_CHECK(shard_count >= 1);
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<shard>());
+  }
+}
+
+int instance_registry::shard_of(const std::string& key) const {
+  return static_cast<int>(std::hash<std::string>{}(key) % shards_.size());
+}
+
+instance_registry::shard& instance_registry::shard_for(
+    const std::string& key) {
+  return *shards_[static_cast<std::size_t>(shard_of(key))];
+}
+
+instance_registry::key_state& instance_registry::state_locked(
+    shard& s, const std::string& key) {
+  auto [it, inserted] = s.keys.try_emplace(key);
+  if (inserted) {
+    it->second.entry.instance =
+        election::election_id{next_instance_.fetch_add(1)};
+    it->second.entry.epoch = 0;
+  }
+  return it->second;
+}
+
+instance_entry instance_registry::current(const std::string& key) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return state_locked(s, key).entry;
+}
+
+void instance_registry::record_winner(const std::string& key,
+                                      std::uint64_t epoch, int session) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  key_state& state = state_locked(s, key);
+  ELECT_CHECK_MSG(state.entry.epoch == epoch,
+                  "winner recorded for a bumped epoch — release raced an "
+                  "unfinished election");
+  ELECT_CHECK_MSG(state.leader == -1,
+                  "two winners for one election instance — test-and-set "
+                  "safety violated");
+  state.leader = session;
+}
+
+int instance_registry::leader_of(const std::string& key) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return state_locked(s, key).leader;
+}
+
+std::uint64_t instance_registry::release(const std::string& key,
+                                         int session) {
+  shard& s = shard_for(key);
+  std::uint64_t new_epoch = 0;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    key_state& state = state_locked(s, key);
+    ELECT_CHECK_MSG(state.leader == session,
+                    "release by a session that does not hold the key");
+    state.leader = -1;
+    state.entry.epoch++;
+    state.entry.instance = election::election_id{next_instance_.fetch_add(1)};
+    new_epoch = state.entry.epoch;
+  }
+  s.epoch_changed.notify_all();
+  return new_epoch;
+}
+
+void instance_registry::wait_for_epoch_above(const std::string& key,
+                                             std::uint64_t epoch) {
+  shard& s = shard_for(key);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  s.epoch_changed.wait(
+      lock, [&] { return state_locked(s, key).entry.epoch > epoch; });
+}
+
+std::size_t instance_registry::keys_in_shard(int shard_index) const {
+  ELECT_CHECK(shard_index >= 0 &&
+              shard_index < static_cast<int>(shards_.size()));
+  const shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.keys.size();
+}
+
+std::size_t instance_registry::key_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    total += keys_in_shard(static_cast<int>(i));
+  }
+  return total;
+}
+
+}  // namespace elect::svc

@@ -1,0 +1,100 @@
+// Instance registry: maps string election keys onto leader_elect
+// instances.
+//
+// The service multiplexes many logical elections (one per key) over one
+// node pool. Each key is owned by a shard (lock-striped: hash(key) mod
+// shard_count); the shard lazily creates per-key state the first time the
+// key is touched and hands out the key's *current* (election_id, epoch)
+// pair. Releasing leadership bumps the epoch and allocates a fresh
+// election_id, so the next acquirers contend in a brand-new Figure-6
+// instance — repeated test-and-set built from one-shot instances.
+//
+// Election ids are drawn from a global atomic counter starting high above
+// the ids examples and tests hand-pick, so registry-managed instances
+// never collide with manually created ones on the same pool. Known
+// limit: the 32-bit id space caps a service lifetime at ~4e9 elections
+// (var_id.instance is uint32); wrapping would alias long-decided
+// instances' replicated variables.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "election/vars.hpp"
+
+namespace elect::svc {
+
+/// The (instance, epoch) pair a key currently resolves to.
+struct instance_entry {
+  election::election_id instance{0};
+  std::uint64_t epoch = 0;
+};
+
+class instance_registry {
+ public:
+  /// `first_instance` is the id given to the first key; subsequent
+  /// instances count up from there.
+  explicit instance_registry(int shard_count,
+                             std::uint32_t first_instance = 1u << 20);
+
+  instance_registry(const instance_registry&) = delete;
+  instance_registry& operator=(const instance_registry&) = delete;
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+
+  /// Which shard owns `key`. Stable for the registry's lifetime.
+  [[nodiscard]] int shard_of(const std::string& key) const;
+
+  /// Current (instance, epoch) for `key`; lazily creates epoch 0.
+  [[nodiscard]] instance_entry current(const std::string& key);
+
+  /// Record that `session` won `key`'s election for `epoch`. Aborts if a
+  /// different winner is already recorded for the same epoch (that would
+  /// be a test-and-set safety violation).
+  void record_winner(const std::string& key, std::uint64_t epoch,
+                     int session);
+
+  /// Session currently holding `key` (-1 if none / not yet elected).
+  [[nodiscard]] int leader_of(const std::string& key);
+
+  /// Release leadership of `key`: only the recorded winner of the current
+  /// epoch may call this. Bumps the epoch, allocates a fresh election
+  /// instance, and wakes epoch waiters. Returns the new epoch.
+  std::uint64_t release(const std::string& key, int session);
+
+  /// Block until `key`'s epoch exceeds `epoch` (i.e. a release happened
+  /// after the caller lost that epoch's election).
+  void wait_for_epoch_above(const std::string& key, std::uint64_t epoch);
+
+  /// Keys registered in one shard / in total (for distribution checks).
+  [[nodiscard]] std::size_t keys_in_shard(int shard) const;
+  [[nodiscard]] std::size_t key_count() const;
+
+ private:
+  struct key_state {
+    instance_entry entry;
+    int leader = -1;
+  };
+
+  struct shard {
+    mutable std::mutex mutex;
+    std::condition_variable epoch_changed;
+    std::unordered_map<std::string, key_state> keys;
+  };
+
+  shard& shard_for(const std::string& key);
+  key_state& state_locked(shard& s, const std::string& key);
+
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::atomic<std::uint32_t> next_instance_;
+};
+
+}  // namespace elect::svc

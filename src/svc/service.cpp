@@ -1,0 +1,218 @@
+#include "svc/service.hpp"
+
+#include <utility>
+
+namespace elect::svc {
+
+service::service(service_config config)
+    : config_(config),
+      registry_(config.shards),
+      metrics_(config.shards),
+      pool_(std::make_unique<mt::cluster>(
+          config.nodes, config.seed,
+          mt::cluster_options{.batch_transport = config.batch_transport})) {
+  ELECT_CHECK(config.nodes >= 1);
+  ELECT_CHECK(config.shards >= 1);
+  workers_.reserve(static_cast<std::size_t>(config.nodes));
+  for (process_id pid = 0; pid < config.nodes; ++pid) {
+    workers_.push_back(std::make_unique<worker>());
+    worker* w = workers_.back().get();
+    pool_->attach(pid, [this, w](engine::node& node) {
+      return driver(node, *w);
+    });
+    pool_->set_idle_hook(pid, [this, w] { pump(*w); });
+  }
+  pool_->start();
+}
+
+service::~service() { stop(); }
+
+service::session service::connect() {
+  const std::lock_guard<std::mutex> lock(connect_mutex_);
+  ELECT_CHECK_MSG(!stopped_.load(), "connect() after stop()");
+  const int id = next_session_++;
+  return session(*this, id, static_cast<process_id>(id % config_.nodes));
+}
+
+void service::stop() {
+  if (stopped_.exchange(true)) return;
+  // One shutdown job per driver; queued behind any in-flight acquires, so
+  // drivers drain their queues before returning.
+  std::vector<std::unique_ptr<job>> shutdowns;
+  shutdowns.reserve(workers_.size());
+  for (process_id pid = 0; pid < config_.nodes; ++pid) {
+    auto j = std::make_unique<job>();
+    j->shutdown = true;
+    submit(pid, *j);
+    shutdowns.push_back(std::move(j));
+  }
+  pool_->wait();
+}
+
+// ---------------------------------------------------------------------
+// Job handoff: client thread -> per-node queue -> driver coroutine.
+
+void service::submit(process_id pid, job& j) {
+  worker& w = *workers_[static_cast<std::size_t>(pid)];
+  {
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    // Checked under the queue lock so a submit racing stop() either lands
+    // ahead of the shutdown job (and is served) or aborts — never hangs.
+    ELECT_CHECK_MSG(!w.draining, "acquire submitted after stop()");
+    if (j.shutdown) w.draining = true;
+    w.queue.push_back(&j);
+  }
+  pool_->poke(pid);
+}
+
+void service::pump(worker& w) {
+  std::coroutine_handle<> handle;
+  {
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.parked || w.queue.empty()) return;
+    w.current = w.queue.front();
+    w.queue.pop_front();
+    handle = std::exchange(w.parked, nullptr);
+  }
+  handle.resume();  // on the node's own thread, via its idle hook
+}
+
+bool service::next_job::await_ready() {
+  const std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.queue.empty()) return false;
+  w.current = w.queue.front();
+  w.queue.pop_front();
+  return true;
+}
+
+bool service::next_job::await_suspend(std::coroutine_handle<> handle) {
+  const std::lock_guard<std::mutex> lock(w.mutex);
+  if (!w.queue.empty()) {
+    // A job arrived between await_ready and here; take it and keep going.
+    w.current = w.queue.front();
+    w.queue.pop_front();
+    return false;
+  }
+  ELECT_CHECK(!w.parked);
+  w.parked = handle;
+  return true;
+}
+
+service::job* service::next_job::await_resume() {
+  ELECT_CHECK(w.current != nullptr);
+  return std::exchange(w.current, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// The driver: one long-lived protocol coroutine per pool node.
+
+engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
+  for (;;) {
+    job* j = co_await next_job{w};
+    if (j->shutdown) {
+      // Notify under the lock: the moment a waiter can observe done the
+      // job (on its owner's stack) may be destroyed, so an unlocked
+      // notify would race the cv's destruction.
+      {
+        const std::lock_guard<std::mutex> lock(j->mutex);
+        j->done = true;
+        j->cv.notify_all();
+      }
+      co_return 0;
+    }
+
+    const instance_entry entry = registry_.current(j->key);
+    acquire_result result;
+    result.epoch = entry.epoch;
+    result.instance = entry.instance;
+
+    // TAS is one invocation per processor per instance: if this node
+    // already contended in (key, epoch) — a second session bound to the
+    // same node — the instance is decided or being decided by the earlier
+    // invocation, so this one loses without touching the network.
+    const auto [it, fresh_key] =
+        w.participated.try_emplace(j->key, entry.instance.value);
+    if (fresh_key || it->second != entry.instance.value) {
+      it->second = entry.instance.value;
+      const election::tas_result outcome = co_await election::leader_elect(
+          node,
+          election::leader_elect_params{entry.instance, config_.max_rounds});
+      result.won = outcome == election::tas_result::win;
+    }
+    if (result.won) {
+      registry_.record_winner(j->key, result.epoch, j->session_id);
+    }
+    result.latency_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - j->submitted)
+            .count());
+    metrics_.record_acquire(registry_.shard_of(j->key), result.won,
+                            result.latency_ns);
+
+    {
+      // Notify under the lock — see the shutdown path above: the client
+      // frees the job as soon as it observes done.
+      const std::lock_guard<std::mutex> lock(j->mutex);
+      j->result = result;
+      j->done = true;
+      j->cv.notify_all();
+    }
+  }
+}
+
+acquire_result service::run_acquire(int session_id, process_id pid,
+                                    const std::string& key) {
+  ELECT_CHECK_MSG(!stopped_.load(), "acquire after stop()");
+  job j;
+  j.key = key;
+  j.session_id = session_id;
+  j.submitted = std::chrono::steady_clock::now();
+  submit(pid, j);
+  std::unique_lock<std::mutex> lock(j.mutex);
+  j.cv.wait(lock, [&] { return j.done; });
+  return j.result;
+}
+
+// ---------------------------------------------------------------------
+// Session API.
+
+acquire_result service::session::try_acquire(const std::string& key) {
+  return owner_->run_acquire(id_, pid_, key);
+}
+
+acquire_result service::session::acquire(const std::string& key) {
+  for (;;) {
+    const acquire_result result = try_acquire(key);
+    if (result.won) return result;
+    owner_->registry_.wait_for_epoch_above(key, result.epoch);
+  }
+}
+
+void service::session::release(const std::string& key) {
+  owner_->registry_.release(key, id_);
+  owner_->metrics_.record_release(owner_->registry_.shard_of(key));
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+
+service_report service::report() const {
+  service_report report = metrics_.snapshot();
+  for (int s = 0; s < registry_.shard_count(); ++s) {
+    report.shards[static_cast<std::size_t>(s)].keys =
+        registry_.keys_in_shard(s);
+  }
+  report.total_messages = pool_->total_messages();
+  report.mailbox_pushes = pool_->total_mailbox_pushes();
+  report.messages_per_acquire =
+      report.acquires == 0
+          ? 0.0
+          : static_cast<double>(report.total_messages) /
+                static_cast<double>(report.acquires);
+  const engine::metrics& pool_metrics = pool_->runtime_metrics();
+  report.mean_communicate_calls = pool_metrics.mean_communicate_calls();
+  report.max_communicate_calls = pool_metrics.max_communicate_calls();
+  return report;
+}
+
+}  // namespace elect::svc

@@ -1,0 +1,188 @@
+// elect::svc — a sharded multi-instance election service on the mt
+// runtime.
+//
+// The paper's leader_elect (Figure 6) is a one-shot test-and-set. This
+// service turns it into a long-running facility: many logical elections
+// (one per string key) multiplexed over one fixed mt::cluster node pool.
+//
+//   * Every pool node runs a *driver* — a long-lived protocol coroutine
+//     that pulls acquire jobs from a per-node queue and runs one
+//     leader_elect instance per job. Drivers are woken through the
+//     cluster's poke/idle-hook path, so job handoff rides the same event
+//     loop that serves protocol messages.
+//   * The instance registry (registry.hpp) shards keys across lock
+//     stripes and lazily maps each key to its current (election_id,
+//     epoch). release() bumps the epoch, giving repeated-TAS semantics.
+//   * Client sessions are bound round-robin to pool nodes. acquire jobs
+//     from different sessions on different nodes contend in the real
+//     protocol; a second job on a node that already participated in an
+//     instance loses locally (test-and-set is one invocation per
+//     processor per instance).
+//   * Quorum replication spans the whole pool: every node serves
+//     propagate/collect for every instance, so elections tolerate up to
+//     ceil(pool/2)-1 slow nodes exactly as the paper's model promises.
+//
+// Threading contract: session calls (try_acquire / acquire / release)
+// block the *calling* OS thread; protocol work happens on the pool
+// threads. Call stop() (or destroy the service) only after all client
+// threads are done issuing calls.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "election/leader_elect.hpp"
+#include "engine/task.hpp"
+#include "mt/cluster.hpp"
+#include "svc/metrics.hpp"
+#include "svc/registry.hpp"
+
+namespace elect::svc {
+
+struct service_config {
+  /// Node pool size (one OS thread per node).
+  int nodes = 8;
+  /// Registry shard count (lock stripes + metrics partitions).
+  int shards = 4;
+  std::uint64_t seed = 1;
+  /// Coalesce same-destination messages in the transport.
+  bool batch_transport = true;
+  /// Per-election round safety valve (see leader_elect_params).
+  std::int64_t max_rounds = 1'000'000;
+};
+
+/// Outcome of one acquire attempt (one leader_elect invocation).
+struct acquire_result {
+  bool won = false;
+  /// The epoch of the instance contended. Losers pass this to
+  /// wait_for_epoch_above to sleep until the holder releases.
+  std::uint64_t epoch = 0;
+  election::election_id instance{0};
+  std::uint64_t latency_ns = 0;
+};
+
+class service {
+ public:
+  explicit service(service_config config);
+  ~service();
+
+  service(const service&) = delete;
+  service& operator=(const service&) = delete;
+
+  /// A client handle bound to one pool node. Cheap to copy; all calls
+  /// block the calling thread until the service answers.
+  class session {
+   public:
+    /// One-shot test-and-set on `key`'s current instance: returns won or
+    /// lost. Exactly one concurrent acquirer per (key, epoch) wins.
+    acquire_result try_acquire(const std::string& key);
+
+    /// Blocking acquire: contend, and on loss sleep until the holder
+    /// releases, then contend in the fresh instance. Returns the winning
+    /// attempt's result.
+    acquire_result acquire(const std::string& key);
+
+    /// Give up leadership of `key`; aborts if this session is not the
+    /// recorded holder. Triggers a fresh election instance for the key.
+    void release(const std::string& key);
+
+    [[nodiscard]] int id() const noexcept { return id_; }
+    [[nodiscard]] process_id node() const noexcept { return pid_; }
+
+   private:
+    friend class service;
+    session(service& owner, int id, process_id pid)
+        : owner_(&owner), id_(id), pid_(pid) {}
+
+    service* owner_;
+    int id_;
+    process_id pid_;
+  };
+
+  /// Open a session, bound round-robin to a pool node.
+  [[nodiscard]] session connect();
+
+  /// Drain all queued jobs, stop the drivers, and join the pool. Called
+  /// by the destructor; idempotent.
+  void stop();
+
+  [[nodiscard]] instance_registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const service_config& config() const noexcept {
+    return config_;
+  }
+
+  /// Snapshot of service + pool metrics (per-shard counters, latency
+  /// quantiles, messages per acquire, communicate-call complexity).
+  [[nodiscard]] service_report report() const;
+
+ private:
+  /// One queued acquire. The client thread owns the struct (on its
+  /// stack) and sleeps on `done`; the node's driver fills `result`.
+  struct job {
+    std::string key;
+    int session_id = -1;
+    bool shutdown = false;
+    std::chrono::steady_clock::time_point submitted;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    acquire_result result;
+  };
+
+  /// Per-node job queue + the parked driver coroutine handle. The queue
+  /// is touched by client threads and the node thread; `current` and
+  /// `participated` are node-thread-only.
+  struct worker {
+    std::mutex mutex;
+    std::deque<job*> queue;
+    /// Set (under mutex) when the shutdown job is queued. Later submits
+    /// abort loudly instead of enqueueing behind a driver that will never
+    /// serve them (which would hang the client forever).
+    bool draining = false;
+    std::coroutine_handle<> parked;
+    job* current = nullptr;
+    /// Last instance this node invoked leader_elect on, per key (TAS is
+    /// one invocation per processor per instance). Keyed by election key
+    /// rather than instance id so the map is bounded by the keyspace, not
+    /// by the ever-growing epoch count: once a key's epoch bumps, its old
+    /// instance can never be handed out again, so only the latest matters.
+    std::unordered_map<std::string, std::uint32_t> participated;
+  };
+
+  /// Awaitable the driver parks on between jobs; resumed by pump().
+  struct next_job {
+    worker& w;
+    bool await_ready();
+    bool await_suspend(std::coroutine_handle<> handle);
+    job* await_resume();
+  };
+
+  engine::task<std::int64_t> driver(engine::node& node, worker& w);
+  void pump(worker& w);
+  void submit(process_id pid, job& j);
+  acquire_result run_acquire(int session_id, process_id pid,
+                             const std::string& key);
+
+  service_config config_;
+  instance_registry registry_;
+  service_metrics metrics_;
+  std::unique_ptr<mt::cluster> pool_;
+  std::vector<std::unique_ptr<worker>> workers_;
+
+  std::mutex connect_mutex_;
+  int next_session_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace elect::svc

@@ -23,7 +23,7 @@ namespace {
 using engine::erase_result;
 
 TEST(AdversaryRegistry, AllNamesConstruct) {
-  for (const std::string& name :
+  for (const std::string name :
        {"uniform", "round-robin", "sequential", "flip-adaptive",
         "contention-delayer", "crash-uniform"}) {
     auto adv = adversary::make(name, 8);
@@ -111,7 +111,9 @@ TEST(CrashInjector, DropsInFlightOfCrashedSenders) {
     // nothing from a crashed sender may remain in flight forever — the
     // injector prioritizes drops, so by termination none remain.
     for (process_id pid = 0; pid < 7; ++pid) {
-      if (k.crashed(pid)) EXPECT_TRUE(k.in_flight_from(pid).empty());
+      if (k.crashed(pid)) {
+        EXPECT_TRUE(k.in_flight_from(pid).empty());
+      }
     }
   }
 }

@@ -1,0 +1,307 @@
+// Election-service tests: unique leadership per key under concurrent
+// acquirers (every observed interleaving), re-election after release,
+// shard distribution sanity, and the batching mailbox/transport path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "election/leader_elect.hpp"
+#include "mt/cluster.hpp"
+#include "svc/service.hpp"
+
+namespace elect {
+namespace {
+
+TEST(SvcService, SoloAcquireWins) {
+  svc::service service(svc::service_config{.nodes = 4, .shards = 2});
+  auto session = service.connect();
+  const auto result = session.try_acquire("alpha");
+  EXPECT_TRUE(result.won);
+  EXPECT_EQ(result.epoch, 0u);
+  EXPECT_EQ(service.registry().leader_of("alpha"), session.id());
+
+  const auto report = service.report();
+  EXPECT_EQ(report.acquires, 1u);
+  EXPECT_EQ(report.wins, 1u);
+  EXPECT_GT(report.total_messages, 0u);
+}
+
+TEST(SvcService, UniqueLeaderPerKeyUnderConcurrentAcquirers) {
+  // More sessions than keys; every session races on every key from its
+  // own OS thread. Exactly one session may win each (key, epoch 0).
+  constexpr int sessions = 6;
+  const std::vector<std::string> keys = {"k/0", "k/1", "k/2"};
+  svc::service service(
+      svc::service_config{.nodes = sessions, .shards = 4, .seed = 17});
+
+  std::vector<svc::service::session> handles;
+  for (int i = 0; i < sessions; ++i) handles.push_back(service.connect());
+
+  // vector<char>, not vector<bool>: the clients write distinct elements
+  // concurrently, and vector<bool>'s bit-packing would make that a race.
+  std::vector<std::vector<char>> won(
+      keys.size(), std::vector<char>(sessions, 0));
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (int i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        won[k][static_cast<std::size_t>(i)] =
+            handles[static_cast<std::size_t>(i)].try_acquire(keys[k]).won;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    int winners = 0;
+    for (int i = 0; i < sessions; ++i) {
+      winners += won[k][static_cast<std::size_t>(i)] ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "key " << keys[k];
+    EXPECT_EQ(service.registry().leader_of(keys[k]) == -1, false);
+  }
+  const auto report = service.report();
+  EXPECT_EQ(report.acquires,
+            static_cast<std::uint64_t>(sessions) * keys.size());
+  EXPECT_EQ(report.wins, keys.size());
+}
+
+TEST(SvcService, MoreSessionsThanNodesStillOneLeader) {
+  // Sessions sharing a pool node serialize on its driver; the second
+  // invocation on a node that already contended an instance must lose.
+  constexpr int sessions = 6;
+  svc::service service(
+      svc::service_config{.nodes = 2, .shards = 2, .seed = 5});
+  std::vector<svc::service::session> handles;
+  for (int i = 0; i < sessions; ++i) handles.push_back(service.connect());
+
+  std::atomic<int> winners{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      if (handles[static_cast<std::size_t>(i)].try_acquire("hot").won) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(SvcService, ReelectionAfterRelease) {
+  // A single session acquires and releases the same key repeatedly; each
+  // release bumps the epoch and the solo acquirer must win the fresh
+  // instance every time.
+  svc::service service(svc::service_config{.nodes = 4, .shards = 2});
+  auto session = service.connect();
+  for (std::uint64_t epoch = 0; epoch < 5; ++epoch) {
+    const auto result = session.try_acquire("cycle");
+    ASSERT_TRUE(result.won) << "epoch " << epoch;
+    ASSERT_EQ(result.epoch, epoch);
+    session.release("cycle");
+    EXPECT_EQ(service.registry().leader_of("cycle"), -1);
+  }
+  const auto report = service.report();
+  EXPECT_EQ(report.wins, 5u);
+  EXPECT_EQ(report.releases, 5u);
+}
+
+TEST(SvcService, BlockingAcquireHandsLeadershipAround) {
+  // The distributed-lock pattern: every session blocks in acquire() until
+  // it holds the key, runs a critical section, releases. Mutual exclusion
+  // and eventual hand-off to every session must hold.
+  constexpr int sessions = 4;
+  svc::service service(
+      svc::service_config{.nodes = sessions, .shards = 2, .seed = 23});
+  std::vector<svc::service::session> handles;
+  for (int i = 0; i < sessions; ++i) handles.push_back(service.connect());
+
+  std::atomic<int> inside{0};
+  std::atomic<int> entries{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      auto& session = handles[static_cast<std::size_t>(i)];
+      const auto result = session.acquire("mutex");
+      EXPECT_TRUE(result.won);
+      const int concurrent = inside.fetch_add(1) + 1;
+      EXPECT_EQ(concurrent, 1) << "two holders at once";
+      entries.fetch_add(1);
+      inside.fetch_sub(1);
+      session.release("mutex");
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(entries.load(), sessions);
+  EXPECT_EQ(service.report().releases,
+            static_cast<std::uint64_t>(sessions));
+}
+
+TEST(SvcService, ShardDistributionSanity) {
+  constexpr int shard_count = 8;
+  constexpr int key_count = 64;
+  svc::service service(
+      svc::service_config{.nodes = 4, .shards = shard_count});
+  auto session = service.connect();
+  for (int k = 0; k < key_count; ++k) {
+    ASSERT_TRUE(session.try_acquire("key/" + std::to_string(k)).won);
+  }
+
+  auto& registry = service.registry();
+  EXPECT_EQ(registry.key_count(), static_cast<std::size_t>(key_count));
+  std::size_t sum = 0;
+  std::size_t max_in_one = 0;
+  int used = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    const std::size_t in_shard = registry.keys_in_shard(s);
+    sum += in_shard;
+    max_in_one = std::max(max_in_one, in_shard);
+    used += in_shard > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(sum, static_cast<std::size_t>(key_count));
+  // No degenerate hashing: nobody owns everything, several shards in use.
+  EXPECT_LT(max_in_one, static_cast<std::size_t>(key_count / 2));
+  EXPECT_GE(used, shard_count / 2);
+  // shard_of is stable and in range.
+  for (int k = 0; k < key_count; ++k) {
+    const std::string key = "key/" + std::to_string(k);
+    const int shard = registry.shard_of(key);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, shard_count);
+    EXPECT_EQ(shard, registry.shard_of(key));
+  }
+}
+
+TEST(SvcService, ReportExposesPoolAndLatencyMetrics) {
+  svc::service service(svc::service_config{.nodes = 4, .shards = 4});
+  auto session = service.connect();
+  for (int k = 0; k < 8; ++k) {
+    session.try_acquire("m/" + std::to_string(k));
+  }
+  const auto report = service.report();
+  EXPECT_EQ(report.acquires, 8u);
+  EXPECT_GT(report.messages_per_acquire, 0.0);
+  EXPECT_GT(report.mean_communicate_calls, 0.0);
+  EXPECT_GE(report.max_communicate_calls,
+            static_cast<std::uint64_t>(report.mean_communicate_calls));
+  EXPECT_GE(report.acquire_p99_ms, report.acquire_p50_ms);
+  EXPECT_GT(report.acquire_p50_ms, 0.0);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"acquires\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Batching mailbox / transport.
+
+TEST(MtMailbox, PushBatchDeliversEverythingOnce) {
+  mt::mailbox box;
+  std::vector<engine::message> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(engine::message{
+        0, 1, static_cast<std::uint64_t>(i), engine::ack_reply{}});
+  }
+  box.push_batch(batch);
+  EXPECT_TRUE(batch.empty());
+
+  std::deque<engine::message> out;
+  ASSERT_TRUE(box.drain_blocking(out));
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].token,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(MtMailbox, PokeWakesWithoutMessages) {
+  mt::mailbox box;
+  std::thread poker([&] { box.poke(); });
+  std::deque<engine::message> out;
+  EXPECT_TRUE(box.drain_blocking(out));  // poke, not stop: returns true
+  EXPECT_TRUE(out.empty());
+  poker.join();
+  box.stop();
+  EXPECT_FALSE(box.drain_blocking(out));
+}
+
+TEST(MtMailbox, BatchCoalescingStress) {
+  // Several producers hammer one mailbox with mixed push / push_batch /
+  // poke while the consumer drains; every message must arrive exactly
+  // once, in per-producer order.
+  constexpr int producers = 4;
+  constexpr int per_producer = 500;
+  mt::mailbox box;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&box, p] {
+      std::vector<engine::message> batch;
+      for (int i = 0; i < per_producer; ++i) {
+        batch.push_back(engine::message{
+            p, 0, static_cast<std::uint64_t>(i), engine::ack_reply{}});
+        if (batch.size() == 7) box.push_batch(batch);
+        if (i % 97 == 0) box.poke();
+      }
+      box.push_batch(batch);
+    });
+  }
+
+  std::vector<std::uint64_t> next_token(producers, 0);
+  std::uint64_t received = 0;
+  std::deque<engine::message> out;
+  while (received < producers * per_producer) {
+    out.clear();
+    ASSERT_TRUE(box.drain_blocking(out));
+    for (const engine::message& m : out) {
+      const auto p = static_cast<std::size_t>(m.from);
+      ASSERT_EQ(m.token, next_token[p]) << "per-producer order broken";
+      next_token[p]++;
+      received++;
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(received, static_cast<std::uint64_t>(producers) * per_producer);
+}
+
+TEST(MtCluster, BatchedTransportElectsOneLeaderWithFewerPushes) {
+  constexpr int n = 8;
+  constexpr std::int64_t win_value =
+      static_cast<std::int64_t>(election::tas_result::win);
+  std::uint64_t batched_pushes = 0;
+  std::uint64_t batched_messages = 0;
+  for (const bool batching : {true, false}) {
+    mt::cluster cluster(n, /*seed=*/31,
+                        mt::cluster_options{.batch_transport = batching});
+    for (process_id pid = 0; pid < n; ++pid) {
+      cluster.attach(pid, [](engine::node& node) {
+        return engine::erase_result(election::leader_elect(node));
+      });
+    }
+    cluster.start();
+    cluster.wait();
+    int winners = 0;
+    for (process_id pid = 0; pid < n; ++pid) {
+      winners += cluster.result_of(pid) == win_value ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "batching=" << batching;
+    if (batching) {
+      batched_pushes = cluster.total_mailbox_pushes();
+      batched_messages = cluster.total_messages();
+      // Coalescing must actually coalesce: strictly fewer lock
+      // acquisitions than messages (each broadcast alone offers n
+      // same-destination opportunities).
+      EXPECT_LT(batched_pushes, batched_messages);
+    } else {
+      EXPECT_EQ(cluster.total_mailbox_pushes(), cluster.total_messages());
+    }
+  }
+  EXPECT_GT(batched_messages, 0u);
+}
+
+}  // namespace
+}  // namespace elect
