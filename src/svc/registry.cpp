@@ -36,17 +36,36 @@ instance_registry::key_state& instance_registry::state_locked(
   return it->second;
 }
 
+void instance_registry::bump_epoch_locked(key_state& state) {
+  state.leader = -1;
+  state.lease_deadline = clock::time_point::max();
+  state.entry.epoch++;
+  state.entry.instance = election::election_id{next_instance_.fetch_add(1)};
+}
+
 instance_entry instance_registry::current(const std::string& key) {
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mutex);
   return state_locked(s, key).entry;
 }
 
-void instance_registry::record_winner(const std::string& key,
-                                      std::uint64_t epoch, int session) {
+std::optional<instance_entry> instance_registry::peek(const std::string& key) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.keys.find(key);
+  if (it == s.keys.end()) return std::nullopt;
+  return it->second.entry;
+}
+
+instance_registry::clock::time_point instance_registry::record_winner(
+    const std::string& key, std::uint64_t epoch, int session,
+    clock::duration ttl) {
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mutex);
   key_state& state = state_locked(s, key);
+  // Still an invariant under leases: the epoch cannot move past an
+  // instance with no recorded winner (release and sweep both require a
+  // recorded holder), and winners are unique per instance.
   ELECT_CHECK_MSG(state.entry.epoch == epoch,
                   "winner recorded for a bumped epoch — release raced an "
                   "unfinished election");
@@ -54,6 +73,10 @@ void instance_registry::record_winner(const std::string& key,
                   "two winners for one election instance — test-and-set "
                   "safety violated");
   state.leader = session;
+  state.lease_deadline = ttl == clock::duration::zero()
+                             ? clock::time_point::max()
+                             : clock::now() + ttl;
+  return state.lease_deadline;
 }
 
 int instance_registry::leader_of(const std::string& key) {
@@ -62,30 +85,135 @@ int instance_registry::leader_of(const std::string& key) {
   return state_locked(s, key).leader;
 }
 
-std::uint64_t instance_registry::release(const std::string& key,
-                                         int session) {
+std::optional<instance_registry::clock::time_point>
+instance_registry::lease_deadline_of(const std::string& key) {
   shard& s = shard_for(key);
-  std::uint64_t new_epoch = 0;
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.keys.find(key);
+  if (it == s.keys.end() || it->second.leader == -1) return std::nullopt;
+  return it->second.lease_deadline;
+}
+
+lease_status instance_registry::release(const std::string& key, int session,
+                                        std::uint64_t epoch) {
+  shard& s = shard_for(key);
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
-    key_state& state = state_locked(s, key);
-    ELECT_CHECK_MSG(state.leader == session,
-                    "release by a session that does not hold the key");
-    state.leader = -1;
-    state.entry.epoch++;
-    state.entry.instance = election::election_id{next_instance_.fetch_add(1)};
-    new_epoch = state.entry.epoch;
+    const auto it = s.keys.find(key);
+    if (it == s.keys.end() || it->second.entry.epoch != epoch) {
+      return lease_status::stale_epoch;
+    }
+    if (it->second.leader != session) return lease_status::not_leader;
+    bump_epoch_locked(it->second);
   }
   s.epoch_changed.notify_all();
-  return new_epoch;
+  return lease_status::ok;
+}
+
+lease_status instance_registry::release(const std::string& key, int session) {
+  shard& s = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.keys.find(key);
+    if (it == s.keys.end() || it->second.leader != session) {
+      return lease_status::not_leader;
+    }
+    bump_epoch_locked(it->second);
+  }
+  s.epoch_changed.notify_all();
+  return lease_status::ok;
+}
+
+lease_status instance_registry::renew(const std::string& key, int session,
+                                      std::uint64_t epoch,
+                                      clock::duration ttl) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.keys.find(key);
+  if (it == s.keys.end() || it->second.entry.epoch != epoch) {
+    return lease_status::stale_epoch;
+  }
+  if (it->second.leader != session) return lease_status::not_leader;
+  it->second.lease_deadline = ttl == clock::duration::zero()
+                                  ? clock::time_point::max()
+                                  : clock::now() + ttl;
+  return lease_status::ok;
+}
+
+std::size_t instance_registry::bump_matching(
+    const std::function<bool(const key_state&)>& predicate,
+    const std::function<void(int)>& on_bumped) {
+  std::size_t bumped = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard& s = *shards_[i];
+    std::size_t bumped_here = 0;
+    {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      for (auto& [key, state] : s.keys) {
+        if (!predicate(state)) continue;
+        bump_epoch_locked(state);
+        ++bumped_here;
+      }
+    }
+    if (bumped_here == 0) continue;
+    s.epoch_changed.notify_all();
+    bumped += bumped_here;
+    if (on_bumped) {
+      for (std::size_t k = 0; k < bumped_here; ++k) {
+        on_bumped(static_cast<int>(i));
+      }
+    }
+  }
+  return bumped;
+}
+
+std::size_t instance_registry::release_all(
+    int session, const std::function<void(int)>& on_released) {
+  return bump_matching(
+      [session](const key_state& state) { return state.leader == session; },
+      on_released);
+}
+
+std::size_t instance_registry::sweep_expired(
+    clock::time_point now, const std::function<void(int)>& on_expired) {
+  return bump_matching(
+      [now](const key_state& state) {
+        return state.leader != -1 && state.lease_deadline <= now;
+      },
+      on_expired);
 }
 
 void instance_registry::wait_for_epoch_above(const std::string& key,
                                              std::uint64_t epoch) {
   shard& s = shard_for(key);
   std::unique_lock<std::mutex> lock(s.mutex);
-  s.epoch_changed.wait(
-      lock, [&] { return state_locked(s, key).entry.epoch > epoch; });
+  // Resolve the key's state once; unordered_map references are stable
+  // across inserts, so later wakeups only re-probe while the key is still
+  // absent. A never-acquired key sits at epoch 0 implicitly — waiting
+  // must not create state or burn an instance id for it.
+  const key_state* state = nullptr;
+  const auto it = s.keys.find(key);
+  if (it != s.keys.end()) state = &it->second;
+  s.epoch_changed.wait(lock, [&] {
+    if (shutdown_.load(std::memory_order_relaxed)) return true;
+    if (state == nullptr) {
+      const auto probe = s.keys.find(key);
+      if (probe == s.keys.end()) return false;  // implicit epoch 0, never > epoch
+      state = &probe->second;
+    }
+    return state->entry.epoch > epoch;
+  });
+}
+
+void instance_registry::shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  for (auto& shard_ptr : shards_) {
+    // Empty critical section: a waiter between its predicate check and
+    // its wait must observe the flag before we notify, or it would sleep
+    // through the only wakeup.
+    { const std::lock_guard<std::mutex> lock(shard_ptr->mutex); }
+    shard_ptr->epoch_changed.notify_all();
+  }
 }
 
 std::size_t instance_registry::keys_in_shard(int shard_index) const {

@@ -9,6 +9,13 @@
 // election_id, so the next acquirers contend in a brand-new Figure-6
 // instance — repeated test-and-set built from one-shot instances.
 //
+// Ownership is lease-based: record_winner stamps a deadline (now + TTL),
+// renew() pushes it out, and sweep_expired() force-releases holders whose
+// deadline has passed by bumping the epoch. The epoch doubles as a
+// fencing token — a crashed-and-resurrected holder ("zombie") presenting
+// its old epoch to release()/renew() is rejected with `stale_epoch`
+// instead of corrupting the new holder's state.
+//
 // Election ids are drawn from a global atomic counter starting high above
 // the ids examples and tests hand-pick, so registry-managed instances
 // never collide with manually created ones on the same pool. Known
@@ -18,10 +25,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,8 +46,22 @@ struct instance_entry {
   std::uint64_t epoch = 0;
 };
 
+/// Outcome of a fenced lease operation (release / renew).
+enum class lease_status {
+  ok,
+  /// The presented epoch is no longer the key's current epoch: the lease
+  /// expired (or was released) and the key moved on. The caller is a
+  /// zombie; its operation had no effect.
+  stale_epoch,
+  /// The epoch is current but the caller is not the recorded holder
+  /// (nobody is, or someone else won). No effect.
+  not_leader,
+};
+
 class instance_registry {
  public:
+  using clock = std::chrono::steady_clock;
+
   /// `first_instance` is the id given to the first key; subsequent
   /// instances count up from there.
   explicit instance_registry(int shard_count,
@@ -56,23 +80,70 @@ class instance_registry {
   /// Current (instance, epoch) for `key`; lazily creates epoch 0.
   [[nodiscard]] instance_entry current(const std::string& key);
 
-  /// Record that `session` won `key`'s election for `epoch`. Aborts if a
-  /// different winner is already recorded for the same epoch (that would
-  /// be a test-and-set safety violation).
-  void record_winner(const std::string& key, std::uint64_t epoch,
-                     int session);
+  /// Current (instance, epoch) for `key` without creating state; empty
+  /// when the key has never been acquired.
+  [[nodiscard]] std::optional<instance_entry> peek(const std::string& key);
+
+  /// Record that `session` won `key`'s election for `epoch`, starting a
+  /// lease of `ttl` (ttl == zero() means the lease never expires).
+  /// Returns the lease deadline. Aborts if a different winner is already
+  /// recorded for the same epoch (that would be a test-and-set safety
+  /// violation — winners are unique per instance, and the epoch cannot
+  /// move past an instance that has no recorded winner).
+  clock::time_point record_winner(const std::string& key, std::uint64_t epoch,
+                                  int session, clock::duration ttl);
 
   /// Session currently holding `key` (-1 if none / not yet elected).
   [[nodiscard]] int leader_of(const std::string& key);
 
-  /// Release leadership of `key`: only the recorded winner of the current
-  /// epoch may call this. Bumps the epoch, allocates a fresh election
-  /// instance, and wakes epoch waiters. Returns the new epoch.
-  std::uint64_t release(const std::string& key, int session);
+  /// Lease deadline of `key`'s current holder (time_point::max() for a
+  /// non-expiring lease; empty when nobody holds the key).
+  [[nodiscard]] std::optional<clock::time_point> lease_deadline_of(
+      const std::string& key);
 
-  /// Block until `key`'s epoch exceeds `epoch` (i.e. a release happened
-  /// after the caller lost that epoch's election).
+  /// Fenced release: only the recorded winner of exactly `epoch` — which
+  /// must still be the current epoch — releases. On `ok` the epoch is
+  /// bumped, a fresh election instance is allocated, and epoch waiters
+  /// wake. A zombie presenting a stale epoch gets `stale_epoch` and
+  /// changes nothing.
+  lease_status release(const std::string& key, int session,
+                       std::uint64_t epoch);
+
+  /// Unfenced convenience release: releases whatever epoch `session`
+  /// currently holds on `key` (`not_leader` when it holds nothing). Used
+  /// by single-threaded holders that didn't keep the acquire epoch; a
+  /// session racing its own expiry should use the fenced overload.
+  lease_status release(const std::string& key, int session);
+
+  /// Fenced renewal: extend the holder's lease to now + ttl. Same fencing
+  /// as release(); `stale_epoch` tells a holder it lost the key.
+  lease_status renew(const std::string& key, int session, std::uint64_t epoch,
+                     clock::duration ttl);
+
+  /// Release every key currently held by `session` (graceful
+  /// disconnect). `on_released` (if set) is called with the shard index
+  /// once per released key, under no lock. Returns the number of keys
+  /// released.
+  std::size_t release_all(int session,
+                          const std::function<void(int)>& on_released = {});
+
+  /// Force-release every holder whose lease deadline is <= now: bump the
+  /// epoch, allocate a fresh instance, wake epoch waiters. `on_expired`
+  /// (if set) is called with the shard index once per expired key, under
+  /// no lock. Returns the number of leases expired.
+  std::size_t sweep_expired(clock::time_point now,
+                            const std::function<void(int)>& on_expired = {});
+
+  /// Block until `key`'s epoch exceeds `epoch` (i.e. a release or expiry
+  /// happened after the caller lost that epoch's election), or until
+  /// shutdown(). A key that has never been acquired counts as epoch 0;
+  /// waiting does not create key state or burn an instance id.
   void wait_for_epoch_above(const std::string& key, std::uint64_t epoch);
+
+  /// Wake every epoch waiter and make current/future waits return
+  /// immediately. Called by the service's stop() so blocked acquirers
+  /// fail over to a rejected acquire instead of sleeping forever.
+  void shutdown();
 
   /// Keys registered in one shard / in total (for distribution checks).
   [[nodiscard]] std::size_t keys_in_shard(int shard) const;
@@ -82,6 +153,7 @@ class instance_registry {
   struct key_state {
     instance_entry entry;
     int leader = -1;
+    clock::time_point lease_deadline = clock::time_point::max();
   };
 
   struct shard {
@@ -92,9 +164,20 @@ class instance_registry {
 
   shard& shard_for(const std::string& key);
   key_state& state_locked(shard& s, const std::string& key);
+  /// Bump `key` to a fresh (instance, epoch) with no holder. Caller holds
+  /// the shard lock and must notify epoch_changed after unlocking.
+  void bump_epoch_locked(key_state& state);
+  /// Scan every shard and bump every key matching `predicate` (checked
+  /// under the shard lock); waiters are notified per shard and
+  /// `on_bumped(shard_index)` runs once per bumped key, under no lock.
+  /// Shared engine of release_all (match: held by one session) and
+  /// sweep_expired (match: lease deadline passed).
+  std::size_t bump_matching(const std::function<bool(const key_state&)>& predicate,
+                            const std::function<void(int)>& on_bumped);
 
   std::vector<std::unique_ptr<shard>> shards_;
   std::atomic<std::uint32_t> next_instance_;
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace elect::svc

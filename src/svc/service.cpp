@@ -1,8 +1,21 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace elect::svc {
+
+namespace {
+
+std::chrono::milliseconds sweep_interval(const service_config& config) {
+  if (config.sweep_interval_ms != 0) {
+    return std::chrono::milliseconds(config.sweep_interval_ms);
+  }
+  return std::chrono::milliseconds(std::max<std::uint64_t>(
+      1, config.lease_ttl_ms / 4));
+}
+
+}  // namespace
 
 service::service(service_config config)
     : config_(config),
@@ -13,6 +26,7 @@ service::service(service_config config)
           mt::cluster_options{.batch_transport = config.batch_transport})) {
   ELECT_CHECK(config.nodes >= 1);
   ELECT_CHECK(config.shards >= 1);
+  ELECT_CHECK(config.participated_prune_threshold >= 1);
   workers_.reserve(static_cast<std::size_t>(config.nodes));
   for (process_id pid = 0; pid < config.nodes; ++pid) {
     workers_.push_back(std::make_unique<worker>());
@@ -23,6 +37,9 @@ service::service(service_config config)
     pool_->set_idle_hook(pid, [this, w] { pump(*w); });
   }
   pool_->start();
+  if (config_.lease_ttl_ms != 0) {
+    sweeper_ = std::thread([this] { sweeper_main(); });
+  }
 }
 
 service::~service() { stop(); }
@@ -36,6 +53,18 @@ service::session service::connect() {
 
 void service::stop() {
   if (stopped_.exchange(true)) return;
+  if (sweeper_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(sweeper_mutex_);
+      sweeper_stop_ = true;
+    }
+    sweeper_cv_.notify_all();
+    sweeper_.join();
+  }
+  // Wake clients blocked in wait_for_epoch_above *before* draining: on
+  // wakeup they retry the acquire and get a rejected result instead of
+  // sleeping on an epoch bump that will never come.
+  registry_.shutdown();
   // One shutdown job per driver; queued behind any in-flight acquires, so
   // drivers drain their queues before returning.
   std::vector<std::unique_ptr<job>> shutdowns;
@@ -43,26 +72,53 @@ void service::stop() {
   for (process_id pid = 0; pid < config_.nodes; ++pid) {
     auto j = std::make_unique<job>();
     j->shutdown = true;
-    submit(pid, *j);
+    const bool queued = submit(pid, *j);
+    ELECT_CHECK_MSG(queued, "second shutdown job on one worker");
     shutdowns.push_back(std::move(j));
   }
   pool_->wait();
 }
 
 // ---------------------------------------------------------------------
+// Lease sweeper: force-release expired holders on a fixed interval.
+
+std::size_t service::sweep_now() {
+  return registry_.sweep_expired(
+      std::chrono::steady_clock::now(),
+      [this](int shard) { metrics_.record_expiration(shard); });
+}
+
+void service::sweeper_main() {
+  const auto interval = sweep_interval(config_);
+  std::unique_lock<std::mutex> lock(sweeper_mutex_);
+  while (!sweeper_stop_) {
+    sweeper_cv_.wait_for(lock, interval, [this] { return sweeper_stop_; });
+    if (sweeper_stop_) return;
+    lock.unlock();
+    sweep_now();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------
 // Job handoff: client thread -> per-node queue -> driver coroutine.
 
-void service::submit(process_id pid, job& j) {
+bool service::submit(process_id pid, job& j) {
   worker& w = *workers_[static_cast<std::size_t>(pid)];
   {
     const std::lock_guard<std::mutex> lock(w.mutex);
     // Checked under the queue lock so a submit racing stop() either lands
-    // ahead of the shutdown job (and is served) or aborts — never hangs.
-    ELECT_CHECK_MSG(!w.draining, "acquire submitted after stop()");
-    if (j.shutdown) w.draining = true;
+    // ahead of the shutdown job (and is served) or is turned away — never
+    // hangs behind a driver that already returned.
+    if (w.draining && !j.shutdown) return false;
+    if (j.shutdown) {
+      if (w.draining) return false;
+      w.draining = true;
+    }
     w.queue.push_back(&j);
   }
   pool_->poke(pid);
+  return true;
 }
 
 void service::pump(worker& w) {
@@ -106,6 +162,35 @@ service::job* service::next_job::await_resume() {
 // ---------------------------------------------------------------------
 // The driver: one long-lived protocol coroutine per pool node.
 
+void service::prune_participated(worker& w) {
+  if (w.participated_prune_at == 0) {
+    w.participated_prune_at = config_.participated_prune_threshold;
+  }
+  if (w.participated.size() < w.participated_prune_at) return;
+  for (auto it = w.participated.begin(); it != w.participated.end();) {
+    // An entry is only consulted while its instance is the key's current
+    // one; after any epoch bump (release, expiry, disconnect) the stored
+    // instance can never be handed out again, so the entry is dead
+    // weight. Entries still matching the current instance must stay —
+    // dropping one would let a second invocation of a live instance
+    // through.
+    const auto current = registry_.peek(it->first);
+    if (!current.has_value() || current->instance.value != it->second) {
+      it = w.participated.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-arm relative to what survived: entries a pass cannot evict are
+  // live instances, and re-scanning them on every acquire would make the
+  // pass O(live keys) per operation. Doubling keeps total prune work
+  // linear in the number of insertions.
+  w.participated_prune_at = std::max(config_.participated_prune_threshold,
+                                     2 * w.participated.size());
+  w.participated_size.store(w.participated.size(),
+                            std::memory_order_relaxed);
+}
+
 engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
   for (;;) {
     job* j = co_await next_job{w};
@@ -140,8 +225,12 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
       result.won = outcome == election::tas_result::win;
     }
     if (result.won) {
-      registry_.record_winner(j->key, result.epoch, j->session_id);
+      result.lease_deadline = registry_.record_winner(
+          j->key, result.epoch, j->session_id, lease_ttl());
     }
+    w.participated_size.store(w.participated.size(),
+                              std::memory_order_relaxed);
+    prune_participated(w);
     result.latency_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - j->submitted)
@@ -162,12 +251,19 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
 
 acquire_result service::run_acquire(int session_id, process_id pid,
                                     const std::string& key) {
-  ELECT_CHECK_MSG(!stopped_.load(), "acquire after stop()");
   job j;
   j.key = key;
   j.session_id = session_id;
   j.submitted = std::chrono::steady_clock::now();
-  submit(pid, j);
+  // stopped_ is checked inside submit() (under the worker lock, via
+  // draining) — a bare flag check here would still race stop(). A refused
+  // submit means the drivers are shutting down; fail the acquire softly.
+  if (stopped_.load(std::memory_order_relaxed) || !submit(pid, j)) {
+    metrics_.record_rejected_acquire();
+    acquire_result rejected;
+    rejected.rejected = true;
+    return rejected;
+  }
   std::unique_lock<std::mutex> lock(j.mutex);
   j.cv.wait(lock, [&] { return j.done; });
   return j.result;
@@ -183,14 +279,45 @@ acquire_result service::session::try_acquire(const std::string& key) {
 acquire_result service::session::acquire(const std::string& key) {
   for (;;) {
     const acquire_result result = try_acquire(key);
-    if (result.won) return result;
+    if (result.won || result.rejected) return result;
     owner_->registry_.wait_for_epoch_above(key, result.epoch);
   }
 }
 
-void service::session::release(const std::string& key) {
-  owner_->registry_.release(key, id_);
-  owner_->metrics_.record_release(owner_->registry_.shard_of(key));
+lease_status service::count_lease_op(const std::string& key,
+                                     lease_status status, bool renewal) {
+  const int shard = registry_.shard_of(key);
+  if (status != lease_status::ok) {
+    metrics_.record_stale_fence(shard);
+  } else if (renewal) {
+    metrics_.record_renewal(shard);
+  } else {
+    metrics_.record_release(shard);
+  }
+  return status;
+}
+
+lease_status service::session::release(const std::string& key) {
+  return owner_->count_lease_op(key, owner_->registry_.release(key, id_),
+                                /*renewal=*/false);
+}
+
+lease_status service::session::release(const std::string& key,
+                                       std::uint64_t epoch) {
+  return owner_->count_lease_op(
+      key, owner_->registry_.release(key, id_, epoch), /*renewal=*/false);
+}
+
+lease_status service::session::renew(const std::string& key,
+                                     std::uint64_t epoch) {
+  return owner_->count_lease_op(
+      key, owner_->registry_.renew(key, id_, epoch, owner_->lease_ttl()),
+      /*renewal=*/true);
+}
+
+std::size_t service::session::disconnect() {
+  return owner_->registry_.release_all(
+      id_, [this](int shard) { owner_->metrics_.record_release(shard); });
 }
 
 // ---------------------------------------------------------------------
@@ -201,6 +328,10 @@ service_report service::report() const {
   for (int s = 0; s < registry_.shard_count(); ++s) {
     report.shards[static_cast<std::size_t>(s)].keys =
         registry_.keys_in_shard(s);
+  }
+  for (const auto& w : workers_) {
+    report.participated_entries +=
+        w->participated_size.load(std::memory_order_relaxed);
   }
   report.total_messages = pool_->total_messages();
   report.mailbox_pushes = pool_->total_mailbox_pushes();

@@ -13,6 +13,13 @@
 //   * The instance registry (registry.hpp) shards keys across lock
 //     stripes and lazily maps each key to its current (election_id,
 //     epoch). release() bumps the epoch, giving repeated-TAS semantics.
+//   * Ownership is a *lease*: winning an acquire grants the key until
+//     `lease_ttl` elapses; the holder extends it with renew(). A sweeper
+//     thread force-releases expired leases by bumping the epoch, so a
+//     crashed client cannot wedge a key — blocked acquirers wake into a
+//     fresh election. The epoch is the fencing token: a zombie's late
+//     release()/renew() with its old epoch returns `stale_epoch` and has
+//     no effect on the new holder.
 //   * Client sessions are bound round-robin to pool nodes. acquire jobs
 //     from different sessions on different nodes contend in the real
 //     protocol; a second job on a node that already participated in an
@@ -22,10 +29,11 @@
 //     propagate/collect for every instance, so elections tolerate up to
 //     ceil(pool/2)-1 slow nodes exactly as the paper's model promises.
 //
-// Threading contract: session calls (try_acquire / acquire / release)
-// block the *calling* OS thread; protocol work happens on the pool
-// threads. Call stop() (or destroy the service) only after all client
-// threads are done issuing calls.
+// Threading contract: session calls (try_acquire / acquire / release /
+// renew) block the *calling* OS thread; protocol work happens on the
+// pool threads. stop() is safe to call while clients are mid-call:
+// in-flight acquires drain or come back with `rejected` set, and blocked
+// acquirers are woken — nothing aborts and nothing hangs.
 #pragma once
 
 #include <atomic>
@@ -37,6 +45,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -59,16 +68,33 @@ struct service_config {
   bool batch_transport = true;
   /// Per-election round safety valve (see leader_elect_params).
   std::int64_t max_rounds = 1'000'000;
+  /// Lease granted to a winning acquire, in milliseconds. 0 means leases
+  /// never expire (PR-1 behaviour: the winner must release explicitly).
+  std::uint64_t lease_ttl_ms = 0;
+  /// How often the sweeper scans for expired leases. 0 derives
+  /// max(1, lease_ttl_ms / 4). Ignored when lease_ttl_ms == 0 (no
+  /// sweeper thread is started).
+  std::uint64_t sweep_interval_ms = 0;
+  /// Per-node participated-map size that triggers a stale-entry eviction
+  /// pass (see service::worker::participated).
+  std::size_t participated_prune_threshold = 1024;
 };
 
 /// Outcome of one acquire attempt (one leader_elect invocation).
 struct acquire_result {
   bool won = false;
+  /// The service refused the call because stop() ran first or
+  /// concurrently. No election happened; won is false.
+  bool rejected = false;
   /// The epoch of the instance contended. Losers pass this to
-  /// wait_for_epoch_above to sleep until the holder releases.
+  /// wait_for_epoch_above to sleep until the holder releases or expires;
+  /// winners pass it back to renew()/release() as the fencing token.
   std::uint64_t epoch = 0;
   election::election_id instance{0};
   std::uint64_t latency_ns = 0;
+  /// Winner only: when the lease lapses unless renewed
+  /// (time_point::max() when lease_ttl_ms == 0).
+  std::chrono::steady_clock::time_point lease_deadline{};
 };
 
 class service {
@@ -88,13 +114,30 @@ class service {
     acquire_result try_acquire(const std::string& key);
 
     /// Blocking acquire: contend, and on loss sleep until the holder
-    /// releases, then contend in the fresh instance. Returns the winning
-    /// attempt's result.
+    /// releases (or its lease expires), then contend in the fresh
+    /// instance. Returns the winning attempt's result — or, if the
+    /// service stops while we wait, a result with `rejected` set.
     acquire_result acquire(const std::string& key);
 
-    /// Give up leadership of `key`; aborts if this session is not the
-    /// recorded holder. Triggers a fresh election instance for the key.
-    void release(const std::string& key);
+    /// Give up leadership of `key` if this session currently holds it.
+    /// Returns the fencing verdict; a session that lost the key to lease
+    /// expiry gets `not_leader`/`stale_epoch` back instead of aborting.
+    lease_status release(const std::string& key);
+
+    /// Fenced release: only succeeds while `epoch` (from the winning
+    /// acquire_result) is still current. Use this form when the same
+    /// session may have re-acquired the key after an expiry.
+    lease_status release(const std::string& key, std::uint64_t epoch);
+
+    /// Extend the lease on `key` by the configured TTL. `stale_epoch`
+    /// means the lease already expired and the key moved on — the caller
+    /// must stop acting as leader.
+    lease_status renew(const std::string& key, std::uint64_t epoch);
+
+    /// Gracefully drop every key this session holds (client going away
+    /// politely, as opposed to crashing and waiting out the TTL).
+    /// Returns the number of keys released.
+    std::size_t disconnect();
 
     [[nodiscard]] int id() const noexcept { return id_; }
     [[nodiscard]] process_id node() const noexcept { return pid_; }
@@ -112,14 +155,24 @@ class service {
   /// Open a session, bound round-robin to a pool node.
   [[nodiscard]] session connect();
 
-  /// Drain all queued jobs, stop the drivers, and join the pool. Called
-  /// by the destructor; idempotent.
+  /// Drain all queued jobs, stop the drivers and the lease sweeper, wake
+  /// blocked acquirers (they come back `rejected`), and join the pool.
+  /// Called by the destructor; idempotent and safe to race with client
+  /// calls.
   void stop();
 
   [[nodiscard]] instance_registry& registry() noexcept { return registry_; }
   [[nodiscard]] const service_config& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] std::chrono::milliseconds lease_ttl() const noexcept {
+    return std::chrono::milliseconds(config_.lease_ttl_ms);
+  }
+
+  /// Run one expiry sweep now (what the sweeper thread does on its
+  /// interval). Exposed for tests and for embedders that drive their own
+  /// clock. Returns the number of leases expired.
+  std::size_t sweep_now();
 
   /// Snapshot of service + pool metrics (per-shard counters, latency
   /// quantiles, messages per acquire, communicate-call complexity).
@@ -147,8 +200,9 @@ class service {
     std::mutex mutex;
     std::deque<job*> queue;
     /// Set (under mutex) when the shutdown job is queued. Later submits
-    /// abort loudly instead of enqueueing behind a driver that will never
-    /// serve them (which would hang the client forever).
+    /// are turned away (submit() returns false and the acquire comes
+    /// back `rejected`) instead of enqueueing behind a driver that will
+    /// never serve them.
     bool draining = false;
     std::coroutine_handle<> parked;
     job* current = nullptr;
@@ -157,7 +211,20 @@ class service {
     /// rather than instance id so the map is bounded by the keyspace, not
     /// by the ever-growing epoch count: once a key's epoch bumps, its old
     /// instance can never be handed out again, so only the latest matters.
+    /// When it outgrows config.participated_prune_threshold the driver
+    /// evicts entries whose instance no longer matches the registry
+    /// (those can never be consulted again), so churn through many
+    /// short-lived keys does not grow node memory forever.
     std::unordered_map<std::string, std::uint32_t> participated;
+    /// Size at which the next prune pass fires. Starts at the config
+    /// threshold and is re-armed after every pass to twice the surviving
+    /// size, so a map full of *live* entries (which a pass cannot evict)
+    /// is not re-scanned on every acquire — the scan cost stays
+    /// amortized against actual growth.
+    std::size_t participated_prune_at = 0;
+    /// Mirror of participated.size() readable from other threads
+    /// (report(), tests); the map itself is node-thread-only.
+    std::atomic<std::size_t> participated_size{0};
   };
 
   /// Awaitable the driver parks on between jobs; resumed by pump().
@@ -170,9 +237,17 @@ class service {
 
   engine::task<std::int64_t> driver(engine::node& node, worker& w);
   void pump(worker& w);
-  void submit(process_id pid, job& j);
+  /// Enqueue `j` on pid's driver. Returns false (without enqueueing) if
+  /// the worker is already draining for shutdown.
+  [[nodiscard]] bool submit(process_id pid, job& j);
   acquire_result run_acquire(int session_id, process_id pid,
                              const std::string& key);
+  /// Record the metric for a fenced release/renew outcome and pass the
+  /// status through.
+  lease_status count_lease_op(const std::string& key, lease_status status,
+                              bool renewal);
+  void prune_participated(worker& w);
+  void sweeper_main();
 
   service_config config_;
   instance_registry registry_;
@@ -183,6 +258,11 @@ class service {
   std::mutex connect_mutex_;
   int next_session_ = 0;
   std::atomic<bool> stopped_{false};
+
+  std::thread sweeper_;
+  std::mutex sweeper_mutex_;
+  std::condition_variable sweeper_cv_;
+  bool sweeper_stop_ = false;
 };
 
 }  // namespace elect::svc

@@ -1,0 +1,136 @@
+// latency_histogram unit tests: bucket-edge placement (0, 1, powers of
+// two, overflow), the consistent tail estimate, quantile monotonicity,
+// and the lease counters' JSON round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "svc/metrics.hpp"
+
+namespace elect {
+namespace {
+
+using svc::latency_histogram;
+
+constexpr int top = latency_histogram::bucket_count - 1;  // overflow bucket
+
+TEST(LatencyHistogram, EmptyQuantileIsZero) {
+  latency_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, BucketZeroHoldsZeroAndOne) {
+  // Bucket 0 covers [0, 2): samples 0 and 1 share it; its midpoint is 1.
+  latency_histogram h;
+  h.add(0);
+  h.add(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.quantile(0.0), 1.0);
+  EXPECT_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(LatencyHistogram, PowerOfTwoBoundariesLandInTheirBucket) {
+  // 2^b is the *low* edge of bucket b; 2^b - 1 is the top of bucket b-1.
+  for (int b = 1; b < top; ++b) {
+    latency_histogram below;
+    below.add((1ULL << b) - 1);
+    EXPECT_EQ(below.quantile(0.5), latency_histogram::bucket_midpoint(b - 1))
+        << "sample 2^" << b << " - 1";
+
+    latency_histogram at;
+    at.add(1ULL << b);
+    EXPECT_EQ(at.quantile(0.5), latency_histogram::bucket_midpoint(b))
+        << "sample 2^" << b;
+  }
+}
+
+TEST(LatencyHistogram, MidpointsAreGeometricBucketCenters) {
+  // Bucket b covers [2^b, 2^(b+1)); spot-check the arithmetic midpoints.
+  EXPECT_EQ(latency_histogram::bucket_midpoint(0), 1.0);        // [0, 2)
+  EXPECT_EQ(latency_histogram::bucket_midpoint(1), 3.0);        // [2, 4)
+  EXPECT_EQ(latency_histogram::bucket_midpoint(2), 6.0);        // [4, 8)
+  EXPECT_EQ(latency_histogram::bucket_midpoint(10), 1536.0);    // [1024, 2048)
+}
+
+TEST(LatencyHistogram, OverflowTailIsConsistentWithBody) {
+  // Everything at or above 2^47 collapses into the overflow bucket. The
+  // old code returned the bucket's *lower bound* on one path while every
+  // other bucket reported its midpoint; the tail estimate must now be
+  // the same midpoint everywhere and never sit below the lower bound of
+  // the bucket's range.
+  const double tail_midpoint = latency_histogram::bucket_midpoint(top);
+  EXPECT_EQ(tail_midpoint,
+            (static_cast<double>(1ULL << top) +
+             static_cast<double>(2ULL << top)) /
+                2.0);
+
+  latency_histogram h;
+  h.add(1ULL << top);                  // low edge of the overflow bucket
+  h.add((1ULL << top) + 12345);        // inside
+  h.add(~0ULL);                        // far beyond the nominal range
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.quantile(0.0), tail_midpoint);
+  EXPECT_EQ(h.quantile(0.5), tail_midpoint);
+  EXPECT_EQ(h.quantile(1.0), tail_midpoint);
+  EXPECT_GT(h.quantile(1.0), static_cast<double>(1ULL << top));
+}
+
+TEST(LatencyHistogram, TailDoesNotDipBelowPrecedingBucket) {
+  // Regression shape for the old bug: with samples in bucket top-1 and
+  // the overflow bucket, a p99 landing in the overflow bucket must be >=
+  // the p50 landing below it (the lower-bound tail could tie or invert).
+  latency_histogram h;
+  for (int i = 0; i < 98; ++i) h.add(1ULL << (top - 1));
+  h.add(~0ULL);
+  h.add(~0ULL);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_EQ(p50, latency_histogram::bucket_midpoint(top - 1));
+  EXPECT_EQ(p99, latency_histogram::bucket_midpoint(top));
+  EXPECT_GT(p99, p50);
+}
+
+TEST(LatencyHistogram, QuantileIsMonotoneInQ) {
+  latency_histogram h;
+  for (std::uint64_t v : {0ULL, 1ULL, 5ULL, 100ULL, 4096ULL, 1ULL << 20,
+                          1ULL << 40, ~0ULL}) {
+    h.add(v);
+  }
+  double previous = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = h.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(ServiceReport, LeaseCountersRoundTripThroughJson) {
+  svc::service_metrics metrics(2);
+  metrics.record_acquire(0, /*won=*/true, /*latency_ns=*/1000);
+  metrics.record_release(0);
+  metrics.record_expiration(1);
+  metrics.record_renewal(0);
+  metrics.record_renewal(0);
+  metrics.record_stale_fence(1);
+  metrics.record_rejected_acquire();
+
+  const svc::service_report report = metrics.snapshot();
+  EXPECT_EQ(report.expirations, 1u);
+  EXPECT_EQ(report.renewals, 2u);
+  EXPECT_EQ(report.stale_fences, 1u);
+  EXPECT_EQ(report.rejected_acquires, 1u);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"expirations\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"renewals\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"stale_fences\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_acquires\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"participated_entries\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elect
