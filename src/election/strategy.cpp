@@ -1,0 +1,147 @@
+#include "election/strategy.hpp"
+
+#include "election/doorway.hpp"
+#include "election/het_poison_pill.hpp"
+#include "election/leader_elect.hpp"
+#include "election/sifter.hpp"
+
+namespace elect::election {
+
+namespace {
+
+/// Figure 6 verbatim. The protocol is self-deciding: PreRound detects
+/// the unique winner, so `claim` (when the host set one) must accept it.
+class full_strategy final : public strategy {
+ public:
+  [[nodiscard]] strategy_kind kind() const noexcept override {
+    return strategy_kind::full;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "full";
+  }
+
+  [[nodiscard]] engine::task<tas_result> elect(
+      engine::node& self, strategy_context ctx) override {
+    const tas_result result = co_await leader_elect(
+        self, leader_elect_params{ctx.instance, ctx.max_rounds});
+    if (result == tas_result::win && ctx.claim) {
+      ELECT_CHECK_MSG(ctx.claim(),
+                      "full strategy's protocol winner was refused by the "
+                      "claim arbiter — two winners for one instance");
+    }
+    co_return result;
+  }
+};
+
+/// Doorway gate, then straight to the claim arbiter. Every doorway
+/// passer races on the claim; cheapest scheme, most claim conflicts.
+class doorway_only_strategy final : public strategy {
+ public:
+  [[nodiscard]] strategy_kind kind() const noexcept override {
+    return strategy_kind::doorway_only;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "doorway_only";
+  }
+
+  [[nodiscard]] engine::task<tas_result> elect(
+      engine::node& self, strategy_context ctx) override {
+    ELECT_CHECK_MSG(ctx.claim != nullptr,
+                    "doorway_only needs a claim arbiter — its elimination "
+                    "stage does not decide a unique winner");
+    self.probe().round = 0;
+    // Named locals rather than `if (co_await ... == lose)` / a ternary
+    // co_return: gcc 12 miscompiles this particular frame shape when the
+    // awaited comparison feeds the branch directly (the resumed frame
+    // never re-enters the coroutine and the caller hangs).
+    const gate_result gate = co_await doorway(self, door_var(ctx.instance));
+    if (gate == gate_result::lose) {
+      co_return tas_result::lose;
+    }
+    const bool claimed = ctx.claim();
+    co_return claimed ? tas_result::win : tas_result::lose;
+  }
+};
+
+/// Doorway, two naive-sifter rounds (default 1/sqrt(n) bias), one
+/// Heterogeneous PoisonPill phase, then the claim arbiter over the
+/// surviving few. The sifter variables and the pill's round-1 Status[]
+/// are disjoint from leader_elect's per-round families, so a key that
+/// switches strategy across epochs never crosses variable streams
+/// (instances are never reused).
+class sifter_pill_strategy final : public strategy {
+ public:
+  [[nodiscard]] strategy_kind kind() const noexcept override {
+    return strategy_kind::sifter_pill;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sifter_pill";
+  }
+
+  [[nodiscard]] engine::task<tas_result> elect(
+      engine::node& self, strategy_context ctx) override {
+    ELECT_CHECK_MSG(ctx.claim != nullptr,
+                    "sifter_pill needs a claim arbiter — its elimination "
+                    "stage does not decide a unique winner");
+    self.probe().round = 0;
+    if (co_await doorway(self, door_var(ctx.instance)) == gate_result::lose) {
+      co_return tas_result::lose;
+    }
+    // Prefilter: two sifting rounds at the default 1/sqrt(n) bias. A
+    // lone participant always survives (it sees no rival 1-flip). The
+    // vector lives in a named local: gcc rejects an initializer_list
+    // temporary inside a co_await expression ("array used as
+    // initializer").
+    std::vector<double> default_biases(2, -1.0);
+    if (co_await naive_sifter_chain(self, ctx.instance,
+                                    std::move(default_biases)) ==
+        pp_result::die) {
+      co_return tas_result::lose;
+    }
+    // One committed-elimination phase so the sifter's weak-adversary gap
+    // cannot leave the claim with O(sqrt n) racers (Claim 3.1 keeps at
+    // least one survivor).
+    if (co_await het_poison_pill(
+            self, het_poison_pill_params{het_status_var(ctx.instance, 1)}) ==
+        pp_result::die) {
+      co_return tas_result::lose;
+    }
+    co_return ctx.claim() ? tas_result::win : tas_result::lose;
+  }
+};
+
+}  // namespace
+
+std::string_view to_string(strategy_kind kind) {
+  switch (kind) {
+    case strategy_kind::full: return "full";
+    case strategy_kind::sifter_pill: return "sifter_pill";
+    case strategy_kind::doorway_only: return "doorway_only";
+    case strategy_kind::adaptive: return "adaptive";
+  }
+  return "unknown";
+}
+
+std::optional<strategy_kind> parse_strategy(std::string_view name) {
+  for (int k = 0; k < strategy_kind_count; ++k) {
+    const auto kind = static_cast<strategy_kind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<strategy> make_strategy(strategy_kind kind) {
+  switch (kind) {
+    case strategy_kind::full:
+    case strategy_kind::adaptive:  // protocol half of the adaptive policy
+      return std::make_unique<full_strategy>();
+    case strategy_kind::sifter_pill:
+      return std::make_unique<sifter_pill_strategy>();
+    case strategy_kind::doorway_only:
+      return std::make_unique<doorway_only_strategy>();
+  }
+  ELECT_CHECK_MSG(false, "unknown strategy_kind");
+  return nullptr;
+}
+
+}  // namespace elect::election

@@ -1,0 +1,125 @@
+// Pluggable election strategies: the algorithm ladder behind one TAS
+// interface.
+//
+// The paper's thesis is that the *elimination scheme* determines election
+// cost — O(log* k) communicate calls for Figure 6 versus O(log n) for a
+// tournament — and the ladder below Figure 6 (naive sifter, PoisonPill,
+// Heterogeneous PoisonPill) trades adversary strength against speed. A
+// strategy packages one point on that ladder as a test-and-set attempt:
+// given a node and an election instance, it returns WIN or LOSE with the
+// usual TAS contract (unique winner per instance, a lone participant
+// wins, no loser returns before some participant has invoked).
+//
+// Three concrete strategies:
+//
+//   * `full` — the paper's leader_elect (Figure 6) verbatim: doorway,
+//     then rounds of PreRound + Heterogeneous PoisonPill. The protocol
+//     itself decides the unique winner; strongest guarantees (holds
+//     against a strong adaptive adversary), most communicate calls.
+//   * `sifter_pill` — doorway, then a naive-sifter prefilter (two
+//     rounds, ~sqrt-law elimination against non-adversarial schedules),
+//     then one Heterogeneous PoisonPill phase. Elimination can leave
+//     several survivors, so the survivors are arbitrated by the host's
+//     `claim` (below). Cheaper than `full` on the common path; the
+//     prefilter's guarantees degrade under a strong adaptive scheduler
+//     (that is experiment E10's point), but safety never depends on it.
+//   * `doorway_only` — just the doorway gate, then `claim`. The minimal
+//     scheme that preserves the linearizability argument; all doorway
+//     passers race on the claim, so expect many claim conflicts under
+//     contention. This is the "tournament-free" floor of the ladder.
+//
+// The claim arbiter: strategies whose elimination stage is not a decider
+// (sifter_pill, doorway_only) pick the winner by calling
+// `strategy_context::claim`, which the host must implement to return
+// true for exactly one caller per instance (the election service backs
+// it with an epoch-fenced compare-and-swap in its registry — legitimate
+// here because every node of the mt runtime lives in one address space).
+// Safety (at most one winner) therefore never rests on the elimination
+// stage; elimination only buys fewer claim conflicts and fewer
+// communicate calls. Liveness (at least one winner) holds because each
+// stage keeps >= 1 survivor: the doorway admits at least the first
+// closer, the sifter and the pill both guarantee a survivor (Claim 3.1),
+// and the first survivor to claim wins. Linearizability: every loser
+// lost because of another participant's already-visible activity (a
+// closed door, an observed flip, a committed status, or a granted
+// claim), so no loser returns before every participant has invoked —
+// the doorway-first rule of [AGTV92] that Figure 5 reproduces.
+//
+// `adaptive` is not a protocol: it names the service-level policy that
+// skips the distributed protocol entirely on uncontended keys (a fenced
+// CAS fast path) and falls back to `full` when contention is observed.
+// It appears in the enum so configs, metrics, and benches can name it;
+// make_strategy() maps it to the `full` protocol object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "election/outcomes.hpp"
+#include "election/vars.hpp"
+#include "engine/node.hpp"
+#include "engine/task.hpp"
+
+namespace elect::election {
+
+/// Which election scheme backs a TAS attempt. Values index metrics
+/// arrays; keep them dense.
+enum class strategy_kind : int {
+  /// leader_elect (Figure 6): self-deciding, strong-adversary safe.
+  full = 0,
+  /// doorway -> naive sifter prefilter -> het poison pill -> claim.
+  sifter_pill = 1,
+  /// doorway -> claim.
+  doorway_only = 2,
+  /// Service-level policy: fenced CAS fast path on uncontended keys,
+  /// `full` protocol under contention.
+  adaptive = 3,
+};
+
+inline constexpr int strategy_kind_count = 4;
+
+[[nodiscard]] std::string_view to_string(strategy_kind kind);
+
+/// Parse a strategy name ("full", "sifter_pill", "doorway_only",
+/// "adaptive"); empty for unknown names.
+[[nodiscard]] std::optional<strategy_kind> parse_strategy(
+    std::string_view name);
+
+/// Everything one TAS attempt needs beyond the node itself.
+struct strategy_context {
+  /// The election instance contended (disjoint variables per instance).
+  election_id instance{0};
+  /// Per-election round safety valve (see leader_elect_params).
+  std::int64_t max_rounds = 1'000'000;
+  /// External win arbiter: must return true for exactly one caller per
+  /// instance, false for every later caller. Required by strategies
+  /// whose elimination stage can leave several survivors; `full` uses it
+  /// (when set) to report its unique protocol winner, and a refusal
+  /// there is a safety violation.
+  std::function<bool()> claim;
+};
+
+/// One rung of the algorithm ladder, usable as a repeated-TAS backend.
+/// Stateless and shared across nodes; elect() runs on the calling
+/// node's thread like any protocol coroutine.
+class strategy {
+ public:
+  virtual ~strategy() = default;
+
+  [[nodiscard]] virtual strategy_kind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Run one test-and-set attempt for `ctx.instance` on `self`.
+  [[nodiscard]] virtual engine::task<tas_result> elect(
+      engine::node& self, strategy_context ctx) = 0;
+};
+
+/// Instantiate the protocol backing `kind`. `adaptive` yields the `full`
+/// protocol object (the fast-path half of adaptive lives in the host).
+[[nodiscard]] std::unique_ptr<strategy> make_strategy(strategy_kind kind);
+
+}  // namespace elect::election

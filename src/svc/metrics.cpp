@@ -25,6 +25,19 @@ service_report service_metrics::snapshot() const {
   }
   report.rejected_acquires =
       rejected_acquires_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < strategies_.size(); ++k) {
+    report.strategies[k].acquires =
+        strategies_[k].acquires.load(std::memory_order_relaxed);
+    report.strategies[k].wins =
+        strategies_[k].wins.load(std::memory_order_relaxed);
+  }
+  report.fast_path.hits = fast_path_hits_.load(std::memory_order_relaxed);
+  report.fast_path.conflicts =
+      fast_path_conflicts_.load(std::memory_order_relaxed);
+  report.fast_path.fallbacks =
+      fast_path_fallbacks_.load(std::memory_order_relaxed);
+  report.short_circuit_losses =
+      short_circuit_losses_.load(std::memory_order_relaxed);
   report.acquire_p50_ms = acquire_latency_.quantile(0.50) / 1e6;
   report.acquire_p99_ms = acquire_latency_.quantile(0.99) / 1e6;
   return report;
@@ -40,6 +53,20 @@ std::string service_report::to_json() const {
   out << "\"renewals\":" << renewals << ",";
   out << "\"stale_fences\":" << stale_fences << ",";
   out << "\"rejected_acquires\":" << rejected_acquires << ",";
+  out << "\"strategies\":{";
+  for (int k = 0; k < election::strategy_kind_count; ++k) {
+    if (k > 0) out << ",";
+    const strategy_report& sr = strategies[static_cast<std::size_t>(k)];
+    out << "\"" << election::to_string(static_cast<election::strategy_kind>(k))
+        << "\":{\"acquires\":" << sr.acquires << ",\"wins\":" << sr.wins
+        << "}";
+  }
+  out << "},";
+  out << "\"fast_path\":{\"hits\":" << fast_path.hits
+      << ",\"conflicts\":" << fast_path.conflicts
+      << ",\"fallbacks\":" << fast_path.fallbacks
+      << ",\"hit_rate\":" << fast_path.hit_rate() << "},";
+  out << "\"short_circuit_losses\":" << short_circuit_losses << ",";
   out << "\"acquire_p50_ms\":" << acquire_p50_ms << ",";
   out << "\"acquire_p99_ms\":" << acquire_p99_ms << ",";
   out << "\"participated_entries\":" << participated_entries << ",";

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "election/strategy.hpp"
 
 namespace elect::svc {
 
@@ -90,6 +91,36 @@ struct shard_counters {
   std::atomic<std::uint64_t> stale_fences{0};
 };
 
+/// Acquire traffic attributed to one election strategy.
+struct strategy_counters {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> wins{0};
+};
+
+struct strategy_report {
+  std::uint64_t acquires = 0;
+  std::uint64_t wins = 0;
+};
+
+/// Contention-adaptive fast-path traffic (strategy_kind::adaptive only).
+struct fast_path_report {
+  /// Epochs granted by the CAS fast path — no election ran.
+  std::uint64_t hits = 0;
+  /// Fast-path attempts that lost outright (epoch already held/stale).
+  std::uint64_t conflicts = 0;
+  /// Fast-path attempts that found a protocol armed and fell back to
+  /// the full distributed election.
+  std::uint64_t fallbacks = 0;
+
+  /// hits / (hits + conflicts + fallbacks); 0 when no attempts.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t attempts = hits + conflicts + fallbacks;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(attempts);
+  }
+};
+
 /// Point-in-time snapshot of one shard.
 struct shard_report {
   std::uint64_t acquires = 0;
@@ -113,6 +144,13 @@ struct service_report {
   /// Acquires turned away by a concurrent/completed stop() (not counted
   /// in `acquires`; they never reached an election).
   std::uint64_t rejected_acquires = 0;
+  /// Acquire traffic per strategy, indexed by election::strategy_kind.
+  std::array<strategy_report, election::strategy_kind_count> strategies{};
+  /// Adaptive CAS fast-path traffic.
+  fast_path_report fast_path;
+  /// Protocol-path acquires that lost without running the protocol
+  /// because the epoch was already granted (arm_protocol refused).
+  std::uint64_t short_circuit_losses = 0;
   double acquire_p50_ms = 0.0;
   double acquire_p99_ms = 0.0;
   /// Per-node participated-map entries, summed over the pool (bounded by
@@ -133,11 +171,31 @@ class service_metrics {
   explicit service_metrics(int shard_count)
       : shards_(static_cast<std::size_t>(shard_count)) {}
 
-  void record_acquire(int shard, bool won, std::uint64_t latency_ns) {
+  void record_acquire(int shard, election::strategy_kind kind, bool won,
+                      std::uint64_t latency_ns) {
     auto& s = shards_[static_cast<std::size_t>(shard)];
     s.acquires.fetch_add(1, std::memory_order_relaxed);
     if (won) s.wins.fetch_add(1, std::memory_order_relaxed);
+    auto& by_kind = strategies_[static_cast<std::size_t>(kind)];
+    by_kind.acquires.fetch_add(1, std::memory_order_relaxed);
+    if (won) by_kind.wins.fetch_add(1, std::memory_order_relaxed);
     acquire_latency_.add(latency_ns);
+  }
+
+  void record_fast_path_hit() {
+    fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_fast_path_conflict() {
+    fast_path_conflicts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_fast_path_fallback() {
+    fast_path_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_short_circuit_loss() {
+    short_circuit_losses_.fetch_add(1, std::memory_order_relaxed);
   }
 
   void record_release(int shard) {
@@ -177,8 +235,13 @@ class service_metrics {
 
  private:
   std::vector<shard_counters> shards_;
+  std::array<strategy_counters, election::strategy_kind_count> strategies_{};
   latency_histogram acquire_latency_;
   std::atomic<std::uint64_t> rejected_acquires_{0};
+  std::atomic<std::uint64_t> fast_path_hits_{0};
+  std::atomic<std::uint64_t> fast_path_conflicts_{0};
+  std::atomic<std::uint64_t> fast_path_fallbacks_{0};
+  std::atomic<std::uint64_t> short_circuit_losses_{0};
 };
 
 }  // namespace elect::svc

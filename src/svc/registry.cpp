@@ -6,10 +6,24 @@
 
 namespace elect::svc {
 
+namespace {
+
+/// Lease deadline for a grant/renewal: zero TTL means "never expires".
+instance_registry::clock::time_point deadline_for(
+    instance_registry::clock::duration ttl) {
+  return ttl == instance_registry::clock::duration::zero()
+             ? instance_registry::clock::time_point::max()
+             : instance_registry::clock::now() + ttl;
+}
+
+}  // namespace
+
 instance_registry::instance_registry(int shard_count,
-                                     std::uint32_t first_instance)
+                                     std::uint64_t first_instance)
     : next_instance_(first_instance) {
   ELECT_CHECK(shard_count >= 1);
+  ELECT_CHECK_MSG(first_instance < instance_id_limit,
+                  "first_instance starts past the election-id guard");
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<shard>());
@@ -25,12 +39,27 @@ instance_registry::shard& instance_registry::shard_for(
   return *shards_[static_cast<std::size_t>(shard_of(key))];
 }
 
+election::election_id instance_registry::allocate_instance() {
+  const std::uint64_t id = next_instance_.fetch_add(1);
+  // Fail fast with headroom: aborting here, 64K ids short of the uint32
+  // var_id namespace, is a clean "restart the service" signal; wrapping
+  // would silently alias long-decided instances' replicated variables.
+  ELECT_CHECK_MSG(id < instance_id_limit,
+                  "election-id space exhausted (~4e9 instances served) — "
+                  "var_id.instance would alias; restart the service");
+  return election::election_id{static_cast<std::uint32_t>(id)};
+}
+
+std::uint64_t instance_registry::remaining_instance_ids() const noexcept {
+  const std::uint64_t next = next_instance_.load(std::memory_order_relaxed);
+  return next >= instance_id_limit ? 0 : instance_id_limit - next;
+}
+
 instance_registry::key_state& instance_registry::state_locked(
     shard& s, const std::string& key) {
   auto [it, inserted] = s.keys.try_emplace(key);
   if (inserted) {
-    it->second.entry.instance =
-        election::election_id{next_instance_.fetch_add(1)};
+    it->second.entry.instance = allocate_instance();
     it->second.entry.epoch = 0;
   }
   return it->second;
@@ -40,13 +69,25 @@ void instance_registry::bump_epoch_locked(key_state& state) {
   state.leader = -1;
   state.lease_deadline = clock::time_point::max();
   state.entry.epoch++;
-  state.entry.instance = election::election_id{next_instance_.fetch_add(1)};
+  state.entry.instance = allocate_instance();
+  state.mode = grant_mode::open;
+  state.last_epoch_attempts = state.attempts_this_epoch;
+  state.attempts_this_epoch = 0;
 }
 
 instance_entry instance_registry::current(const std::string& key) {
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mutex);
   return state_locked(s, key).entry;
+}
+
+attempt_info instance_registry::begin_attempt(const std::string& key) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  key_state& state = state_locked(s, key);
+  state.attempts_this_epoch++;
+  return attempt_info{state.entry, state.attempts_this_epoch,
+                      state.last_epoch_attempts};
 }
 
 std::optional<instance_entry> instance_registry::peek(const std::string& key) {
@@ -57,25 +98,82 @@ std::optional<instance_entry> instance_registry::peek(const std::string& key) {
   return it->second.entry;
 }
 
-instance_registry::clock::time_point instance_registry::record_winner(
-    const std::string& key, std::uint64_t epoch, int session,
-    clock::duration ttl) {
+adaptive_attempt instance_registry::begin_adaptive_attempt(
+    const std::string& key, int session, clock::duration ttl) {
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mutex);
   key_state& state = state_locked(s, key);
-  // Still an invariant under leases: the epoch cannot move past an
-  // instance with no recorded winner (release and sweep both require a
-  // recorded holder), and winners are unique per instance.
-  ELECT_CHECK_MSG(state.entry.epoch == epoch,
-                  "winner recorded for a bumped epoch — release raced an "
-                  "unfinished election");
-  ELECT_CHECK_MSG(state.leader == -1,
-                  "two winners for one election instance — test-and-set "
-                  "safety violated");
+  state.attempts_this_epoch++;
+
+  adaptive_attempt result;
+  result.attempt = attempt_info{state.entry, state.attempts_this_epoch,
+                                state.last_epoch_attempts};
+  // Contention observed (a rival already attempted this epoch, or the
+  // previous epoch was contended): no CAS, the caller runs the protocol.
+  if (state.attempts_this_epoch != 1 || state.last_epoch_attempts > 1) {
+    return result;
+  }
+  result.fast_attempted = true;
+  // The protocol path's stop() gate lives in service::submit(); the fast
+  // path never submits, so it must refuse here. shutdown() stores the
+  // flag before briefly taking every shard mutex, so once it has
+  // returned, any later fast claim (which holds this shard's mutex)
+  // observes the flag — a completed stop() can never be followed by a
+  // fast-path grant.
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    result.fast = {fast_claim_outcome::shutdown, {}};
+    return result;
+  }
+  if (state.mode == grant_mode::protocol_armed) {
+    // An election is (or was) running for this epoch: the fast path must
+    // stay off it — the protocol's winner owns the grant.
+    result.fast = {fast_claim_outcome::armed, {}};
+    return result;
+  }
+  if (state.leader != -1) {
+    result.fast = {fast_claim_outcome::held, {}};
+    return result;
+  }
   state.leader = session;
-  state.lease_deadline = ttl == clock::duration::zero()
-                             ? clock::time_point::max()
-                             : clock::now() + ttl;
+  state.mode = grant_mode::fast_claimed;
+  state.lease_deadline = deadline_for(ttl);
+  result.fast = {fast_claim_outcome::claimed, state.lease_deadline};
+  return result;
+}
+
+bool instance_registry::arm_protocol(const std::string& key,
+                                     std::uint64_t epoch) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.keys.find(key);
+  if (it == s.keys.end() || it->second.entry.epoch != epoch) return false;
+  key_state& state = it->second;
+  // A granted epoch — fast-claimed, or already decided by a protocol
+  // winner — turns arriving acquirers away: they lose without running
+  // the protocol (the short-circuit the metrics count). Concurrent
+  // participants of a still-undecided election all arm the same epoch
+  // (idempotent) and contend in one instance.
+  if (state.leader != -1) return false;
+  state.mode = grant_mode::protocol_armed;
+  return true;
+}
+
+std::optional<instance_registry::clock::time_point>
+instance_registry::claim_win(const std::string& key, std::uint64_t epoch,
+                             int session, clock::duration ttl) {
+  shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.keys.find(key);
+  if (it == s.keys.end() || it->second.entry.epoch != epoch) {
+    return std::nullopt;
+  }
+  key_state& state = it->second;
+  ELECT_CHECK_MSG(state.mode != grant_mode::fast_claimed,
+                  "protocol claim on a fast-claimed epoch — the fencing "
+                  "that keeps the two grant paths apart is broken");
+  if (state.leader != -1) return std::nullopt;
+  state.leader = session;
+  state.lease_deadline = deadline_for(ttl);
   return state.lease_deadline;
 }
 
@@ -134,9 +232,7 @@ lease_status instance_registry::renew(const std::string& key, int session,
     return lease_status::stale_epoch;
   }
   if (it->second.leader != session) return lease_status::not_leader;
-  it->second.lease_deadline = ttl == clock::duration::zero()
-                                  ? clock::time_point::max()
-                                  : clock::now() + ttl;
+  it->second.lease_deadline = deadline_for(ttl);
   return lease_status::ok;
 }
 
@@ -183,8 +279,9 @@ std::size_t instance_registry::sweep_expired(
       on_expired);
 }
 
-void instance_registry::wait_for_epoch_above(const std::string& key,
-                                             std::uint64_t epoch) {
+bool instance_registry::wait_for_epoch_above_impl(
+    const std::string& key, std::uint64_t epoch,
+    const clock::time_point* deadline) {
   shard& s = shard_for(key);
   std::unique_lock<std::mutex> lock(s.mutex);
   // Resolve the key's state once; unordered_map references are stable
@@ -194,7 +291,10 @@ void instance_registry::wait_for_epoch_above(const std::string& key,
   const key_state* state = nullptr;
   const auto it = s.keys.find(key);
   if (it != s.keys.end()) state = &it->second;
-  s.epoch_changed.wait(lock, [&] {
+  // shutdown() counts as "woken" so a waiter parked across stop()
+  // retries immediately and comes back rejected instead of sleeping
+  // forever (or, timed, sleeping out its timeout).
+  const auto woken = [&] {
     if (shutdown_.load(std::memory_order_relaxed)) return true;
     if (state == nullptr) {
       const auto probe = s.keys.find(key);
@@ -202,7 +302,26 @@ void instance_registry::wait_for_epoch_above(const std::string& key,
       state = &probe->second;
     }
     return state->entry.epoch > epoch;
-  });
+  };
+  if (deadline == nullptr) {
+    s.epoch_changed.wait(lock, woken);
+    return true;
+  }
+  // Not wait_until(time_point::max()) for the untimed path: libstdc++
+  // implements non-system-clock waits via a now()-relative delta, which
+  // overflows on max().
+  return s.epoch_changed.wait_until(lock, *deadline, woken);
+}
+
+void instance_registry::wait_for_epoch_above(const std::string& key,
+                                             std::uint64_t epoch) {
+  (void)wait_for_epoch_above_impl(key, epoch, /*deadline=*/nullptr);
+}
+
+bool instance_registry::wait_for_epoch_above_until(const std::string& key,
+                                                   std::uint64_t epoch,
+                                                   clock::time_point deadline) {
+  return wait_for_epoch_above_impl(key, epoch, &deadline);
 }
 
 void instance_registry::shutdown() {

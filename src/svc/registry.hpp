@@ -9,19 +9,39 @@
 // election_id, so the next acquirers contend in a brand-new Figure-6
 // instance — repeated test-and-set built from one-shot instances.
 //
-// Ownership is lease-based: record_winner stamps a deadline (now + TTL),
+// Ownership is lease-based: claim_win stamps a deadline (now + TTL),
 // renew() pushes it out, and sweep_expired() force-releases holders whose
 // deadline has passed by bumping the epoch. The epoch doubles as a
 // fencing token — a crashed-and-resurrected holder ("zombie") presenting
 // its old epoch to release()/renew() is rejected with `stale_epoch`
 // instead of corrupting the new holder's state.
 //
-// Election ids are drawn from a global atomic counter starting high above
-// the ids examples and tests hand-pick, so registry-managed instances
-// never collide with manually created ones on the same pool. Known
-// limit: the 32-bit id space caps a service lifetime at ~4e9 elections
-// (var_id.instance is uint32); wrapping would alias long-decided
-// instances' replicated variables.
+// The epoch is also what keeps the service's two granting paths apart.
+// An epoch can be granted EITHER by the contention-adaptive fast path
+// (begin_adaptive_attempt: a CAS that skips the distributed protocol
+// entirely) OR by a distributed election (arm_protocol then claim_win);
+// the per-key mode recorded under the shard lock makes the two mutually
+// exclusive per epoch, so they can never both grant the same epoch:
+//
+//   * the fast-path CAS succeeds only while the epoch is current,
+//     unheld, and not armed for a protocol;
+//   * arm_protocol succeeds only while the epoch is current and unheld,
+//     and permanently (for that epoch) disables the fast path;
+//   * claim_win grants the epoch to the first protocol survivor and
+//     refuses everyone after (and any zombie of a stale epoch).
+//
+// Each begin_attempt() is counted per epoch; the count (plus the final
+// count of the previous epoch) is the contention estimate the adaptive
+// strategy steers by.
+//
+// Election ids are drawn from a global 64-bit atomic counter starting
+// high above the ids examples and tests hand-pick, so registry-managed
+// instances never collide with manually created ones on the same pool.
+// The replicated-variable namespace (var_id.instance) is 32-bit; rather
+// than silently wrapping and aliasing long-decided instances' variables,
+// allocation fails fast (ELECT_CHECK) when the counter reaches
+// instance_id_limit — 64K ids *before* the uint32 space ends, so the
+// abort happens well clear of any aliasing.
 #pragma once
 
 #include <atomic>
@@ -46,6 +66,18 @@ struct instance_entry {
   std::uint64_t epoch = 0;
 };
 
+/// What one acquire attempt sees when it registers (begin_attempt).
+struct attempt_info {
+  instance_entry entry;
+  /// Attempts registered in the entry's epoch so far, including this
+  /// one (1 means "I am the only acquirer observed this epoch").
+  std::uint64_t attempts_this_epoch = 0;
+  /// Final attempt count of the key's previous epoch (0 for epoch 0).
+  /// Together with attempts_this_epoch this is the contention estimate:
+  /// a key is *uncontended* when both are <= 1.
+  std::uint64_t last_epoch_attempts = 0;
+};
+
 /// Outcome of a fenced lease operation (release / renew).
 enum class lease_status {
   ok,
@@ -58,14 +90,53 @@ enum class lease_status {
   not_leader,
 };
 
+/// Outcome of the single-acquirer CAS fast path (try_fast_claim).
+enum class fast_claim_outcome {
+  /// The epoch is granted to the caller; no election ran.
+  claimed,
+  /// Somebody already holds the epoch (fast claim or protocol win):
+  /// the caller lost this epoch.
+  held,
+  /// A distributed election is armed for this epoch; the caller must
+  /// fall back to the protocol path.
+  armed,
+  /// The epoch moved on between the attempt and the claim: lost.
+  stale,
+  /// The registry is shut down: the service stopped, no grant. The
+  /// caller reports the acquire as rejected (the fast path must not
+  /// hand out leases on a stopped service).
+  shutdown,
+};
+
+struct fast_claim_result {
+  fast_claim_outcome outcome = fast_claim_outcome::stale;
+  /// Lease deadline; meaningful only when outcome == claimed.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// One fused adaptive acquire entry (begin_adaptive_attempt): the
+/// attempt registration plus, when the contention estimate was clear,
+/// the fast-path outcome — all decided under one shard lock.
+struct adaptive_attempt {
+  attempt_info attempt;
+  /// False when the contention estimate said "contended" and no fast
+  /// claim was attempted: the caller goes down the protocol path.
+  bool fast_attempted = false;
+  fast_claim_result fast;
+};
+
 class instance_registry {
  public:
   using clock = std::chrono::steady_clock;
 
+  /// Last allocatable instance id: 64K short of the 32-bit var_id
+  /// namespace, so exhaustion aborts well before any aliasing.
+  static constexpr std::uint64_t instance_id_limit = 0xFFFF0000ull;
+
   /// `first_instance` is the id given to the first key; subsequent
   /// instances count up from there.
   explicit instance_registry(int shard_count,
-                             std::uint32_t first_instance = 1u << 20);
+                             std::uint64_t first_instance = 1u << 20);
 
   instance_registry(const instance_registry&) = delete;
   instance_registry& operator=(const instance_registry&) = delete;
@@ -80,18 +151,43 @@ class instance_registry {
   /// Current (instance, epoch) for `key`; lazily creates epoch 0.
   [[nodiscard]] instance_entry current(const std::string& key);
 
+  /// Register one acquire attempt: like current(), but also bumps the
+  /// epoch's attempt counter and returns the contention estimate.
+  [[nodiscard]] attempt_info begin_attempt(const std::string& key);
+
   /// Current (instance, epoch) for `key` without creating state; empty
   /// when the key has never been acquired.
   [[nodiscard]] std::optional<instance_entry> peek(const std::string& key);
 
-  /// Record that `session` won `key`'s election for `epoch`, starting a
-  /// lease of `ttl` (ttl == zero() means the lease never expires).
-  /// Returns the lease deadline. Aborts if a different winner is already
-  /// recorded for the same epoch (that would be a test-and-set safety
-  /// violation — winners are unique per instance, and the epoch cannot
-  /// move past an instance that has no recorded winner).
-  clock::time_point record_winner(const std::string& key, std::uint64_t epoch,
-                                  int session, clock::duration ttl);
+  /// The adaptive entry point, fused so the uncontended hot path takes
+  /// the shard lock exactly once: register the attempt and — iff no
+  /// contention is observed (this is the epoch's first attempt and the
+  /// previous epoch saw at most one acquirer) — grant the epoch to
+  /// `session` by CAS, with no election. The CAS is refused when the
+  /// epoch is armed for a protocol (caller falls back to the
+  /// distributed path), already held, or the registry is shut down; see
+  /// fast_claim_outcome. Fusing also makes `stale` unreachable here:
+  /// the epoch read and the claim happen under one lock.
+  [[nodiscard]] adaptive_attempt begin_adaptive_attempt(
+      const std::string& key, int session, clock::duration ttl);
+
+  /// Gate for running a distributed election on (key, epoch): returns
+  /// true and disables the fast path for the epoch when the epoch is
+  /// current and unheld (idempotent across concurrent acquirers — they
+  /// are meant to contend in the same instance). Returns false when the
+  /// epoch was already granted or moved on: the caller loses without
+  /// touching the network.
+  [[nodiscard]] bool arm_protocol(const std::string& key, std::uint64_t epoch);
+
+  /// Grant `epoch` to `session` — the protocol path's decider. Returns
+  /// the lease deadline for the first claimer while the epoch is still
+  /// current; empty for every later claimer (another survivor won) and
+  /// for stale epochs. `ttl` == zero() means the lease never expires.
+  /// For self-deciding protocols (full leader_elect) a refusal is a
+  /// test-and-set safety violation — the caller CHECKs.
+  [[nodiscard]] std::optional<clock::time_point> claim_win(
+      const std::string& key, std::uint64_t epoch, int session,
+      clock::duration ttl);
 
   /// Session currently holding `key` (-1 if none / not yet elected).
   [[nodiscard]] int leader_of(const std::string& key);
@@ -140,6 +236,14 @@ class instance_registry {
   /// waiting does not create key state or burn an instance id.
   void wait_for_epoch_above(const std::string& key, std::uint64_t epoch);
 
+  /// Timed variant: additionally give up at `deadline`. Returns true
+  /// when the epoch advanced (or shutdown() fired — the caller's retry
+  /// then comes back rejected), false on timeout with the epoch
+  /// unchanged.
+  [[nodiscard]] bool wait_for_epoch_above_until(const std::string& key,
+                                                std::uint64_t epoch,
+                                                clock::time_point deadline);
+
   /// Wake every epoch waiter and make current/future waits return
   /// immediately. Called by the service's stop() so blocked acquirers
   /// fail over to a rejected acquire instead of sleeping forever.
@@ -149,11 +253,28 @@ class instance_registry {
   [[nodiscard]] std::size_t keys_in_shard(int shard) const;
   [[nodiscard]] std::size_t key_count() const;
 
+  /// Instance ids still allocatable before the fail-fast guard trips.
+  [[nodiscard]] std::uint64_t remaining_instance_ids() const noexcept;
+
  private:
+  /// How the current epoch has been (or may be) granted.
+  enum class grant_mode : std::uint8_t {
+    /// Nobody holds the epoch and no election is armed: both paths open.
+    open,
+    /// The fast path granted the epoch; no protocol may ever run for it.
+    fast_claimed,
+    /// A distributed election is (or was) running; fast path disabled.
+    protocol_armed,
+  };
+
   struct key_state {
     instance_entry entry;
     int leader = -1;
     clock::time_point lease_deadline = clock::time_point::max();
+    grant_mode mode = grant_mode::open;
+    /// Contention estimate inputs (see attempt_info).
+    std::uint64_t attempts_this_epoch = 0;
+    std::uint64_t last_epoch_attempts = 0;
   };
 
   struct shard {
@@ -164,6 +285,14 @@ class instance_registry {
 
   shard& shard_for(const std::string& key);
   key_state& state_locked(shard& s, const std::string& key);
+  /// Shared body of the epoch waits: park until `key`'s epoch exceeds
+  /// `epoch` or shutdown() fires (-> true), or until `deadline` passes
+  /// (-> false; nullptr waits forever).
+  bool wait_for_epoch_above_impl(const std::string& key, std::uint64_t epoch,
+                                 const clock::time_point* deadline);
+  /// Allocate a fresh instance id; aborts at instance_id_limit (see
+  /// file comment) instead of wrapping the 32-bit var_id namespace.
+  [[nodiscard]] election::election_id allocate_instance();
   /// Bump `key` to a fresh (instance, epoch) with no holder. Caller holds
   /// the shard lock and must notify epoch_changed after unlocking.
   void bump_epoch_locked(key_state& state);
@@ -176,7 +305,7 @@ class instance_registry {
                             const std::function<void(int)>& on_bumped);
 
   std::vector<std::unique_ptr<shard>> shards_;
-  std::atomic<std::uint32_t> next_instance_;
+  std::atomic<std::uint64_t> next_instance_;
   std::atomic<bool> shutdown_{false};
 };
 

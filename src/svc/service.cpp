@@ -18,17 +18,21 @@ std::chrono::milliseconds sweep_interval(const service_config& config) {
 }  // namespace
 
 service::service(service_config config)
-    : config_(config),
-      registry_(config.shards),
-      metrics_(config.shards),
+    : config_(std::move(config)),
+      registry_(config_.shards),
+      metrics_(config_.shards),
       pool_(std::make_unique<mt::cluster>(
-          config.nodes, config.seed,
-          mt::cluster_options{.batch_transport = config.batch_transport})) {
-  ELECT_CHECK(config.nodes >= 1);
-  ELECT_CHECK(config.shards >= 1);
-  ELECT_CHECK(config.participated_prune_threshold >= 1);
-  workers_.reserve(static_cast<std::size_t>(config.nodes));
-  for (process_id pid = 0; pid < config.nodes; ++pid) {
+          config_.nodes, config_.seed,
+          mt::cluster_options{.batch_transport = config_.batch_transport})) {
+  ELECT_CHECK(config_.nodes >= 1);
+  ELECT_CHECK(config_.shards >= 1);
+  ELECT_CHECK(config_.participated_prune_threshold >= 1);
+  for (int k = 0; k < election::strategy_kind_count; ++k) {
+    strategies_[static_cast<std::size_t>(k)] =
+        election::make_strategy(static_cast<election::strategy_kind>(k));
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (process_id pid = 0; pid < config_.nodes; ++pid) {
     workers_.push_back(std::make_unique<worker>());
     worker* w = workers_.back().get();
     pool_->attach(pid, [this, w](engine::node& node) {
@@ -191,6 +195,17 @@ void service::prune_participated(worker& w) {
                             std::memory_order_relaxed);
 }
 
+election::strategy_kind service::strategy_for(const std::string& key) const {
+  const auto it = config_.key_strategies.find(key);
+  return it != config_.key_strategies.end() ? it->second
+                                            : config_.default_strategy;
+}
+
+election::strategy& service::protocol_for(
+    election::strategy_kind kind) const {
+  return *strategies_[static_cast<std::size_t>(kind)];
+}
+
 engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
   for (;;) {
     job* j = co_await next_job{w};
@@ -206,27 +221,46 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
       co_return 0;
     }
 
-    const instance_entry entry = registry_.current(j->key);
+    const instance_entry entry = j->entry;
     acquire_result result;
     result.epoch = entry.epoch;
     result.instance = entry.instance;
 
-    // TAS is one invocation per processor per instance: if this node
-    // already contended in (key, epoch) — a second session bound to the
-    // same node — the instance is decided or being decided by the earlier
-    // invocation, so this one loses without touching the network.
-    const auto [it, fresh_key] =
-        w.participated.try_emplace(j->key, entry.instance.value);
-    if (fresh_key || it->second != entry.instance.value) {
-      it->second = entry.instance.value;
-      const election::tas_result outcome = co_await election::leader_elect(
-          node,
-          election::leader_elect_params{entry.instance, config_.max_rounds});
-      result.won = outcome == election::tas_result::win;
-    }
-    if (result.won) {
-      result.lease_deadline = registry_.record_winner(
-          j->key, result.epoch, j->session_id, lease_ttl());
+    // Gate the distributed path on the registry's grant mode: if the
+    // epoch was already granted (fast-claimed while this job queued, or
+    // decided by an earlier protocol winner) or moved on entirely, this
+    // attempt loses without touching the network. Arming also pins the
+    // adaptive fast path off this epoch, so the two grant paths stay
+    // mutually exclusive.
+    if (!registry_.arm_protocol(j->key, entry.epoch)) {
+      metrics_.record_short_circuit_loss();
+    } else {
+      // TAS is one invocation per processor per instance: if this node
+      // already contended in (key, epoch) — a second session bound to the
+      // same node — the instance is decided or being decided by the
+      // earlier invocation, so this one loses without touching the
+      // network.
+      const auto [it, fresh_key] =
+          w.participated.try_emplace(j->key, entry.instance.value);
+      if (fresh_key || it->second != entry.instance.value) {
+        it->second = entry.instance.value;
+        election::strategy_context ctx;
+        ctx.instance = entry.instance;
+        ctx.max_rounds = config_.max_rounds;
+        // The claim arbiter behind sifter_pill / doorway_only survivors
+        // (and the full protocol's winner report): an epoch-fenced CAS
+        // in the registry. Runs on this node's thread, synchronously.
+        ctx.claim = [this, j, &result] {
+          const auto deadline = registry_.claim_win(
+              j->key, result.epoch, j->session_id, lease_ttl());
+          if (!deadline.has_value()) return false;
+          result.lease_deadline = *deadline;
+          return true;
+        };
+        const election::tas_result outcome =
+            co_await protocol_for(j->kind).elect(node, std::move(ctx));
+        result.won = outcome == election::tas_result::win;
+      }
     }
     w.participated_size.store(w.participated.size(),
                               std::memory_order_relaxed);
@@ -235,7 +269,7 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - j->submitted)
             .count());
-    metrics_.record_acquire(registry_.shard_of(j->key), result.won,
+    metrics_.record_acquire(registry_.shard_of(j->key), j->kind, result.won,
                             result.latency_ns);
 
     {
@@ -251,19 +285,67 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
 
 acquire_result service::run_acquire(int session_id, process_id pid,
                                     const std::string& key) {
-  job j;
-  j.key = key;
-  j.session_id = session_id;
-  j.submitted = std::chrono::steady_clock::now();
-  // stopped_ is checked inside submit() (under the worker lock, via
-  // draining) — a bare flag check here would still race stop(). A refused
-  // submit means the drivers are shutting down; fail the acquire softly.
-  if (stopped_.load(std::memory_order_relaxed) || !submit(pid, j)) {
+  // Shared early-out for the three ways stop() turns an acquire away.
+  const auto reject = [this] {
     metrics_.record_rejected_acquire();
     acquire_result rejected;
     rejected.rejected = true;
     return rejected;
+  };
+
+  job j;
+  j.key = key;
+  j.session_id = session_id;
+  j.kind = strategy_for(key);
+  j.submitted = std::chrono::steady_clock::now();
+  // A cheap unlocked early-out; the authoritative stop() check is inside
+  // submit() (under the worker lock, via draining).
+  if (stopped_.load(std::memory_order_relaxed)) return reject();
+  // Register the attempt (this is the contention estimate's input) and
+  // pin the (instance, epoch) the attempt contends. For `adaptive` the
+  // registration is fused with the fast path, on the *client* thread:
+  // when no contention is observed — this attempt is the epoch's first
+  // and the previous epoch saw at most one acquirer — the epoch is
+  // taken with a fenced CAS under the same shard lock and the node pool
+  // is skipped entirely. On conflict the epoch is simply lost (epoch
+  // fencing makes a double grant impossible); only an armed protocol
+  // sends us down the distributed path ourselves.
+  if (j.kind == election::strategy_kind::adaptive) {
+    const adaptive_attempt attempt =
+        registry_.begin_adaptive_attempt(key, session_id, lease_ttl());
+    j.entry = attempt.attempt.entry;
+    if (attempt.fast_attempted) {
+      const fast_claim_result& fast = attempt.fast;
+      if (fast.outcome == fast_claim_outcome::shutdown) return reject();
+      if (fast.outcome != fast_claim_outcome::armed) {
+        acquire_result result;
+        result.epoch = j.entry.epoch;
+        result.instance = j.entry.instance;
+        result.won = fast.outcome == fast_claim_outcome::claimed;
+        result.fast_path = result.won;
+        result.lease_deadline = fast.deadline;
+        result.latency_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - j.submitted)
+                .count());
+        if (result.won) {
+          metrics_.record_fast_path_hit();
+        } else {
+          metrics_.record_fast_path_conflict();
+        }
+        metrics_.record_acquire(registry_.shard_of(key), j.kind, result.won,
+                                result.latency_ns);
+        return result;
+      }
+      metrics_.record_fast_path_fallback();
+    }
+  } else {
+    j.entry = registry_.begin_attempt(key).entry;
   }
+
+  // A refused submit means the drivers are shutting down; fail the
+  // acquire softly.
+  if (!submit(pid, j)) return reject();
   std::unique_lock<std::mutex> lock(j.mutex);
   j.cv.wait(lock, [&] { return j.done; });
   return j.result;
@@ -281,6 +363,24 @@ acquire_result service::session::acquire(const std::string& key) {
     const acquire_result result = try_acquire(key);
     if (result.won || result.rejected) return result;
     owner_->registry_.wait_for_epoch_above(key, result.epoch);
+  }
+}
+
+acquire_result service::session::try_acquire_for(
+    const std::string& key, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    acquire_result result = try_acquire(key);
+    if (result.won || result.rejected) return result;
+    // Bound only the sleep: an attempt in flight when the deadline hits
+    // still runs to completion above. wait returns true on epoch
+    // advance *and* on service shutdown — the retry then comes back
+    // rejected, so a stopped service never strands a timed waiter.
+    if (!owner_->registry_.wait_for_epoch_above_until(key, result.epoch,
+                                                      deadline)) {
+      result.timed_out = true;
+      return result;
+    }
   }
 }
 

@@ -13,6 +13,16 @@
 //   * The instance registry (registry.hpp) shards keys across lock
 //     stripes and lazily maps each key to its current (election_id,
 //     epoch). release() bumps the epoch, giving repeated-TAS semantics.
+//   * Which election scheme decides an epoch is a pluggable *strategy*
+//     (election/strategy.hpp): the paper's full Figure-6 protocol, the
+//     cheaper sifter_pill / doorway_only rungs of the algorithm ladder,
+//     or `adaptive` — a contention-steered policy that grants
+//     uncontended epochs through an epoch-fenced CAS in the registry
+//     (no distributed protocol at all) and falls back to the full
+//     protocol the moment contention is observed. The service carries a
+//     default strategy plus per-key overrides in service_config; the
+//     registry's grant-mode fencing guarantees the fast path and the
+//     protocol path can never both grant one epoch.
 //   * Ownership is a *lease*: winning an acquire grants the key until
 //     `lease_ttl` elapses; the holder extends it with renew(). A sweeper
 //     thread force-releases expired leases by bumping the epoch, so a
@@ -36,6 +46,7 @@
 // acquirers are woken — nothing aborts and nothing hangs.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -50,7 +61,7 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "election/leader_elect.hpp"
+#include "election/strategy.hpp"
 #include "engine/task.hpp"
 #include "mt/cluster.hpp"
 #include "svc/metrics.hpp"
@@ -78,6 +89,12 @@ struct service_config {
   /// Per-node participated-map size that triggers a stale-entry eviction
   /// pass (see service::worker::participated).
   std::size_t participated_prune_threshold = 1024;
+  /// Election strategy used for keys without an override. `full` is the
+  /// paper's Figure-6 protocol (strongest guarantees); see
+  /// election/strategy.hpp for the ladder and `adaptive`.
+  election::strategy_kind default_strategy = election::strategy_kind::full;
+  /// Per-key strategy overrides (exact key match beats the default).
+  std::unordered_map<std::string, election::strategy_kind> key_strategies;
 };
 
 /// Outcome of one acquire attempt (one leader_elect invocation).
@@ -86,6 +103,12 @@ struct acquire_result {
   /// The service refused the call because stop() ran first or
   /// concurrently. No election happened; won is false.
   bool rejected = false;
+  /// try_acquire_for only: the timeout elapsed before the key's epoch
+  /// moved; the last attempt's loss is reported alongside.
+  bool timed_out = false;
+  /// The epoch was granted through the adaptive CAS fast path — no
+  /// distributed election ran for this attempt.
+  bool fast_path = false;
   /// The epoch of the instance contended. Losers pass this to
   /// wait_for_epoch_above to sleep until the holder releases or expires;
   /// winners pass it back to renew()/release() as the fencing token.
@@ -118,6 +141,15 @@ class service {
     /// instance. Returns the winning attempt's result — or, if the
     /// service stops while we wait, a result with `rejected` set.
     acquire_result acquire(const std::string& key);
+
+    /// Bounded blocking acquire: like acquire(), but give up once
+    /// `timeout` has elapsed — the result then has `timed_out` set (and
+    /// `won` false). The timeout bounds the sleeps between attempts; an
+    /// attempt already in flight when it expires still completes (and
+    /// its win is returned). stop() wakes timed waiters immediately
+    /// with `rejected`, same as acquire().
+    acquire_result try_acquire_for(const std::string& key,
+                                   std::chrono::milliseconds timeout);
 
     /// Give up leadership of `key` if this session currently holds it.
     /// Returns the fencing verdict; a session that lost the key to lease
@@ -185,6 +217,12 @@ class service {
     std::string key;
     int session_id = -1;
     bool shutdown = false;
+    /// Which election scheme decides this attempt (resolved at submit).
+    election::strategy_kind kind = election::strategy_kind::full;
+    /// The (instance, epoch) the attempt registered against on the
+    /// client thread; the driver contends exactly this epoch (and loses
+    /// cheaply if the key moved on by the time the job is served).
+    instance_entry entry;
     std::chrono::steady_clock::time_point submitted;
 
     std::mutex mutex;
@@ -236,6 +274,12 @@ class service {
   };
 
   engine::task<std::int64_t> driver(engine::node& node, worker& w);
+  /// Strategy deciding `key`'s epochs (per-key override or default).
+  [[nodiscard]] election::strategy_kind strategy_for(
+      const std::string& key) const;
+  /// The protocol object behind `kind` (adaptive resolves to full).
+  [[nodiscard]] election::strategy& protocol_for(
+      election::strategy_kind kind) const;
   void pump(worker& w);
   /// Enqueue `j` on pid's driver. Returns false (without enqueueing) if
   /// the worker is already draining for shutdown.
@@ -252,6 +296,11 @@ class service {
   service_config config_;
   instance_registry registry_;
   service_metrics metrics_;
+  /// One shared protocol object per strategy kind (stateless; elect()
+  /// runs on the pool threads).
+  std::array<std::unique_ptr<election::strategy>,
+             election::strategy_kind_count>
+      strategies_;
   std::unique_ptr<mt::cluster> pool_;
   std::vector<std::unique_ptr<worker>> workers_;
 

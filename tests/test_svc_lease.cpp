@@ -165,6 +165,88 @@ TEST(SvcLease, LeaseDeadlineVisibleAndInfiniteWithoutTtl) {
 }
 
 // ---------------------------------------------------------------------
+// Satellite: try_acquire_for — bounded blocking acquires.
+
+TEST(SvcTimedAcquire, TimesOutWhileHeldThenSucceedsAfterRelease) {
+  svc::service service(svc::service_config{.nodes = 2, .shards = 2, .seed = 6});
+  auto holder = service.connect();
+  auto waiter = service.connect();
+  const auto held = holder.try_acquire("bounded");
+  ASSERT_TRUE(held.won);
+
+  // The key is held and never released within the timeout: the waiter
+  // must come back with timed_out instead of blocking forever (the old
+  // choice was try-once or wait-forever).
+  const auto deadline_miss = waiter.try_acquire_for("bounded", 50ms);
+  EXPECT_FALSE(deadline_miss.won);
+  EXPECT_TRUE(deadline_miss.timed_out);
+  EXPECT_FALSE(deadline_miss.rejected);
+  EXPECT_EQ(service.registry().leader_of("bounded"), holder.id());
+
+  // After a release the same call wins well within its bound.
+  ASSERT_EQ(holder.release("bounded", held.epoch), svc::lease_status::ok);
+  const auto won = waiter.try_acquire_for("bounded", 10'000ms);
+  EXPECT_TRUE(won.won);
+  EXPECT_FALSE(won.timed_out);
+}
+
+TEST(SvcTimedAcquire, WakesWhenHolderReleasesMidWait) {
+  svc::service service(svc::service_config{.nodes = 2, .shards = 2, .seed = 8});
+  auto holder = service.connect();
+  auto waiter = service.connect();
+  const auto held = holder.try_acquire("midwait");
+  ASSERT_TRUE(held.won);
+
+  svc::acquire_result result;
+  std::atomic<bool> entered{false};
+  std::thread blocked([&] {
+    entered.store(true);
+    result = waiter.try_acquire_for("midwait", 60'000ms);
+  });
+  while (!entered.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(20ms);
+  ASSERT_EQ(holder.release("midwait", held.epoch), svc::lease_status::ok);
+  blocked.join();
+  EXPECT_TRUE(result.won);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(SvcTimedAcquire, StopWakesTimedWaiterAsRejected) {
+  svc::service service(svc::service_config{.nodes = 2, .shards = 2, .seed = 12});
+  auto holder = service.connect();
+  auto waiter = service.connect();
+  ASSERT_TRUE(holder.try_acquire("stopped").won);
+
+  // A timed waiter parked on a long timeout must be woken by stop() and
+  // come back rejected immediately — not sleep out its full bound.
+  svc::acquire_result result;
+  std::atomic<bool> entered{false};
+  std::thread blocked([&] {
+    entered.store(true);
+    result = waiter.try_acquire_for("stopped", 60'000ms);
+  });
+  while (!entered.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(20ms);  // let it park on the epoch CV
+  const auto before = std::chrono::steady_clock::now();
+  service.stop();
+  blocked.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - before, 10s);
+  EXPECT_TRUE(result.rejected);
+  EXPECT_FALSE(result.won);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(SvcTimedAcquire, ZeroTimeoutIsASingleAttempt) {
+  svc::service service(svc::service_config{.nodes = 2, .shards = 2});
+  auto holder = service.connect();
+  auto waiter = service.connect();
+  ASSERT_TRUE(holder.try_acquire("oneshot").won);
+  const auto result = waiter.try_acquire_for("oneshot", 0ms);
+  EXPECT_FALSE(result.won);
+  EXPECT_TRUE(result.timed_out);
+}
+
+// ---------------------------------------------------------------------
 // Satellite: stop() racing acquires must reject, not abort or hang.
 
 TEST(SvcStop, ConcurrentStopRejectsAcquiresGracefully) {

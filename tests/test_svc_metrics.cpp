@@ -110,19 +110,38 @@ TEST(LatencyHistogram, QuantileIsMonotoneInQ) {
 
 TEST(ServiceReport, LeaseCountersRoundTripThroughJson) {
   svc::service_metrics metrics(2);
-  metrics.record_acquire(0, /*won=*/true, /*latency_ns=*/1000);
+  metrics.record_acquire(0, election::strategy_kind::full, /*won=*/true,
+                         /*latency_ns=*/1000);
+  metrics.record_acquire(1, election::strategy_kind::adaptive, /*won=*/true,
+                         /*latency_ns=*/500);
   metrics.record_release(0);
   metrics.record_expiration(1);
   metrics.record_renewal(0);
   metrics.record_renewal(0);
   metrics.record_stale_fence(1);
   metrics.record_rejected_acquire();
+  metrics.record_fast_path_hit();
+  metrics.record_fast_path_conflict();
+  metrics.record_fast_path_fallback();
+  metrics.record_short_circuit_loss();
 
   const svc::service_report report = metrics.snapshot();
   EXPECT_EQ(report.expirations, 1u);
   EXPECT_EQ(report.renewals, 2u);
   EXPECT_EQ(report.stale_fences, 1u);
   EXPECT_EQ(report.rejected_acquires, 1u);
+  const auto full_idx =
+      static_cast<std::size_t>(election::strategy_kind::full);
+  const auto adaptive_idx =
+      static_cast<std::size_t>(election::strategy_kind::adaptive);
+  EXPECT_EQ(report.strategies[full_idx].acquires, 1u);
+  EXPECT_EQ(report.strategies[full_idx].wins, 1u);
+  EXPECT_EQ(report.strategies[adaptive_idx].acquires, 1u);
+  EXPECT_EQ(report.fast_path.hits, 1u);
+  EXPECT_EQ(report.fast_path.conflicts, 1u);
+  EXPECT_EQ(report.fast_path.fallbacks, 1u);
+  EXPECT_NEAR(report.fast_path.hit_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(report.short_circuit_losses, 1u);
 
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"expirations\":1"), std::string::npos);
@@ -130,6 +149,11 @@ TEST(ServiceReport, LeaseCountersRoundTripThroughJson) {
   EXPECT_NE(json.find("\"stale_fences\":1"), std::string::npos);
   EXPECT_NE(json.find("\"rejected_acquires\":1"), std::string::npos);
   EXPECT_NE(json.find("\"participated_entries\":"), std::string::npos);
+  EXPECT_NE(json.find("\"strategies\":{\"full\":{\"acquires\":1,\"wins\":1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fast_path\":{\"hits\":1,\"conflicts\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"short_circuit_losses\":1"), std::string::npos);
 }
 
 }  // namespace
