@@ -1,0 +1,230 @@
+// Wire-level load generator for elect::net: an in-process server over a
+// loopback TCP socket, hammered by C client connections each keeping a
+// window of P requests pipelined.
+//
+// The unit of work is one acquire/release *pair* (what a remote lock
+// user does per critical section): a try_acquire round-trip followed by
+// a fenced release round-trip. Each connection owns P disjoint keys and
+// drives them in lockstep windows — P acquires submitted back-to-back,
+// completed, then P releases — so the socket always carries a deep
+// pipeline but a release never overtakes its own acquire.
+//
+// Keys are disjoint per connection: with the adaptive strategy every
+// epoch is granted by the registry CAS, so the numbers measure the
+// network edge (framing, epoll batching, dispatch, response path)
+// rather than distributed-election cost — which is exactly what this
+// bench exists to track. The pipeline sweep shows what the depth buys;
+// the acceptance row is 32 connections at the default depth.
+//
+// Acceptance gate (enforced): >= 50k pairs/s on the 32-connection row
+// (>= 5k under --smoke, where op counts shrink and CI machines vary).
+//
+// Build & run:  ./build/bench/bench_net_loopback [--smoke]
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/table.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace elect;
+
+struct sweep_row {
+  int connections = 0;
+  int pipeline = 0;
+  int rounds = 0;  // windows per connection; pairs = rounds * pipeline
+};
+
+struct sweep_result {
+  double seconds = 0.0;
+  std::uint64_t pairs = 0;
+  double pairs_per_s = 0.0;
+  std::uint64_t lost = 0;  // acquires that did not win (must stay 0)
+  svc::service_report service_report;
+  net::net_report net;
+};
+
+sweep_result run_sweep(const sweep_row& row) {
+  svc::service_config service_config{.nodes = 8, .shards = 8, .seed = 3};
+  // Adaptive: disjoint keys ride the CAS fast path, so the wire is the
+  // thing under test, not the election ladder.
+  service_config.default_strategy = election::strategy_kind::adaptive;
+  svc::service service(std::move(service_config));
+  net::server_config server_config;
+  server_config.executors = 8;
+  server_config.max_inflight_per_connection = 2 * row.pipeline;
+  net::server server(service, std::move(server_config));
+  ELECT_CHECK_MSG(server.listening(), "loopback bind failed");
+
+  std::vector<std::unique_ptr<net::client>> clients;
+  clients.reserve(static_cast<std::size_t>(row.connections));
+  for (int c = 0; c < row.connections; ++c) {
+    clients.push_back(
+        std::make_unique<net::client>("127.0.0.1", server.port()));
+    ELECT_CHECK_MSG(clients.back()->connected(), "client connect failed");
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> lost{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(row.connections));
+  for (int c = 0; c < row.connections; ++c) {
+    threads.emplace_back([&, c] {
+      net::client& client = *clients[static_cast<std::size_t>(c)];
+      std::vector<std::string> keys;
+      std::vector<std::uint64_t> ids(static_cast<std::size_t>(row.pipeline));
+      std::vector<std::uint64_t> epochs(
+          static_cast<std::size_t>(row.pipeline));
+      for (int p = 0; p < row.pipeline; ++p) {
+        keys.push_back("loop/" + std::to_string(c) + "/" +
+                       std::to_string(p));
+      }
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int round = 0; round < row.rounds; ++round) {
+        for (int p = 0; p < row.pipeline; ++p) {
+          const auto i = static_cast<std::size_t>(p);
+          ids[i] = client.submit(net::wire::op::try_acquire, keys[i]);
+        }
+        for (int p = 0; p < row.pipeline; ++p) {
+          const auto i = static_cast<std::size_t>(p);
+          const auto r = client.take(ids[i]);
+          if (!r.has_value() || !r->won()) {
+            lost.fetch_add(1, std::memory_order_relaxed);
+            epochs[i] = ~0ull;
+            continue;
+          }
+          epochs[i] = r->epoch;
+        }
+        for (int p = 0; p < row.pipeline; ++p) {
+          const auto i = static_cast<std::size_t>(p);
+          ids[i] = epochs[i] == ~0ull
+                       ? 0
+                       : client.submit(net::wire::op::release_fenced, keys[i],
+                                       epochs[i]);
+        }
+        for (int p = 0; p < row.pipeline; ++p) {
+          const auto i = static_cast<std::size_t>(p);
+          if (ids[i] != 0) (void)client.take(ids[i]);
+        }
+      }
+    });
+  }
+
+  bench::stopwatch timer;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double seconds = timer.seconds();
+
+  sweep_result result;
+  result.seconds = seconds;
+  result.pairs = static_cast<std::uint64_t>(row.connections) *
+                 static_cast<std::uint64_t>(row.rounds) *
+                 static_cast<std::uint64_t>(row.pipeline);
+  result.pairs_per_s = static_cast<double>(result.pairs) / seconds;
+  result.lost = lost.load();
+  result.net = server.report();
+  result.service_report = service.report();
+  clients.clear();
+  server.stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int rounds = smoke ? 40 : 400;
+
+  bench::print_header(
+      "E11", "Wire-level loopback throughput (elect::net)",
+      "the network edge must not eat the fast path: pipelined remote "
+      "acquire/release pairs ride the adaptive CAS with no distributed "
+      "protocol, so loopback throughput is bounded by framing + epoll "
+      "batching, not elections");
+
+  const std::vector<sweep_row> rows = {
+      {/*connections=*/1, /*pipeline=*/1, rounds},
+      {/*connections=*/1, /*pipeline=*/8, rounds},
+      {/*connections=*/8, /*pipeline=*/8, rounds},
+      {/*connections=*/32, /*pipeline=*/1, rounds},
+      {/*connections=*/32, /*pipeline=*/8, rounds},  // acceptance row
+  };
+
+  exp::table table({"conns", "pipeline", "pairs", "pairs/s", "p50 ms",
+                    "p99 ms", "frames_in", "batches", "frames/batch",
+                    "lost", "sec"});
+  bench::json_emitter json("net_loopback");
+  json.meta_field("smoke", smoke);
+  json.meta_field("rounds_per_connection", static_cast<std::int64_t>(rounds));
+
+  double acceptance_pairs_per_s = 0.0;
+  std::string acceptance_net_json;
+  std::uint64_t total_lost = 0;
+  for (const sweep_row& row : rows) {
+    const sweep_result result = run_sweep(row);
+    total_lost += result.lost;
+    const double batch_factor =
+        result.net.dispatch_batches == 0
+            ? 0.0
+            : static_cast<double>(result.net.requests) /
+                  static_cast<double>(result.net.dispatch_batches);
+    table.add_row({std::to_string(row.connections),
+                   std::to_string(row.pipeline),
+                   std::to_string(result.pairs),
+                   exp::fmt_int(result.pairs_per_s),
+                   exp::fmt(result.service_report.acquire_p50_ms, 3),
+                   exp::fmt(result.service_report.acquire_p99_ms, 3),
+                   std::to_string(result.net.frames_in),
+                   std::to_string(result.net.dispatch_batches),
+                   exp::fmt(batch_factor, 1),
+                   std::to_string(result.lost),
+                   exp::fmt(result.seconds, 2)});
+    if (row.connections == 32 && row.pipeline == 8) {
+      acceptance_pairs_per_s = result.pairs_per_s;
+      acceptance_net_json = result.net.to_json();
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\n32-connection pipelined row: "
+            << exp::fmt_int(acceptance_pairs_per_s)
+            << " acquire/release pairs/s (acceptance gate: >= "
+            << (smoke ? "5k smoke" : "50k") << ")\n";
+
+  json.table("sweep", table);
+  json.field("acceptance_pairs_per_s", acceptance_pairs_per_s);
+  json.field("lost_acquires", total_lost);
+  if (!acceptance_net_json.empty()) {
+    json.raw("acceptance_net", acceptance_net_json);
+  }
+  json.write();
+
+  // Disjoint keys: every acquire must win; a loss is a correctness bug
+  // (or a protocol error), not noise.
+  if (total_lost != 0) {
+    std::cout << "FAILURE: " << total_lost
+              << " lost acquires on disjoint keys\n";
+    return 1;
+  }
+  // The gate is enforced, not just printed — a regression that drags the
+  // wire below it turns the bench (and the CI smoke step) red. Smoke
+  // machines vary wildly, so the smoke gate only catches collapses.
+  const double gate = smoke ? 5'000.0 : 50'000.0;
+  if (acceptance_pairs_per_s < gate) {
+    std::cout << "ACCEPTANCE FAILURE: " << exp::fmt_int(acceptance_pairs_per_s)
+              << " pairs/s < " << exp::fmt_int(gate) << "\n";
+    return 1;
+  }
+  return 0;
+}

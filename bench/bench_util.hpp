@@ -48,10 +48,57 @@ inline void print_fit(const std::string& series_name,
 /// rows, then writes `BENCH_<name>.json` next to the bench's stdout
 /// markdown. Every bench emits one so the perf trajectory across PRs can
 /// be diffed without re-parsing tables.
+///
+/// Every file is stamped with a `meta` object — build type, git sha,
+/// compiler — injected at build time (see the bench loop in
+/// CMakeLists.txt), so two BENCH_*.json artifacts are only ever compared
+/// knowing which commit and optimization level produced them. Benches
+/// add run-shape metadata (smoke mode, sweep config) via meta_field().
 class json_emitter {
  public:
   explicit json_emitter(std::string bench_name)
-      : name_(std::move(bench_name)) {}
+      : name_(std::move(bench_name)) {
+    meta_field("git_sha",
+#ifdef ELECT_GIT_SHA
+               ELECT_GIT_SHA
+#else
+               "unknown"
+#endif
+    );
+    meta_field("build_type",
+#ifdef ELECT_BUILD_TYPE
+               ELECT_BUILD_TYPE
+#else
+               "unknown"
+#endif
+    );
+#ifdef __VERSION__
+    meta_field("compiler", __VERSION__);
+#endif
+  }
+
+  /// Add one provenance/config entry to the `meta` object.
+  json_emitter& meta_field(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, "\"" + exp::json_escape(value) + "\"");
+    return *this;
+  }
+
+  /// Literals must land on the string overload, not convert to bool.
+  json_emitter& meta_field(const std::string& key, const char* value) {
+    return meta_field(key, std::string(value));
+  }
+
+  json_emitter& meta_field(const std::string& key, bool value) {
+    meta_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  json_emitter& meta_field(const std::string& key, std::int64_t value) {
+    std::ostringstream out;
+    out << value;
+    meta_.emplace_back(key, out.str());
+    return *this;
+  }
 
   json_emitter& field(const std::string& key, const std::string& value) {
     return raw(key, "\"" + exp::json_escape(value) + "\"");
@@ -98,6 +145,13 @@ class json_emitter {
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
     out << "{\"bench\":\"" << exp::json_escape(name_) << "\"";
+    out << ",\"meta\":{";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << exp::json_escape(meta_[i].first)
+          << "\":" << meta_[i].second;
+    }
+    out << "}";
     for (const auto& [key, json] : fields_) {
       out << ",\"" << exp::json_escape(key) << "\":" << json;
     }
@@ -107,6 +161,7 @@ class json_emitter {
 
  private:
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 

@@ -1,0 +1,101 @@
+// Standalone election server: the svc::service behind the elect::net
+// TCP front-end, as a runnable binary. This is what "remote" examples
+// and real clients talk to.
+//
+//   ./build/examples/elect_server --port 7400
+//   ./build/examples/elect_server --port 7400 --nodes 8 --shards 8 \
+//       --ttl-ms 5000 --strategy adaptive
+//
+// Runs until SIGINT/SIGTERM (so `elect_server &` with stdin closed
+// keeps serving). Prints the combined net + service metrics JSON on
+// exit — and on every `r` + newline typed on stdin, so you can watch
+// counters move while clients hammer it.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t interrupted = 0;
+
+void on_signal(int) { interrupted = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elect;
+
+  svc::service_config service_config{.nodes = 8, .shards = 8};
+  service_config.default_strategy = election::strategy_kind::adaptive;
+  service_config.lease_ttl_ms = 5000;
+  net::server_config server_config;
+  server_config.port = 7400;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    const char* value = argv[i + 1];
+    if (std::strcmp(flag, "--port") == 0) {
+      server_config.port = static_cast<std::uint16_t>(std::atoi(value));
+    } else if (std::strcmp(flag, "--bind") == 0) {
+      server_config.bind_address = value;
+    } else if (std::strcmp(flag, "--nodes") == 0) {
+      service_config.nodes = std::atoi(value);
+    } else if (std::strcmp(flag, "--shards") == 0) {
+      service_config.shards = std::atoi(value);
+    } else if (std::strcmp(flag, "--ttl-ms") == 0) {
+      service_config.lease_ttl_ms =
+          static_cast<std::uint64_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--strategy") == 0) {
+      const auto parsed = election::parse_strategy(value);
+      ELECT_CHECK_MSG(parsed.has_value(), "unknown --strategy");
+      service_config.default_strategy = *parsed;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag);
+      return 2;
+    }
+  }
+
+  svc::service service(std::move(service_config));
+  net::server server(service, server_config);
+  if (!server.listening()) {
+    std::fprintf(stderr, "bind %s:%u failed\n",
+                 server_config.bind_address.c_str(), server_config.port);
+    return 1;
+  }
+  std::printf("elect_server listening on %s:%u (strategy %s, ttl %llu ms)\n",
+              server_config.bind_address.c_str(), server.port(),
+              std::string(election::to_string(
+                              service.config().default_strategy))
+                  .c_str(),
+              static_cast<unsigned long long>(service.config().lease_ttl_ms));
+  std::printf("type 'r' + enter for a metrics report; Ctrl-C stops\n");
+
+  // sigaction without SA_RESTART (std::signal on glibc restarts
+  // syscalls): Ctrl-C must interrupt the fgets below, not wait for the
+  // next line of input.
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  char line[16];
+  while (!interrupted && std::fgets(line, sizeof line, stdin) != nullptr) {
+    if (line[0] == 'r') std::printf("%s\n", server.report_json().c_str());
+  }
+  // stdin closed (typical when backgrounded): keep serving on signals.
+  while (!interrupted) usleep(200 * 1000);
+
+  std::printf("%s\n", server.report_json().c_str());
+  server.stop();
+  return 0;
+}

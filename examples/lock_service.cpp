@@ -1,56 +1,74 @@
 // A distributed lock built on the election service — the "mutual
 // exclusion" direction the paper's Future Work suggests.
 //
-// One svc::service key is the lock. Each worker thread opens a session
-// and calls acquire(key): under the hood the service runs one Figure-6
+// One svc::service key is the lock. Each worker opens a session and
+// calls acquire(key): under the hood the service runs one Figure-6
 // leader-election instance per epoch, the unique winner holds the lock,
 // and release() bumps the key's epoch, which both wakes the blocked
 // losers and starts a fresh election for them to contend in. Mutual
 // exclusion per epoch is inherited directly from the unique-winner
 // guarantee of test-and-set; fair hand-off comes from repeated epochs.
 //
-// Contrast with the pre-service version of this example, which busy-
-// waited on a hand-rolled release flag: sessions now sleep on the
-// registry's epoch condition variable until the holder releases.
+// Two modes, same loop:
 //
-// Build & run:  ./build/examples/lock_service
+//   ./build/examples/lock_service
+//       in-process: workers are svc sessions on a local service.
+//
+//   ./build/examples/lock_service --remote 127.0.0.1:7400
+//       remote: workers are net::client TCP connections to a running
+//       elect_server (see examples/elect_server.cpp). The acquire
+//       blocks server-side; the unique-winner guarantee now spans
+//       processes and hosts, and a worker that crashes mid-hold is
+//       fenced by the server's disconnect-on-close hook + lease TTL.
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "net/client.hpp"
 #include "svc/service.hpp"
 
-int main() {
-  using namespace elect;
-  constexpr int workers = 4;
-  const std::string lock_key = "locks/demo";
+namespace {
 
+constexpr int workers = 4;
+const std::string lock_key = "locks/demo";
+
+std::atomic<int> holders_inside{0};
+std::atomic<int> cs_entries{0};
+
+/// One worker's life, generic over the handle type — the in-process
+/// session and the remote client expose the same acquire/release calls.
+template <typename Lock>
+void contend(Lock& lock, int worker) {
+  const auto held = lock.acquire(lock_key);
+  ELECT_CHECK_MSG(held.won, "acquire failed");
+  // ---- critical section ----
+  const int concurrent = holders_inside.fetch_add(1) + 1;
+  ELECT_CHECK_MSG(concurrent == 1, "mutual exclusion violated");
+  cs_entries.fetch_add(1);
+  std::printf("  epoch %2llu: worker %d in the critical section\n",
+              static_cast<unsigned long long>(held.epoch), worker);
+  holders_inside.fetch_sub(1);
+  // ---- release: wakes the losers into a fresh election ----
+  lock.release(lock_key, held.epoch);
+}
+
+int run_local() {
+  using namespace elect;
   svc::service service(
       svc::service_config{.nodes = workers, .shards = 2, .seed = 11});
   std::vector<svc::service::session> sessions;
   for (int w = 0; w < workers; ++w) sessions.push_back(service.connect());
 
-  std::atomic<int> holders_inside{0};
-  std::atomic<int> cs_entries{0};
-
   std::printf("%d workers contending for a distributed lock:\n", workers);
   std::vector<std::thread> threads;
   for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      auto& session = sessions[static_cast<std::size_t>(w)];
-      const auto held = session.acquire(lock_key);
-      // ---- critical section ----
-      const int concurrent = holders_inside.fetch_add(1) + 1;
-      ELECT_CHECK_MSG(concurrent == 1, "mutual exclusion violated");
-      cs_entries.fetch_add(1);
-      std::printf("  epoch %2llu: worker %d in the critical section\n",
-                  static_cast<unsigned long long>(held.epoch), w);
-      holders_inside.fetch_sub(1);
-      // ---- release: wakes the losers into a fresh election ----
-      session.release(lock_key);
-    });
+    threads.emplace_back(
+        [&, w] { contend(sessions[static_cast<std::size_t>(w)], w); });
   }
   for (auto& t : threads) t.join();
 
@@ -64,4 +82,54 @@ int main() {
               static_cast<unsigned long long>(report.total_messages),
               report.messages_per_acquire, report.acquire_p99_ms);
   return cs_entries.load() == workers ? 0 : 1;
+}
+
+int run_remote(const std::string& host, std::uint16_t port) {
+  using namespace elect;
+  std::vector<std::unique_ptr<net::client>> clients;
+  for (int w = 0; w < workers; ++w) {
+    clients.push_back(std::make_unique<net::client>(host, port));
+    if (!clients.back()->connected()) {
+      std::fprintf(stderr,
+                   "connect to %s:%u failed — is elect_server running?\n",
+                   host.c_str(), port);
+      return 1;
+    }
+  }
+
+  std::printf("%d remote workers contending over TCP %s:%u:\n", workers,
+              host.c_str(), port);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back(
+        [&, w] { contend(*clients[static_cast<std::size_t>(w)], w); });
+  }
+  for (auto& t : threads) t.join();
+
+  std::printf("critical-section entries: %d (expected %d), never more "
+              "than one holder at a time.\n",
+              cs_entries.load(), workers);
+  // Polite exit: release server-side state now instead of via the
+  // close hook.
+  for (auto& client : clients) (void)client->disconnect();
+  return cs_entries.load() == workers ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--remote") == 0) {
+      const std::string target = argv[i + 1];
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--remote wants host:port\n");
+        return 2;
+      }
+      return run_remote(target.substr(0, colon),
+                        static_cast<std::uint16_t>(
+                            std::atoi(target.c_str() + colon + 1)));
+    }
+  }
+  return run_local();
 }

@@ -1,0 +1,311 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace elect::net {
+
+namespace {
+
+/// Back-off between retries when the server answers `busy` (its
+/// blocking-op capacity is full).
+constexpr auto busy_backoff = std::chrono::milliseconds(5);
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t wrote = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    return false;  // blocking socket: anything else is a dead peer
+  }
+  return true;
+}
+
+std::chrono::steady_clock::time_point deadline_from_remaining(
+    std::uint64_t remaining_ms) {
+  if (remaining_ms == wire::lease_forever) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(remaining_ms);
+}
+
+}  // namespace
+
+client::client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  // Handshake synchronously, before the reader thread exists: one hello
+  // frame out, one response frame back on the still-quiet socket.
+  wire::request hello = wire::make_hello_request();
+  hello.id = next_id_.fetch_add(1);
+  const auto frame = wire::encode_request(hello);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  wire::frame_reader reader;
+  std::optional<wire::response> answer;
+  std::uint8_t buffer[4096];
+  while (!answer.has_value()) {
+    const ssize_t got = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      break;
+    }
+    if (!reader.feed(buffer, static_cast<std::size_t>(got))) break;
+    if (auto body = reader.next()) answer = wire::decode_response(*body);
+  }
+  if (!answer.has_value() || answer->kind != wire::op::hello ||
+      answer->result != wire::status::ok) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  session_id_ = answer->epoch;
+  open_.store(true, std::memory_order_release);
+  reader_ = std::thread([this] { reader_main(); });
+}
+
+client::~client() { close(); }
+
+void client::close() {
+  // shutdown() unblocks the reader (recv returns 0); the fd itself is
+  // closed only after the reader joined so it cannot be recycled under
+  // a racing recv.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  fail();
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void client::fail() {
+  open_.store(false, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    // Slots stay in the map, not-done: take() wakes, sees the
+    // connection closed, and reports the loss.
+  }
+  pending_cv_.notify_all();
+}
+
+void client::reader_main() {
+  wire::frame_reader reader;
+  std::uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      break;  // EOF / error / local close()
+    }
+    if (!reader.feed(buffer, static_cast<std::size_t>(got))) break;
+    while (auto body = reader.next()) {
+      auto response = wire::decode_response(*body);
+      if (!response.has_value()) {
+        fail();
+        return;
+      }
+      const std::uint64_t id = response->id;
+      {
+        const std::lock_guard<std::mutex> lock(pending_mutex_);
+        const auto it = pending_.find(id);
+        // Unknown ids are tolerated: a response can race a waiter that
+        // gave up (connection-loss path) and already erased its slot.
+        if (it != pending_.end()) {
+          it->second.response = std::move(*response);
+          it->second.done = true;
+        }
+      }
+      pending_cv_.notify_all();
+    }
+  }
+  fail();
+}
+
+std::uint64_t client::submit(wire::op kind, const std::string& key,
+                             std::uint64_t epoch, std::uint64_t timeout_ms) {
+  if (!open_.load(std::memory_order_acquire)) return 0;
+  // An oversized key would be rejected server-side by killing the whole
+  // connection (protocol violation); refuse it here instead, as one
+  // failed call.
+  if (key.size() > wire::max_key_bytes) return 0;
+  wire::request r;
+  r.id = next_id_.fetch_add(1);
+  r.kind = kind;
+  r.key = key;
+  r.epoch = epoch;
+  r.timeout_ms = timeout_ms;
+  // Register the slot before the frame can possibly be answered.
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.emplace(r.id, slot{});
+  }
+  const auto frame = wire::encode_request(r);
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    fail();
+    // Leave the slot: take() reports the loss uniformly.
+  }
+  return r.id;
+}
+
+std::optional<wire::response> client::take(std::uint64_t id) {
+  if (id == 0) return std::nullopt;
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [&] {
+    const auto it = pending_.find(id);
+    const bool done = it != pending_.end() && it->second.done;
+    return done || !open_.load(std::memory_order_acquire);
+  });
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || !it->second.done) {
+    if (it != pending_.end()) pending_.erase(it);
+    return std::nullopt;  // connection died first
+  }
+  wire::response r = std::move(it->second.response);
+  pending_.erase(it);
+  return r;
+}
+
+std::optional<wire::response> client::call(wire::op kind,
+                                           const std::string& key,
+                                           std::uint64_t epoch,
+                                           std::uint64_t timeout_ms) {
+  return take(submit(kind, key, epoch, timeout_ms));
+}
+
+// ---------------------------------------------------------------------
+// Session API mirror.
+
+svc::acquire_result client::to_acquire_result(
+    const std::optional<wire::response>& r) {
+  svc::acquire_result result;
+  if (!r.has_value()) {
+    result.rejected = true;  // transport loss: the service is gone to us
+    return result;
+  }
+  result.epoch = r->epoch;
+  result.won = r->won();
+  result.fast_path = r->fast_path();
+  result.rejected = r->result == wire::status::rejected;
+  result.timed_out = r->result == wire::status::timed_out;
+  if (result.won) {
+    result.lease_deadline = deadline_from_remaining(r->lease_remaining_ms);
+  }
+  return result;
+}
+
+svc::acquire_result client::try_acquire(const std::string& key) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = to_acquire_result(call(wire::op::try_acquire, key, 0, 0));
+  result.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
+}
+
+svc::acquire_result client::acquire(const std::string& key) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto r = call(wire::op::acquire, key, 0, 0);
+    if (r.has_value() && r->result == wire::status::busy) {
+      std::this_thread::sleep_for(busy_backoff);
+      continue;
+    }
+    auto result = to_acquire_result(r);
+    result.latency_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return result;
+  }
+}
+
+svc::acquire_result client::try_acquire_for(const std::string& key,
+                                            std::chrono::milliseconds timeout) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const auto budget = std::max(left, std::chrono::milliseconds(0));
+    const auto r =
+        call(wire::op::try_acquire_for, key, 0,
+             static_cast<std::uint64_t>(budget.count()));
+    if (r.has_value() && r->result == wire::status::busy) {
+      if (std::chrono::steady_clock::now() + busy_backoff >= deadline) {
+        svc::acquire_result result;
+        result.timed_out = true;
+        return result;
+      }
+      std::this_thread::sleep_for(busy_backoff);
+      continue;
+    }
+    auto result = to_acquire_result(r);
+    result.latency_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    return result;
+  }
+}
+
+svc::lease_status client::release(const std::string& key) {
+  const auto r = call(wire::op::release, key, 0, 0);
+  if (!r.has_value()) return svc::lease_status::stale_epoch;
+  return wire::to_lease_status(r->result);
+}
+
+svc::lease_status client::release(const std::string& key,
+                                  std::uint64_t epoch) {
+  const auto r = call(wire::op::release_fenced, key, epoch, 0);
+  if (!r.has_value()) return svc::lease_status::stale_epoch;
+  return wire::to_lease_status(r->result);
+}
+
+svc::lease_status client::renew(const std::string& key, std::uint64_t epoch) {
+  const auto r = call(wire::op::renew, key, epoch, 0);
+  if (!r.has_value()) return svc::lease_status::stale_epoch;
+  return wire::to_lease_status(r->result);
+}
+
+std::size_t client::disconnect() {
+  const auto r = call(wire::op::disconnect, "", 0, 0);
+  if (!r.has_value() || r->result != wire::status::ok) return 0;
+  return static_cast<std::size_t>(r->epoch);
+}
+
+std::string client::metrics_json() {
+  const auto r = call(wire::op::metrics, "", 0, 0);
+  if (!r.has_value() || r->result != wire::status::ok) return "";
+  return r->body;
+}
+
+}  // namespace elect::net

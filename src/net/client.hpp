@@ -1,0 +1,122 @@
+// elect::net::client — a remote handle on the election service,
+// mirroring svc::service::session over TCP.
+//
+// The API is synchronous — every call blocks its calling thread until
+// the server answers — but the transport is pipelined underneath: a
+// background reader thread routes response frames to waiters by
+// request id, so N threads sharing one client keep N requests in
+// flight on one socket, and the server is free to answer them out of
+// order (a release overtakes a parked acquire; that reordering is what
+// makes the remote lock usable at all).
+//
+// The raw submit()/take() layer exposes the pipelining directly for
+// load generators and tests: submit() returns immediately with the
+// request id, take() blocks for that id's response. The synchronous
+// calls are submit+take.
+//
+// Crash semantics match the service's lease story. destroying the
+// client or calling close() just closes the socket — the server's
+// disconnect-on-close hook then force-releases everything this client
+// held, exactly like a local client crashing (PR 2). disconnect() is
+// the polite form: an explicit wire op that releases server-side state
+// while the connection stays usable.
+//
+// Transport failure is reported through the same types the local
+// session uses: acquire-family calls come back `rejected`, lease calls
+// come back `stale_epoch` — on a dead connection you must stop acting
+// as a leader, which is exactly what stale_epoch already means.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire.hpp"
+#include "svc/service.hpp"
+
+namespace elect::net {
+
+class client {
+ public:
+  /// Connect and handshake. Check connected() — failure (refused,
+  /// version mismatch, service stopped) does not abort.
+  client(const std::string& host, std::uint16_t port);
+  ~client();
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  [[nodiscard]] bool connected() const noexcept {
+    return open_.load(std::memory_order_relaxed);
+  }
+  /// The svc session id backing this connection (from the handshake).
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+
+  // Session API mirror. Semantics per svc::service::session, plus the
+  // transport-failure mapping described in the header comment.
+  [[nodiscard]] svc::acquire_result try_acquire(const std::string& key);
+  [[nodiscard]] svc::acquire_result acquire(const std::string& key);
+  [[nodiscard]] svc::acquire_result try_acquire_for(
+      const std::string& key, std::chrono::milliseconds timeout);
+  svc::lease_status release(const std::string& key);
+  svc::lease_status release(const std::string& key, std::uint64_t epoch);
+  svc::lease_status renew(const std::string& key, std::uint64_t epoch);
+  /// Politely drop everything this connection holds (wire op). Returns
+  /// the number of keys released; 0 on a dead connection.
+  std::size_t disconnect();
+  /// The combined net + service metrics JSON; empty on failure.
+  [[nodiscard]] std::string metrics_json();
+
+  /// Hard-close the socket without a disconnect op — from the server's
+  /// point of view this client crashed; leases are reclaimed by the
+  /// disconnect-on-close hook. Idempotent; also run by the destructor.
+  void close();
+
+  // Raw pipelining layer. submit() frames and sends one request and
+  // returns its id without waiting (0 on a dead connection); take()
+  // blocks until that id's response arrives (empty on connection
+  // loss). One thread can keep a deep window in flight this way.
+  std::uint64_t submit(wire::op kind, const std::string& key = "",
+                       std::uint64_t epoch = 0, std::uint64_t timeout_ms = 0);
+  [[nodiscard]] std::optional<wire::response> take(std::uint64_t id);
+
+ private:
+  struct slot {
+    bool done = false;
+    wire::response response;
+  };
+
+  /// submit + take; empty on transport failure (also after `busy`
+  /// retries are exhausted by the caller — busy is passed through).
+  [[nodiscard]] std::optional<wire::response> call(wire::op kind,
+                                                   const std::string& key,
+                                                   std::uint64_t epoch,
+                                                   std::uint64_t timeout_ms);
+  [[nodiscard]] static svc::acquire_result to_acquire_result(
+      const std::optional<wire::response>& r);
+  void reader_main();
+  /// Mark the connection dead and wake every waiter.
+  void fail();
+
+  int fd_ = -1;
+  std::atomic<bool> open_{false};
+  std::uint64_t session_id_ = 0;
+  std::thread reader_;
+
+  std::mutex write_mutex_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::unordered_map<std::uint64_t, slot> pending_;
+};
+
+}  // namespace elect::net

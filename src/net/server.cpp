@@ -1,0 +1,659 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace elect::net {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Milliseconds of lease left, for the wire (clamped at zero; the
+/// sentinel for "never expires" is wire::lease_forever).
+std::uint64_t lease_remaining_ms(
+    std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    return wire::lease_forever;
+  }
+  const auto left = deadline - std::chrono::steady_clock::now();
+  if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+}
+
+/// Write the whole buffer to a non-blocking socket, parking on POLLOUT
+/// when the send buffer is full. A slow consumer stalls only the thread
+/// serving it; `stopping` bounds that stall across server shutdown.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n,
+               const std::atomic<bool>& stopping) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t wrote = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 100);
+      if (stopping.load(std::memory_order_relaxed)) return false;
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string net_report::to_json() const {
+  std::ostringstream out;
+  out << "{\"connections_accepted\":" << connections_accepted
+      << ",\"connections_active\":" << connections_active
+      << ",\"connections_refused\":" << connections_refused
+      << ",\"frames_in\":" << frames_in << ",\"frames_out\":" << frames_out
+      << ",\"bytes_in\":" << bytes_in << ",\"bytes_out\":" << bytes_out
+      << ",\"requests\":" << requests
+      << ",\"dispatch_batches\":" << dispatch_batches
+      << ",\"backpressure_pauses\":" << backpressure_pauses
+      << ",\"busy_rejections\":" << busy_rejections
+      << ",\"protocol_errors\":" << protocol_errors
+      << ",\"disconnect_reclaims\":" << disconnect_reclaims << "}";
+  return out.str();
+}
+
+server::connection::~connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+server::server(svc::service& service, server_config config)
+    : service_(service), config_(std::move(config)) {
+  ELECT_CHECK(config_.executors >= 1);
+  ELECT_CHECK(config_.max_waiters >= 1);
+  ELECT_CHECK(config_.max_inflight_per_connection >= 1);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return;
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 256) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ELECT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  ev.data.fd = wake_fd_;
+  ELECT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+
+  loop_ = std::thread([this] { loop_main(); });
+  executors_.reserve(static_cast<std::size_t>(config_.executors));
+  for (int i = 0; i < config_.executors; ++i) {
+    executors_.emplace_back([this] { executor_main(); });
+  }
+}
+
+server::~server() { stop(); }
+
+void server::stop() {
+  if (stopping_.exchange(true)) return;
+  if (loop_.joinable()) {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof one);
+    loop_.join();
+  }
+  // The loop's teardown finished every connection, so queued work and
+  // parked waiters now see closed connections and drain fast.
+  queue_cv_.notify_all();
+  for (auto& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::unique_lock<std::mutex> lock(waiter_mutex_);
+    waiter_cv_.wait(lock, [this] { return active_waiters_ == 0; });
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+// ---------------------------------------------------------------------
+// The epoll loop: accept, drain-and-dispatch, teardown.
+
+void server::loop_main() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int ready = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        (void)!::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      // A connection finished earlier in this batch can still have a
+      // queued event; it is gone from the map, skip it.
+      if (it == connections_.end()) continue;
+      read_ready(it->second);
+    }
+  }
+  // Teardown: finish every connection (disconnect-on-close included)
+  // while the map still owns them.
+  std::vector<connection_ptr> remaining;
+  remaining.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) remaining.push_back(conn);
+  for (const auto& conn : remaining) finish_connection(conn);
+}
+
+void server::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error: wait for the next event
+    }
+    if (stopping_.load(std::memory_order_relaxed) ||
+        connections_.size() >=
+            static_cast<std::size_t>(config_.max_connections)) {
+      counters_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<connection>(fd, next_connection_id_++);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // conn destructor closes the fd
+    }
+    connections_.emplace(fd, std::move(conn));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void server::read_ready(connection_ptr conn) {
+  // Drain the socket in bounded bites, decoding and dispatching after
+  // each recv. Draining straight to EAGAIN before ever consulting the
+  // in-flight cap would let a client that pre-filled the kernel buffer
+  // blow arbitrarily far past max_inflight_per_connection; this way the
+  // overshoot is bounded by the frames of one 64 KiB read, and the rest
+  // stays in the kernel buffer (level-triggered EPOLLIN re-fires once
+  // the pause lifts).
+  std::uint8_t buffer[64 * 1024];
+  bool dead = conn->closed.load(std::memory_order_relaxed);
+  bool drained = dead;
+  std::vector<pending> batch;
+  while (!dead) {
+    const ssize_t got = ::recv(conn->fd, buffer, sizeof buffer, 0);
+    if (got > 0) {
+      counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(got),
+                                   std::memory_order_relaxed);
+      if (!conn->reader.feed(buffer, static_cast<std::size_t>(got))) {
+        protocol_error(conn, 0);
+        dead = true;
+      }
+    } else if (got == 0) {
+      dead = true;  // orderly EOF — the disconnect-on-close trigger
+      drained = true;
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      drained = true;
+    } else {
+      dead = true;  // reset / error — same as a crash
+      drained = true;
+    }
+
+    // Decode everything this bite completed. Dead connections still
+    // parse: requests already received alongside an EOF are served (the
+    // client pipelined then closed; its last responses are moot, but a
+    // won lease must be reclaimed — see serve/serve_blocking).
+    while (auto frame = conn->reader.next()) {
+      counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      auto req = wire::decode_request(*frame);
+      if (!req) {
+        protocol_error(conn, 0);
+        dead = true;
+        drained = true;
+        break;
+      }
+      if (!conn->session) {
+        handle_handshake(conn, *req);
+        if (!conn->session) {
+          dead = true;
+          drained = true;
+          break;
+        }
+        continue;
+      }
+      if (req->kind == wire::op::hello) {
+        protocol_error(conn, req->id);
+        dead = true;
+        drained = true;
+        break;
+      }
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+      if (req->kind == wire::op::acquire ||
+          req->kind == wire::op::try_acquire_for) {
+        dispatch(conn, std::move(*req));  // waiter spawn / busy
+      } else {
+        batch.push_back(pending{conn, std::move(*req)});
+      }
+    }
+    if (drained) break;
+    // At the cap: stop reading; maybe_pause below parks the socket.
+    if (conn->in_flight.load(std::memory_order_acquire) >=
+        config_.max_inflight_per_connection) {
+      break;
+    }
+  }
+
+  if (!batch.empty()) {
+    counters_.dispatch_batches.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (auto& p : batch) queue_.push_back(std::move(p));
+    }
+    if (batch.size() > 1) {
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+
+  if (dead) {
+    finish_connection(conn);
+  } else {
+    maybe_pause(conn);
+  }
+}
+
+// Blocking ops only: spawn a bounded waiter thread, or answer busy.
+void server::dispatch(const connection_ptr& conn, wire::request req) {
+  {
+    const std::lock_guard<std::mutex> lock(waiter_mutex_);
+    if (active_waiters_ < config_.max_waiters &&
+        !stopping_.load(std::memory_order_relaxed)) {
+      ++active_waiters_;
+      pending p{conn, std::move(req)};
+      // Detached, but stop() blocks on active_waiters_ reaching zero,
+      // so no waiter outlives the server.
+      std::thread([this, p = std::move(p)] {
+        serve_blocking(p);
+        {
+          const std::lock_guard<std::mutex> inner(waiter_mutex_);
+          --active_waiters_;
+        }
+        waiter_cv_.notify_all();
+      }).detach();
+      return;
+    }
+  }
+  counters_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+  wire::response busy;
+  busy.id = req.id;
+  busy.kind = req.kind;
+  busy.result = wire::status::busy;
+  send_response(conn, busy);
+  complete(conn);
+}
+
+void server::handle_handshake(const connection_ptr& conn,
+                              const wire::request& req) {
+  if (!wire::hello_version_ok(req)) {
+    protocol_error(conn, req.id);
+    return;  // session stays unset; the caller closes the connection
+  }
+  auto session = service_.try_connect();
+  if (!session.has_value()) {
+    // The service stopped under us: answer once so the client fails
+    // with "rejected" instead of a bare connection reset.
+    wire::response refused = wire::make_hello_response(0);
+    refused.id = req.id;
+    refused.result = wire::status::rejected;
+    send_response(conn, refused);
+    return;
+  }
+  conn->session.emplace(*session);
+  wire::response hello =
+      wire::make_hello_response(static_cast<std::uint64_t>(session->id()));
+  hello.id = req.id;
+  send_response(conn, hello);
+}
+
+void server::protocol_error(const connection_ptr& conn,
+                            std::uint64_t request_id) {
+  counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  wire::response r;
+  r.id = request_id;
+  r.result = wire::status::bad_request;
+  send_response(conn, r);  // best effort; the connection dies right after
+}
+
+// ---------------------------------------------------------------------
+// Request execution.
+
+void server::executor_main() {
+  for (;;) {
+    pending p;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      p = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    serve(p);
+  }
+}
+
+wire::response server::acquire_response(const wire::request& req,
+                                        const svc::acquire_result& result) {
+  wire::response r;
+  r.id = req.id;
+  r.kind = req.kind;
+  r.epoch = result.epoch;
+  if (result.rejected) {
+    r.result = wire::status::rejected;
+  } else if (result.won) {
+    r.result = wire::status::ok;
+    r.flags |= wire::flag_won;
+    if (result.fast_path) r.flags |= wire::flag_fast_path;
+    r.lease_remaining_ms = lease_remaining_ms(result.lease_deadline);
+  } else if (result.timed_out) {
+    r.result = wire::status::timed_out;
+  } else {
+    r.result = wire::status::lost;
+  }
+  return r;
+}
+
+void server::serve(const pending& p) {
+  svc::service::session& session = *p.conn->session;
+  const wire::request& req = p.req;
+  wire::response r;
+  r.id = req.id;
+  r.kind = req.kind;
+  switch (req.kind) {
+    case wire::op::try_acquire: {
+      const svc::acquire_result result = session.try_acquire(req.key);
+      if (result.won &&
+          p.conn->closed.load(std::memory_order_relaxed)) {
+        // The request rode in alongside the connection's EOF (or the
+        // close raced us): disconnect-on-close already ran, so this
+        // fresh win has nobody behind it — hand it straight back
+        // instead of orphaning the key. The shard mutex orders the
+        // win against finish_connection's release_all scan, so a win
+        // the scan could not see always observes closed here.
+        (void)session.release(req.key, result.epoch);
+        counters_.disconnect_reclaims.fetch_add(1,
+                                                std::memory_order_relaxed);
+        complete(p.conn);
+        return;
+      }
+      r = acquire_response(req, result);
+      break;
+    }
+    case wire::op::release:
+      r.result = wire::from_lease_status(session.release(req.key));
+      break;
+    case wire::op::release_fenced:
+      r.result =
+          wire::from_lease_status(session.release(req.key, req.epoch));
+      break;
+    case wire::op::renew:
+      r.result = wire::from_lease_status(session.renew(req.key, req.epoch));
+      break;
+    case wire::op::disconnect:
+      r.epoch = session.disconnect();
+      r.result = wire::status::ok;
+      break;
+    case wire::op::metrics:
+      r.body = report_json();
+      r.result = wire::status::ok;
+      // A body the frame cap cannot carry would poison the client's
+      // deframer and kill the whole connection; fail just this call.
+      if (r.body.size() > wire::max_frame_bytes - 64) {
+        r.body.clear();
+        r.result = wire::status::bad_request;
+      }
+      break;
+    default:
+      r.result = wire::status::bad_request;
+      break;
+  }
+  send_response(p.conn, r);
+  complete(p.conn);
+}
+
+void server::serve_blocking(const pending& p) {
+  svc::service::session& session = *p.conn->session;
+  const bool bounded = p.req.kind == wire::op::try_acquire_for;
+  const auto slice = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, config_.blocking_slice_ms));
+  // The wire value is untrusted: clamp before it meets the clock, or a
+  // huge timeout overflows the nanosecond rep (UB) / wraps the deadline
+  // into the past. A day is indistinguishable from forever here.
+  const auto timeout = std::chrono::milliseconds(
+      std::min<std::uint64_t>(p.req.timeout_ms, 86'400'000ull));
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  svc::acquire_result result;
+  bool abandoned = false;
+  for (;;) {
+    // Sleep in bounded slices: each wakeup re-checks for server stop and
+    // connection death, so no waiter thread outlives either by more than
+    // one slice. A won slice attempt is a real win; a timed-out slice
+    // just loops.
+    auto wait = slice;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait = std::clamp(left, std::chrono::milliseconds(0), slice);
+    }
+    result = session.try_acquire_for(p.req.key, wait);
+    if (result.won || result.rejected) break;
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      result.timed_out = true;
+      break;
+    }
+    if (p.conn->closed.load(std::memory_order_relaxed)) {
+      abandoned = true;
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      result = svc::acquire_result{};
+      result.rejected = true;
+      break;
+    }
+  }
+  if (result.won &&
+      (abandoned || p.conn->closed.load(std::memory_order_relaxed))) {
+    // The client died while its acquire was in flight; nobody is behind
+    // the lease, so hand it straight back instead of wedging the key
+    // until the TTL.
+    (void)session.release(p.req.key, result.epoch);
+    counters_.disconnect_reclaims.fetch_add(1, std::memory_order_relaxed);
+    complete(p.conn);
+    return;
+  }
+  if (abandoned) {
+    complete(p.conn);
+    return;
+  }
+  send_response(p.conn, acquire_response(p.req, result));
+  complete(p.conn);
+}
+
+// ---------------------------------------------------------------------
+// Response path, backpressure, connection teardown.
+
+void server::send_response(const connection_ptr& conn,
+                           const wire::response& r) {
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  const std::vector<std::uint8_t> frame = wire::encode_response(r);
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  if (!write_all(conn->fd, frame.data(), frame.size(), stopping_)) {
+    start_close(conn);
+    return;
+  }
+  counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+}
+
+void server::complete(const connection_ptr& conn) {
+  conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  maybe_resume(conn);
+}
+
+void server::maybe_pause(const connection_ptr& conn) {
+  const std::lock_guard<std::mutex> lock(conn->pause_mutex);
+  if (conn->paused || conn->closed.load(std::memory_order_relaxed)) return;
+  if (conn->in_flight.load(std::memory_order_acquire) <
+      config_.max_inflight_per_connection) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLRDHUP;  // keep death visible, stop reading requests
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->paused = true;
+    counters_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void server::maybe_resume(const connection_ptr& conn) {
+  const std::lock_guard<std::mutex> lock(conn->pause_mutex);
+  if (!conn->paused || conn->closed.load(std::memory_order_relaxed)) return;
+  if (conn->in_flight.load(std::memory_order_acquire) >
+      config_.max_inflight_per_connection / 2) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->paused = false;
+  }
+}
+
+void server::start_close(const connection_ptr& conn) {
+  if (conn->closed.exchange(true)) return;
+  // The local shutdown makes epoll report the fd (EPOLLHUP fires even
+  // for a paused connection), so the loop runs finish_connection.
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void server::finish_connection(connection_ptr conn) {
+  if (connections_.erase(conn->fd) == 0) return;  // already finished
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conn->closed.store(true, std::memory_order_relaxed);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  if (conn->session.has_value()) {
+    // The disconnect-on-close hook: whatever the remote client held is
+    // force-released NOW — its rivals re-elect immediately instead of
+    // waiting out the lease TTL. In-flight wins for this connection are
+    // reclaimed by their waiters (see serve_blocking).
+    const std::size_t reclaimed = conn->session->disconnect();
+    counters_.disconnect_reclaims.fetch_add(reclaimed,
+                                            std::memory_order_relaxed);
+  }
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+
+net_report server::report() const {
+  net_report r;
+  r.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  r.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  r.connections_refused =
+      counters_.connections_refused.load(std::memory_order_relaxed);
+  r.frames_in = counters_.frames_in.load(std::memory_order_relaxed);
+  r.frames_out = counters_.frames_out.load(std::memory_order_relaxed);
+  r.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  r.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  r.requests = counters_.requests.load(std::memory_order_relaxed);
+  r.dispatch_batches =
+      counters_.dispatch_batches.load(std::memory_order_relaxed);
+  r.backpressure_pauses =
+      counters_.backpressure_pauses.load(std::memory_order_relaxed);
+  r.busy_rejections =
+      counters_.busy_rejections.load(std::memory_order_relaxed);
+  r.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  r.disconnect_reclaims =
+      counters_.disconnect_reclaims.load(std::memory_order_relaxed);
+  return r;
+}
+
+std::string server::report_json() const {
+  svc::service_report combined = service_.report();
+  combined.net_json = report().to_json();
+  return combined.to_json();
+}
+
+}  // namespace elect::net

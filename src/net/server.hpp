@@ -1,0 +1,237 @@
+// elect::net::server — the TCP front-end of the election service.
+//
+// One epoll loop owns the listen socket and every connection's read
+// side. Readable sockets are drained to EAGAIN and *all* complete
+// frames are decoded before anything is dispatched (request batching:
+// one syscall burst, one queue lock, many requests), then:
+//
+//   * non-blocking ops (try_acquire, release, renew, disconnect,
+//     metrics) go to a small executor pool — they only ever take shard
+//     locks and pool round-trips, never park;
+//   * blocking ops (acquire, try_acquire_for) each get a waiter thread,
+//     bounded by `max_waiters`; past the cap the server answers `busy`
+//     instead of queueing a request behind threads that may sleep for
+//     minutes. Waiters sleep in bounded slices so server stop and
+//     connection death interrupt them promptly. Keeping the two classes
+//     apart means a release can always be served while every waiter is
+//     parked — the release is what wakes them, so mixing the classes in
+//     one queue could deadlock until a lease TTL broke the cycle.
+//
+// Every connection is backed by ONE svc::service session, so the
+// service-side crash story carries over the wire unchanged: when the
+// socket dies (EOF, reset, or server stop) the server applies
+// session::disconnect(), force-releasing everything the remote client
+// held — a crashed remote client fences exactly like PR 2's local
+// crash path, and faster than waiting out the TTL when the kernel
+// reports the close. A half-open peer (no FIN ever arrives) falls back
+// to the lease TTL + sweeper, same as a wedged local client.
+//
+// Backpressure is per connection: at `max_inflight_per_connection`
+// outstanding requests the loop stops *reading* that socket (drops
+// EPOLLIN) until completions drain below half the cap — the client's
+// sends then fill the kernel buffers and block/EAGAIN at the client,
+// which is the entire point. Responses complete out of order; the wire
+// request id is what keys them back (see net/wire.hpp).
+//
+// Responses are written by whichever thread finished the request,
+// under a per-connection write mutex, blocking on POLLOUT if the
+// socket's send buffer is full — a slow consumer stalls its own
+// responses, never the epoll loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "svc/service.hpp"
+
+namespace elect::net {
+
+struct server_config {
+  /// Address to bind. Loopback by default: this PR's scope is the wire
+  /// protocol and the loopback workload; multi-host comes later.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with server::port().
+  std::uint16_t port = 0;
+  /// Threads serving non-blocking ops.
+  int executors = 4;
+  /// Concurrent blocking ops (acquire / try_acquire_for) server-wide;
+  /// past this the server answers wire::status::busy.
+  int max_waiters = 256;
+  /// Outstanding requests per connection before the server stops
+  /// reading that socket.
+  int max_inflight_per_connection = 64;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 1024;
+  /// Granularity at which parked blocking ops re-check for server stop
+  /// and connection death.
+  std::uint64_t blocking_slice_ms = 50;
+};
+
+/// Point-in-time counters for the network edge.
+struct net_report {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_refused = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t requests = 0;
+  /// Read-drain passes that dispatched at least one request; requests /
+  /// batches is the realized batching factor.
+  std::uint64_t dispatch_batches = 0;
+  std::uint64_t backpressure_pauses = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t protocol_errors = 0;
+  /// Leases force-released because their connection closed (the
+  /// disconnect-on-close hook), plus wins reclaimed after their
+  /// connection died mid-election.
+  std::uint64_t disconnect_reclaims = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class server {
+ public:
+  /// Binds, listens, and starts the loop + executors. The service must
+  /// outlive the server. Check listening() — construction does not
+  /// abort on bind failure (the port may be taken).
+  server(svc::service& service, server_config config);
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  [[nodiscard]] bool listening() const noexcept { return listen_fd_ >= 0; }
+  /// The bound port (resolves config.port == 0 to the ephemeral pick).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Close the listener and every connection (their sessions are
+  /// disconnected, releasing held leases), drain the executors, and
+  /// join every thread. Idempotent. Does NOT stop the service.
+  void stop();
+
+  [[nodiscard]] net_report report() const;
+  /// The combined report served to the metrics wire op:
+  /// service_report::to_json() with the "net" section filled in.
+  [[nodiscard]] std::string report_json() const;
+
+ private:
+  struct connection {
+    connection(int fd_in, std::uint64_t id_in) : fd(fd_in), id(id_in) {}
+    ~connection();
+
+    const int fd;
+    const std::uint64_t id;
+    /// Set once the hello handshake passed; requests before it (or an
+    /// invalid hello) are protocol errors.
+    std::optional<svc::service::session> session;
+    wire::frame_reader reader;
+
+    /// Guards the socket write side (responses interleave from many
+    /// threads) — never held while reading.
+    std::mutex write_mutex;
+
+    /// Outstanding dispatched requests; drives backpressure.
+    std::atomic<int> in_flight{0};
+    /// Guards `paused` and orders pause/resume against in_flight so a
+    /// completion draining to zero can never race the loop into a
+    /// permanently paused socket.
+    std::mutex pause_mutex;
+    bool paused = false;
+
+    std::atomic<bool> closed{false};
+  };
+  using connection_ptr = std::shared_ptr<connection>;
+
+  struct pending {
+    connection_ptr conn;
+    wire::request req;
+  };
+
+  void loop_main();
+  void executor_main();
+  void accept_ready();
+  /// Drain one readable socket and dispatch everything parsed. Takes
+  /// its own reference: the loop's copy in connections_ dies inside
+  /// finish_connection, so a reference to the map's slot would dangle.
+  void read_ready(connection_ptr conn);
+  void dispatch(const connection_ptr& conn, wire::request req);
+  /// Serve one non-blocking request (executor thread).
+  void serve(const pending& p);
+  /// Serve one blocking acquire-family request (waiter thread).
+  void serve_blocking(const pending& p);
+  /// Build the response for a decided acquire attempt.
+  [[nodiscard]] static wire::response acquire_response(
+      const wire::request& req, const svc::acquire_result& result);
+  /// Write one response frame; on transport failure starts the close.
+  void send_response(const connection_ptr& conn, const wire::response& r);
+  void complete(const connection_ptr& conn);
+  void maybe_pause(const connection_ptr& conn);
+  void maybe_resume(const connection_ptr& conn);
+  /// Initiate teardown from any thread: shutdown() the socket so the
+  /// loop sees it and runs finish_connection exactly once.
+  void start_close(const connection_ptr& conn);
+  /// Loop-thread-only: unregister, disconnect the session (the
+  /// lease-reclaim hook), drop from the map. By value — it erases the
+  /// map's own shared_ptr and keeps using the connection after.
+  void finish_connection(connection_ptr conn);
+  void handle_handshake(const connection_ptr& conn,
+                        const wire::request& req);
+  void protocol_error(const connection_ptr& conn, std::uint64_t request_id);
+
+  svc::service& service_;
+  const server_config config_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: kicks the loop for stop()
+  std::uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::vector<std::thread> executors_;
+  std::atomic<bool> stopping_{false};
+
+  /// Loop-thread-only registry of live connections.
+  std::unordered_map<int, connection_ptr> connections_;
+  std::uint64_t next_connection_id_ = 1;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<pending> queue_;
+
+  /// Waiter-thread accounting: spawn-if-below-cap, and stop() blocks
+  /// until the last waiter (they run detached) has finished.
+  std::mutex waiter_mutex_;
+  std::condition_variable waiter_cv_;
+  int active_waiters_ = 0;
+
+  struct counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_refused{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> dispatch_batches{0};
+    std::atomic<std::uint64_t> backpressure_pauses{0};
+    std::atomic<std::uint64_t> busy_rejections{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> disconnect_reclaims{0};
+  };
+  counters counters_;
+  std::atomic<std::uint64_t> connections_active_{0};
+};
+
+}  // namespace elect::net

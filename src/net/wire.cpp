@@ -1,0 +1,261 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace elect::net::wire {
+
+namespace {
+
+// Little-endian scalar append/read. Byte-by-byte on purpose: exact wire
+// layout on every host, no alignment or endianness assumptions.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reads over one frame body.
+class cursor {
+ public:
+  explicit cursor(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& out) {
+    if (at_ + 1 > data_.size()) return fail();
+    out = data_[at_++];
+    return true;
+  }
+
+  [[nodiscard]] bool u32(std::uint32_t& out) {
+    if (at_ + 4 > data_.size()) return fail();
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(data_[at_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool u64(std::uint64_t& out) {
+    if (at_ + 8 > data_.size()) return fail();
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(data_[at_++]) << (8 * i);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool string(std::string& out, std::uint32_t max_bytes) {
+    std::uint32_t length = 0;
+    if (!u32(length)) return false;
+    if (length > max_bytes || at_ + length > data_.size()) return fail();
+    out.assign(reinterpret_cast<const char*>(data_.data()) + at_, length);
+    at_ += length;
+    return true;
+  }
+
+  /// Everything consumed, nothing trailing? Trailing bytes mean the
+  /// peer speaks a different dialect — reject rather than guess.
+  [[nodiscard]] bool exhausted() const { return ok_ && at_ == data_.size(); }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::vector<std::uint8_t>& data_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+/// Reserve the 4-byte length slot, append the body, then backfill the
+/// length — one buffer, one pass.
+void finish_frame(std::vector<std::uint8_t>& frame) {
+  const auto body = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body >> (8 * i));
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(op kind) {
+  switch (kind) {
+    case op::hello: return "hello";
+    case op::try_acquire: return "try_acquire";
+    case op::acquire: return "acquire";
+    case op::try_acquire_for: return "try_acquire_for";
+    case op::release: return "release";
+    case op::release_fenced: return "release_fenced";
+    case op::renew: return "renew";
+    case op::disconnect: return "disconnect";
+    case op::metrics: return "metrics";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(status s) {
+  switch (s) {
+    case status::ok: return "ok";
+    case status::lost: return "lost";
+    case status::timed_out: return "timed_out";
+    case status::rejected: return "rejected";
+    case status::stale_epoch: return "stale_epoch";
+    case status::not_leader: return "not_leader";
+    case status::busy: return "busy";
+    case status::bad_request: return "bad_request";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_request(const request& r) {
+  std::vector<std::uint8_t> frame(4, 0);  // length backfilled below
+  put_u64(frame, r.id);
+  put_u8(frame, static_cast<std::uint8_t>(r.kind));
+  put_string(frame, r.key);
+  put_u64(frame, r.epoch);
+  put_u64(frame, r.timeout_ms);
+  finish_frame(frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_response(const response& r) {
+  std::vector<std::uint8_t> frame(4, 0);
+  put_u64(frame, r.id);
+  put_u8(frame, static_cast<std::uint8_t>(r.kind));
+  put_u8(frame, static_cast<std::uint8_t>(r.result));
+  put_u8(frame, r.flags);
+  put_u64(frame, r.epoch);
+  put_u64(frame, r.lease_remaining_ms);
+  put_string(frame, r.body);
+  finish_frame(frame);
+  return frame;
+}
+
+request make_hello_request() {
+  request r;
+  r.kind = op::hello;
+  r.epoch = (static_cast<std::uint64_t>(protocol_magic) << 16) |
+            protocol_version;
+  return r;
+}
+
+response make_hello_response(std::uint64_t session_id) {
+  response r;
+  r.kind = op::hello;
+  r.result = status::ok;
+  r.epoch = session_id;
+  return r;
+}
+
+bool hello_version_ok(const request& r) {
+  return r.kind == op::hello &&
+         r.epoch == ((static_cast<std::uint64_t>(protocol_magic) << 16) |
+                     protocol_version);
+}
+
+std::optional<request> decode_request(const std::vector<std::uint8_t>& body) {
+  cursor in(body);
+  request r;
+  std::uint8_t kind = 0;
+  if (!in.u64(r.id) || !in.u8(kind) || !in.string(r.key, max_key_bytes) ||
+      !in.u64(r.epoch) || !in.u64(r.timeout_ms) || !in.exhausted()) {
+    return std::nullopt;
+  }
+  if (kind >= op_count) return std::nullopt;
+  r.kind = static_cast<op>(kind);
+  return r;
+}
+
+std::optional<response> decode_response(
+    const std::vector<std::uint8_t>& body) {
+  cursor in(body);
+  response r;
+  std::uint8_t kind = 0;
+  std::uint8_t result = 0;
+  if (!in.u64(r.id) || !in.u8(kind) || !in.u8(result) || !in.u8(r.flags) ||
+      !in.u64(r.epoch) || !in.u64(r.lease_remaining_ms) ||
+      !in.string(r.body, max_frame_bytes) || !in.exhausted()) {
+    return std::nullopt;
+  }
+  if (kind >= op_count ||
+      result > static_cast<std::uint8_t>(status::bad_request)) {
+    return std::nullopt;
+  }
+  r.kind = static_cast<op>(kind);
+  r.result = static_cast<status>(result);
+  return r;
+}
+
+status from_lease_status(svc::lease_status s) {
+  switch (s) {
+    case svc::lease_status::ok: return status::ok;
+    case svc::lease_status::stale_epoch: return status::stale_epoch;
+    case svc::lease_status::not_leader: return status::not_leader;
+  }
+  return status::bad_request;
+}
+
+svc::lease_status to_lease_status(status s) {
+  switch (s) {
+    case status::ok: return svc::lease_status::ok;
+    case status::not_leader: return svc::lease_status::not_leader;
+    default: return svc::lease_status::stale_epoch;
+  }
+}
+
+bool frame_reader::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return false;
+  buffer_.insert(buffer_.end(), data, data + n);
+  for (;;) {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < 4) break;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<std::uint32_t>(buffer_[consumed_ +
+                                                   static_cast<std::size_t>(i)])
+                << (8 * i);
+    }
+    if (length > max_frame_bytes) {
+      poisoned_ = true;
+      return false;
+    }
+    if (available < 4 + static_cast<std::size_t>(length)) break;
+    const auto* begin = buffer_.data() + consumed_ + 4;
+    frames_.emplace_back(begin, begin + length);
+    consumed_ += 4 + static_cast<std::size_t>(length);
+  }
+  // Reclaim the parsed prefix once it dominates the buffer, so a long
+  // pipelined burst doesn't memmove per frame.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> frame_reader::next() {
+  if (frames_.empty()) return std::nullopt;
+  std::vector<std::uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+}  // namespace elect::net::wire

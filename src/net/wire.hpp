@@ -1,0 +1,201 @@
+// elect::net::wire — the versioned, length-prefixed binary protocol
+// between net::client and net::server.
+//
+// Framing: every message on the socket is one *frame*:
+//
+//   [u32 length][length bytes of body]
+//
+// with the length in little-endian and capped at max_frame_bytes (an
+// oversized length is a protocol violation and kills the connection —
+// it is either corruption or a hostile peer, not backpressure).
+//
+// The first frame each way is the handshake: the client sends a hello
+// request carrying the protocol magic + version in its epoch field, the
+// server answers with a hello response whose epoch field is the svc
+// session id backing the connection. Version mismatches are rejected
+// before any election state is touched.
+//
+// After the handshake, every request carries a client-chosen 64-bit
+// request id. The server may answer requests *out of order* (a metrics
+// fetch overtakes a blocking acquire parked on a held key); the id is
+// what lets the client route each response to its waiter, which is the
+// whole basis of pipelining many in-flight calls over one socket.
+//
+// Status codes map the service's result types onto the wire explicitly
+// (`acquire_result` flags and `lease_status` values), plus the two
+// conditions only the network edge can produce: `busy` (the server's
+// blocking-op cap is full — retry) and `bad_request` (undecodable
+// frame — fatal for the connection).
+//
+// All integers are little-endian; strings are u32 length + bytes. The
+// encoding is byte-exact across platforms — no struct punning.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/registry.hpp"
+
+namespace elect::net::wire {
+
+/// "ELN" + version byte, carried in the hello exchange.
+inline constexpr std::uint32_t protocol_magic = 0x454C4E00u;
+inline constexpr std::uint16_t protocol_version = 1;
+
+/// Hard cap on one frame's body. Requests are tiny (a key plus a few
+/// integers); responses are bounded by the metrics JSON. Anything
+/// larger is corruption, not load.
+inline constexpr std::uint32_t max_frame_bytes = 1u << 20;
+
+/// Keys longer than this are a protocol violation: the server drops
+/// the connection on decode, and net::client refuses to submit one.
+inline constexpr std::uint32_t max_key_bytes = 4096;
+
+/// Message types. Values are wire format — append only, never renumber.
+enum class op : std::uint8_t {
+  hello = 0,
+  /// One-shot election attempt (session::try_acquire).
+  try_acquire = 1,
+  /// Blocking acquire; the server parks the request (not the socket)
+  /// until the key is won, the service stops, or the connection dies.
+  acquire = 2,
+  /// Bounded blocking acquire; timeout_ms bounds the server-side wait.
+  try_acquire_for = 3,
+  /// Unfenced release (session::release(key)).
+  release = 4,
+  /// Epoch-fenced release (session::release(key, epoch)).
+  release_fenced = 5,
+  /// Lease renewal (session::renew(key, epoch)).
+  renew = 6,
+  /// Graceful drop of everything this connection holds. The server also
+  /// applies this implicitly when the socket closes — see net::server.
+  disconnect = 7,
+  /// Fetch the combined net + service metrics report as JSON.
+  metrics = 8,
+};
+
+inline constexpr int op_count = 9;
+
+[[nodiscard]] std::string_view to_string(op kind);
+
+/// Response status. Values are wire format — append only.
+enum class status : std::uint8_t {
+  /// Acquire won / release ok / renew ok / metrics served.
+  ok = 0,
+  /// Acquire attempt lost (somebody else holds the epoch).
+  lost = 1,
+  /// try_acquire_for: the timeout elapsed before the key came free.
+  timed_out = 2,
+  /// The service stopped (acquire_result::rejected).
+  rejected = 3,
+  /// lease_status::stale_epoch — the presented epoch is not current.
+  stale_epoch = 4,
+  /// lease_status::not_leader — current epoch, but not the holder.
+  not_leader = 5,
+  /// The server's blocking-op capacity is exhausted; retry after a
+  /// backoff. Only acquire/try_acquire_for can see this.
+  busy = 6,
+  /// Undecodable or ill-formed request. The server answers once (when
+  /// it still has a request id to echo) and closes the connection.
+  bad_request = 7,
+};
+
+[[nodiscard]] std::string_view to_string(status s);
+
+/// `lease_remaining_ms` value meaning "the lease never expires".
+inline constexpr std::uint64_t lease_forever = ~0ull;
+
+/// One client->server message. Unused fields encode as zero.
+struct request {
+  std::uint64_t id = 0;
+  op kind = op::hello;
+  std::string key;
+  /// release_fenced / renew: the fencing token. hello: magic|version.
+  std::uint64_t epoch = 0;
+  /// try_acquire_for: wait bound in milliseconds.
+  std::uint64_t timeout_ms = 0;
+};
+
+/// Response flag bits.
+inline constexpr std::uint8_t flag_won = 1u << 0;
+inline constexpr std::uint8_t flag_fast_path = 1u << 1;
+
+/// One server->client message. `epoch` is the election epoch for
+/// acquire-family ops, the svc session id for hello, and the released
+/// count for disconnect.
+struct response {
+  std::uint64_t id = 0;
+  op kind = op::hello;
+  status result = status::ok;
+  std::uint8_t flags = 0;
+  std::uint64_t epoch = 0;
+  /// Winner only: milliseconds of lease left when the response was
+  /// built (lease_forever when leases are disabled). The client turns
+  /// this back into a deadline on its own clock.
+  std::uint64_t lease_remaining_ms = 0;
+  /// metrics: the JSON report. Empty otherwise.
+  std::string body;
+
+  [[nodiscard]] bool won() const noexcept { return (flags & flag_won) != 0; }
+  [[nodiscard]] bool fast_path() const noexcept {
+    return (flags & flag_fast_path) != 0;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Encoding. encode_* produce a complete frame (length prefix included)
+// ready to write to the socket.
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const request& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const response& r);
+
+/// The hello exchange, expressed through the same request/response
+/// shapes so one codec covers everything.
+[[nodiscard]] request make_hello_request();
+[[nodiscard]] response make_hello_response(std::uint64_t session_id);
+/// Does this decoded hello request carry our magic + version?
+[[nodiscard]] bool hello_version_ok(const request& r);
+
+// ---------------------------------------------------------------------
+// Decoding. Both take one frame *body* (the length prefix already
+// stripped by frame_reader) and return empty on any malformation:
+// short buffer, trailing garbage, unknown op/status, oversized key.
+
+[[nodiscard]] std::optional<request> decode_request(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<response> decode_response(
+    const std::vector<std::uint8_t>& body);
+
+// ---------------------------------------------------------------------
+// Status mapping helpers shared by client and server.
+
+[[nodiscard]] status from_lease_status(svc::lease_status s);
+[[nodiscard]] svc::lease_status to_lease_status(status s);
+
+// ---------------------------------------------------------------------
+// frame_reader: incremental deframer. Feed it whatever the socket
+// yields; it splits complete frames off and queues their bodies.
+
+class frame_reader {
+ public:
+  /// Append `n` raw bytes. Returns false on a protocol violation (a
+  /// frame length above max_frame_bytes) — the connection must die;
+  /// the reader is poisoned and will never yield another frame.
+  [[nodiscard]] bool feed(const std::uint8_t* data, std::size_t n);
+
+  /// Pop the next complete frame body, if one is buffered.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // parsed prefix of buffer_, reclaimed lazily
+  std::deque<std::vector<std::uint8_t>> frames_;
+  bool poisoned_ = false;
+};
+
+}  // namespace elect::net::wire

@@ -162,6 +162,11 @@ struct service_report {
   double messages_per_acquire = 0.0;
   double mean_communicate_calls = 0.0;
   std::uint64_t max_communicate_calls = 0;
+  /// Optional pre-serialized JSON object from the layer wrapping the
+  /// service (the TCP front-end's per-connection/frame counters —
+  /// net::server::report()). Emitted verbatim as `"net":{...}` when
+  /// non-empty, so one report covers the wire and the elections.
+  std::string net_json;
 
   [[nodiscard]] std::string to_json() const;
 };

@@ -198,9 +198,15 @@ lease_status instance_registry::release(const std::string& key, int session,
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
-    if (it == s.keys.end() || it->second.entry.epoch != epoch) {
-      return lease_status::stale_epoch;
+    if (it == s.keys.end()) {
+      // A never-acquired key sits at epoch 0 implicitly: presenting
+      // epoch 0 is *current* but holds nothing (not_leader), anything
+      // higher is genuinely stale. Keeps the fenced verdicts meaning
+      // one thing on every path: stale_epoch <=> the epoch moved on.
+      return epoch == 0 ? lease_status::not_leader
+                        : lease_status::stale_epoch;
     }
+    if (it->second.entry.epoch != epoch) return lease_status::stale_epoch;
     if (it->second.leader != session) return lease_status::not_leader;
     bump_epoch_locked(it->second);
   }
@@ -228,9 +234,11 @@ lease_status instance_registry::renew(const std::string& key, int session,
   shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.keys.find(key);
-  if (it == s.keys.end() || it->second.entry.epoch != epoch) {
-    return lease_status::stale_epoch;
+  if (it == s.keys.end()) {
+    // Same implicit-epoch-0 rule as the fenced release above.
+    return epoch == 0 ? lease_status::not_leader : lease_status::stale_epoch;
   }
+  if (it->second.entry.epoch != epoch) return lease_status::stale_epoch;
   if (it->second.leader != session) return lease_status::not_leader;
   it->second.lease_deadline = deadline_for(ttl);
   return lease_status::ok;
@@ -268,6 +276,17 @@ std::size_t instance_registry::release_all(
   return bump_matching(
       [session](const key_state& state) { return state.leader == session; },
       on_released);
+}
+
+std::vector<std::string> instance_registry::keys_held_by(int session) const {
+  std::vector<std::string> held;
+  for (const auto& shard_ptr : shards_) {
+    const std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    for (const auto& [key, state] : shard_ptr->keys) {
+      if (state.leader == session) held.push_back(key);
+    }
+  }
+  return held;
 }
 
 std::size_t instance_registry::sweep_expired(

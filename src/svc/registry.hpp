@@ -223,6 +223,12 @@ class instance_registry {
   std::size_t release_all(int session,
                           const std::function<void(int)>& on_released = {});
 
+  /// Every key `session` currently holds, in unspecified order. A
+  /// snapshot — by the time the caller looks, leases may have expired.
+  /// Introspection for the network edge (per-connection accounting) and
+  /// tests; not a hot path.
+  [[nodiscard]] std::vector<std::string> keys_held_by(int session) const;
+
   /// Force-release every holder whose lease deadline is <= now: bump the
   /// epoch, allocate a fresh instance, wake epoch waiters. `on_expired`
   /// (if set) is called with the shard index once per expired key, under

@@ -49,8 +49,14 @@ service::service(service_config config)
 service::~service() { stop(); }
 
 service::session service::connect() {
+  auto opened = try_connect();
+  ELECT_CHECK_MSG(opened.has_value(), "connect() after stop()");
+  return *opened;
+}
+
+std::optional<service::session> service::try_connect() {
   const std::lock_guard<std::mutex> lock(connect_mutex_);
-  ELECT_CHECK_MSG(!stopped_.load(), "connect() after stop()");
+  if (stopped_.load()) return std::nullopt;
   const int id = next_session_++;
   return session(*this, id, static_cast<process_id>(id % config_.nodes));
 }
@@ -418,6 +424,10 @@ lease_status service::session::renew(const std::string& key,
 std::size_t service::session::disconnect() {
   return owner_->registry_.release_all(
       id_, [this](int shard) { owner_->metrics_.record_release(shard); });
+}
+
+std::vector<std::string> service::session::held_keys() const {
+  return owner_->registry_.keys_held_by(id_);
 }
 
 // ---------------------------------------------------------------------

@@ -55,6 +55,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -171,6 +172,11 @@ class service {
     /// Returns the number of keys released.
     std::size_t disconnect();
 
+    /// Snapshot of the keys this session currently holds. Introspection
+    /// for embedders (the network front-end accounts per-connection
+    /// leases with it); leases may expire between snapshot and use.
+    [[nodiscard]] std::vector<std::string> held_keys() const;
+
     [[nodiscard]] int id() const noexcept { return id_; }
     [[nodiscard]] process_id node() const noexcept { return pid_; }
 
@@ -184,8 +190,20 @@ class service {
     process_id pid_;
   };
 
-  /// Open a session, bound round-robin to a pool node.
+  /// Open a session, bound round-robin to a pool node. Aborts if the
+  /// service already stopped — embedders racing shutdown (the network
+  /// front-end accepting one last connection) use try_connect().
   [[nodiscard]] session connect();
+
+  /// Like connect(), but returns empty instead of aborting once stop()
+  /// has run or is running.
+  [[nodiscard]] std::optional<session> try_connect();
+
+  /// Has stop() run (or started)? Advisory — a false answer may be
+  /// stale by the time the caller acts on it.
+  [[nodiscard]] bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_relaxed);
+  }
 
   /// Drain all queued jobs, stop the drivers and the lease sweeper, wake
   /// blocked acquirers (they come back `rejected`), and join the pool.

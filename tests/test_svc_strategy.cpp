@@ -183,6 +183,51 @@ TEST_P(SvcStrategy, ConcurrentStopRejectsAcquiresGracefully) {
   EXPECT_GT(rejected.load(), 0u);
 }
 
+// Regression: every way of releasing twice (or after disconnect) must
+// come back with the same clean verdict no matter which strategy won
+// the epoch — stale_epoch iff the presented epoch moved on, not_leader
+// iff the epoch is current but the caller holds nothing. The adaptive
+// fast path, the claim-arbitrated rungs, and the self-deciding full
+// protocol all leave identical registry state behind a win, and this
+// pins that down per strategy.
+TEST_P(SvcStrategy, DoubleReleaseAndReleaseAfterDisconnectAreClean) {
+  svc::service service(config_with(
+      GetParam(), {.nodes = 2, .shards = 2, .seed = 37}));
+  auto session = service.connect();
+
+  // Double release, fenced and unfenced.
+  const auto won = session.try_acquire("twice");
+  ASSERT_TRUE(won.won);
+  EXPECT_EQ(session.release("twice", won.epoch), svc::lease_status::ok);
+  EXPECT_EQ(session.release("twice", won.epoch),
+            svc::lease_status::stale_epoch);
+  EXPECT_EQ(session.release("twice"), svc::lease_status::not_leader);
+  EXPECT_EQ(session.renew("twice", won.epoch), svc::lease_status::stale_epoch);
+  // Fenced with the *current* epoch of the released key: the epoch is
+  // live but nobody holds it.
+  const auto current = service.registry().current("twice");
+  EXPECT_EQ(session.release("twice", current.epoch),
+            svc::lease_status::not_leader);
+
+  // Release after disconnect.
+  const auto regained = session.try_acquire("twice");
+  ASSERT_TRUE(regained.won);
+  EXPECT_EQ(session.disconnect(), 1u);
+  EXPECT_EQ(session.release("twice", regained.epoch),
+            svc::lease_status::stale_epoch);
+  EXPECT_EQ(session.release("twice"), svc::lease_status::not_leader);
+
+  // A key never acquired by anyone sits at implicit epoch 0: that epoch
+  // is *current*, so the fenced verdict is not_leader, not stale_epoch —
+  // and probing it must not create registry state.
+  EXPECT_EQ(session.release("never-acquired", 0),
+            svc::lease_status::not_leader);
+  EXPECT_EQ(session.renew("never-acquired", 0), svc::lease_status::not_leader);
+  EXPECT_EQ(session.release("never-acquired", 3),
+            svc::lease_status::stale_epoch);
+  EXPECT_FALSE(service.registry().peek("never-acquired").has_value());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllStrategies, SvcStrategy,
     ::testing::Values(strategy_kind::full, strategy_kind::sifter_pill,
@@ -190,6 +235,58 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<strategy_kind>& info) {
       return std::string(election::to_string(info.param));
     });
+
+// ---------------------------------------------------------------------
+// gcc 12 coroutine-frame workaround soak. doorway_only's elect() keeps
+// the awaited doorway result in a *named local* because gcc 12
+// miscompiles the frame when the co_await feeds a branch directly (the
+// resumed frame never re-enters and the caller hangs — see
+// election/strategy.cpp). This soak drives that exact coroutine shape
+// through thousands of concurrent resumptions; a regression shows up as
+// a hang (caught by the CI job timeout) or a TSan report, so the
+// workaround cannot rot silently.
+
+TEST(SvcDoorwaySoak, NamedLocalsWorkaroundSurvivesConcurrentChurn) {
+  constexpr int sessions = 6;
+  constexpr int keys = 4;
+  constexpr int rounds = 150;
+  svc::service service({.nodes = sessions,
+                        .shards = 4,
+                        .seed = 43,
+                        .default_strategy = strategy_kind::doorway_only});
+  std::vector<svc::service::session> handles;
+  for (int i = 0; i < sessions; ++i) handles.push_back(service.connect());
+
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (int i = 0; i < sessions; ++i) {
+    clients.emplace_back([&, i] {
+      auto& session = handles[static_cast<std::size_t>(i)];
+      for (int r = 0; r < rounds; ++r) {
+        // Stride so each key sees solo epochs (doorway winner path) and
+        // contended epochs (doorway loser + claim-conflict paths) — all
+        // three exits of the patched coroutine run continuously.
+        const std::string key = "soak/" + std::to_string((i + r) % keys);
+        const auto result = session.try_acquire(key);
+        if (result.won) {
+          wins.fetch_add(1);
+          session.release(key, result.epoch);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Liveness across the churn: solo epochs must keep being won (a
+  // doorway that stopped admitting anyone would drive this to ~0).
+  EXPECT_GT(wins.load(), 0u);
+  const auto report = service.report();
+  const auto idx = static_cast<std::size_t>(strategy_kind::doorway_only);
+  EXPECT_EQ(report.strategies[idx].acquires,
+            static_cast<std::uint64_t>(sessions) * rounds);
+  EXPECT_EQ(report.strategies[idx].wins, wins.load());
+}
 
 // ---------------------------------------------------------------------
 // Adaptive-specific behaviour.
