@@ -10,6 +10,12 @@
 // keeps serving). Prints the combined net + service metrics JSON on
 // exit — and on every `r` + newline typed on stdin, so you can watch
 // counters move while clients hammer it.
+//
+// The binary is also its own ops client (the elect::api facade over
+// TCP):
+//
+//   ./build/examples/elect_server --report 127.0.0.1:7400
+//       fetch and print a running server's metrics JSON, then exit.
 #include <unistd.h>
 
 #include <csignal>
@@ -18,8 +24,8 @@
 #include <cstring>
 #include <string>
 
+#include "api/client.hpp"
 #include "common/check.hpp"
-#include "net/client.hpp"
 #include "net/server.hpp"
 #include "svc/service.hpp"
 
@@ -43,6 +49,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i += 2) {
     const char* flag = argv[i];
     const char* value = argv[i + 1];
+    if (std::strcmp(flag, "--report") == 0) {
+      // Client mode: one api::client round trip to a running server.
+      api::client probe{std::string(value)};
+      if (!probe.connected()) {
+        std::fprintf(stderr, "connect to %s failed\n", value);
+        return 1;
+      }
+      const std::string json = probe.metrics_json();
+      if (json.empty()) {
+        std::fprintf(stderr, "metrics fetch from %s failed\n", value);
+        return 1;
+      }
+      std::printf("%s\n", json.c_str());
+      return 0;
+    }
     if (std::strcmp(flag, "--port") == 0) {
       server_config.port = static_cast<std::uint16_t>(std::atoi(value));
     } else if (std::strcmp(flag, "--bind") == 0) {
@@ -64,6 +85,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fail with a usable message on a bad flag combination instead of a
+  // deep ELECT_CHECK abort somewhere inside the service.
+  if (const auto error = service_config.validate()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", error->c_str());
+    return 2;
+  }
   svc::service service(std::move(service_config));
   net::server server(service, server_config);
   if (!server.listening()) {

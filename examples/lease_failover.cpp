@@ -1,20 +1,30 @@
-// Leader failover after a client crash — the lease-based answer to "what
-// if the winner never calls release()?".
+// Leader failover after a client crash — the lease-based answer to
+// "what if the winner never calls release()?", through elect::api.
 //
-// A primary session wins the election for a key and then "crashes": its
-// thread exits without releasing, exactly what a killed process or a
-// network partition looks like to the service. Without leases the key
-// would be wedged forever and the standby would block in acquire() for
-// good. With a TTL the sweeper force-releases the dead lease, the
-// standby's blocked acquire wakes into a fresh election and wins, and
-// when the old primary comes back as a zombie its release()/renew() with
-// the stale epoch are fenced off — the standby's leadership is untouched.
+// A primary wins the election for a key and then "crashes":
+// lease.abandon() walks away without releasing and stops the
+// heartbeat, exactly what a killed process looks like to the service.
+// Without leases the key would be wedged forever. With a TTL the
+// sweeper force-releases the dead lease, the standby's blocked
+// acquire wakes into a fresh election and wins, and when the old
+// primary comes back as a zombie its release() with the stale claim is
+// fenced off — the standby's leadership is untouched. A watch on the
+// key narrates every transition as it happens.
+//
+// Contrast with the pre-api version of this example, which hand-carried
+// the winning epoch into renew()/release() calls on a timer: here the
+// heartbeat renews automatically at TTL/3 (the standby holds the key
+// across several TTLs below without a single explicit renew), and the
+// epoch lives inside the lease.
 //
 // Build & run:  ./build/examples/lease_failover
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
+#include "api/client.hpp"
 #include "common/check.hpp"
 #include "svc/service.hpp"
 
@@ -28,58 +38,69 @@ int main() {
                                            .seed = 42,
                                            .lease_ttl_ms = 100,
                                            .sweep_interval_ms = 20});
-  auto primary = service.connect();
-  auto standby = service.connect();
+  api::client primary(service);
+  api::client standby(service);
+  api::client observer(service);
+
+  std::atomic<int> expirations_seen{0};
+  api::subscription sub =
+      observer.watch(key, [&](const api::watch_event& e) {
+        std::printf("  [watch] %s at epoch %llu\n",
+                    std::string(svc::to_string(e.kind)).c_str(),
+                    static_cast<unsigned long long>(e.epoch));
+        if (e.kind == api::transition::expired) expirations_seen.fetch_add(1);
+      });
 
   // The primary wins and then crashes mid-lease: no release, no renew.
-  const auto held = primary.try_acquire(key);
-  ELECT_CHECK_MSG(held.won, "solo acquire must win");
-  std::printf("primary (session %d) elected at epoch %llu, lease ttl %llu "
-              "ms — and now it crashes without releasing.\n",
-              primary.id(), static_cast<unsigned long long>(held.epoch),
+  api::acquired held = primary.try_acquire(key);
+  ELECT_CHECK_MSG(held.won(), "solo acquire must win");
+  std::printf("primary elected at epoch %llu, lease ttl %llu ms — and now "
+              "it crashes without releasing.\n",
+              static_cast<unsigned long long>(held.epoch),
               static_cast<unsigned long long>(service.config().lease_ttl_ms));
+  held.lease.abandon();
 
   // The standby blocks in acquire(). Only the lease sweeper can unblock
   // it; measure how long failover takes end to end.
   const auto before = clock::now();
-  const auto takeover = standby.acquire(key);
+  api::acquired takeover = standby.acquire(key);
   const auto failover_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
                                                             before)
           .count();
-  ELECT_CHECK_MSG(takeover.won, "standby must inherit the key");
+  ELECT_CHECK_MSG(takeover.won(), "standby must inherit the key");
   ELECT_CHECK_MSG(takeover.epoch > held.epoch,
                   "failover must land in a later epoch");
-  std::printf("standby (session %d) took over at epoch %llu after ~%lld ms "
+  std::printf("standby took over at epoch %llu after ~%lld ms "
               "(ttl + sweep interval).\n",
-              standby.id(),
               static_cast<unsigned long long>(takeover.epoch),
               static_cast<long long>(failover_ms));
 
-  // The "dead" primary resurfaces and tries to act on its old lease. The
-  // epoch fence turns both calls away; the standby keeps the key.
-  const auto zombie_release = primary.release(key, held.epoch);
-  const auto zombie_renew = primary.renew(key, held.epoch);
-  ELECT_CHECK(zombie_release == svc::lease_status::stale_epoch);
-  ELECT_CHECK(zombie_renew == svc::lease_status::stale_epoch);
-  ELECT_CHECK(service.registry().leader_of(key) == standby.id());
-  std::printf("zombie primary came back: release -> stale_epoch, renew -> "
-              "stale_epoch; standby still leads.\n");
+  // The "dead" primary resurfaces and tries to step down with its old
+  // claim. The epoch fence turns it away; the standby keeps the key.
+  ELECT_CHECK(held.lease.release() == api::lease_status::stale_epoch);
+  std::printf("zombie primary came back: release -> stale_epoch; standby "
+              "still leads.\n");
 
-  // The standby is a well-behaved leader: it renews while working, then
-  // steps down gracefully.
-  for (int i = 0; i < 3; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
-    ELECT_CHECK(standby.renew(key, takeover.epoch) == svc::lease_status::ok);
-  }
-  ELECT_CHECK(standby.release(key, takeover.epoch) == svc::lease_status::ok);
+  // The standby just keeps working: the client's heartbeat renews the
+  // lease at TTL/3 under it. Three full TTLs pass with zero explicit
+  // renew calls and leadership holds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      3 * service.config().lease_ttl_ms));
+  ELECT_CHECK_MSG(takeover.lease.held() && !takeover.lease.lost(),
+                  "auto-renew must carry the lease past 3x TTL");
+  ELECT_CHECK(takeover.lease.release() == api::lease_status::ok);
 
   const auto report = service.report();
   std::printf("service: %llu acquires, %llu expirations, %llu renewals, "
-              "%llu stale fences.\n",
+              "%llu stale fences; watch saw %d expiry.\n",
               static_cast<unsigned long long>(report.acquires),
               static_cast<unsigned long long>(report.expirations),
               static_cast<unsigned long long>(report.renewals),
-              static_cast<unsigned long long>(report.stale_fences));
-  return report.expirations >= 1 && report.stale_fences >= 2 ? 0 : 1;
+              static_cast<unsigned long long>(report.stale_fences),
+              expirations_seen.load());
+  return report.expirations >= 1 && report.renewals >= 3 &&
+                 report.stale_fences >= 1
+             ? 0
+             : 1;
 }

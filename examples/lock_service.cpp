@@ -1,35 +1,41 @@
 // A distributed lock built on the election service — the "mutual
 // exclusion" direction the paper's Future Work suggests.
 //
-// One svc::service key is the lock. Each worker opens a session and
-// calls acquire(key): under the hood the service runs one Figure-6
-// leader-election instance per epoch, the unique winner holds the lock,
-// and release() bumps the key's epoch, which both wakes the blocked
-// losers and starts a fresh election for them to contend in. Mutual
-// exclusion per epoch is inherited directly from the unique-winner
-// guarantee of test-and-set; fair hand-off comes from repeated epochs.
+// One service key is the lock. Each worker opens an api::client and
+// calls acquire(key): under the hood the service runs one election
+// instance per epoch, the unique winner holds the lock as an RAII
+// lease, and destroying the lease bumps the key's epoch — which both
+// wakes the blocked losers and starts a fresh election for them to
+// contend in. Mutual exclusion per epoch is inherited directly from
+// the unique-winner guarantee of test-and-set; fair hand-off comes
+// from repeated epochs.
 //
-// Two modes, same loop:
+// Two modes, ONE code path — that is the point of elect::api. The
+// worker below is written once against api::client; the only
+// difference between the modes is how the client is constructed:
 //
 //   ./build/examples/lock_service
-//       in-process: workers are svc sessions on a local service.
+//       in-process: clients on a local service.
 //
 //   ./build/examples/lock_service --remote 127.0.0.1:7400
-//       remote: workers are net::client TCP connections to a running
-//       elect_server (see examples/elect_server.cpp). The acquire
-//       blocks server-side; the unique-winner guarantee now spans
-//       processes and hosts, and a worker that crashes mid-hold is
-//       fenced by the server's disconnect-on-close hook + lease TTL.
+//       remote: clients are TCP connections to a running elect_server
+//       (see examples/elect_server.cpp). The unique-winner guarantee
+//       now spans processes and hosts, and a worker that crashes
+//       mid-hold is fenced by the server's disconnect-on-close hook +
+//       lease TTL. (Before elect::api this file forked into a session
+//       path and a net::client path.)
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/client.hpp"
 #include "common/check.hpp"
-#include "net/client.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -40,12 +46,11 @@ const std::string lock_key = "locks/demo";
 std::atomic<int> holders_inside{0};
 std::atomic<int> cs_entries{0};
 
-/// One worker's life, generic over the handle type — the in-process
-/// session and the remote client expose the same acquire/release calls.
-template <typename Lock>
-void contend(Lock& lock, int worker) {
-  const auto held = lock.acquire(lock_key);
-  ELECT_CHECK_MSG(held.won, "acquire failed");
+/// One worker's life. Written once; local and remote clients behave
+/// identically behind the facade.
+void contend(elect::api::client& client, int worker) {
+  elect::api::acquired held = client.acquire(lock_key);
+  ELECT_CHECK_MSG(held.won(), "acquire failed");
   // ---- critical section ----
   const int concurrent = holders_inside.fetch_add(1) + 1;
   ELECT_CHECK_MSG(concurrent == 1, "mutual exclusion violated");
@@ -53,52 +58,24 @@ void contend(Lock& lock, int worker) {
   std::printf("  epoch %2llu: worker %d in the critical section\n",
               static_cast<unsigned long long>(held.epoch), worker);
   holders_inside.fetch_sub(1);
-  // ---- release: wakes the losers into a fresh election ----
-  lock.release(lock_key, held.epoch);
+  // ---- `held` leaves scope: RAII release wakes the losers ----
 }
 
-int run_local() {
-  using namespace elect;
-  svc::service service(
-      svc::service_config{.nodes = workers, .shards = 2, .seed = 11});
-  std::vector<svc::service::session> sessions;
-  for (int w = 0; w < workers; ++w) sessions.push_back(service.connect());
-
-  std::printf("%d workers contending for a distributed lock:\n", workers);
-  std::vector<std::thread> threads;
+int run(const std::function<std::unique_ptr<elect::api::client>()>& connect,
+        elect::svc::service* local) {
+  std::vector<std::unique_ptr<elect::api::client>> clients;
   for (int w = 0; w < workers; ++w) {
-    threads.emplace_back(
-        [&, w] { contend(sessions[static_cast<std::size_t>(w)], w); });
-  }
-  for (auto& t : threads) t.join();
-
-  const auto report = service.report();
-  std::printf("critical-section entries: %d (expected %d), never more "
-              "than one holder at a time.\n",
-              cs_entries.load(), workers);
-  std::printf("service: %llu acquires, %llu messages (%.1f msg/acquire), "
-              "p99 acquire %.3f ms\n",
-              static_cast<unsigned long long>(report.acquires),
-              static_cast<unsigned long long>(report.total_messages),
-              report.messages_per_acquire, report.acquire_p99_ms);
-  return cs_entries.load() == workers ? 0 : 1;
-}
-
-int run_remote(const std::string& host, std::uint16_t port) {
-  using namespace elect;
-  std::vector<std::unique_ptr<net::client>> clients;
-  for (int w = 0; w < workers; ++w) {
-    clients.push_back(std::make_unique<net::client>(host, port));
+    clients.push_back(connect());
     if (!clients.back()->connected()) {
       std::fprintf(stderr,
-                   "connect to %s:%u failed — is elect_server running?\n",
-                   host.c_str(), port);
+                   "client %d failed to connect — is elect_server "
+                   "running?\n",
+                   w);
       return 1;
     }
   }
 
-  std::printf("%d remote workers contending over TCP %s:%u:\n", workers,
-              host.c_str(), port);
+  std::printf("%d workers contending for a distributed lock:\n", workers);
   std::vector<std::thread> threads;
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back(
@@ -109,27 +86,31 @@ int run_remote(const std::string& host, std::uint16_t port) {
   std::printf("critical-section entries: %d (expected %d), never more "
               "than one holder at a time.\n",
               cs_entries.load(), workers);
-  // Polite exit: release server-side state now instead of via the
-  // close hook.
-  for (auto& client : clients) (void)client->disconnect();
+  if (local != nullptr) {
+    const auto report = local->report();
+    std::printf("service: %llu acquires, %llu messages (%.1f msg/acquire), "
+                "p99 acquire %.3f ms\n",
+                static_cast<unsigned long long>(report.acquires),
+                static_cast<unsigned long long>(report.total_messages),
+                report.messages_per_acquire, report.acquire_p99_ms);
+  }
   return cs_entries.load() == workers ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace elect;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--remote") == 0) {
-      const std::string target = argv[i + 1];
-      const std::size_t colon = target.rfind(':');
-      if (colon == std::string::npos) {
-        std::fprintf(stderr, "--remote wants host:port\n");
-        return 2;
-      }
-      return run_remote(target.substr(0, colon),
-                        static_cast<std::uint16_t>(
-                            std::atoi(target.c_str() + colon + 1)));
+      const std::string endpoint = argv[i + 1];
+      return run(
+          [&] { return std::make_unique<api::client>(endpoint); },
+          /*local=*/nullptr);
     }
   }
-  return run_local();
+  svc::service service(
+      svc::service_config{.nodes = workers, .shards = 2, .seed = 11});
+  return run([&] { return std::make_unique<api::client>(service); },
+             &service);
 }

@@ -1,54 +1,93 @@
-// Quickstart: elect a leader among 16 simulated processors.
+// Quickstart: the election service through elect::api — acquire a
+// leadership lease, watch the leader change, hand off, all in ~40
+// lines of client code.
 //
-// Demonstrates the three steps every simulator-based program follows:
-//   1. create a kernel (the asynchronous network + scheduler) with an
-//      adversary strategy;
-//   2. attach the protocol coroutine to each participating processor;
-//   3. run, then read results and complexity metrics.
+// api::client is the one client surface for the whole system: the same
+// calls (and the same semantics) work against an in-process
+// svc::service, as here, or against a remote elect_server over TCP —
+// construct with api::client("host:port") and nothing else changes.
+// Leadership is RAII: the returned lease carries the fencing epoch
+// internally, a heartbeat renews it at TTL/3, and leaving scope
+// releases it.
+//
+// (The paper's Figure-6 protocol itself, on the simulated asynchronous
+// network with pluggable adversaries, is demonstrated in
+// examples/adversary_lab.cpp and examples/cluster_coordinator.cpp.)
 //
 // Build & run:  ./build/examples/quickstart
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 
-#include "adversary/basic.hpp"
-#include "election/leader_elect.hpp"
-#include "engine/node.hpp"
-#include "sim/kernel.hpp"
+#include "api/client.hpp"
+#include "common/check.hpp"
+#include "svc/service.hpp"
 
 int main() {
   using namespace elect;
-  constexpr int n = 16;
+  const std::string key = "clusters/prod/leader";
 
-  // A uniformly random scheduler; see adversary/ for hostile strategies.
-  adversary::uniform_random adversary;
-  sim::kernel kernel(sim::kernel_config{.n = n, .seed = 2015}, adversary);
+  // The service: 4 pool nodes, leases of 2s (heartbeat-renewed by
+  // clients), adaptive strategy — uncontended acquires skip the
+  // distributed protocol entirely.
+  svc::service_config config{.nodes = 4, .shards = 2, .seed = 2015};
+  config.lease_ttl_ms = 2000;
+  config.default_strategy = election::strategy_kind::adaptive;
+  ELECT_CHECK(!config.validate().has_value());
+  svc::service service(std::move(config));
 
-  // Everyone participates. leader_elect is the paper's Figure-6
-  // algorithm: doorway, then rounds of PreRound + HeterogeneousPoisonPill.
-  for (process_id pid = 0; pid < n; ++pid) {
-    kernel.attach(pid,
-                  engine::erase_result(election::leader_elect(kernel.node_at(pid))));
+  // One client per participant, exactly like one session per
+  // participant.
+  api::client alice(service);
+  api::client bob(service);
+  api::client observer(service);
+
+  // The observer watches leadership changes — elected / released /
+  // expired, delivered (asynchronously, on the watch hub's notifier
+  // thread) within the lease TTL + sweep bound.
+  std::atomic<int> transitions{0};
+  api::subscription sub =
+      observer.watch(key, [&](const api::watch_event& e) {
+        transitions.fetch_add(1);
+        std::printf("  [watch] %s: %s at epoch %llu\n", e.key.c_str(),
+                    std::string(svc::to_string(e.kind)).c_str(),
+                    static_cast<unsigned long long>(e.epoch));
+      });
+
+  std::uint64_t first_epoch = 0;
+  {
+    api::acquired held = alice.acquire(key);
+    ELECT_CHECK_MSG(held.won(), "uncontended acquire must win");
+    first_epoch = held.epoch;
+    std::printf("alice leads at epoch %llu (fast path: %s); lease "
+                "deadline is heartbeat-managed\n",
+                static_cast<unsigned long long>(held.epoch),
+                held.fast_path ? "yes" : "no");
+    ELECT_CHECK(!bob.try_acquire(key).won());  // unique winner per epoch
+    // `held` goes out of scope: RAII release — no epoch bookkeeping,
+    // no explicit call, no leaked leadership on early returns.
   }
 
-  const auto run = kernel.run();
-  std::printf("run completed: %s after %llu events\n",
-              run.completed ? "yes" : "no",
-              static_cast<unsigned long long>(run.events));
+  api::acquired takeover = bob.acquire(key);
+  ELECT_CHECK_MSG(takeover.won(), "handoff after release must win");
+  ELECT_CHECK(takeover.epoch > first_epoch);
+  std::printf("bob takes over at epoch %llu\n",
+              static_cast<unsigned long long>(takeover.epoch));
+  ELECT_CHECK(takeover.lease.release() == api::lease_status::ok);
 
-  for (process_id pid = 0; pid < n; ++pid) {
-    const auto outcome = static_cast<election::tas_result>(kernel.result_of(pid));
-    std::printf("  processor %2d: %s (reached round %lld)\n", pid,
-                election::to_string(outcome).c_str(),
-                static_cast<long long>(kernel.node_at(pid).probe().round));
+  // Two elections and two releases happened: wait for all four events
+  // (delivery is asynchronous but promptly bounded).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (transitions.load() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-
-  const auto& metrics = kernel.metrics();
-  std::printf("\ncomplexity (paper: O(log* k) time, O(kn) messages):\n");
-  std::printf("  max communicate calls by any processor: %llu\n",
-              static_cast<unsigned long long>(metrics.max_communicate_calls()));
-  std::printf("  total messages: %llu (%.1f per processor pair)\n",
-              static_cast<unsigned long long>(metrics.total_messages()),
-              static_cast<double>(metrics.total_messages()) / (n * n));
-  std::printf("  wire bytes: %llu\n",
-              static_cast<unsigned long long>(metrics.wire_bytes));
+  sub.cancel();
+  std::printf("observer saw %d leader transitions\n", transitions.load());
+  ELECT_CHECK_MSG(transitions.load() >= 4,
+                  "watch must observe both elections and both releases");
   return 0;
 }

@@ -1,12 +1,14 @@
 // Shard assignment via the election service: n workers must split n
 // shards among themselves, each taking exactly one, with no coordinator
-// and no agreed-on order — the task-allocation flavour of the paper's §4.
+// and no agreed-on order — the task-allocation flavour of the paper's
+// §4, written against elect::api.
 //
 // Every shard is a service key; owning a shard means holding its key's
-// leadership. Each worker walks the shard list starting from its own
-// offset and try_acquire()s until it wins one, then stops. One pass
-// suffices: a worker only loses a key to a distinct worker that won it
-// and stopped, and there are as many shards as workers, so the pigeonhole
+// lease. Each worker walks the shard list starting from its own offset
+// and try_acquire()s until it wins one, then stops — keeping the RAII
+// lease alive for as long as it owns the shard. One pass suffices: a
+// worker only loses a key to a distinct worker that won it and
+// stopped, and there are as many shards as workers, so the pigeonhole
 // principle hands everyone exactly one shard.
 //
 // This version also demonstrates *per-key strategy selection*: the
@@ -21,10 +23,12 @@
 //
 // Build & run:  ./build/examples/shard_assigner
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/client.hpp"
 #include "election/strategy.hpp"
 #include "svc/service.hpp"
 
@@ -48,18 +52,24 @@ int main() {
     config.key_strategies[key] = election::strategy_kind::doorway_only;
   }
   svc::service service(std::move(config));
-  std::vector<svc::service::session> sessions;
-  for (int w = 0; w < workers; ++w) sessions.push_back(service.connect());
+  std::vector<std::unique_ptr<api::client>> clients;
+  for (int w = 0; w < workers; ++w) {
+    clients.push_back(std::make_unique<api::client>(service));
+  }
 
-  std::vector<int> assignment(workers, -1);  // worker -> shard index
+  std::vector<int> assignment(workers, -1);    // worker -> shard index
+  std::vector<api::lease> ownership(workers);  // the held shard, RAII
   std::vector<std::thread> threads;
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      auto& session = sessions[static_cast<std::size_t>(w)];
+      auto& client = *clients[static_cast<std::size_t>(w)];
       for (int probe = 0; probe < workers; ++probe) {
         const int s = (w + probe) % workers;
-        if (session.try_acquire(shards[s]).won) {
+        api::acquired won = client.try_acquire(shards[s]);
+        if (won.won()) {
           assignment[static_cast<std::size_t>(w)] = s;
+          // Keep the lease: ownership of the shard is the live object.
+          ownership[static_cast<std::size_t>(w)] = std::move(won.lease);
           return;
         }
       }
@@ -75,8 +85,15 @@ int main() {
       std::printf("  worker %2d UNASSIGNED — pigeonhole broken!\n", w);
       return 1;
     }
-    std::printf("  worker %2d -> shard %2d (%s), held by session %d\n", w, s,
-                shards[s], service.registry().leader_of(shards[s]));
+    const api::lease& lease = ownership[static_cast<std::size_t>(w)];
+    std::printf("  worker %2d -> shard %2d (%s), epoch %llu, lease %s\n", w,
+                s, shards[s],
+                static_cast<unsigned long long>(lease.epoch()),
+                lease.held() ? "held" : "LOST");
+    if (!lease.held() || lease.key() != shards[s]) {
+      std::printf("  OWNERSHIP NOT HELD — lease invariant broken!\n");
+      return 1;
+    }
     if (taken[static_cast<std::size_t>(s)]) {
       std::printf("  DUPLICATE ASSIGNMENT — unique leadership broken!\n");
       return 1;
@@ -112,5 +129,8 @@ int main() {
     std::printf(" %zu", service.registry().keys_in_shard(s));
   }
   std::printf("\n");
+  // Workers step down: moving ownership out of scope releases all 12
+  // leases (RAII), leaving the registry clean.
+  ownership.clear();
   return 0;
 }

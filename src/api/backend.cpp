@@ -1,0 +1,158 @@
+#include "api/backend.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "net/client.hpp"
+
+namespace elect::api {
+
+namespace {
+
+/// In-process transport: one svc session + the service's watch hub.
+class local_backend final : public backend {
+ public:
+  explicit local_backend(svc::service& service)
+      : service_(service), session_(service.try_connect()) {}
+
+  [[nodiscard]] bool connected() const override {
+    return session_.has_value() && !service_.stopped();
+  }
+
+  [[nodiscard]] svc::acquire_result try_acquire(
+      const std::string& key) override {
+    if (!session_) return rejected();
+    return session_->try_acquire(key);
+  }
+
+  [[nodiscard]] svc::acquire_result acquire(const std::string& key) override {
+    if (!session_) return rejected();
+    return session_->acquire(key);
+  }
+
+  [[nodiscard]] svc::acquire_result try_acquire_for(
+      const std::string& key, std::chrono::milliseconds timeout) override {
+    if (!session_) return rejected();
+    return session_->try_acquire_for(key, timeout);
+  }
+
+  svc::lease_status release(const std::string& key,
+                            std::uint64_t epoch) override {
+    if (!session_) return svc::lease_status::stale_epoch;
+    return session_->release(key, epoch);
+  }
+
+  svc::lease_status renew(
+      const std::string& key, std::uint64_t epoch,
+      std::chrono::steady_clock::time_point& refreshed_deadline) override {
+    if (!session_) return svc::lease_status::stale_epoch;
+    const svc::lease_status status = session_->renew(key, epoch);
+    if (status == svc::lease_status::ok) {
+      // The registry re-arms the full TTL on renew; reconstruct the
+      // deadline it stamped from the config (0 = never expires).
+      const auto ttl = service_.lease_ttl();
+      refreshed_deadline = ttl == std::chrono::milliseconds(0)
+                               ? std::chrono::steady_clock::time_point::max()
+                               : std::chrono::steady_clock::now() + ttl;
+    }
+    return status;
+  }
+
+  std::size_t disconnect() override {
+    if (!session_) return 0;
+    return session_->disconnect();
+  }
+
+  [[nodiscard]] std::uint64_t add_watch(
+      const std::string& key,
+      std::function<void(const svc::watch_event&)> fn) override {
+    return service_.watch(key, std::move(fn));
+  }
+
+  void remove_watch(std::uint64_t id) override { service_.unwatch(id); }
+
+  [[nodiscard]] std::string metrics_json() override {
+    return service_.report().to_json();
+  }
+
+  void close() override {}  // the service is shared, not ours to stop
+
+ private:
+  [[nodiscard]] static svc::acquire_result rejected() {
+    svc::acquire_result r;
+    r.rejected = true;
+    return r;
+  }
+
+  svc::service& service_;
+  /// Empty when the service had already stopped at construction.
+  std::optional<svc::service::session> session_;
+};
+
+/// TCP transport: everything delegates to net::client, whose
+/// transport-failure mapping (rejected / stale_epoch) already matches
+/// what the facade needs.
+class remote_backend final : public backend {
+ public:
+  remote_backend(const std::string& host, std::uint16_t port)
+      : client_(host, port) {}
+
+  [[nodiscard]] bool connected() const override { return client_.connected(); }
+
+  [[nodiscard]] svc::acquire_result try_acquire(
+      const std::string& key) override {
+    return client_.try_acquire(key);
+  }
+
+  [[nodiscard]] svc::acquire_result acquire(const std::string& key) override {
+    return client_.acquire(key);
+  }
+
+  [[nodiscard]] svc::acquire_result try_acquire_for(
+      const std::string& key, std::chrono::milliseconds timeout) override {
+    return client_.try_acquire_for(key, timeout);
+  }
+
+  svc::lease_status release(const std::string& key,
+                            std::uint64_t epoch) override {
+    return client_.release(key, epoch);
+  }
+
+  svc::lease_status renew(
+      const std::string& key, std::uint64_t epoch,
+      std::chrono::steady_clock::time_point& refreshed_deadline) override {
+    return client_.renew(key, epoch, &refreshed_deadline);
+  }
+
+  std::size_t disconnect() override { return client_.disconnect(); }
+
+  [[nodiscard]] std::uint64_t add_watch(
+      const std::string& key,
+      std::function<void(const svc::watch_event&)> fn) override {
+    return client_.watch(key, std::move(fn));
+  }
+
+  void remove_watch(std::uint64_t id) override { client_.unwatch(id); }
+
+  [[nodiscard]] std::string metrics_json() override {
+    return client_.metrics_json();
+  }
+
+  void close() override { client_.close(); }
+
+ private:
+  net::client client_;
+};
+
+}  // namespace
+
+std::unique_ptr<backend> make_local_backend(svc::service& service) {
+  return std::make_unique<local_backend>(service);
+}
+
+std::unique_ptr<backend> make_remote_backend(const std::string& host,
+                                             std::uint16_t port) {
+  return std::make_unique<remote_backend>(host, port);
+}
+
+}  // namespace elect::api

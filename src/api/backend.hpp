@@ -1,0 +1,98 @@
+// elect::api::backend — the transport seam under api::client.
+//
+// One abstract surface, two implementations:
+//
+//   * the local backend wraps a svc::service::session opened on an
+//     in-process service (plus the service's watch hub);
+//   * the remote backend wraps a net::client TCP connection (watches
+//     ride the wire::op::watch subscription + event push frames).
+//
+// The signatures reuse the service's own result types on purpose —
+// acquire_result and lease_status already encode every outcome either
+// transport can produce (the net layer maps transport loss onto
+// `rejected`/`stale_epoch`, which mean the right thing: stop acting as
+// a leader). api::client is written entirely against this interface,
+// which is what makes the facade's semantics provably identical over
+// both transports (tests/test_api.cpp runs one scenario matrix over
+// the two).
+//
+// All methods are thread-safe; blocking methods block the calling
+// thread only. Watch callbacks run on the transport's notifier thread
+// (the service watch hub's, or the net client's reader) — keep them
+// brief, and never block them on a call into the same backend's
+// blocking acquire path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "svc/service.hpp"
+#include "svc/watch.hpp"
+
+namespace elect::api {
+
+class backend {
+ public:
+  virtual ~backend() = default;
+
+  /// Is the transport usable? False after a connect failure, transport
+  /// loss, or the service stopping. Advisory, like svc::service::stopped.
+  [[nodiscard]] virtual bool connected() const = 0;
+
+  // Acquire family — semantics per svc::service::session.
+  [[nodiscard]] virtual svc::acquire_result try_acquire(
+      const std::string& key) = 0;
+  [[nodiscard]] virtual svc::acquire_result acquire(
+      const std::string& key) = 0;
+  [[nodiscard]] virtual svc::acquire_result try_acquire_for(
+      const std::string& key, std::chrono::milliseconds timeout) = 0;
+
+  /// Epoch-fenced release.
+  virtual svc::lease_status release(const std::string& key,
+                                    std::uint64_t epoch) = 0;
+
+  /// Epoch-fenced renewal; on `ok`, `refreshed_deadline` is set to the
+  /// new lease deadline on this process's steady clock.
+  virtual svc::lease_status renew(
+      const std::string& key, std::uint64_t epoch,
+      std::chrono::steady_clock::time_point& refreshed_deadline) = 0;
+
+  /// Gracefully drop everything this backend's identity holds. Returns
+  /// the number of keys released.
+  virtual std::size_t disconnect() = 0;
+
+  /// Subscribe `fn` to `key`'s leader transitions. Returns an opaque
+  /// subscription handle, 0 on failure (stopped service / dead
+  /// transport).
+  [[nodiscard]] virtual std::uint64_t add_watch(
+      const std::string& key,
+      std::function<void(const svc::watch_event&)> fn) = 0;
+
+  /// Cancel a subscription; after return the callback never runs again.
+  virtual void remove_watch(std::uint64_t id) = 0;
+
+  /// The combined service (+ net, when remote) metrics report as JSON;
+  /// empty on failure.
+  [[nodiscard]] virtual std::string metrics_json() = 0;
+
+  /// Shut the transport down (remote: close the socket; local: no-op —
+  /// the service is not ours to stop). Called once at the end of the
+  /// owning client's teardown; later calls on the backend must fail
+  /// softly, never dangle.
+  virtual void close() = 0;
+};
+
+/// A backend bound to an in-process service: opens one session (one
+/// client identity) on `service`, which must outlive the backend.
+[[nodiscard]] std::unique_ptr<backend> make_local_backend(
+    svc::service& service);
+
+/// A backend speaking the wire protocol to an elect_server. Check
+/// connected() — construction does not abort on a refused connection.
+[[nodiscard]] std::unique_ptr<backend> make_remote_backend(
+    const std::string& host, std::uint16_t port);
+
+}  // namespace elect::api

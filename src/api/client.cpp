@@ -1,0 +1,425 @@
+#include "api/client.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace elect::api {
+
+namespace detail {
+
+using clock = std::chrono::steady_clock;
+
+/// State one lease shares with its client's heartbeat. `key` and
+/// `epoch` are immutable after construction; everything else is
+/// guarded by core::mutex.
+struct lease_state {
+  enum class phase : std::uint8_t {
+    held,
+    released,
+    /// abandon(): walked away without releasing — the TTL fences it.
+    abandoned,
+    /// A renew was fenced (stale_epoch/not_leader), the transport died,
+    /// or the client shut down: stop acting as leader.
+    lost,
+  };
+
+  std::string key;
+  std::uint64_t epoch = 0;
+
+  phase state = phase::held;
+  clock::time_point deadline = clock::time_point::max();
+  /// TTL observed at grant; zero() = the lease never expires and the
+  /// heartbeat skips it.
+  clock::duration ttl = clock::duration::zero();
+
+  [[nodiscard]] bool expiring() const {
+    return ttl != clock::duration::zero();
+  }
+  /// Renew at TTL/3 cadence: one third of the TTL after the last grant
+  /// or renewal, i.e. with two thirds of the budget still in hand —
+  /// room for two more heartbeats before the lease would actually fall.
+  [[nodiscard]] clock::time_point renew_at() const {
+    return deadline - 2 * ttl / 3;
+  }
+};
+
+/// Everything a client's handles (leases, subscriptions) share. Kept
+/// alive by shared_ptr so a lease that outlives its client degrades
+/// gracefully instead of dangling; `closed` is the inert switch the
+/// client's destructor flips.
+struct core {
+  explicit core(std::unique_ptr<backend> be_in) : be(std::move(be_in)) {
+    heartbeat = std::thread([this] { heartbeat_main(); });
+  }
+
+  ~core() { shutdown(); }
+
+  std::unique_ptr<backend> be;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// Every lease currently believed held (expiring or not); the
+  /// heartbeat renews the expiring ones and prunes what fell out.
+  std::vector<std::shared_ptr<lease_state>> live;
+  /// Backend watch handles of still-active subscriptions.
+  std::vector<std::uint64_t> watches;
+  bool closed = false;
+
+  std::thread heartbeat;
+
+  void drop_live(const std::shared_ptr<lease_state>& state) {
+    live.erase(std::remove(live.begin(), live.end(), state), live.end());
+  }
+
+  /// The client destructor's teardown; idempotent.
+  void shutdown() {
+    std::vector<std::uint64_t> watch_ids;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (closed) return;
+      closed = true;
+      watch_ids.swap(watches);
+    }
+    cv.notify_all();
+    if (heartbeat.joinable()) heartbeat.join();
+    // After these return, no watch callback will run again.
+    for (const std::uint64_t id : watch_ids) be->remove_watch(id);
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      // disconnect() below hands every held key back; the lease objects
+      // the user may still hold flip to lost — "stop acting as leader".
+      for (const auto& l : live) {
+        if (l->state == lease_state::phase::held) {
+          l->state = lease_state::phase::lost;
+        }
+      }
+      live.clear();
+    }
+    (void)be->disconnect();
+    be->close();
+  }
+
+  void heartbeat_main() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      if (closed) return;
+      auto next = clock::time_point::max();
+      for (const auto& l : live) {
+        if (l->state == lease_state::phase::held && l->expiring()) {
+          next = std::min(next, l->renew_at());
+        }
+      }
+      if (next == clock::time_point::max()) {
+        cv.wait(lock);  // nothing to renew; woken by grants and shutdown
+      } else {
+        cv.wait_until(lock, next);
+      }
+      if (closed) return;
+
+      const auto now = clock::now();
+      std::vector<std::shared_ptr<lease_state>> due;
+      for (const auto& l : live) {
+        if (l->state == lease_state::phase::held && l->expiring() &&
+            l->renew_at() <= now) {
+          due.push_back(l);
+        }
+      }
+      for (const auto& l : due) {
+        // Renew with the mutex dropped: a remote renew is a network
+        // round trip, and release()/acquire paths must not stall behind
+        // it. The backend outlives this thread (shutdown joins us
+        // before touching `be`), and a concurrent release just makes
+        // this renew a fenced no-op.
+        lock.unlock();
+        clock::time_point refreshed{};
+        const lease_status status = be->renew(l->key, l->epoch, refreshed);
+        lock.lock();
+        if (l->state != lease_state::phase::held) continue;
+        if (status == lease_status::ok) {
+          l->deadline = refreshed;
+        } else {
+          // Fenced: the TTL beat us (stall, transport loss, or a sweep
+          // already handed the key on). The epoch fence upheld safety;
+          // all we do is tell the holder.
+          l->state = lease_state::phase::lost;
+        }
+      }
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [](const auto& l) {
+                                  return l->state !=
+                                         lease_state::phase::held;
+                                }),
+                 live.end());
+    }
+  }
+};
+
+}  // namespace detail
+
+std::string_view to_string(acquire_status s) {
+  switch (s) {
+    case acquire_status::won: return "won";
+    case acquire_status::lost: return "lost";
+    case acquire_status::timed_out: return "timed_out";
+    case acquire_status::rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// lease
+
+lease::lease(std::shared_ptr<detail::core> core,
+             std::shared_ptr<detail::lease_state> state)
+    : core_(std::move(core)), state_(std::move(state)) {}
+
+// The destructor only releases what is still *managed* — an abandoned
+// lease stays on the floor (that is abandon()'s contract); an explicit
+// release() on it is the zombie-comes-back path and does go to the
+// backend, where the epoch fence answers.
+lease::~lease() { (void)release_impl(/*include_abandoned=*/false); }
+
+lease& lease::operator=(lease&& other) noexcept {
+  if (this != &other) {
+    (void)release_impl(/*include_abandoned=*/false);
+    core_ = std::move(other.core_);
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+bool lease::held() const {
+  if (!state_) return false;
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return state_->state == detail::lease_state::phase::held;
+}
+
+bool lease::lost() const {
+  if (!state_) return false;
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return state_->state == detail::lease_state::phase::lost;
+}
+
+const std::string& lease::key() const {
+  static const std::string empty;
+  return state_ ? state_->key : empty;
+}
+
+std::uint64_t lease::epoch() const { return state_ ? state_->epoch : 0; }
+
+std::chrono::steady_clock::time_point lease::deadline() const {
+  if (!state_) return {};
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return state_->deadline;
+}
+
+lease_status lease::release() {
+  return release_impl(/*include_abandoned=*/true);
+}
+
+lease_status lease::release_impl(bool include_abandoned) {
+  if (!state_) return lease_status::not_leader;
+  bool call_backend = false;
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    switch (state_->state) {
+      case detail::lease_state::phase::held:
+        break;
+      case detail::lease_state::phase::abandoned:
+        // Zombie resurrection: only an *explicit* release goes to the
+        // backend — before the TTL fenced the key it still succeeds,
+        // after it the fence answers stale_epoch. The destructor leaves
+        // abandoned leases alone.
+        if (!include_abandoned) return lease_status::not_leader;
+        break;
+      case detail::lease_state::phase::lost:
+        return lease_status::stale_epoch;
+      default:
+        return lease_status::not_leader;
+    }
+    state_->state = detail::lease_state::phase::released;
+    core_->drop_live(state_);
+    call_backend = !core_->closed;  // closed: disconnect released it
+  }
+  if (!call_backend) return lease_status::ok;
+  // The wire round trip runs outside the core mutex — a stalled remote
+  // release must not starve the heartbeat out of its TTL/3 renew points
+  // (or block every other lease operation). The backend object itself
+  // outlives the core (it is never reset, only close()d), so this is
+  // safe even racing the client's teardown; a concurrent disconnect
+  // just turns this release into a fenced no-op.
+  return core_->be->release(state_->key, state_->epoch);
+}
+
+void lease::abandon() {
+  if (!state_) return;
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  if (state_->state != detail::lease_state::phase::held) return;
+  state_->state = detail::lease_state::phase::abandoned;
+  core_->drop_live(state_);
+}
+
+// ---------------------------------------------------------------------
+// subscription
+
+subscription::subscription(std::shared_ptr<detail::core> core,
+                           std::uint64_t id)
+    : core_(std::move(core)), id_(id) {}
+
+subscription::~subscription() { cancel(); }
+
+subscription& subscription::operator=(subscription&& other) noexcept {
+  if (this != &other) {
+    cancel();
+    core_ = std::move(other.core_);
+    id_ = other.id_;
+    other.id_ = 0;
+    other.core_.reset();
+  }
+  return *this;
+}
+
+bool subscription::active() const {
+  if (!core_ || id_ == 0) return false;
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return std::find(core_->watches.begin(), core_->watches.end(), id_) !=
+         core_->watches.end();
+}
+
+void subscription::cancel() {
+  if (!core_ || id_ == 0) return;
+  bool ours = false;
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    const auto it =
+        std::find(core_->watches.begin(), core_->watches.end(), id_);
+    if (it != core_->watches.end()) {
+      core_->watches.erase(it);
+      ours = true;
+    }
+  }
+  // remove_watch blocks until an in-flight delivery finishes, and that
+  // delivery is user code which may take the core mutex (release a
+  // lease, start an acquire) — so it must run unlocked. Erasing the id
+  // first makes us its sole owner: a concurrent client shutdown no
+  // longer sees it, so the backend stays alive via core_ either way.
+  if (ours) core_->be->remove_watch(id_);
+  id_ = 0;
+  core_.reset();
+}
+
+// ---------------------------------------------------------------------
+// client
+
+namespace {
+
+std::string endpoint_host(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  return colon == std::string::npos ? std::string()
+                                    : endpoint.substr(0, colon);
+}
+
+std::uint16_t endpoint_port(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) return 0;
+  return static_cast<std::uint16_t>(
+      std::atoi(endpoint.c_str() + colon + 1));
+}
+
+}  // namespace
+
+client::client(svc::service& service)
+    : core_(std::make_shared<detail::core>(make_local_backend(service))) {}
+
+client::client(const std::string& host, std::uint16_t port)
+    : core_(std::make_shared<detail::core>(make_remote_backend(host, port))) {
+}
+
+client::client(const std::string& endpoint)
+    : client(endpoint_host(endpoint), endpoint_port(endpoint)) {}
+
+client::~client() { core_->shutdown(); }
+
+bool client::connected() const {
+  const std::lock_guard<std::mutex> lock(core_->mutex);
+  return !core_->closed && core_->be->connected();
+}
+
+acquired client::wrap(const std::string& key,
+                      const svc::acquire_result& result) {
+  acquired out;
+  out.epoch = result.epoch;
+  out.fast_path = result.fast_path;
+  if (result.rejected) {
+    out.status = acquire_status::rejected;
+    return out;
+  }
+  if (result.timed_out) {
+    out.status = acquire_status::timed_out;
+    return out;
+  }
+  if (!result.won) {
+    out.status = acquire_status::lost;
+    return out;
+  }
+  auto state = std::make_shared<detail::lease_state>();
+  state->key = key;
+  state->epoch = result.epoch;
+  state->deadline = result.lease_deadline;
+  state->ttl =
+      result.lease_deadline == detail::clock::time_point::max()
+          ? detail::clock::duration::zero()
+          : result.lease_deadline - detail::clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    if (core_->closed) {
+      // Shutdown raced the win; nobody can use it, so treat the call as
+      // rejected (the disconnect in shutdown, or the TTL, reclaims the
+      // key).
+      out.status = acquire_status::rejected;
+      return out;
+    }
+    core_->live.push_back(state);
+  }
+  core_->cv.notify_all();  // the heartbeat re-plans around the new lease
+  out.lease = lease(core_, std::move(state));
+  out.status = acquire_status::won;
+  return out;
+}
+
+acquired client::try_acquire(const std::string& key) {
+  return wrap(key, core_->be->try_acquire(key));
+}
+
+acquired client::acquire(const std::string& key) {
+  return wrap(key, core_->be->acquire(key));
+}
+
+acquired client::try_acquire_for(const std::string& key,
+                                 std::chrono::milliseconds timeout) {
+  return wrap(key, core_->be->try_acquire_for(key, timeout));
+}
+
+subscription client::watch(const std::string& key,
+                           std::function<void(const watch_event&)> fn) {
+  const std::uint64_t id = core_->be->add_watch(key, std::move(fn));
+  if (id == 0) return {};
+  {
+    const std::lock_guard<std::mutex> lock(core_->mutex);
+    if (!core_->closed) {
+      core_->watches.push_back(id);
+      return subscription(core_, id);
+    }
+  }
+  core_->be->remove_watch(id);  // shutdown raced the subscribe
+  return {};
+}
+
+std::string client::metrics_json() { return core_->be->metrics_json(); }
+
+}  // namespace elect::api

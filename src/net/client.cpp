@@ -6,17 +6,36 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace elect::net {
 
 namespace {
 
-/// Back-off between retries when the server answers `busy` (its
-/// blocking-op capacity is full).
-constexpr auto busy_backoff = std::chrono::milliseconds(5);
+// Retry policy for `busy` answers (the server's blocking-op capacity is
+// full): exponential backoff from busy_backoff_initial doubling to
+// busy_backoff_cap. The retry is *bounded* — acquire() gives up once
+// busy_retry_budget of cumulative backoff has been slept and reports
+// `rejected` (the server has effectively been unavailable that whole
+// time); try_acquire_for() is bounded by its own deadline. Before this,
+// busy could surface to callers indistinguishable from a shutdown
+// rejection after a single fixed-delay retry loop.
+constexpr auto busy_backoff_initial = std::chrono::milliseconds(1);
+constexpr auto busy_backoff_cap = std::chrono::milliseconds(256);
+constexpr auto busy_retry_budget = std::chrono::seconds(30);
+
+/// One step of the backoff ladder: sleep `next`, then double it (capped).
+std::chrono::milliseconds backoff_step(std::chrono::milliseconds& next) {
+  const auto slept = next;
+  std::this_thread::sleep_for(slept);
+  next = std::min(next * 2, busy_backoff_cap);
+  return slept;
+}
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t sent = 0;
@@ -101,6 +120,12 @@ void client::close() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
   fail();
   if (reader_.joinable()) reader_.join();
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (event_thread_.joinable()) event_thread_.join();
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
 }
@@ -131,6 +156,12 @@ void client::reader_main() {
         fail();
         return;
       }
+      if (response->kind == wire::op::event) {
+        // Unsolicited push frame: not a reply, route it to the watch
+        // callbacks instead of a pending slot.
+        dispatch_event(*response);
+        continue;
+      }
       const std::uint64_t id = response->id;
       {
         const std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -150,6 +181,13 @@ void client::reader_main() {
 
 std::uint64_t client::submit(wire::op kind, const std::string& key,
                              std::uint64_t epoch, std::uint64_t timeout_ms) {
+  return submit_impl(kind, key, epoch, timeout_ms, /*expect_reply=*/true);
+}
+
+std::uint64_t client::submit_impl(wire::op kind, const std::string& key,
+                                  std::uint64_t epoch,
+                                  std::uint64_t timeout_ms,
+                                  bool expect_reply) {
   if (!open_.load(std::memory_order_acquire)) return 0;
   // An oversized key would be rejected server-side by killing the whole
   // connection (protocol violation); refuse it here instead, as one
@@ -162,7 +200,7 @@ std::uint64_t client::submit(wire::op kind, const std::string& key,
   r.epoch = epoch;
   r.timeout_ms = timeout_ms;
   // Register the slot before the frame can possibly be answered.
-  {
+  if (expect_reply) {
     const std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.emplace(r.id, slot{});
   }
@@ -233,10 +271,19 @@ svc::acquire_result client::try_acquire(const std::string& key) {
 
 svc::acquire_result client::acquire(const std::string& key) {
   const auto start = std::chrono::steady_clock::now();
+  auto backoff = busy_backoff_initial;
+  std::chrono::milliseconds slept{0};
   for (;;) {
     const auto r = call(wire::op::acquire, key, 0, 0);
     if (r.has_value() && r->result == wire::status::busy) {
-      std::this_thread::sleep_for(busy_backoff);
+      if (slept >= busy_retry_budget) {
+        // The waiter cap has been full for the entire retry budget:
+        // treat the server as unavailable rather than spinning forever.
+        svc::acquire_result result;
+        result.rejected = true;
+        return result;
+      }
+      slept += backoff_step(backoff);
       continue;
     }
     auto result = to_acquire_result(r);
@@ -252,6 +299,7 @@ svc::acquire_result client::try_acquire_for(const std::string& key,
                                             std::chrono::milliseconds timeout) {
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + timeout;
+  auto backoff = busy_backoff_initial;
   for (;;) {
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - std::chrono::steady_clock::now());
@@ -260,12 +308,12 @@ svc::acquire_result client::try_acquire_for(const std::string& key,
         call(wire::op::try_acquire_for, key, 0,
              static_cast<std::uint64_t>(budget.count()));
     if (r.has_value() && r->result == wire::status::busy) {
-      if (std::chrono::steady_clock::now() + busy_backoff >= deadline) {
+      if (std::chrono::steady_clock::now() + backoff >= deadline) {
         svc::acquire_result result;
         result.timed_out = true;
         return result;
       }
-      std::this_thread::sleep_for(busy_backoff);
+      (void)backoff_step(backoff);
       continue;
     }
     auto result = to_acquire_result(r);
@@ -291,9 +339,165 @@ svc::lease_status client::release(const std::string& key,
 }
 
 svc::lease_status client::renew(const std::string& key, std::uint64_t epoch) {
+  return renew(key, epoch, nullptr);
+}
+
+svc::lease_status client::renew(
+    const std::string& key, std::uint64_t epoch,
+    std::chrono::steady_clock::time_point* refreshed_deadline) {
   const auto r = call(wire::op::renew, key, epoch, 0);
   if (!r.has_value()) return svc::lease_status::stale_epoch;
+  if (r->result == wire::status::ok && refreshed_deadline != nullptr) {
+    *refreshed_deadline = deadline_from_remaining(r->lease_remaining_ms);
+  }
   return wire::to_lease_status(r->result);
+}
+
+std::uint64_t client::watch(const std::string& key,
+                            std::function<void(const svc::watch_event&)> fn) {
+  if (!open_.load(std::memory_order_acquire)) return 0;
+  // Register locally *before* the wire op: the server starts pushing the
+  // moment it subscribes, and an event overtaking the ack must find the
+  // callback. One key = one server-side subscription however many local
+  // callbacks watch it; later watch() calls piggyback on the in-flight
+  // (or established) subscription instead of issuing a second wire op —
+  // which would otherwise double every delivery.
+  std::uint64_t id = 0;
+  bool need_subscribe = false;
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    if (watch_stop_) return 0;
+    id = next_watch_id_++;
+    watches_.emplace(id, watch_entry{key, std::move(fn)});
+    key_subscription& ks = key_subs_[key];
+    ks.refs++;
+    if (ks.server_id == 0 && !ks.subscribing) {
+      ks.subscribing = true;
+      need_subscribe = true;
+    }
+    if (!event_thread_.joinable()) {
+      event_thread_ = std::thread([this] { event_main(); });
+    }
+  }
+  if (!need_subscribe) return id;
+
+  const auto r = call(wire::op::watch, key, 0, 0);
+  std::uint64_t orphan_server_id = 0;
+  bool failed = false;
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    const auto ks = key_subs_.find(key);
+    if (!r.has_value() || r->result != wire::status::ok) {
+      failed = true;
+      watches_.erase(id);
+      if (ks != key_subs_.end()) {
+        ks->second.subscribing = false;
+        ks->second.refs--;
+        // Piggybacked refs (concurrent watch() calls that trusted this
+        // subscribe) are stranded without a server subscription; a
+        // refused/failed subscribe means the transport or service is
+        // going away, so they fail with the connection.
+        if (ks->second.refs == 0) key_subs_.erase(ks);
+      }
+    } else if (ks != key_subs_.end()) {
+      ks->second.subscribing = false;
+      if (ks->second.refs == 0) {
+        // Everyone unwatched while the subscribe was in flight; we are
+        // the last owner of the server-side handle.
+        orphan_server_id = r->epoch;
+        key_subs_.erase(ks);
+      } else {
+        ks->second.server_id = r->epoch;
+      }
+    }
+  }
+  if (orphan_server_id != 0) {
+    (void)submit_impl(wire::op::unwatch, "", orphan_server_id, 0,
+                      /*expect_reply=*/false);
+  }
+  return failed ? 0 : id;
+}
+
+void client::unwatch(std::uint64_t id) {
+  std::uint64_t server_id = 0;
+  {
+    std::unique_lock<std::mutex> lock(watch_mutex_);
+    const auto it = watches_.find(id);
+    if (it == watches_.end()) return;
+    const std::string key = it->second.key;
+    watches_.erase(it);
+    const auto ks = key_subs_.find(key);
+    if (ks != key_subs_.end()) {
+      ks->second.refs--;
+      // The server-side subscription dies with its last local ref. If a
+      // subscribe is still in flight, watch() observes refs == 0 at ack
+      // time and cancels it there instead.
+      if (ks->second.refs == 0 && !ks->second.subscribing) {
+        server_id = ks->second.server_id;
+        key_subs_.erase(ks);
+      }
+    }
+    // The after-return guarantee: wait out an in-flight delivery —
+    // unless we *are* the delivery (a callback cancelling itself).
+    if (std::this_thread::get_id() != event_thread_.get_id()) {
+      watch_cv_.wait(lock, [&] { return delivering_watch_ != id; });
+    }
+  }
+  // Fire-and-forget (expect_reply=false): semantically the unwatch
+  // needs no answer, and it keeps the op issuable from inside a watch
+  // callback without waiting on any reply.
+  if (server_id != 0) {
+    (void)submit_impl(wire::op::unwatch, "", server_id, 0,
+                      /*expect_reply=*/false);
+  }
+}
+
+void client::dispatch_event(const wire::response& r) {
+  auto event = wire::parse_event(r);
+  if (!event.has_value()) return;  // malformed push: drop, don't kill
+  // Reader thread: queue only. Callbacks run on the event thread, so a
+  // callback making synchronous calls on this client does not deadlock
+  // against the reader that must route its replies.
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    if (watch_stop_) return;
+    // A frame racing the key's last unwatch has no audience; and past
+    // the cap (a wedged callback) events drop rather than buffer
+    // without bound — same policy as the server-side hub.
+    if (key_subs_.find(event->key) == key_subs_.end()) return;
+    if (event_queue_.size() >= max_queued_watch_events) return;
+    event_queue_.push_back(std::move(*event));
+  }
+  watch_cv_.notify_all();
+}
+
+void client::event_main() {
+  std::unique_lock<std::mutex> lock(watch_mutex_);
+  for (;;) {
+    watch_cv_.wait(lock,
+                   [this] { return watch_stop_ || !event_queue_.empty(); });
+    if (watch_stop_) return;
+    const svc::watch_event event = std::move(event_queue_.front());
+    event_queue_.pop_front();
+    // Snapshot the audience, then deliver one at a time outside the
+    // lock, re-checking liveness so an unwatch() between deliveries
+    // keeps its after-return guarantee.
+    std::vector<std::pair<std::uint64_t,
+                          std::function<void(const svc::watch_event&)>>>
+        targets;
+    for (const auto& [id, entry] : watches_) {
+      if (entry.key == event.key) targets.emplace_back(id, entry.fn);
+    }
+    for (const auto& [id, fn] : targets) {
+      if (watches_.find(id) == watches_.end()) continue;  // unwatched since
+      delivering_watch_ = id;
+      lock.unlock();
+      fn(event);
+      lock.lock();
+      delivering_watch_ = 0;
+      watch_cv_.notify_all();
+    }
+  }
 }
 
 std::size_t client::disconnect() {

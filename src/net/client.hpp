@@ -31,6 +31,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -39,6 +41,7 @@
 
 #include "net/wire.hpp"
 #include "svc/service.hpp"
+#include "svc/watch.hpp"
 
 namespace elect::net {
 
@@ -69,6 +72,33 @@ class client {
   svc::lease_status release(const std::string& key);
   svc::lease_status release(const std::string& key, std::uint64_t epoch);
   svc::lease_status renew(const std::string& key, std::uint64_t epoch);
+  /// Like renew(), additionally reporting the refreshed lease deadline
+  /// (on this client's clock) through `refreshed_deadline` when the
+  /// renewal succeeded — what an auto-renewing lease schedules its next
+  /// heartbeat from. Pass nullptr to ignore.
+  svc::lease_status renew(const std::string& key, std::uint64_t epoch,
+                          std::chrono::steady_clock::time_point*
+                              refreshed_deadline);
+
+  /// Subscribe to leader transitions on `key` (wire::op::watch): the
+  /// server pushes one event frame per elected/released/expired
+  /// transition. `fn` runs on a dedicated per-client event thread (NOT
+  /// the reader), so a callback may freely make synchronous calls on
+  /// this same client — exactly like a local watcher; a callback that
+  /// blocks forever stalls only this client's watch delivery. Watches
+  /// on the same key share one server-side subscription (one push frame
+  /// per transition, delivered once to each callback). Returns a
+  /// client-side watch id, 0 on a dead connection or server refusal.
+  /// Events published between subscription and this call returning are
+  /// delivered.
+  [[nodiscard]] std::uint64_t watch(
+      const std::string& key,
+      std::function<void(const svc::watch_event&)> fn);
+
+  /// Cancel a watch. After return the callback will not run again
+  /// (calling it from inside its own callback is safe and exempt from
+  /// that wait). Unknown ids are a no-op.
+  void unwatch(std::uint64_t id);
   /// Politely drop everything this connection holds (wire op). Returns
   /// the number of keys released; 0 on a dead connection.
   std::size_t disconnect();
@@ -94,15 +124,53 @@ class client {
     wire::response response;
   };
 
+  struct watch_entry {
+    std::string key;
+    std::function<void(const svc::watch_event&)> fn;
+  };
+
+  /// One server-side subscription shared by every local watch on a key
+  /// (the wire carries one event frame per transition per key, however
+  /// many callbacks fan out locally).
+  struct key_subscription {
+    /// The server's handle (watch response's epoch); 0 until the
+    /// subscribe ack lands.
+    std::uint64_t server_id = 0;
+    /// Local watch entries on this key.
+    int refs = 0;
+    /// A subscribe round trip is in flight; later watch() calls on the
+    /// key piggyback instead of issuing a second wire op.
+    bool subscribing = false;
+  };
+
+  /// Events buffered between the reader and the event thread while
+  /// callbacks run; past the cap new events are dropped (the peer of
+  /// the hub-side bound — a wedged callback must not buffer forever).
+  static constexpr std::size_t max_queued_watch_events = 1u << 16;
+
   /// submit + take; empty on transport failure (also after `busy`
   /// retries are exhausted by the caller — busy is passed through).
   [[nodiscard]] std::optional<wire::response> call(wire::op kind,
                                                    const std::string& key,
                                                    std::uint64_t epoch,
                                                    std::uint64_t timeout_ms);
+  /// submit() body; `expect_reply` false skips the pending slot (the
+  /// response, always answered by the server, is dropped as an unknown
+  /// id) — what lets unwatch be issued from inside a watch callback on
+  /// the reader thread, which can never wait for its own reply.
+  std::uint64_t submit_impl(wire::op kind, const std::string& key,
+                            std::uint64_t epoch, std::uint64_t timeout_ms,
+                            bool expect_reply);
   [[nodiscard]] static svc::acquire_result to_acquire_result(
       const std::optional<wire::response>& r);
   void reader_main();
+  /// Queue one op::event push frame for the event thread (reader
+  /// thread; never runs callbacks itself — a callback making a
+  /// synchronous call on this client would otherwise deadlock waiting
+  /// for its own reply).
+  void dispatch_event(const wire::response& r);
+  /// Deliver queued events to the matching watch callbacks.
+  void event_main();
   /// Mark the connection dead and wake every waiter.
   void fail();
 
@@ -117,6 +185,20 @@ class client {
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;
   std::unordered_map<std::uint64_t, slot> pending_;
+
+  std::mutex watch_mutex_;
+  std::condition_variable watch_cv_;
+  std::unordered_map<std::uint64_t, watch_entry> watches_;
+  std::unordered_map<std::string, key_subscription> key_subs_;
+  std::deque<svc::watch_event> event_queue_;
+  std::uint64_t next_watch_id_ = 1;
+  /// Watch id currently being invoked by the event thread (0 = none);
+  /// unwatch waits for it so the after-return guarantee holds.
+  std::uint64_t delivering_watch_ = 0;
+  bool watch_stop_ = false;
+  /// Started lazily by the first watch(): most clients never subscribe
+  /// and should not pay a parked thread for the ability to.
+  std::thread event_thread_;
 };
 
 }  // namespace elect::net

@@ -39,9 +39,13 @@ std::uint64_t lease_remaining_ms(
 
 /// Write the whole buffer to a non-blocking socket, parking on POLLOUT
 /// when the send buffer is full. A slow consumer stalls only the thread
-/// serving it; `stopping` bounds that stall across server shutdown.
+/// serving it; `stopping` bounds that stall across server shutdown, and
+/// `deadline` (when non-null) bounds it absolutely — the event-push
+/// path uses it so the watch hub's notifier can never be held hostage.
 bool write_all(int fd, const std::uint8_t* data, std::size_t n,
-               const std::atomic<bool>& stopping) {
+               const std::atomic<bool>& stopping,
+               const std::chrono::steady_clock::time_point* deadline =
+                   nullptr) {
   std::size_t sent = 0;
   while (sent < n) {
     const ssize_t wrote = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
@@ -53,6 +57,10 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n,
       pollfd pfd{fd, POLLOUT, 0};
       (void)::poll(&pfd, 1, 100);
       if (stopping.load(std::memory_order_relaxed)) return false;
+      if (deadline != nullptr &&
+          std::chrono::steady_clock::now() >= *deadline) {
+        return false;
+      }
       continue;
     }
     if (wrote < 0 && errno == EINTR) continue;
@@ -75,7 +83,10 @@ std::string net_report::to_json() const {
       << ",\"backpressure_pauses\":" << backpressure_pauses
       << ",\"busy_rejections\":" << busy_rejections
       << ",\"protocol_errors\":" << protocol_errors
-      << ",\"disconnect_reclaims\":" << disconnect_reclaims << "}";
+      << ",\"disconnect_reclaims\":" << disconnect_reclaims
+      << ",\"watch_subscriptions\":" << watch_subscriptions
+      << ",\"events_pushed\":" << events_pushed
+      << ",\"events_dropped\":" << events_dropped << "}";
   return out.str();
 }
 
@@ -463,6 +474,20 @@ void server::serve(const pending& p) {
       break;
     case wire::op::renew:
       r.result = wire::from_lease_status(session.renew(req.key, req.epoch));
+      if (r.result == wire::status::ok) {
+        // A successful renew re-arms the full TTL; telling the client
+        // the refreshed budget is what lets a remote auto-renewing
+        // lease (api::lease) schedule its next heartbeat without a
+        // second round-trip.
+        const std::uint64_t ttl_ms = service_.config().lease_ttl_ms;
+        r.lease_remaining_ms = ttl_ms == 0 ? wire::lease_forever : ttl_ms;
+      }
+      break;
+    case wire::op::watch:
+      serve_watch(p, r);
+      break;
+    case wire::op::unwatch:
+      serve_unwatch(p, r);
       break;
     case wire::op::disconnect:
       r.epoch = session.disconnect();
@@ -484,6 +509,99 @@ void server::serve(const pending& p) {
   }
   send_response(p.conn, r);
   complete(p.conn);
+}
+
+void server::serve_watch(const pending& p, wire::response& r) {
+  const connection_ptr& conn = p.conn;
+  {
+    const std::lock_guard<std::mutex> lock(conn->watch_mutex);
+    if (conn->watch_ids.size() >=
+        static_cast<std::size_t>(config_.max_watches_per_connection)) {
+      counters_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+      r.result = wire::status::busy;
+      return;
+    }
+  }
+  // The callback owns a shared_ptr to the connection, so a pushed event
+  // can never dangle; finish_connection cancels the subscription, which
+  // is what lets the connection die.
+  const std::uint64_t id = service_.watch(
+      p.req.key,
+      [this, conn](const svc::watch_event& e) { push_event(conn, e); });
+  if (id == 0) {
+    r.result = wire::status::rejected;  // service stopped under us
+    return;
+  }
+  bool lost_race = false;
+  {
+    // closed is stored before finish_connection collects watch_ids
+    // (both under this mutex's ordering), so exactly one of the two
+    // sides cancels the subscription: either finish sees our id in the
+    // list, or we see closed and cancel it ourselves.
+    const std::lock_guard<std::mutex> lock(conn->watch_mutex);
+    if (conn->closed.load(std::memory_order_relaxed)) {
+      lost_race = true;
+    } else {
+      conn->watch_ids.push_back(id);
+    }
+  }
+  if (lost_race) {
+    service_.unwatch(id);
+    r.result = wire::status::rejected;
+    return;
+  }
+  counters_.watch_subscriptions.fetch_add(1, std::memory_order_relaxed);
+  r.result = wire::status::ok;
+  r.epoch = id;  // the handle the client passes back to unwatch
+}
+
+void server::serve_unwatch(const pending& p, wire::response& r) {
+  const std::uint64_t id = p.req.epoch;
+  bool owned = false;
+  {
+    const std::lock_guard<std::mutex> lock(p.conn->watch_mutex);
+    auto& ids = p.conn->watch_ids;
+    const auto it = std::find(ids.begin(), ids.end(), id);
+    if (it != ids.end()) {
+      ids.erase(it);
+      owned = true;
+    }
+  }
+  // Only ids this connection registered are cancelled — an unknown or
+  // foreign id is a harmless no-op, not a protocol violation.
+  if (owned) service_.unwatch(id);
+  r.result = wire::status::ok;
+}
+
+void server::push_event(const connection_ptr& conn,
+                        const svc::watch_event& e) {
+  if (conn->closed.load(std::memory_order_relaxed)) {
+    counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::vector<std::uint8_t> frame =
+      wire::encode_response(wire::make_event(e));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max<std::uint64_t>(
+          1, config_.event_write_budget_ms));
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->closed.load(std::memory_order_relaxed)) {
+    counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!write_all(conn->fd, frame.data(), frame.size(), stopping_,
+                 &deadline)) {
+    // The consumer is not draining (or died): drop it. Losing the
+    // connection also tears down its watches, so one wedged watcher
+    // cannot absorb the notifier's time budget event after event.
+    counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
+    start_close(conn);
+    return;
+  }
+  counters_.events_pushed.fetch_add(1, std::memory_order_relaxed);
+  counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
 }
 
 void server::serve_blocking(const pending& p) {
@@ -609,6 +727,17 @@ void server::finish_connection(connection_ptr conn) {
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   conn->closed.store(true, std::memory_order_relaxed);
   ::shutdown(conn->fd, SHUT_RDWR);
+  // Cancel the connection's watch subscriptions first: after unwatch
+  // returns, the hub will never invoke this connection's push callback
+  // again, so the shared_ptr cycle-breaker is exactly this loop. A
+  // watch racing in concurrently sees `closed` and cancels itself (see
+  // serve_watch).
+  std::vector<std::uint64_t> watches;
+  {
+    const std::lock_guard<std::mutex> lock(conn->watch_mutex);
+    watches.swap(conn->watch_ids);
+  }
+  for (const std::uint64_t id : watches) service_.unwatch(id);
   if (conn->session.has_value()) {
     // The disconnect-on-close hook: whatever the remote client held is
     // force-released NOW — its rivals re-elect immediately instead of
@@ -647,6 +776,11 @@ net_report server::report() const {
       counters_.protocol_errors.load(std::memory_order_relaxed);
   r.disconnect_reclaims =
       counters_.disconnect_reclaims.load(std::memory_order_relaxed);
+  r.watch_subscriptions =
+      counters_.watch_subscriptions.load(std::memory_order_relaxed);
+  r.events_pushed = counters_.events_pushed.load(std::memory_order_relaxed);
+  r.events_dropped =
+      counters_.events_dropped.load(std::memory_order_relaxed);
   return r;
 }
 

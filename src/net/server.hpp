@@ -75,6 +75,14 @@ struct server_config {
   /// Granularity at which parked blocking ops re-check for server stop
   /// and connection death.
   std::uint64_t blocking_slice_ms = 50;
+  /// Watch subscriptions one connection may hold; past the cap a watch
+  /// op answers `busy` (resource exhaustion, same family as the waiter
+  /// cap — not a protocol violation).
+  int max_watches_per_connection = 1024;
+  /// Budget for pushing one event frame into a slow consumer's socket
+  /// before the connection is declared dead. Bounds how long the watch
+  /// hub's notifier (and a teardown waiting on it) can stall.
+  std::uint64_t event_write_budget_ms = 1000;
 };
 
 /// Point-in-time counters for the network edge.
@@ -97,6 +105,14 @@ struct net_report {
   /// disconnect-on-close hook), plus wins reclaimed after their
   /// connection died mid-election.
   std::uint64_t disconnect_reclaims = 0;
+  /// Watch subscriptions accepted over the wire (lifetime total).
+  std::uint64_t watch_subscriptions = 0;
+  /// Event frames pushed to clients.
+  std::uint64_t events_pushed = 0;
+  /// Event frames not pushed: connection already closed, or the write
+  /// budget ran out on a non-draining consumer (which also kills the
+  /// connection).
+  std::uint64_t events_dropped = 0;
 
   [[nodiscard]] std::string to_json() const;
 };
@@ -150,6 +166,12 @@ class server {
     std::mutex pause_mutex;
     bool paused = false;
 
+    /// Watch-hub subscription ids owned by this connection: unwatch ops
+    /// may only cancel ids in here (a client cannot cancel another
+    /// connection's watches), and finish_connection cancels the rest.
+    std::mutex watch_mutex;
+    std::vector<std::uint64_t> watch_ids;
+
     std::atomic<bool> closed{false};
   };
   using connection_ptr = std::shared_ptr<connection>;
@@ -176,6 +198,14 @@ class server {
       const wire::request& req, const svc::acquire_result& result);
   /// Write one response frame; on transport failure starts the close.
   void send_response(const connection_ptr& conn, const wire::response& r);
+  /// Push one watch event frame (hub notifier thread). Unlike
+  /// send_response the write is budgeted: a consumer that stops
+  /// draining for event_write_budget_ms loses the connection instead of
+  /// wedging watch delivery for everyone else.
+  void push_event(const connection_ptr& conn, const svc::watch_event& e);
+  /// Register / cancel wire watches (executor thread).
+  void serve_watch(const pending& p, wire::response& r);
+  void serve_unwatch(const pending& p, wire::response& r);
   void complete(const connection_ptr& conn);
   void maybe_pause(const connection_ptr& conn);
   void maybe_resume(const connection_ptr& conn);
@@ -229,6 +259,9 @@ class server {
     std::atomic<std::uint64_t> busy_rejections{0};
     std::atomic<std::uint64_t> protocol_errors{0};
     std::atomic<std::uint64_t> disconnect_reclaims{0};
+    std::atomic<std::uint64_t> watch_subscriptions{0};
+    std::atomic<std::uint64_t> events_pushed{0};
+    std::atomic<std::uint64_t> events_dropped{0};
   };
   counters counters_;
   std::atomic<std::uint64_t> connections_active_{0};

@@ -106,6 +106,9 @@ std::string_view to_string(op kind) {
     case op::renew: return "renew";
     case op::disconnect: return "disconnect";
     case op::metrics: return "metrics";
+    case op::watch: return "watch";
+    case op::unwatch: return "unwatch";
+    case op::event: return "event";
   }
   return "unknown";
 }
@@ -168,6 +171,34 @@ bool hello_version_ok(const request& r) {
   return r.kind == op::hello &&
          r.epoch == ((static_cast<std::uint64_t>(protocol_magic) << 16) |
                      protocol_version);
+}
+
+response make_event(const svc::watch_event& e) {
+  response r;
+  r.id = 0;  // push frame: no request id, routed to watch callbacks
+  r.kind = op::event;
+  r.result = status::ok;
+  r.flags = static_cast<std::uint8_t>(e.kind);
+  r.epoch = e.epoch;
+  r.lease_remaining_ms =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(e.session));
+  r.body = e.key;
+  return r;
+}
+
+std::optional<svc::watch_event> parse_event(const response& r) {
+  if (r.kind != op::event || r.id != 0 ||
+      r.flags > static_cast<std::uint8_t>(svc::transition::expired) ||
+      r.body.size() > max_key_bytes) {
+    return std::nullopt;
+  }
+  svc::watch_event e;
+  e.key = r.body;
+  e.epoch = r.epoch;
+  e.kind = static_cast<svc::transition>(r.flags);
+  e.session = static_cast<int>(
+      static_cast<std::int64_t>(r.lease_remaining_ms));
+  return e;
 }
 
 std::optional<request> decode_request(const std::vector<std::uint8_t>& body) {

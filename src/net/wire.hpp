@@ -38,12 +38,16 @@
 #include <vector>
 
 #include "svc/registry.hpp"
+#include "svc/watch.hpp"
 
 namespace elect::net::wire {
 
 /// "ELN" + version byte, carried in the hello exchange.
 inline constexpr std::uint32_t protocol_magic = 0x454C4E00u;
-inline constexpr std::uint16_t protocol_version = 1;
+/// v2: watch/unwatch ops + server-push event frames. A v1 peer would
+/// kill the connection mid-stream on the first watch op it cannot
+/// decode; bumping the version moves that failure to the handshake.
+inline constexpr std::uint16_t protocol_version = 2;
 
 /// Hard cap on one frame's body. Requests are tiny (a key plus a few
 /// integers); responses are bounded by the metrics JSON. Anything
@@ -75,9 +79,24 @@ enum class op : std::uint8_t {
   disconnect = 7,
   /// Fetch the combined net + service metrics report as JSON.
   metrics = 8,
+  /// Subscribe to leader transitions on `key`. The ok response carries
+  /// the server-side subscription id in `epoch`; matching transitions
+  /// then arrive as unsolicited `event` frames on the same connection.
+  watch = 9,
+  /// Cancel a watch subscription; `epoch` carries the id the watch
+  /// response returned. Always answers ok (cancelling an unknown or
+  /// foreign id is a no-op).
+  unwatch = 10,
+  /// Server->client push: one leader transition on a watched key. Not a
+  /// response — `id` is 0 (client request ids start at 1), which is how
+  /// the client's reader routes it to watch callbacks instead of a
+  /// pending call. `body` is the key, `epoch` the transition's epoch,
+  /// `flags` the svc::transition value, and `lease_remaining_ms` the
+  /// affected svc session id (two's complement; -1 = none).
+  event = 11,
 };
 
-inline constexpr int op_count = 9;
+inline constexpr int op_count = 12;
 
 [[nodiscard]] std::string_view to_string(op kind);
 
@@ -158,6 +177,12 @@ struct response {
 [[nodiscard]] response make_hello_response(std::uint64_t session_id);
 /// Does this decoded hello request carry our magic + version?
 [[nodiscard]] bool hello_version_ok(const request& r);
+
+/// The watch push frame (op::event), expressed through the response
+/// shape so the existing codec and framing carry it. parse_event is the
+/// inverse; empty when `r` is not a well-formed event frame.
+[[nodiscard]] response make_event(const svc::watch_event& e);
+[[nodiscard]] std::optional<svc::watch_event> parse_event(const response& r);
 
 // ---------------------------------------------------------------------
 // Decoding. Both take one frame *body* (the length prefix already

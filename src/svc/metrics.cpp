@@ -75,6 +75,10 @@ std::string service_report::to_json() const {
   out << "\"messages_per_acquire\":" << messages_per_acquire << ",";
   out << "\"mean_communicate_calls\":" << mean_communicate_calls << ",";
   out << "\"max_communicate_calls\":" << max_communicate_calls << ",";
+  out << "\"watch\":{\"active\":" << watch.active
+      << ",\"published\":" << watch.published
+      << ",\"delivered\":" << watch.delivered
+      << ",\"dropped\":" << watch.dropped << "},";
   if (!net_json.empty()) out << "\"net\":" << net_json << ",";
   out << "\"shards\":[";
   for (std::size_t i = 0; i < shards.size(); ++i) {

@@ -17,6 +17,7 @@
 
 #include "common/check.hpp"
 #include "election/strategy.hpp"
+#include "svc/watch.hpp"
 
 namespace elect::svc {
 
@@ -162,6 +163,8 @@ struct service_report {
   double messages_per_acquire = 0.0;
   double mean_communicate_calls = 0.0;
   std::uint64_t max_communicate_calls = 0;
+  /// Watch-hub subscription/delivery counters (svc/watch.hpp).
+  watch_report watch;
   /// Optional pre-serialized JSON object from the layer wrapping the
   /// service (the TCP front-end's per-connection/frame counters —
   /// net::server::report()). Emitted verbatim as `"net":{...}` when

@@ -18,6 +18,21 @@ instance_registry::clock::time_point deadline_for(
 
 }  // namespace
 
+std::string_view to_string(transition t) {
+  switch (t) {
+    case transition::elected: return "elected";
+    case transition::released: return "released";
+    case transition::expired: return "expired";
+  }
+  return "unknown";
+}
+
+void instance_registry::set_transition_hook(const std::atomic<bool>& armed,
+                                            transition_hook hook) {
+  hook_armed_ = &armed;
+  hook_ = std::move(hook);
+}
+
 instance_registry::instance_registry(int shard_count,
                                      std::uint64_t first_instance)
     : next_instance_(first_instance) {
@@ -101,43 +116,50 @@ std::optional<instance_entry> instance_registry::peek(const std::string& key) {
 adaptive_attempt instance_registry::begin_adaptive_attempt(
     const std::string& key, int session, clock::duration ttl) {
   shard& s = shard_for(key);
-  const std::lock_guard<std::mutex> lock(s.mutex);
-  key_state& state = state_locked(s, key);
-  state.attempts_this_epoch++;
-
   adaptive_attempt result;
-  result.attempt = attempt_info{state.entry, state.attempts_this_epoch,
-                                state.last_epoch_attempts};
-  // Contention observed (a rival already attempted this epoch, or the
-  // previous epoch was contended): no CAS, the caller runs the protocol.
-  if (state.attempts_this_epoch != 1 || state.last_epoch_attempts > 1) {
-    return result;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    key_state& state = state_locked(s, key);
+    state.attempts_this_epoch++;
+
+    result.attempt = attempt_info{state.entry, state.attempts_this_epoch,
+                                  state.last_epoch_attempts};
+    // Contention observed (a rival already attempted this epoch, or the
+    // previous epoch was contended): no CAS, the caller runs the
+    // protocol.
+    if (state.attempts_this_epoch != 1 || state.last_epoch_attempts > 1) {
+      return result;
+    }
+    result.fast_attempted = true;
+    // The protocol path's stop() gate lives in service::submit(); the
+    // fast path never submits, so it must refuse here. shutdown() stores
+    // the flag before briefly taking every shard mutex, so once it has
+    // returned, any later fast claim (which holds this shard's mutex)
+    // observes the flag — a completed stop() can never be followed by a
+    // fast-path grant.
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      result.fast = {fast_claim_outcome::shutdown, {}};
+      return result;
+    }
+    if (state.mode == grant_mode::protocol_armed) {
+      // An election is (or was) running for this epoch: the fast path
+      // must stay off it — the protocol's winner owns the grant.
+      result.fast = {fast_claim_outcome::armed, {}};
+      return result;
+    }
+    if (state.leader != -1) {
+      result.fast = {fast_claim_outcome::held, {}};
+      return result;
+    }
+    state.leader = session;
+    state.mode = grant_mode::fast_claimed;
+    state.lease_deadline = deadline_for(ttl);
+    result.fast = {fast_claim_outcome::claimed, state.lease_deadline};
   }
-  result.fast_attempted = true;
-  // The protocol path's stop() gate lives in service::submit(); the fast
-  // path never submits, so it must refuse here. shutdown() stores the
-  // flag before briefly taking every shard mutex, so once it has
-  // returned, any later fast claim (which holds this shard's mutex)
-  // observes the flag — a completed stop() can never be followed by a
-  // fast-path grant.
-  if (shutdown_.load(std::memory_order_relaxed)) {
-    result.fast = {fast_claim_outcome::shutdown, {}};
-    return result;
+  // Grants publish like any other transition, outside the shard lock.
+  if (hook_live()) {
+    hook_(key, result.attempt.entry.epoch, transition::elected, session);
   }
-  if (state.mode == grant_mode::protocol_armed) {
-    // An election is (or was) running for this epoch: the fast path must
-    // stay off it — the protocol's winner owns the grant.
-    result.fast = {fast_claim_outcome::armed, {}};
-    return result;
-  }
-  if (state.leader != -1) {
-    result.fast = {fast_claim_outcome::held, {}};
-    return result;
-  }
-  state.leader = session;
-  state.mode = grant_mode::fast_claimed;
-  state.lease_deadline = deadline_for(ttl);
-  result.fast = {fast_claim_outcome::claimed, state.lease_deadline};
   return result;
 }
 
@@ -162,19 +184,24 @@ std::optional<instance_registry::clock::time_point>
 instance_registry::claim_win(const std::string& key, std::uint64_t epoch,
                              int session, clock::duration ttl) {
   shard& s = shard_for(key);
-  const std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.keys.find(key);
-  if (it == s.keys.end() || it->second.entry.epoch != epoch) {
-    return std::nullopt;
+  clock::time_point deadline;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.keys.find(key);
+    if (it == s.keys.end() || it->second.entry.epoch != epoch) {
+      return std::nullopt;
+    }
+    key_state& state = it->second;
+    ELECT_CHECK_MSG(state.mode != grant_mode::fast_claimed,
+                    "protocol claim on a fast-claimed epoch — the fencing "
+                    "that keeps the two grant paths apart is broken");
+    if (state.leader != -1) return std::nullopt;
+    state.leader = session;
+    state.lease_deadline = deadline_for(ttl);
+    deadline = state.lease_deadline;
   }
-  key_state& state = it->second;
-  ELECT_CHECK_MSG(state.mode != grant_mode::fast_claimed,
-                  "protocol claim on a fast-claimed epoch — the fencing "
-                  "that keeps the two grant paths apart is broken");
-  if (state.leader != -1) return std::nullopt;
-  state.leader = session;
-  state.lease_deadline = deadline_for(ttl);
-  return state.lease_deadline;
+  if (hook_live()) hook_(key, epoch, transition::elected, session);
+  return deadline;
 }
 
 int instance_registry::leader_of(const std::string& key) {
@@ -211,20 +238,24 @@ lease_status instance_registry::release(const std::string& key, int session,
     bump_epoch_locked(it->second);
   }
   s.epoch_changed.notify_all();
+  if (hook_live()) hook_(key, epoch, transition::released, session);
   return lease_status::ok;
 }
 
 lease_status instance_registry::release(const std::string& key, int session) {
   shard& s = shard_for(key);
+  std::uint64_t released_epoch = 0;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
     if (it == s.keys.end() || it->second.leader != session) {
       return lease_status::not_leader;
     }
+    released_epoch = it->second.entry.epoch;
     bump_epoch_locked(it->second);
   }
   s.epoch_changed.notify_all();
+  if (hook_live()) hook_(key, released_epoch, transition::released, session);
   return lease_status::ok;
 }
 
@@ -246,15 +277,30 @@ lease_status instance_registry::renew(const std::string& key, int session,
 
 std::size_t instance_registry::bump_matching(
     const std::function<bool(const key_state&)>& predicate,
-    const std::function<void(int)>& on_bumped) {
+    const std::function<void(int)>& on_bumped, transition kind) {
+  /// What a bumped key looked like before the bump — collected under the
+  /// shard lock, published after it.
+  struct ended {
+    std::string key;
+    std::uint64_t epoch;
+    int session;
+  };
   std::size_t bumped = 0;
+  std::vector<ended> events;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shard& s = *shards_[i];
+    // Sampled once per shard: a watcher subscribing mid-scan may miss
+    // this sweep's transitions, which the delivery bound tolerates (its
+    // clock starts at subscription).
+    const bool publish = hook_live();
     std::size_t bumped_here = 0;
     {
       const std::lock_guard<std::mutex> lock(s.mutex);
       for (auto& [key, state] : s.keys) {
         if (!predicate(state)) continue;
+        if (publish) {
+          events.push_back(ended{key, state.entry.epoch, state.leader});
+        }
         bump_epoch_locked(state);
         ++bumped_here;
       }
@@ -267,15 +313,20 @@ std::size_t instance_registry::bump_matching(
         on_bumped(static_cast<int>(i));
       }
     }
+    for (const ended& e : events) hook_(e.key, e.epoch, kind, e.session);
+    events.clear();
   }
   return bumped;
 }
 
 std::size_t instance_registry::release_all(
     int session, const std::function<void(int)>& on_released) {
+  // A disconnect is a voluntary release from the watch layer's point of
+  // view — the network edge's crash reclaim lands here too, which is how
+  // a remote crash is observed faster than the lease TTL.
   return bump_matching(
       [session](const key_state& state) { return state.leader == session; },
-      on_released);
+      on_released, transition::released);
 }
 
 std::vector<std::string> instance_registry::keys_held_by(int session) const {
@@ -295,7 +346,7 @@ std::size_t instance_registry::sweep_expired(
       [now](const key_state& state) {
         return state.leader != -1 && state.lease_deadline <= now;
       },
-      on_expired);
+      on_expired, transition::expired);
 }
 
 bool instance_registry::wait_for_epoch_above_impl(

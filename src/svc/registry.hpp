@@ -53,6 +53,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -77,6 +78,25 @@ struct attempt_info {
   /// a key is *uncontended* when both are <= 1.
   std::uint64_t last_epoch_attempts = 0;
 };
+
+/// One leader transition on a key, as seen by the registry. The watch
+/// layer (svc/watch.hpp, api::client::watch) is built on these.
+enum class transition : std::uint8_t {
+  /// An epoch was granted — by either grant path (protocol win or
+  /// adaptive fast claim). `epoch` is the granted epoch, `session` the
+  /// new leader.
+  elected = 0,
+  /// The holder gave the key up voluntarily (fenced/unfenced release,
+  /// release_all — including the network edge's disconnect-on-close
+  /// hook, which is how a remote crash surfaces). `epoch` is the epoch
+  /// that ended, `session` its last holder.
+  released = 1,
+  /// The sweeper force-released an expired lease (a crashed or wedged
+  /// holder timed out). Same field meaning as `released`.
+  expired = 2,
+};
+
+[[nodiscard]] std::string_view to_string(transition t);
 
 /// Outcome of a fenced lease operation (release / renew).
 enum class lease_status {
@@ -262,6 +282,22 @@ class instance_registry {
   /// Instance ids still allocatable before the fail-fast guard trips.
   [[nodiscard]] std::uint64_t remaining_instance_ids() const noexcept;
 
+  /// Invoked (under no lock) once per leader transition: grant, release,
+  /// or expiry. Fields per `transition`.
+  using transition_hook = std::function<void(
+      const std::string& key, std::uint64_t epoch, transition kind,
+      int session)>;
+
+  /// Install the transition hook. `armed` is a cheap publish gate the
+  /// hook's owner keeps current (true iff anyone is listening): the
+  /// registry skips the hook entirely — no event assembly, no function
+  /// call — while it reads false, which keeps the adaptive fast path at
+  /// its zero-subscriber cost. Must be called before the registry sees
+  /// concurrent traffic (the service installs it at construction); the
+  /// hook runs on whichever thread performed the transition.
+  void set_transition_hook(const std::atomic<bool>& armed,
+                           transition_hook hook);
+
  private:
   /// How the current epoch has been (or may be) granted.
   enum class grant_mode : std::uint8_t {
@@ -305,14 +341,26 @@ class instance_registry {
   /// Scan every shard and bump every key matching `predicate` (checked
   /// under the shard lock); waiters are notified per shard and
   /// `on_bumped(shard_index)` runs once per bumped key, under no lock.
+  /// Each bump also publishes a `kind` transition for the ended epoch.
   /// Shared engine of release_all (match: held by one session) and
   /// sweep_expired (match: lease deadline passed).
   std::size_t bump_matching(const std::function<bool(const key_state&)>& predicate,
-                            const std::function<void(int)>& on_bumped);
+                            const std::function<void(int)>& on_bumped,
+                            transition kind);
+  /// Is the transition hook installed *and* armed right now? The gate
+  /// callers check before collecting event data under the shard lock.
+  [[nodiscard]] bool hook_live() const noexcept {
+    return hook_armed_ != nullptr &&
+           hook_armed_->load(std::memory_order_relaxed);
+  }
 
   std::vector<std::unique_ptr<shard>> shards_;
   std::atomic<std::uint64_t> next_instance_;
   std::atomic<bool> shutdown_{false};
+  /// Leader-transition hook + its owner's publish gate (see
+  /// set_transition_hook). Written once before concurrent use.
+  transition_hook hook_;
+  const std::atomic<bool>* hook_armed_ = nullptr;
 };
 
 }  // namespace elect::svc

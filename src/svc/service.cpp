@@ -17,16 +17,67 @@ std::chrono::milliseconds sweep_interval(const service_config& config) {
 
 }  // namespace
 
+std::optional<std::string> service_config::validate() const {
+  if (nodes <= 0) {
+    return "service_config.nodes must be >= 1 (got " +
+           std::to_string(nodes) + ")";
+  }
+  if (shards <= 0) {
+    return "service_config.shards must be >= 1 (got " +
+           std::to_string(shards) + ")";
+  }
+  if (max_rounds <= 0) {
+    return "service_config.max_rounds must be >= 1 (got " +
+           std::to_string(max_rounds) + ")";
+  }
+  if (participated_prune_threshold == 0) {
+    return "service_config.participated_prune_threshold must be >= 1";
+  }
+  if (sweep_interval_ms != 0 && lease_ttl_ms == 0) {
+    return "service_config.sweep_interval_ms=" +
+           std::to_string(sweep_interval_ms) +
+           " without lease_ttl_ms: there are no leases to sweep — set "
+           "lease_ttl_ms or drop the sweep interval";
+  }
+  const auto known_kind = [](election::strategy_kind kind) {
+    const auto value = static_cast<int>(kind);
+    return value >= 0 && value < election::strategy_kind_count;
+  };
+  if (!known_kind(default_strategy)) {
+    return "service_config.default_strategy is not a known strategy_kind "
+           "(raw value " + std::to_string(static_cast<int>(default_strategy)) +
+           ")";
+  }
+  for (const auto& [key, kind] : key_strategies) {
+    if (key.empty()) {
+      return "service_config.key_strategies contains an empty key";
+    }
+    if (!known_kind(kind)) {
+      return "service_config.key_strategies[\"" + key +
+             "\"] is not a known strategy_kind (raw value " +
+             std::to_string(static_cast<int>(kind)) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
 service::service(service_config config)
     : config_(std::move(config)),
-      registry_(config_.shards),
-      metrics_(config_.shards),
+      registry_(config_.shards >= 1 ? config_.shards : 1),
+      metrics_(config_.shards >= 1 ? config_.shards : 1),
       pool_(std::make_unique<mt::cluster>(
-          config_.nodes, config_.seed,
+          config_.nodes >= 1 ? config_.nodes : 1, config_.seed,
           mt::cluster_options{.batch_transport = config_.batch_transport})) {
-  ELECT_CHECK(config_.nodes >= 1);
-  ELECT_CHECK(config_.shards >= 1);
-  ELECT_CHECK(config_.participated_prune_threshold >= 1);
+  // Validate before anything observable starts; the clamped member
+  // initializers above only keep the subobject constructors from
+  // aborting with a less descriptive message first.
+  const auto config_error = config_.validate();
+  ELECT_CHECK_MSG(!config_error.has_value(), config_error.value_or(""));
+  registry_.set_transition_hook(
+      hub_.armed(), [this](const std::string& key, std::uint64_t epoch,
+                           transition kind, int session) {
+        hub_.publish(key, epoch, kind, session);
+      });
   for (int k = 0; k < election::strategy_kind_count; ++k) {
     strategies_[static_cast<std::size_t>(k)] =
         election::make_strategy(static_cast<election::strategy_kind>(k));
@@ -87,7 +138,17 @@ void service::stop() {
     shutdowns.push_back(std::move(j));
   }
   pool_->wait();
+  // Last: the drain above may still publish transitions (drained acquires
+  // claiming wins); stopping the hub after the pool keeps those flowing
+  // to watchers until the very end, then drops the remainder.
+  hub_.stop();
 }
+
+std::uint64_t service::watch(const std::string& key, watch_hub::callback fn) {
+  return hub_.add(key, std::move(fn));
+}
+
+void service::unwatch(std::uint64_t id) { hub_.remove(id); }
 
 // ---------------------------------------------------------------------
 // Lease sweeper: force-release expired holders on a fixed interval.
@@ -453,6 +514,7 @@ service_report service::report() const {
   const engine::metrics& pool_metrics = pool_->runtime_metrics();
   report.mean_communicate_calls = pool_metrics.mean_communicate_calls();
   report.max_communicate_calls = pool_metrics.max_communicate_calls();
+  report.watch = hub_.report();
   return report;
 }
 

@@ -67,6 +67,7 @@
 #include "mt/cluster.hpp"
 #include "svc/metrics.hpp"
 #include "svc/registry.hpp"
+#include "svc/watch.hpp"
 
 namespace elect::svc {
 
@@ -96,6 +97,13 @@ struct service_config {
   election::strategy_kind default_strategy = election::strategy_kind::full;
   /// Per-key strategy overrides (exact key match beats the default).
   std::unordered_map<std::string, election::strategy_kind> key_strategies;
+
+  /// Check the configuration without constructing a service: empty on
+  /// success, otherwise a description of the first problem found. The
+  /// service constructor runs this and aborts with the message — callers
+  /// that would rather report than crash (the elect_server binary, test
+  /// harnesses) validate first.
+  [[nodiscard]] std::optional<std::string> validate() const;
 };
 
 /// Outcome of one acquire attempt (one leader_elect invocation).
@@ -224,6 +232,18 @@ class service {
   /// clock. Returns the number of leases expired.
   std::size_t sweep_now();
 
+  /// Subscribe to `key`'s leader transitions (elected / released /
+  /// expired). Returns the subscription id, 0 once the service stopped.
+  /// Delivery semantics per svc/watch.hpp: asynchronous on the hub's
+  /// notifier thread, per-key ordering, no cross-key ordering; a
+  /// transition is observable within the lease TTL + sweep interval of
+  /// the holder misbehaving (expiry is what bounds a silent crash).
+  [[nodiscard]] std::uint64_t watch(const std::string& key,
+                                    watch_hub::callback fn);
+
+  /// Cancel a subscription; after return the callback never runs again.
+  void unwatch(std::uint64_t id);
+
   /// Snapshot of service + pool metrics (per-shard counters, latency
   /// quantiles, messages per acquire, communicate-call complexity).
   [[nodiscard]] service_report report() const;
@@ -312,6 +332,10 @@ class service {
   void sweeper_main();
 
   service_config config_;
+  /// Declared before the registry: the registry's transition hook
+  /// targets the hub, so the hub must be constructed first and destroyed
+  /// last.
+  watch_hub hub_;
   instance_registry registry_;
   service_metrics metrics_;
   /// One shared protocol object per strategy kind (stateless; elect()

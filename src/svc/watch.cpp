@@ -1,0 +1,118 @@
+#include "svc/watch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace elect::svc {
+
+watch_hub::watch_hub() {
+  notifier_ = std::thread([this] { notifier_main(); });
+}
+
+watch_hub::~watch_hub() { stop(); }
+
+void watch_hub::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    dropped_.fetch_add(queue_.size(), std::memory_order_relaxed);
+    queue_.clear();
+    armed_.store(false, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_all();
+  if (notifier_.joinable()) notifier_.join();
+}
+
+std::uint64_t watch_hub::add(std::string key, callback fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_) return 0;
+  const std::uint64_t id = next_id_++;
+  by_key_[key].push_back(id);
+  watchers_.emplace(id, watcher{std::move(key), std::move(fn)});
+  armed_.store(true, std::memory_order_relaxed);
+  return id;
+}
+
+void watch_hub::remove(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = watchers_.find(id);
+  if (it != watchers_.end()) {
+    const auto by_key = by_key_.find(it->second.key);
+    if (by_key != by_key_.end()) {
+      auto& ids = by_key->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.empty()) by_key_.erase(by_key);
+    }
+    watchers_.erase(it);
+    if (watchers_.empty()) armed_.store(false, std::memory_order_relaxed);
+  }
+  // The after-remove guarantee: wait out any in-flight delivery to this
+  // id, so the caller can destroy callback state the moment we return.
+  // The notifier itself (a callback cancelling its own subscription)
+  // must not wait on its own delivery.
+  if (std::this_thread::get_id() == notifier_.get_id()) return;
+  delivered_cv_.wait(lock, [&] {
+    return std::find(delivering_.begin(), delivering_.end(), id) ==
+           delivering_.end();
+  });
+}
+
+void watch_hub::publish(const std::string& key, std::uint64_t epoch,
+                        transition kind, int session) {
+  // armed() already gated the common no-watcher case before this call;
+  // here we only pay when somebody, somewhere, is watching something.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || by_key_.find(key) == by_key_.end()) return;
+    if (queue_.size() >= max_queued_events) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    queue_.push_back(watch_event{key, epoch, kind, session});
+    published_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+}
+
+void watch_hub::notifier_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+    if (stopped_) return;
+    watch_event event = std::move(queue_.front());
+    queue_.pop_front();
+    // Snapshot the matching callbacks; invoke outside the mutex so a
+    // callback can publish, subscribe, or call back into the service.
+    std::vector<std::pair<std::uint64_t, callback>> targets;
+    const auto by_key = by_key_.find(event.key);
+    if (by_key != by_key_.end()) {
+      targets.reserve(by_key->second.size());
+      for (const std::uint64_t id : by_key->second) {
+        targets.emplace_back(id, watchers_.at(id).fn);
+      }
+      for (const auto& [id, fn] : targets) delivering_.push_back(id);
+    }
+    if (targets.empty()) continue;
+    lock.unlock();
+    for (const auto& [id, fn] : targets) fn(event);
+    delivered_.fetch_add(targets.size(), std::memory_order_relaxed);
+    lock.lock();
+    delivering_.clear();
+    delivered_cv_.notify_all();
+  }
+}
+
+watch_report watch_hub::report() const {
+  watch_report r;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    r.active = watchers_.size();
+  }
+  r.published = published_.load(std::memory_order_relaxed);
+  r.delivered = delivered_.load(std::memory_order_relaxed);
+  r.dropped = dropped_.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace elect::svc

@@ -1,0 +1,140 @@
+// elect::svc::watch_hub — leader-change subscriptions over the
+// registry's transition hook.
+//
+// The registry publishes one event per leader transition (elected /
+// released / expired); the hub fans each event out to every callback
+// subscribed to that key. Delivery is asynchronous: publishers (a
+// releasing client thread, the lease sweeper, a pool node claiming a
+// win) only enqueue under the hub mutex and move on, and a dedicated
+// notifier thread runs the callbacks — so a slow watcher can never
+// stall an election, a release, or the sweeper.
+//
+// Guarantees (the ones api::client::watch documents to users):
+//   * every transition on a watched key that happens after add()
+//     returns is delivered exactly once per subscription, in the order
+//     the hub observed it — unless the event queue overflows
+//     (max_queued_events), in which case events are counted as dropped
+//     rather than blocking the publisher;
+//   * there is NO ordering guarantee across different keys;
+//   * after remove() returns, the callback will never run again (remove
+//     blocks while a delivery to that subscription is in flight — which
+//     is also why a callback must not call remove() for a *different*
+//     subscription that may itself be mid-delivery; cancelling its own
+//     is fine and detected).
+//
+// Callbacks run on the notifier thread. They may call back into the
+// service (acquire/release take only shard locks, which the notifier
+// does not hold), but a callback that blocks indefinitely blocks all
+// watch delivery — treat it like a signal handler: record and return.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/registry.hpp"
+
+namespace elect::svc {
+
+/// One leader transition, as delivered to watchers. For `elected`,
+/// `epoch` is the granted epoch and `session` the new leader; for
+/// `released`/`expired`, the epoch that ended and its last holder.
+struct watch_event {
+  std::string key;
+  std::uint64_t epoch = 0;
+  transition kind = transition::elected;
+  int session = -1;
+};
+
+/// Point-in-time hub counters (reported under "watch" in the service
+/// report JSON).
+struct watch_report {
+  /// Live subscriptions.
+  std::uint64_t active = 0;
+  /// Events enqueued for at least one subscriber.
+  std::uint64_t published = 0;
+  /// Callback invocations completed (one event to N watchers counts N).
+  std::uint64_t delivered = 0;
+  /// Events discarded because the queue was at max_queued_events.
+  std::uint64_t dropped = 0;
+};
+
+class watch_hub {
+ public:
+  using callback = std::function<void(const watch_event&)>;
+
+  /// Queue bound: transitions published while callbacks lag. Past it the
+  /// hub drops (and counts) rather than blocking publishers or growing
+  /// without bound behind a wedged callback.
+  static constexpr std::size_t max_queued_events = 1u << 16;
+
+  watch_hub();
+  ~watch_hub();
+
+  watch_hub(const watch_hub&) = delete;
+  watch_hub& operator=(const watch_hub&) = delete;
+
+  /// Subscribe `fn` to `key`'s transitions. Returns the subscription id
+  /// (never 0). Events published before add() returns may or may not be
+  /// seen; everything after is.
+  [[nodiscard]] std::uint64_t add(std::string key, callback fn);
+
+  /// Unsubscribe. Blocks until no delivery to this subscription is in
+  /// flight, so the callback never runs after remove() returns (no-op
+  /// for unknown ids; safe from inside the subscription's own callback).
+  void remove(std::uint64_t id);
+
+  /// Publish one transition (the registry hook's target). Cheap when
+  /// nobody watches `key`: armed() gates the call before any of this
+  /// runs, and a non-matching key costs one map probe under the mutex.
+  void publish(const std::string& key, std::uint64_t epoch, transition kind,
+               int session);
+
+  /// Stop the notifier thread. Queued-but-undelivered events are
+  /// dropped (counted); add/publish after stop() are no-ops. Idempotent.
+  void stop();
+
+  /// True while at least one subscription is live — the registry's
+  /// publish gate, readable lock-free from the grant fast path.
+  [[nodiscard]] const std::atomic<bool>& armed() const noexcept {
+    return armed_;
+  }
+
+  [[nodiscard]] watch_report report() const;
+
+ private:
+  struct watcher {
+    std::string key;
+    callback fn;
+  };
+
+  void notifier_main();
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;      // wakes the notifier
+  std::condition_variable delivered_cv_;  // wakes remove() waiters
+  std::unordered_map<std::uint64_t, watcher> watchers_;
+  /// key -> subscription ids, the publish-side filter.
+  std::unordered_map<std::string, std::vector<std::uint64_t>> by_key_;
+  std::deque<watch_event> queue_;
+  /// Subscriptions the notifier is invoking right now (outside the
+  /// mutex); remove() waits until its id leaves this set.
+  std::vector<std::uint64_t> delivering_;
+  std::uint64_t next_id_ = 1;
+  bool stopped_ = false;
+
+  std::thread notifier_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace elect::svc

@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -489,6 +491,244 @@ TEST(NetRemote, ServerStopRejectsRemoteCallsCleanly) {
   EXPECT_TRUE(after.rejected);
   // The connection's session was disconnected, so the lease is free.
   EXPECT_EQ(stack.service.registry().leader_of("stopme"), -1);
+}
+
+TEST(NetRemote, SaturatedWaiterCapRetriesThroughBusyAndStillWins) {
+  // Regression for the busy path: with max_waiters=1, a parked blocking
+  // acquire saturates the server's entire blocking capacity, so a
+  // second client's acquire is answered `busy`. The client must absorb
+  // that with bounded exponential-backoff retries and *still win* once
+  // the holder releases — previously busy could surface to the caller
+  // looking exactly like a shutdown rejection.
+  remote_stack stack({.nodes = 4, .shards = 2},
+                     {.max_waiters = 1});
+  const auto holder = stack.connect();
+  const auto parked = stack.connect();
+  const auto contender = stack.connect();
+  ASSERT_TRUE(holder->connected());
+  ASSERT_TRUE(parked->connected());
+  ASSERT_TRUE(contender->connected());
+
+  const auto held = holder->try_acquire("busy/key");
+  ASSERT_TRUE(held.won);
+
+  // Occupy the single waiter slot with an acquire that will park until
+  // the holder releases.
+  svc::acquire_result parked_result;
+  std::thread parked_thread(
+      [&] { parked_result = parked->acquire("busy/key"); });
+  // Wait until the waiter slot is actually taken (the parked acquire is
+  // server-side), so the contender is guaranteed to hit the cap.
+  const auto armed_by = std::chrono::steady_clock::now() + 5s;
+  while (stack.service.registry().leader_of("busy/key") == -1 ||
+         stack.server.report().requests < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), armed_by);
+    std::this_thread::sleep_for(5ms);
+  }
+
+  svc::acquire_result contender_result;
+  std::thread contender_thread(
+      [&] { contender_result = contender->acquire("busy/key"); });
+  // Let the contender bounce off the cap at least once before the
+  // holder releases; busy_rejections proves the retries happened.
+  const auto busy_by = std::chrono::steady_clock::now() + 5s;
+  while (stack.server.report().busy_rejections == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), busy_by);
+    std::this_thread::sleep_for(5ms);
+  }
+
+  EXPECT_EQ(holder->release("busy/key", held.epoch),
+            svc::lease_status::ok);
+  parked_thread.join();
+  ASSERT_TRUE(parked_result.won);
+  EXPECT_EQ(parked->release("busy/key", parked_result.epoch),
+            svc::lease_status::ok);
+  contender_thread.join();
+  ASSERT_TRUE(contender_result.won)
+      << "busy must be retried, not surfaced as a loss";
+  EXPECT_GE(stack.server.report().busy_rejections, 1u);
+}
+
+TEST(NetRemote, RenewRefreshesTheReportedDeadline) {
+  remote_stack stack({.nodes = 2, .shards = 2, .lease_ttl_ms = 60'000,
+                      .sweep_interval_ms = 30'000});
+  const auto client = stack.connect();
+  const auto won = client->try_acquire("renew/deadline");
+  ASSERT_TRUE(won.won);
+  std::chrono::steady_clock::time_point refreshed{};
+  ASSERT_EQ(client->renew("renew/deadline", won.epoch, &refreshed),
+            svc::lease_status::ok);
+  // The refreshed deadline is a full TTL out (modulo round-trip time).
+  const auto remaining = refreshed - std::chrono::steady_clock::now();
+  EXPECT_GT(remaining, 55s);
+  EXPECT_LE(remaining, 61s);
+}
+
+TEST(NetRemote, WatchEventsArriveOverTheWire) {
+  remote_stack stack({.nodes = 2, .shards = 2, .lease_ttl_ms = 30'000,
+                      .sweep_interval_ms = 10'000});
+  const auto watcher = stack.connect();
+  const auto actor = stack.connect();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<svc::watch_event> events;
+  const std::uint64_t sub = watcher->watch(
+      "wired/leader", [&](const svc::watch_event& e) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        events.push_back(e);
+        cv.notify_all();
+      });
+  ASSERT_NE(sub, 0u);
+
+  const auto won = actor->try_acquire("wired/leader");
+  ASSERT_TRUE(won.won);
+  EXPECT_EQ(actor->release("wired/leader", won.epoch),
+            svc::lease_status::ok);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 3s, [&] { return events.size() >= 2; }));
+    bool saw_elected = false;
+    bool saw_released = false;
+    for (const auto& e : events) {
+      EXPECT_EQ(e.key, "wired/leader");
+      EXPECT_EQ(e.epoch, won.epoch);
+      if (e.kind == svc::transition::elected) saw_elected = true;
+      if (e.kind == svc::transition::released) saw_released = true;
+    }
+    EXPECT_TRUE(saw_elected);
+    EXPECT_TRUE(saw_released);
+  }
+
+  // After unwatch, a new transition stays silent (push side torn down).
+  watcher->unwatch(sub);
+  std::size_t seen;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen = events.size();
+  }
+  const auto again = actor->try_acquire("wired/leader");
+  ASSERT_TRUE(again.won);
+  EXPECT_EQ(actor->release("wired/leader", again.epoch),
+            svc::lease_status::ok);
+  std::this_thread::sleep_for(150ms);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(events.size(), seen);
+  }
+  const auto report = stack.server.report();
+  EXPECT_GE(report.watch_subscriptions, 1u);
+  EXPECT_GE(report.events_pushed, 2u);
+}
+
+TEST(NetRemote, TwoWatchesOnOneKeyDeliverExactlyOnceEach) {
+  // Regression: two subscriptions to the same key on one connection
+  // must share one server-side subscription — each callback sees every
+  // transition exactly once, not once per sibling subscription.
+  remote_stack stack;
+  const auto watcher = stack.connect();
+  const auto actor = stack.connect();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  int first_count = 0;
+  int second_count = 0;
+  const std::uint64_t first = watcher->watch(
+      "dup/key", [&](const svc::watch_event&) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        ++first_count;
+        cv.notify_all();
+      });
+  const std::uint64_t second = watcher->watch(
+      "dup/key", [&](const svc::watch_event&) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        ++second_count;
+        cv.notify_all();
+      });
+  ASSERT_NE(first, 0u);
+  ASSERT_NE(second, 0u);
+  ASSERT_NE(first, second);
+  EXPECT_EQ(stack.service.report().watch.active, 1u)
+      << "one key must hold exactly one server-side subscription";
+
+  const auto won = actor->try_acquire("dup/key");
+  ASSERT_TRUE(won.won);
+  EXPECT_EQ(actor->release("dup/key", won.epoch), svc::lease_status::ok);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 3s, [&] {
+      return first_count >= 2 && second_count >= 2;
+    }));
+  }
+  // Let any (wrong) duplicates trickle in before counting exactly.
+  std::this_thread::sleep_for(150ms);
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(first_count, 2);   // elected + released, once each
+    EXPECT_EQ(second_count, 2);
+  }
+  watcher->unwatch(first);
+  // The shared server subscription survives until the last local ref.
+  EXPECT_EQ(stack.service.report().watch.active, 1u);
+  watcher->unwatch(second);
+  const auto gone_by = std::chrono::steady_clock::now() + 3s;
+  while (stack.service.report().watch.active != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), gone_by);
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+TEST(NetRemote, WatchCallbackMayCallTheClientSynchronously) {
+  // Regression: callbacks run on a dedicated event thread, not the
+  // reader — so a callback can issue request/response ops on the SAME
+  // client (local/remote parity; on the reader this would deadlock
+  // waiting for its own reply).
+  remote_stack stack;
+  const auto watcher = stack.connect();
+  const auto actor = stack.connect();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool reacquired = false;
+  const std::uint64_t sub = watcher->watch(
+      "reentrant/key", [&](const svc::watch_event& e) {
+        if (e.kind != svc::transition::released) return;
+        // A synchronous round trip from inside the callback.
+        const auto won = watcher->try_acquire("reentrant/key");
+        const std::lock_guard<std::mutex> lock(mutex);
+        reacquired = won.won;
+        cv.notify_all();
+      });
+  ASSERT_NE(sub, 0u);
+
+  const auto won = actor->try_acquire("reentrant/key");
+  ASSERT_TRUE(won.won);
+  EXPECT_EQ(actor->release("reentrant/key", won.epoch),
+            svc::lease_status::ok);
+
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return reacquired; }))
+      << "synchronous call from a watch callback deadlocked";
+}
+
+TEST(NetRemote, DeadConnectionTearsDownItsWatches) {
+  remote_stack stack;
+  {
+    const auto doomed = stack.connect();
+    std::uint64_t id = doomed->watch(
+        "teardown/key", [](const svc::watch_event&) {});
+    ASSERT_NE(id, 0u);
+    // Destroying the client closes the socket without unwatching.
+  }
+  // The server-side hub subscription must be gone (finish_connection's
+  // cleanup); give the loop a moment to observe the close.
+  const auto gone_by = std::chrono::steady_clock::now() + 3s;
+  while (stack.service.report().watch.active != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), gone_by);
+    std::this_thread::sleep_for(5ms);
+  }
 }
 
 }  // namespace

@@ -303,5 +303,105 @@ TEST(MtCluster, BatchedTransportElectsOneLeaderWithFewerPushes) {
   EXPECT_GT(batched_messages, 0u);
 }
 
+// ---------------------------------------------------------------------
+// service_config::validate(): every rejectable field produces a
+// descriptive error instead of a deep abort, and the error names the
+// offending field.
+
+TEST(SvcConfigValidate, DefaultAndTypicalConfigsAreValid) {
+  EXPECT_FALSE(svc::service_config{}.validate().has_value());
+  svc::service_config tuned{.nodes = 16,
+                            .shards = 8,
+                            .lease_ttl_ms = 5000,
+                            .sweep_interval_ms = 1000};
+  tuned.key_strategies["hot/key"] = election::strategy_kind::full;
+  EXPECT_FALSE(tuned.validate().has_value());
+}
+
+TEST(SvcConfigValidate, RejectsNonPositiveNodes) {
+  for (const int nodes : {0, -1, -100}) {
+    svc::service_config config{.nodes = nodes};
+    const auto error = config.validate();
+    ASSERT_TRUE(error.has_value()) << "nodes=" << nodes;
+    EXPECT_NE(error->find("nodes"), std::string::npos) << *error;
+  }
+}
+
+TEST(SvcConfigValidate, RejectsNonPositiveShards) {
+  for (const int shards : {0, -3}) {
+    svc::service_config config{.shards = shards};
+    const auto error = config.validate();
+    ASSERT_TRUE(error.has_value()) << "shards=" << shards;
+    EXPECT_NE(error->find("shards"), std::string::npos) << *error;
+  }
+}
+
+TEST(SvcConfigValidate, RejectsNonPositiveMaxRounds) {
+  svc::service_config config;
+  config.max_rounds = 0;
+  const auto error = config.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("max_rounds"), std::string::npos) << *error;
+}
+
+TEST(SvcConfigValidate, RejectsZeroPruneThreshold) {
+  svc::service_config config;
+  config.participated_prune_threshold = 0;
+  const auto error = config.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("participated_prune_threshold"), std::string::npos)
+      << *error;
+}
+
+TEST(SvcConfigValidate, RejectsSweepIntervalWithoutLeaseTtl) {
+  svc::service_config config;
+  config.sweep_interval_ms = 250;  // but lease_ttl_ms stays 0
+  const auto error = config.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("sweep_interval_ms"), std::string::npos) << *error;
+  EXPECT_NE(error->find("lease_ttl_ms"), std::string::npos) << *error;
+  // Either field alone (or together) is fine.
+  config.lease_ttl_ms = 1000;
+  EXPECT_FALSE(config.validate().has_value());
+  config.sweep_interval_ms = 0;
+  EXPECT_FALSE(config.validate().has_value());
+}
+
+TEST(SvcConfigValidate, RejectsUnknownDefaultStrategy) {
+  svc::service_config config;
+  config.default_strategy = static_cast<election::strategy_kind>(250);
+  const auto error = config.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("default_strategy"), std::string::npos) << *error;
+}
+
+TEST(SvcConfigValidate, RejectsUnknownOrEmptyKeyStrategyEntries) {
+  svc::service_config config;
+  config.key_strategies["orders/hot"] =
+      static_cast<election::strategy_kind>(17);
+  const auto error = config.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("orders/hot"), std::string::npos) << *error;
+  EXPECT_NE(error->find("strategy_kind"), std::string::npos) << *error;
+
+  svc::service_config empty_key;
+  empty_key.key_strategies[""] = election::strategy_kind::full;
+  const auto empty_error = empty_key.validate();
+  ASSERT_TRUE(empty_error.has_value());
+  EXPECT_NE(empty_error->find("empty key"), std::string::npos)
+      << *empty_error;
+}
+
+TEST(SvcConfigValidate, ConstructorAcceptsEveryValidatedConfig) {
+  // The constructor's contract: validate() passing implies construction
+  // does not abort. Spot-check the edge values validate() admits.
+  svc::service_config config{.nodes = 1, .shards = 1};
+  config.participated_prune_threshold = 1;
+  ASSERT_FALSE(config.validate().has_value());
+  svc::service service(std::move(config));
+  auto session = service.connect();
+  EXPECT_TRUE(session.try_acquire("edge").won);
+}
+
 }  // namespace
 }  // namespace elect

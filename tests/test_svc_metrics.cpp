@@ -416,6 +416,13 @@ TEST(ServiceReportSchema, DocumentedKeysSurviveAJsonRoundTrip) {
     EXPECT_TRUE(member(fast_path, key).is_number()) << key;
   }
 
+  // Watch-hub block (subscriptions + delivery counters).
+  const json_object& watch = member(root, "watch").object();
+  for (const std::string key :
+       {"active", "published", "delivered", "dropped"}) {
+    EXPECT_TRUE(member(watch, key).is_number()) << key;
+  }
+
   // Per-shard array: one entry per shard, all counters present.
   const json_array& shards = member(root, "shards").array();
   ASSERT_EQ(shards.size(), 3u);
