@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_lab.dir/examples/adversary_lab.cpp.o"
+  "CMakeFiles/adversary_lab.dir/examples/adversary_lab.cpp.o.d"
+  "examples/adversary_lab"
+  "examples/adversary_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptivity.dir/bench/bench_adaptivity.cpp.o"
+  "CMakeFiles/bench_adaptivity.dir/bench/bench_adaptivity.cpp.o.d"
+  "bench/bench_adaptivity"
+  "bench/bench_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm_ladder.dir/bench/bench_algorithm_ladder.cpp.o"
+  "CMakeFiles/bench_algorithm_ladder.dir/bench/bench_algorithm_ladder.cpp.o.d"
+  "bench/bench_algorithm_ladder"
+  "bench/bench_algorithm_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

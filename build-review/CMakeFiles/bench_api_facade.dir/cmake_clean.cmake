@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_api_facade.dir/bench/bench_api_facade.cpp.o"
+  "CMakeFiles/bench_api_facade.dir/bench/bench_api_facade.cpp.o.d"
+  "bench/bench_api_facade"
+  "bench/bench_api_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_election_messages.dir/bench/bench_election_messages.cpp.o"
+  "CMakeFiles/bench_election_messages.dir/bench/bench_election_messages.cpp.o.d"
+  "bench/bench_election_messages"
+  "bench/bench_election_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_election_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_election_time.dir/bench/bench_election_time.cpp.o"
+  "CMakeFiles/bench_election_time.dir/bench/bench_election_time.cpp.o.d"
+  "bench/bench_election_time"
+  "bench/bench_election_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_election_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

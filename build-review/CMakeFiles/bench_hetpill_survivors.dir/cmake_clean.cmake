@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hetpill_survivors.dir/bench/bench_hetpill_survivors.cpp.o"
+  "CMakeFiles/bench_hetpill_survivors.dir/bench/bench_hetpill_survivors.cpp.o.d"
+  "bench/bench_hetpill_survivors"
+  "bench/bench_hetpill_survivors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hetpill_survivors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_loopback.dir/bench/bench_net_loopback.cpp.o"
+  "CMakeFiles/bench_net_loopback.dir/bench/bench_net_loopback.cpp.o.d"
+  "bench/bench_net_loopback"
+  "bench/bench_net_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

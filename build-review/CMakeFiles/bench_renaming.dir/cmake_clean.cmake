@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_renaming.dir/bench/bench_renaming.cpp.o"
+  "CMakeFiles/bench_renaming.dir/bench/bench_renaming.cpp.o.d"
+  "bench/bench_renaming"
+  "bench/bench_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_round_decay.dir/bench/bench_round_decay.cpp.o"
+  "CMakeFiles/bench_round_decay.dir/bench/bench_round_decay.cpp.o.d"
+  "bench/bench_round_decay"
+  "bench/bench_round_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_round_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

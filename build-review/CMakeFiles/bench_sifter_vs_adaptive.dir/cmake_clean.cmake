@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sifter_vs_adaptive.dir/bench/bench_sifter_vs_adaptive.cpp.o"
+  "CMakeFiles/bench_sifter_vs_adaptive.dir/bench/bench_sifter_vs_adaptive.cpp.o.d"
+  "bench/bench_sifter_vs_adaptive"
+  "bench/bench_sifter_vs_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sifter_vs_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

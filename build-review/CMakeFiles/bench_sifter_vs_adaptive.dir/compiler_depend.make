@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sifter_vs_adaptive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svc_churn.dir/bench/bench_svc_churn.cpp.o"
+  "CMakeFiles/bench_svc_churn.dir/bench/bench_svc_churn.cpp.o.d"
+  "bench/bench_svc_churn"
+  "bench/bench_svc_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svc_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_coordinator.dir/examples/cluster_coordinator.cpp.o"
+  "CMakeFiles/cluster_coordinator.dir/examples/cluster_coordinator.cpp.o.d"
+  "examples/cluster_coordinator"
+  "examples/cluster_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abd/register.cpp" "CMakeFiles/elect_core.dir/src/abd/register.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/abd/register.cpp.o.d"
+  "/root/repo/src/api/backend.cpp" "CMakeFiles/elect_core.dir/src/api/backend.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/api/backend.cpp.o.d"
+  "/root/repo/src/api/client.cpp" "CMakeFiles/elect_core.dir/src/api/client.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/api/client.cpp.o.d"
+  "/root/repo/src/consensus/quorum_consensus.cpp" "CMakeFiles/elect_core.dir/src/consensus/quorum_consensus.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/consensus/quorum_consensus.cpp.o.d"
+  "/root/repo/src/election/doorway.cpp" "CMakeFiles/elect_core.dir/src/election/doorway.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/doorway.cpp.o.d"
+  "/root/repo/src/election/het_poison_pill.cpp" "CMakeFiles/elect_core.dir/src/election/het_poison_pill.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/het_poison_pill.cpp.o.d"
+  "/root/repo/src/election/history.cpp" "CMakeFiles/elect_core.dir/src/election/history.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/history.cpp.o.d"
+  "/root/repo/src/election/leader_elect.cpp" "CMakeFiles/elect_core.dir/src/election/leader_elect.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/leader_elect.cpp.o.d"
+  "/root/repo/src/election/poison_pill.cpp" "CMakeFiles/elect_core.dir/src/election/poison_pill.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/poison_pill.cpp.o.d"
+  "/root/repo/src/election/preround.cpp" "CMakeFiles/elect_core.dir/src/election/preround.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/preround.cpp.o.d"
+  "/root/repo/src/election/recursive_pill.cpp" "CMakeFiles/elect_core.dir/src/election/recursive_pill.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/recursive_pill.cpp.o.d"
+  "/root/repo/src/election/sifter.cpp" "CMakeFiles/elect_core.dir/src/election/sifter.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/sifter.cpp.o.d"
+  "/root/repo/src/election/strategy.cpp" "CMakeFiles/elect_core.dir/src/election/strategy.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/strategy.cpp.o.d"
+  "/root/repo/src/election/tournament.cpp" "CMakeFiles/elect_core.dir/src/election/tournament.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/election/tournament.cpp.o.d"
+  "/root/repo/src/engine/message.cpp" "CMakeFiles/elect_core.dir/src/engine/message.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/engine/message.cpp.o.d"
+  "/root/repo/src/engine/node.cpp" "CMakeFiles/elect_core.dir/src/engine/node.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/engine/node.cpp.o.d"
+  "/root/repo/src/engine/values.cpp" "CMakeFiles/elect_core.dir/src/engine/values.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/engine/values.cpp.o.d"
+  "/root/repo/src/exp/harness.cpp" "CMakeFiles/elect_core.dir/src/exp/harness.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/exp/harness.cpp.o.d"
+  "/root/repo/src/exp/table.cpp" "CMakeFiles/elect_core.dir/src/exp/table.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/exp/table.cpp.o.d"
+  "/root/repo/src/mt/cluster.cpp" "CMakeFiles/elect_core.dir/src/mt/cluster.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/mt/cluster.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "CMakeFiles/elect_core.dir/src/net/client.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/net/client.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "CMakeFiles/elect_core.dir/src/net/server.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/net/server.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "CMakeFiles/elect_core.dir/src/net/wire.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/net/wire.cpp.o.d"
+  "/root/repo/src/renaming/baseline_renaming.cpp" "CMakeFiles/elect_core.dir/src/renaming/baseline_renaming.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/renaming/baseline_renaming.cpp.o.d"
+  "/root/repo/src/renaming/renaming.cpp" "CMakeFiles/elect_core.dir/src/renaming/renaming.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/renaming/renaming.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "CMakeFiles/elect_core.dir/src/sim/kernel.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/sim/kernel.cpp.o.d"
+  "/root/repo/src/svc/metrics.cpp" "CMakeFiles/elect_core.dir/src/svc/metrics.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/svc/metrics.cpp.o.d"
+  "/root/repo/src/svc/registry.cpp" "CMakeFiles/elect_core.dir/src/svc/registry.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/svc/registry.cpp.o.d"
+  "/root/repo/src/svc/service.cpp" "CMakeFiles/elect_core.dir/src/svc/service.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/svc/service.cpp.o.d"
+  "/root/repo/src/svc/watch.cpp" "CMakeFiles/elect_core.dir/src/svc/watch.cpp.o" "gcc" "CMakeFiles/elect_core.dir/src/svc/watch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelect_core.a"
+)

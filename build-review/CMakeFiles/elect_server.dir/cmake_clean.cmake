@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elect_server.dir/examples/elect_server.cpp.o"
+  "CMakeFiles/elect_server.dir/examples/elect_server.cpp.o.d"
+  "examples/elect_server"
+  "examples/elect_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elect_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

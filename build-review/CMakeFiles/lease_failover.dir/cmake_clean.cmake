@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_failover.dir/examples/lease_failover.cpp.o"
+  "CMakeFiles/lease_failover.dir/examples/lease_failover.cpp.o.d"
+  "examples/lease_failover"
+  "examples/lease_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_service.dir/examples/lock_service.cpp.o"
+  "CMakeFiles/lock_service.dir/examples/lock_service.cpp.o.d"
+  "examples/lock_service"
+  "examples/lock_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

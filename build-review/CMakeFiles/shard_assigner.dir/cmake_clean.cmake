@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_assigner.dir/examples/shard_assigner.cpp.o"
+  "CMakeFiles/shard_assigner.dir/examples/shard_assigner.cpp.o.d"
+  "examples/shard_assigner"
+  "examples/shard_assigner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_assigner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversary.dir/tests/test_adversary.cpp.o"
+  "CMakeFiles/test_adversary.dir/tests/test_adversary.cpp.o.d"
+  "tests/test_adversary"
+  "tests/test_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

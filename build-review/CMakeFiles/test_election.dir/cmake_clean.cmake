@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_election.dir/tests/test_election.cpp.o"
+  "CMakeFiles/test_election.dir/tests/test_election.cpp.o.d"
+  "tests/test_election"
+  "tests/test_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

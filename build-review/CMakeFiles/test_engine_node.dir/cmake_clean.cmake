@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_node.dir/tests/test_engine_node.cpp.o"
+  "CMakeFiles/test_engine_node.dir/tests/test_engine_node.cpp.o.d"
+  "tests/test_engine_node"
+  "tests/test_engine_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_het_poison_pill.dir/tests/test_het_poison_pill.cpp.o"
+  "CMakeFiles/test_het_poison_pill.dir/tests/test_het_poison_pill.cpp.o.d"
+  "tests/test_het_poison_pill"
+  "tests/test_het_poison_pill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_het_poison_pill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

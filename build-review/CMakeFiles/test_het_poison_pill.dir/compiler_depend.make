@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_het_poison_pill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_het_poison_pill.
+# This may be replaced when dependencies are built.

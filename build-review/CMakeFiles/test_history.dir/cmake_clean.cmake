@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history.dir/tests/test_history.cpp.o"
+  "CMakeFiles/test_history.dir/tests/test_history.cpp.o.d"
+  "tests/test_history"
+  "tests/test_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

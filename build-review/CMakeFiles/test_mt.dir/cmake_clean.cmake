@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mt.dir/tests/test_mt.cpp.o"
+  "CMakeFiles/test_mt.dir/tests/test_mt.cpp.o.d"
+  "tests/test_mt"
+  "tests/test_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_poison_pill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_poison_pill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preround_doorway.dir/tests/test_preround_doorway.cpp.o"
+  "CMakeFiles/test_preround_doorway.dir/tests/test_preround_doorway.cpp.o.d"
+  "tests/test_preround_doorway"
+  "tests/test_preround_doorway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preround_doorway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renaming.dir/tests/test_renaming.cpp.o"
+  "CMakeFiles/test_renaming.dir/tests/test_renaming.cpp.o.d"
+  "tests/test_renaming"
+  "tests/test_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

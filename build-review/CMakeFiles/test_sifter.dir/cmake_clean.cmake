@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sifter.dir/tests/test_sifter.cpp.o"
+  "CMakeFiles/test_sifter.dir/tests/test_sifter.cpp.o.d"
+  "tests/test_sifter"
+  "tests/test_sifter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sifter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc_lease.dir/tests/test_svc_lease.cpp.o"
+  "CMakeFiles/test_svc_lease.dir/tests/test_svc_lease.cpp.o.d"
+  "tests/test_svc_lease"
+  "tests/test_svc_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

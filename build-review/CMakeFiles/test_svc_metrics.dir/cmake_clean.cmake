@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc_metrics.dir/tests/test_svc_metrics.cpp.o"
+  "CMakeFiles/test_svc_metrics.dir/tests/test_svc_metrics.cpp.o.d"
+  "tests/test_svc_metrics"
+  "tests/test_svc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc_strategy.dir/tests/test_svc_strategy.cpp.o"
+  "CMakeFiles/test_svc_strategy.dir/tests/test_svc_strategy.cpp.o.d"
+  "tests/test_svc_strategy"
+  "tests/test_svc_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

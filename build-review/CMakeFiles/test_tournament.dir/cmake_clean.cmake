@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tournament.dir/tests/test_tournament.cpp.o"
+  "CMakeFiles/test_tournament.dir/tests/test_tournament.cpp.o.d"
+  "tests/test_tournament"
+  "tests/test_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_values.dir/tests/test_values.cpp.o"
+  "CMakeFiles/test_values.dir/tests/test_values.cpp.o.d"
+  "tests/test_values"
+  "tests/test_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

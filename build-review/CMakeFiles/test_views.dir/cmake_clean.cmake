@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_views.dir/tests/test_views.cpp.o"
+  "CMakeFiles/test_views.dir/tests/test_views.cpp.o.d"
+  "tests/test_views"
+  "tests/test_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

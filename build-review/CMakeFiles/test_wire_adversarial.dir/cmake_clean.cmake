@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_adversarial.dir/tests/test_wire_adversarial.cpp.o"
+  "CMakeFiles/test_wire_adversarial.dir/tests/test_wire_adversarial.cpp.o.d"
+  "tests/test_wire_adversarial"
+  "tests/test_wire_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
