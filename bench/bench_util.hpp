@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -75,6 +76,18 @@ class json_emitter {
 #ifdef __VERSION__
     meta_field("compiler", __VERSION__);
 #endif
+    // When the run happened, next to which commit produced it: two
+    // BENCH_*.json artifacts with the same git_sha can still be hours
+    // apart (rebuilds, reruns); the UTC timestamp disambiguates.
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc) != nullptr) {
+      char stamp[32];
+      if (std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc) >
+          0) {
+        meta_field("timestamp", stamp);
+      }
+    }
   }
 
   /// Add one provenance/config entry to the `meta` object.

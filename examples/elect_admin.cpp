@@ -1,0 +1,155 @@
+// elect_admin — live introspection of a running elect_server over the
+// wire admin ops (v3). The server must be started with admin enabled
+// (elect_server --admin on), or every command answers "denied".
+//
+//   ./build/examples/elect_admin --host 127.0.0.1 --port 7400 list
+//       every registered key: holder, epoch, lease remaining, grant
+//       mode, contention estimate — as one JSON array.
+//
+//   ./build/examples/elect_admin --port 7400 inspect locks/demo
+//       one key's snapshot as a JSON object; exit 1 if never acquired.
+//
+//   ./build/examples/elect_admin --port 7400 force-release locks/demo
+//       the operator's "kick the stuck leader" lever: unconditionally
+//       ends the key's current epoch. The deposed holder's next fenced
+//       op answers stale_epoch.
+//
+//   ./build/examples/elect_admin --port 7400 tail locks/demo
+//       subscribe to the key's leader transitions (the same watch
+//       stream api::client::watch consumes) and print one line per
+//       event until Ctrl-C. Does not need --admin on.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/client.hpp"
+#include "net/client.hpp"
+#include "svc/watch.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t interrupted = 0;
+
+void on_signal(int) { interrupted = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: elect_admin [--host H] [--port P] <command>\n"
+      "  list                 all keys as JSON (requires --admin on)\n"
+      "  inspect <key>        one key as JSON (requires --admin on)\n"
+      "  force-release <key>  end the key's epoch (requires --admin on)\n"
+      "  tail <key>           stream leader transitions until Ctrl-C\n");
+  return 2;
+}
+
+/// One admin round trip; prints the JSON body (or the failure) and
+/// returns the process exit code.
+int run_admin(elect::net::client& wire, elect::net::wire::op kind,
+              const std::string& key) {
+  const auto r = wire.admin(kind, key);
+  if (!r.has_value()) {
+    std::fprintf(stderr, "connection lost\n");
+    return 1;
+  }
+  using status = elect::net::wire::status;
+  switch (r->result) {
+    case status::ok:
+      if (!r->body.empty()) {
+        std::printf("%s\n", r->body.c_str());
+      } else {
+        std::printf("ok epoch=%llu\n",
+                    static_cast<unsigned long long>(r->epoch));
+      }
+      return 0;
+    case status::denied:
+      std::fprintf(stderr,
+                   "denied: server started without --admin on\n");
+      return 1;
+    case status::not_leader:
+      std::fprintf(stderr, "key not found (never acquired / not held)\n");
+      return 1;
+    default:
+      std::fprintf(stderr, "failed: %s\n",
+                   std::string(to_string(r->result)).c_str());
+      return 1;
+  }
+}
+
+int run_tail(const std::string& host, std::uint16_t port,
+             const std::string& key) {
+  elect::api::client client(host, port);
+  if (!client.connected()) {
+    std::fprintf(stderr, "connect to %s:%u failed\n", host.c_str(), port);
+    return 1;
+  }
+  auto sub = client.watch(key, [](const elect::svc::watch_event& e) {
+    std::printf("%s key=%s epoch=%llu session=%d\n",
+                std::string(to_string(e.kind)).c_str(), e.key.c_str(),
+                static_cast<unsigned long long>(e.epoch), e.session);
+    std::fflush(stdout);
+  });
+  if (!sub.active()) {
+    std::fprintf(stderr, "watch subscription failed\n");
+    return 1;
+  }
+  std::printf("tailing %s (Ctrl-C stops)\n", key.c_str());
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  while (!interrupted) usleep(100 * 1000);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace elect;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7400;
+  int at = 1;
+  while (at + 1 < argc && argv[at][0] == '-') {
+    if (std::strcmp(argv[at], "--host") == 0) {
+      host = argv[at + 1];
+    } else if (std::strcmp(argv[at], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[at + 1]));
+    } else {
+      return usage();
+    }
+    at += 2;
+  }
+  if (at >= argc) return usage();
+  const std::string command = argv[at];
+  const std::string key = at + 1 < argc ? argv[at + 1] : "";
+
+  if (command == "tail") {
+    if (key.empty()) return usage();
+    return run_tail(host, port, key);
+  }
+
+  net::wire::op kind;
+  if (command == "list") {
+    kind = net::wire::op::admin_list;
+  } else if (command == "inspect" && !key.empty()) {
+    kind = net::wire::op::admin_inspect;
+  } else if (command == "force-release" && !key.empty()) {
+    kind = net::wire::op::admin_force_release;
+  } else {
+    return usage();
+  }
+
+  net::client wire(host, port);
+  if (!wire.connected()) {
+    std::fprintf(stderr, "connect to %s:%u failed\n", host.c_str(), port);
+    return 1;
+  }
+  return run_admin(wire, kind, key);
+}

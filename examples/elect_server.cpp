@@ -5,6 +5,13 @@
 //   ./build/examples/elect_server --port 7400
 //   ./build/examples/elect_server --port 7400 --nodes 8 --shards 8 \
 //       --ttl-ms 5000 --strategy adaptive
+//   ./build/examples/elect_server --port 7400 --http-port 7401 \
+//       --admin on --slow-ms 50 --journal events.jsonl
+//
+// --http-port starts the HTTP side-channel (GET /metrics Prometheus
+// text, /report JSON, /healthz). --admin on enables the wire admin ops
+// the elect_admin CLI uses. --slow-ms arms slow-request trace capture;
+// --journal appends structured event records as JSONL.
 //
 // Runs until SIGINT/SIGTERM (so `elect_server &` with stdin closed
 // keeps serving). Prints the combined net + service metrics JSON on
@@ -79,6 +86,17 @@ int main(int argc, char** argv) {
       const auto parsed = election::parse_strategy(value);
       ELECT_CHECK_MSG(parsed.has_value(), "unknown --strategy");
       service_config.default_strategy = *parsed;
+    } else if (std::strcmp(flag, "--http-port") == 0) {
+      server_config.http_enabled = true;
+      server_config.http_port = static_cast<std::uint16_t>(std::atoi(value));
+    } else if (std::strcmp(flag, "--admin") == 0) {
+      server_config.enable_admin = std::strcmp(value, "on") == 0;
+    } else if (std::strcmp(flag, "--slow-ms") == 0) {
+      service_config.slow_request_threshold_ms =
+          static_cast<std::uint64_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--journal") == 0) {
+      service_config.journal_events = true;
+      service_config.journal_path = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag);
       return 2;
@@ -104,6 +122,19 @@ int main(int argc, char** argv) {
                               service.config().default_strategy))
                   .c_str(),
               static_cast<unsigned long long>(service.config().lease_ttl_ms));
+  if (server_config.http_enabled) {
+    if (server.http_listening()) {
+      std::printf("metrics at http://%s:%u/metrics (also /report, /healthz)\n",
+                  server_config.bind_address.c_str(), server.http_port());
+    } else {
+      std::fprintf(stderr, "http bind %s:%u failed; continuing without\n",
+                   server_config.bind_address.c_str(),
+                   server_config.http_port);
+    }
+  }
+  if (server_config.enable_admin) {
+    std::printf("admin ops enabled (elect_admin list/inspect/force-release)\n");
+  }
   std::printf("type 'r' + enter for a metrics report; Ctrl-C stops\n");
 
   // sigaction without SA_RESTART (std::signal on glibc restarts

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace elect::net {
 
 namespace {
@@ -199,6 +201,9 @@ std::uint64_t client::submit_impl(wire::op kind, const std::string& key,
   r.key = key;
   r.epoch = epoch;
   r.timeout_ms = timeout_ms;
+  // Carry the caller's trace across the wire (v3): the server serves
+  // the request under the same id, so its spans join this trace.
+  r.trace_id = obs::current();
   // Register the slot before the frame can possibly be answered.
   if (expect_reply) {
     const std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -235,6 +240,7 @@ std::optional<wire::response> client::call(wire::op kind,
                                            const std::string& key,
                                            std::uint64_t epoch,
                                            std::uint64_t timeout_ms) {
+  const obs::scoped_span span(obs::phase::wire_rtt);
   return take(submit(kind, key, epoch, timeout_ms));
 }
 
@@ -510,6 +516,15 @@ std::string client::metrics_json() {
   const auto r = call(wire::op::metrics, "", 0, 0);
   if (!r.has_value() || r->result != wire::status::ok) return "";
   return r->body;
+}
+
+std::optional<wire::response> client::admin(wire::op kind,
+                                            const std::string& key) {
+  if (kind != wire::op::admin_list && kind != wire::op::admin_inspect &&
+      kind != wire::op::admin_force_release) {
+    return std::nullopt;
+  }
+  return call(kind, key, 0, 0);
 }
 
 }  // namespace elect::net

@@ -104,6 +104,12 @@ class client {
   std::size_t disconnect();
   /// The combined net + service metrics JSON; empty on failure.
   [[nodiscard]] std::string metrics_json();
+  /// Issue one admin op (admin_list / admin_inspect /
+  /// admin_force_release; `key` ignored for list) and return the raw
+  /// response — `denied` when the server's admin surface is off, empty
+  /// on transport failure. The elect_admin CLI is built on this.
+  [[nodiscard]] std::optional<wire::response> admin(
+      wire::op kind, const std::string& key = "");
 
   /// Hard-close the socket without a disconnect op — from the server's
   /// point of view this client crashed; leases are reclaimed by the

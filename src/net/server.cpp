@@ -12,11 +12,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/prom.hpp"
+#include "obs/trace.hpp"
 
 namespace elect::net {
 
@@ -67,6 +70,128 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n,
     return false;
   }
   return true;
+}
+
+/// Records the server-side `serve` span for a traced request and runs
+/// the slow-request check when it ends. Destructor-driven so every
+/// early return in serve()/serve_blocking() is covered, and the span
+/// exists in the ring *before* the capture formats the trace.
+class serve_trace {
+ public:
+  serve_trace(std::uint64_t trace, wire::op kind) noexcept
+      : trace_(trace), kind_(kind),
+        start_(trace != 0 ? obs::now_ns() : 0) {}
+
+  serve_trace(const serve_trace&) = delete;
+  serve_trace& operator=(const serve_trace&) = delete;
+
+  ~serve_trace() {
+    if (trace_ == 0) return;
+    const std::uint64_t end = obs::now_ns();
+    obs::record_for(trace_, obs::phase::serve, start_, end);
+    std::string label = "serve ";
+    label += wire::to_string(kind_);
+    (void)obs::maybe_capture_slow(
+        trace_, std::chrono::nanoseconds(end - start_), label);
+  }
+
+ private:
+  std::uint64_t trace_;
+  wire::op kind_;
+  std::uint64_t start_;
+};
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// One key_inspection as the JSON object the admin ops return.
+/// lease_remaining_ms is null for a non-expiring (or absent) lease.
+std::string inspection_json(const svc::key_inspection& k) {
+  std::string out;
+  out += "{\"key\":\"";
+  json_escape_into(out, k.key);
+  out += "\",\"epoch\":";
+  out += std::to_string(k.entry.epoch);
+  out += ",\"leader\":";
+  out += std::to_string(k.leader);
+  out += ",\"mode\":\"";
+  out.append(k.mode.data(), k.mode.size());
+  out += "\",\"lease_remaining_ms\":";
+  const std::uint64_t left = lease_remaining_ms(k.lease_deadline);
+  if (k.leader < 0 || left == wire::lease_forever) {
+    out += "null";
+  } else {
+    out += std::to_string(left);
+  }
+  out += ",\"attempts_this_epoch\":";
+  out += std::to_string(k.attempts_this_epoch);
+  out += ",\"last_epoch_attempts\":";
+  out += std::to_string(k.last_epoch_attempts);
+  out += '}';
+  return out;
+}
+
+/// The network front-end's own Prometheus series, appended after the
+/// service-level series obs::render_prometheus produces.
+void render_net_prometheus(std::string& out, const net_report& r) {
+  const auto counter = [&out](const char* name, const char* help,
+                              std::uint64_t value) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  out += "# HELP elect_net_connections_active Open client connections.\n";
+  out += "# TYPE elect_net_connections_active gauge\n";
+  out += "elect_net_connections_active ";
+  out += std::to_string(r.connections_active);
+  out += '\n';
+  counter("elect_net_connections_accepted_total", "Connections accepted.",
+          r.connections_accepted);
+  counter("elect_net_connections_refused_total",
+          "Connections refused at the cap.", r.connections_refused);
+  counter("elect_net_requests_total", "Wire requests decoded.", r.requests);
+  counter("elect_net_frames_in_total", "Frames received.", r.frames_in);
+  counter("elect_net_frames_out_total", "Frames sent.", r.frames_out);
+  counter("elect_net_bytes_in_total", "Bytes received.", r.bytes_in);
+  counter("elect_net_bytes_out_total", "Bytes sent.", r.bytes_out);
+  counter("elect_net_busy_rejections_total",
+          "Requests answered busy at the blocking-op cap.",
+          r.busy_rejections);
+  counter("elect_net_protocol_errors_total",
+          "Connections killed for protocol violations.", r.protocol_errors);
+  counter("elect_net_disconnect_reclaims_total",
+          "Leases reclaimed because their connection died.",
+          r.disconnect_reclaims);
+  counter("elect_net_events_pushed_total", "Watch event frames delivered.",
+          r.events_pushed);
+  counter("elect_net_events_dropped_total",
+          "Watch event frames dropped (dead or wedged consumer).",
+          r.events_dropped);
 }
 
 }  // namespace
@@ -140,6 +265,45 @@ server::server(svc::service& service, server_config config)
   ev.data.fd = wake_fd_;
   ELECT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
 
+  if (config_.http_enabled) {
+    // The HTTP side-channel rides the same epoll loop — a scrape is a
+    // few hundred bytes each way, not worth a second thread stack.
+    // Failure to bind degrades to "no HTTP" (http_listening() false)
+    // rather than taking the wire listener down with it.
+    http_listen_fd_ =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (http_listen_fd_ >= 0) {
+      (void)::setsockopt(http_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof one);
+      sockaddr_in haddr{};
+      haddr.sin_family = AF_INET;
+      haddr.sin_port = htons(config_.http_port);
+      if (::inet_pton(AF_INET, config_.bind_address.c_str(),
+                      &haddr.sin_addr) != 1 ||
+          ::bind(http_listen_fd_, reinterpret_cast<const sockaddr*>(&haddr),
+                 sizeof haddr) != 0 ||
+          ::listen(http_listen_fd_, 64) != 0) {
+        ::close(http_listen_fd_);
+        http_listen_fd_ = -1;
+      } else {
+        sockaddr_in hbound{};
+        socklen_t hbound_len = sizeof hbound;
+        if (::getsockname(http_listen_fd_,
+                          reinterpret_cast<sockaddr*>(&hbound),
+                          &hbound_len) == 0) {
+          http_port_ = ntohs(hbound.sin_port);
+        }
+        ev.data.fd = http_listen_fd_;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, http_listen_fd_, &ev) !=
+            0) {
+          ::close(http_listen_fd_);
+          http_listen_fd_ = -1;
+          http_port_ = 0;
+        }
+      }
+    }
+  }
+
   loop_ = std::thread([this] { loop_main(); });
   executors_.reserve(static_cast<std::size_t>(config_.executors));
   for (int i = 0; i < config_.executors; ++i) {
@@ -169,7 +333,8 @@ void server::stop() {
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+  if (http_listen_fd_ >= 0) ::close(http_listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = http_listen_fd_ = -1;
 }
 
 // ---------------------------------------------------------------------
@@ -194,11 +359,18 @@ void server::loop_main() {
         accept_ready();
         continue;
       }
+      if (fd == http_listen_fd_) {
+        http_accept_ready();
+        continue;
+      }
       const auto it = connections_.find(fd);
-      // A connection finished earlier in this batch can still have a
-      // queued event; it is gone from the map, skip it.
-      if (it == connections_.end()) continue;
-      read_ready(it->second);
+      if (it != connections_.end()) {
+        read_ready(it->second);
+        continue;
+      }
+      // Not a wire connection: an HTTP connection, or a connection
+      // finished earlier in this batch whose queued event survived it.
+      if (http_conns_.count(fd) != 0) http_read_ready(fd);
     }
   }
   // Teardown: finish every connection (disconnect-on-close included)
@@ -207,6 +379,8 @@ void server::loop_main() {
   remaining.reserve(connections_.size());
   for (const auto& [fd, conn] : connections_) remaining.push_back(conn);
   for (const auto& conn : remaining) finish_connection(conn);
+  for (const auto& [fd, buffered] : http_conns_) ::close(fd);
+  http_conns_.clear();
 }
 
 void server::accept_ready() {
@@ -442,6 +616,11 @@ wire::response server::acquire_response(const wire::request& req,
 void server::serve(const pending& p) {
   svc::service::session& session = *p.conn->session;
   const wire::request& req = p.req;
+  // The v3 frame carried the client's trace id: serve under it so the
+  // service-layer spans (fast path, queue wait, election, lease ops)
+  // land in the same trace the client minted.
+  const obs::trace_scope trace(req.trace_id);
+  const serve_trace timing(req.trace_id, req.kind);
   wire::response r;
   r.id = req.id;
   r.kind = req.kind;
@@ -459,6 +638,7 @@ void server::serve(const pending& p) {
         (void)session.release(req.key, result.epoch);
         counters_.disconnect_reclaims.fetch_add(1,
                                                 std::memory_order_relaxed);
+        journal_disconnect_reclaim(req.key, session.id());
         complete(p.conn);
         return;
       }
@@ -502,6 +682,11 @@ void server::serve(const pending& p) {
         r.body.clear();
         r.result = wire::status::bad_request;
       }
+      break;
+    case wire::op::admin_list:
+    case wire::op::admin_inspect:
+    case wire::op::admin_force_release:
+      serve_admin(p, r);
       break;
     default:
       r.result = wire::status::bad_request;
@@ -573,6 +758,55 @@ void server::serve_unwatch(const pending& p, wire::response& r) {
   r.result = wire::status::ok;
 }
 
+void server::serve_admin(const pending& p, wire::response& r) {
+  if (!config_.enable_admin) {
+    r.result = wire::status::denied;
+    return;
+  }
+  svc::instance_registry& registry = service_.registry();
+  switch (p.req.kind) {
+    case wire::op::admin_list: {
+      std::string body = "[";
+      for (const svc::key_inspection& k : registry.list_keys()) {
+        if (body.size() > 1) body += ',';
+        body += inspection_json(k);
+        // A pathological key population could outgrow a frame; truncate
+        // to whole objects rather than poisoning the client's deframer.
+        if (body.size() > wire::max_frame_bytes / 2) break;
+      }
+      body += ']';
+      r.body = std::move(body);
+      r.result = wire::status::ok;
+      break;
+    }
+    case wire::op::admin_inspect: {
+      const auto k = registry.inspect(p.req.key);
+      if (!k.has_value()) {
+        r.result = wire::status::not_leader;  // never acquired
+        break;
+      }
+      r.body = inspection_json(*k);
+      r.epoch = k->entry.epoch;
+      r.result = wire::status::ok;
+      break;
+    }
+    case wire::op::admin_force_release:
+      r.result = wire::from_lease_status(registry.force_release(p.req.key));
+      break;
+    default:
+      r.result = wire::status::bad_request;
+      break;
+  }
+}
+
+void server::journal_disconnect_reclaim(const std::string& key,
+                                        int session_id) {
+  if (obs::journal* j = service_.journal(); j != nullptr) {
+    j->append(obs::event_kind::disconnect_reclaim, key, 0, session_id,
+              "connection closed");
+  }
+}
+
 void server::push_event(const connection_ptr& conn,
                         const svc::watch_event& e) {
   if (conn->closed.load(std::memory_order_relaxed)) {
@@ -606,6 +840,8 @@ void server::push_event(const connection_ptr& conn,
 
 void server::serve_blocking(const pending& p) {
   svc::service::session& session = *p.conn->session;
+  const obs::trace_scope trace(p.req.trace_id);
+  const serve_trace timing(p.req.trace_id, p.req.kind);
   const bool bounded = p.req.kind == wire::op::try_acquire_for;
   const auto slice = std::chrono::milliseconds(
       std::max<std::uint64_t>(1, config_.blocking_slice_ms));
@@ -651,6 +887,7 @@ void server::serve_blocking(const pending& p) {
     // until the TTL.
     (void)session.release(p.req.key, result.epoch);
     counters_.disconnect_reclaims.fetch_add(1, std::memory_order_relaxed);
+    journal_disconnect_reclaim(p.req.key, session.id());
     complete(p.conn);
     return;
   }
@@ -742,12 +979,144 @@ void server::finish_connection(connection_ptr conn) {
     // The disconnect-on-close hook: whatever the remote client held is
     // force-released NOW — its rivals re-elect immediately instead of
     // waiting out the lease TTL. In-flight wins for this connection are
-    // reclaimed by their waiters (see serve_blocking).
+    // reclaimed by their waiters (see serve_blocking). The held-keys
+    // snapshot names each reclaimed key in the event journal; keys won
+    // between snapshot and disconnect are reclaimed but journal only as
+    // their `released` transition.
+    std::vector<std::string> held;
+    if (service_.journal() != nullptr) held = conn->session->held_keys();
     const std::size_t reclaimed = conn->session->disconnect();
     counters_.disconnect_reclaims.fetch_add(reclaimed,
                                             std::memory_order_relaxed);
+    if (reclaimed > 0) {
+      for (const std::string& key : held) {
+        journal_disconnect_reclaim(key, conn->session->id());
+      }
+    }
   }
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// The HTTP side-channel (loop thread only). Deliberately minimal:
+// GET-only, one request per connection, answer and close. A scrape is
+// small and rare; anything fancier (keep-alive, chunking, pipelining)
+// buys nothing here and costs loop-thread attention.
+
+void server::http_accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(http_listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_relaxed) ||
+        http_conns_.size() >= 64) {
+      ::close(fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    http_conns_.emplace(fd, std::string());
+  }
+}
+
+void server::http_read_ready(int fd) {
+  const auto it = http_conns_.find(fd);
+  if (it == http_conns_.end()) return;
+  std::string& buffered = it->second;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got > 0) {
+      buffered.append(buf, static_cast<std::size_t>(got));
+      if (buffered.size() > 8192) {  // no sane GET is this big
+        http_close(fd);
+        return;
+      }
+      continue;
+    }
+    if (got == 0) {
+      http_close(fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    http_close(fd);
+    return;
+  }
+  // Headers complete? (We ignore them — the request line is the API.)
+  if (buffered.find("\r\n\r\n") == std::string::npos &&
+      buffered.find("\n\n") == std::string::npos) {
+    return;  // wait for the rest
+  }
+  http_respond(fd, buffered);
+  http_close(fd);
+}
+
+void server::http_respond(int fd, const std::string& buffered) {
+  // Parse "METHOD SP path ..." off the request line.
+  const std::size_t line_end = buffered.find_first_of("\r\n");
+  const std::string line = buffered.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  std::string method =
+      sp1 == std::string::npos ? std::string() : line.substr(0, sp1);
+  std::string path = sp2 == std::string::npos
+                         ? std::string()
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  const char* status = "200 OK";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    content_type = "text/plain; charset=utf-8";
+    body = "method not allowed\n";
+  } else if (path == "/metrics") {
+    body = obs::render_prometheus(service_.report());
+    render_net_prometheus(body, report());
+  } else if (path == "/report") {
+    content_type = "application/json";
+    body = report_json();
+  } else if (path == "/healthz") {
+    content_type = "text/plain; charset=utf-8";
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found\n";
+  }
+
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  // Bounded write on the loop thread: a scrape response is a few KiB,
+  // but a wedged scraper must not park the loop indefinitely.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  (void)write_all(fd, reinterpret_cast<const std::uint8_t*>(response.data()),
+                  response.size(), stopping_, &deadline);
+}
+
+void server::http_close(int fd) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  http_conns_.erase(fd);
 }
 
 // ---------------------------------------------------------------------

@@ -83,6 +83,15 @@ struct server_config {
   /// before the connection is declared dead. Bounds how long the watch
   /// hub's notifier (and a teardown waiting on it) can stall.
   std::uint64_t event_write_budget_ms = 1000;
+  /// Serve HTTP (/metrics Prometheus text, /report JSON, /healthz) on a
+  /// second listen socket, multiplexed onto the same epoll loop.
+  bool http_enabled = false;
+  /// HTTP port; 0 binds ephemeral (read back with server::http_port()).
+  std::uint16_t http_port = 0;
+  /// Allow the wire admin ops (admin_list / admin_inspect /
+  /// admin_force_release). Off by default: force-release is an
+  /// operator lever, not a client right — `denied` when off.
+  bool enable_admin = false;
 };
 
 /// Point-in-time counters for the network edge.
@@ -131,6 +140,15 @@ class server {
   [[nodiscard]] bool listening() const noexcept { return listen_fd_ >= 0; }
   /// The bound port (resolves config.port == 0 to the ephemeral pick).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Is the HTTP listener up? (Requires config.http_enabled and a
+  /// successful bind.)
+  [[nodiscard]] bool http_listening() const noexcept {
+    return http_listen_fd_ >= 0;
+  }
+  /// The bound HTTP port (resolves config.http_port == 0).
+  [[nodiscard]] std::uint16_t http_port() const noexcept {
+    return http_port_;
+  }
 
   /// Close the listener and every connection (their sessions are
   /// disconnected, releasing held leases), drain the executors, and
@@ -206,6 +224,16 @@ class server {
   /// Register / cancel wire watches (executor thread).
   void serve_watch(const pending& p, wire::response& r);
   void serve_unwatch(const pending& p, wire::response& r);
+  /// The admin ops (executor thread); gated by config.enable_admin.
+  void serve_admin(const pending& p, wire::response& r);
+  /// Journal one reclaimed key on a connection-death path.
+  void journal_disconnect_reclaim(const std::string& key, int session_id);
+  // HTTP side-channel (loop thread only): accept, buffer one request,
+  // answer, close.
+  void http_accept_ready();
+  void http_read_ready(int fd);
+  void http_close(int fd);
+  void http_respond(int fd, const std::string& buffered);
   void complete(const connection_ptr& conn);
   void maybe_pause(const connection_ptr& conn);
   void maybe_resume(const connection_ptr& conn);
@@ -227,6 +255,11 @@ class server {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: kicks the loop for stop()
   std::uint16_t port_ = 0;
+  int http_listen_fd_ = -1;
+  std::uint16_t http_port_ = 0;
+  /// Loop-thread-only: accepted HTTP connections and their buffered
+  /// request bytes (serve-one-request-then-close, no keep-alive).
+  std::unordered_map<int, std::string> http_conns_;
 
   std::thread loop_;
   std::vector<std::thread> executors_;

@@ -109,6 +109,9 @@ std::string_view to_string(op kind) {
     case op::watch: return "watch";
     case op::unwatch: return "unwatch";
     case op::event: return "event";
+    case op::admin_list: return "admin_list";
+    case op::admin_inspect: return "admin_inspect";
+    case op::admin_force_release: return "admin_force_release";
   }
   return "unknown";
 }
@@ -123,6 +126,7 @@ std::string_view to_string(status s) {
     case status::not_leader: return "not_leader";
     case status::busy: return "busy";
     case status::bad_request: return "bad_request";
+    case status::denied: return "denied";
   }
   return "unknown";
 }
@@ -134,6 +138,7 @@ std::vector<std::uint8_t> encode_request(const request& r) {
   put_string(frame, r.key);
   put_u64(frame, r.epoch);
   put_u64(frame, r.timeout_ms);
+  put_u64(frame, r.trace_id);
   finish_frame(frame);
   return frame;
 }
@@ -206,7 +211,8 @@ std::optional<request> decode_request(const std::vector<std::uint8_t>& body) {
   request r;
   std::uint8_t kind = 0;
   if (!in.u64(r.id) || !in.u8(kind) || !in.string(r.key, max_key_bytes) ||
-      !in.u64(r.epoch) || !in.u64(r.timeout_ms) || !in.exhausted()) {
+      !in.u64(r.epoch) || !in.u64(r.timeout_ms) || !in.u64(r.trace_id) ||
+      !in.exhausted()) {
     return std::nullopt;
   }
   if (kind >= op_count) return std::nullopt;
@@ -226,7 +232,7 @@ std::optional<response> decode_response(
     return std::nullopt;
   }
   if (kind >= op_count ||
-      result > static_cast<std::uint8_t>(status::bad_request)) {
+      result > static_cast<std::uint8_t>(status::denied)) {
     return std::nullopt;
   }
   r.kind = static_cast<op>(kind);

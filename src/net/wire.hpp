@@ -44,10 +44,13 @@ namespace elect::net::wire {
 
 /// "ELN" + version byte, carried in the hello exchange.
 inline constexpr std::uint32_t protocol_magic = 0x454C4E00u;
-/// v2: watch/unwatch ops + server-push event frames. A v1 peer would
-/// kill the connection mid-stream on the first watch op it cannot
-/// decode; bumping the version moves that failure to the handshake.
-inline constexpr std::uint16_t protocol_version = 2;
+/// v3: every request carries a trace id (request tracing spans the
+/// wire), plus the admin_list / admin_inspect / admin_force_release
+/// ops. The trace id is an unconditional field — the codec rejects
+/// trailing bytes, so "optional" fields are expressed as version bumps
+/// and the handshake keeps v2 peers out before any frame can misparse.
+/// (v2 added watch/unwatch + server-push event frames.)
+inline constexpr std::uint16_t protocol_version = 3;
 
 /// Hard cap on one frame's body. Requests are tiny (a key plus a few
 /// integers); responses are bounded by the metrics JSON. Anything
@@ -94,9 +97,19 @@ enum class op : std::uint8_t {
   /// `flags` the svc::transition value, and `lease_remaining_ms` the
   /// affected svc session id (two's complement; -1 = none).
   event = 11,
+  /// Admin: snapshot every registered key as a JSON array in `body`.
+  /// Gated by server_config.enable_admin — `denied` when off.
+  admin_list = 12,
+  /// Admin: snapshot one key as a JSON object in `body`; `not_leader`
+  /// when the key was never acquired. Same gate as admin_list.
+  admin_inspect = 13,
+  /// Admin: unconditionally end `key`'s current epoch (the operator's
+  /// "kick the stuck leader" lever); `not_leader` when unheld. Same
+  /// gate as admin_list.
+  admin_force_release = 14,
 };
 
-inline constexpr int op_count = 12;
+inline constexpr int op_count = 15;
 
 [[nodiscard]] std::string_view to_string(op kind);
 
@@ -120,6 +133,9 @@ enum class status : std::uint8_t {
   /// Undecodable or ill-formed request. The server answers once (when
   /// it still has a request id to echo) and closes the connection.
   bad_request = 7,
+  /// An admin op on a server whose config does not enable the admin
+  /// surface. The connection stays up.
+  denied = 8,
 };
 
 [[nodiscard]] std::string_view to_string(status s);
@@ -136,6 +152,9 @@ struct request {
   std::uint64_t epoch = 0;
   /// try_acquire_for: wait bound in milliseconds.
   std::uint64_t timeout_ms = 0;
+  /// Request trace id (obs::mint), 0 when untraced. The server serves
+  /// the request under this id so its spans join the client's trace.
+  std::uint64_t trace_id = 0;
 };
 
 /// Response flag bits.

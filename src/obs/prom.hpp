@@ -1,0 +1,23 @@
+// Prometheus text-exposition rendering of a service report — the body
+// behind the HTTP front-end's /metrics route.
+//
+// A pure function over svc::service_report: no registry of its own, no
+// background scraping. The report already aggregates every layer's
+// counters (shards, strategies, fast path, watch hub, tracer, journal);
+// this file only formats. Series names are part of the operational
+// interface — documented in README "Operating elect_server" — so
+// renaming one is a breaking change.
+#pragma once
+
+#include <string>
+
+#include "svc/metrics.hpp"
+
+namespace elect::obs {
+
+/// Render the service-level series (elect_*). The network front-end
+/// appends its own elect_net_* series (net/server.cpp) — the split
+/// keeps obs independent of the net layer.
+[[nodiscard]] std::string render_prometheus(const svc::service_report& report);
+
+}  // namespace elect::obs

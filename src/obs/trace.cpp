@@ -1,0 +1,314 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace elect::obs {
+namespace {
+
+constexpr std::size_t ring_slots = 2048;
+constexpr std::size_t max_slow_dumps = 32;
+
+/// One span slot under a sequence lock. The writer (the ring's owning
+/// thread) bumps seq to odd, stores the fields, bumps to even; readers
+/// retry-skip on odd or changed seq. All fields are atomics accessed
+/// relaxed inside the seq window, so the protocol is data-race-free
+/// (TSan-clean) without any mutex on the record path.
+struct slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> trace{0};
+  std::atomic<std::uint64_t> stage{0};
+  std::atomic<std::uint64_t> start{0};
+  std::atomic<std::uint64_t> end{0};
+};
+
+struct ring {
+  std::array<slot, ring_slots> slots;
+  /// Next write position (monotonic; slot = next % ring_slots). Only
+  /// the leasing thread advances it.
+  std::atomic<std::uint64_t> next{0};
+  /// Leased to a live thread right now. Guarded by registry mutex.
+  bool in_use = false;
+};
+
+struct tracer_state {
+  std::mutex mutex;
+  /// All rings ever created; freed rings are reused, never destroyed,
+  /// so collect() can still read spans of exited threads.
+  std::vector<std::unique_ptr<ring>> rings;
+  std::deque<std::string> slow;
+
+  std::atomic<std::uint64_t> next_id{0};
+  std::atomic<std::uint64_t> minted{0};
+  std::atomic<std::uint64_t> spans{0};
+  std::atomic<std::uint64_t> slow_captured{0};
+  std::atomic<std::uint64_t> slow_evicted{0};
+  std::atomic<std::int64_t> slow_threshold_ns{0};
+  std::atomic<bool> slow_log{true};
+};
+
+// Intentionally leaked: detached threads (the server's blocking-op
+// waiters) can record spans during process teardown, after static
+// destructors would have run.
+tracer_state& state() {
+  static tracer_state* s = new tracer_state;
+  return *s;
+}
+
+/// Thread-local lease on a ring: acquired on first record, returned to
+/// the free pool when the thread exits.
+struct ring_lease {
+  ring* r = nullptr;
+
+  ring* get() {
+    if (r == nullptr) {
+      tracer_state& s = state();
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      for (auto& candidate : s.rings) {
+        if (!candidate->in_use) {
+          r = candidate.get();
+          break;
+        }
+      }
+      if (r == nullptr) {
+        s.rings.push_back(std::make_unique<ring>());
+        r = s.rings.back().get();
+      }
+      r->in_use = true;
+    }
+    return r;
+  }
+
+  ~ring_lease() {
+    if (r != nullptr) {
+      tracer_state& s = state();
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      r->in_use = false;
+    }
+  }
+};
+
+thread_local ring_lease tl_ring;
+thread_local std::uint64_t tl_current = 0;
+
+void write_span(std::uint64_t trace_id, phase stage, std::uint64_t start_ns,
+                std::uint64_t end_ns) {
+  ring* r = tl_ring.get();
+  const std::uint64_t pos =
+      r->next.fetch_add(1, std::memory_order_relaxed) % ring_slots;
+  slot& s = r->slots[pos];
+  const std::uint64_t seq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(seq + 1, std::memory_order_release);
+  s.trace.store(trace_id, std::memory_order_relaxed);
+  s.stage.store(static_cast<std::uint64_t>(stage), std::memory_order_relaxed);
+  s.start.store(start_ns, std::memory_order_relaxed);
+  s.end.store(end_ns, std::memory_order_relaxed);
+  s.seq.store(seq + 2, std::memory_order_release);
+  state().spans.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Append "12.345" (ns rendered as milliseconds) to out.
+void append_ms(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000000,
+                (ns / 1000) % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+std::string_view to_string(phase p) {
+  switch (p) {
+    case phase::api_call: return "api_call";
+    case phase::wire_rtt: return "wire_rtt";
+    case phase::serve: return "serve";
+    case phase::queue_wait: return "queue_wait";
+    case phase::fast_path: return "fast_path";
+    case phase::election: return "election";
+    case phase::lease_grant: return "lease_grant";
+    case phase::epoch_wait: return "epoch_wait";
+    case phase::lease_op: return "lease_op";
+  }
+  return "unknown";
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t mint() {
+  tracer_state& s = state();
+  std::uint64_t base = s.next_id.load(std::memory_order_relaxed);
+  if (base == 0) {
+    // Seed from the clock once so two processes sharing a wire are
+    // unlikely to mint colliding ids (ids are not globally unique, just
+    // unlikely to overlap within a trace retention window).
+    s.next_id.compare_exchange_strong(base, now_ns() | 1,
+                                      std::memory_order_relaxed);
+  }
+  std::uint64_t id = s.next_id.fetch_add(1, std::memory_order_relaxed);
+  if (id == 0) id = s.next_id.fetch_add(1, std::memory_order_relaxed);
+  s.minted.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t current() noexcept { return tl_current; }
+
+trace_scope::trace_scope(std::uint64_t id) noexcept : previous_(tl_current) {
+  tl_current = id;
+}
+
+trace_scope::~trace_scope() { tl_current = previous_; }
+
+void record_for(std::uint64_t trace_id, phase stage, std::uint64_t start_ns,
+                std::uint64_t end_ns) {
+  if (trace_id == 0) return;
+  write_span(trace_id, stage, start_ns, end_ns);
+}
+
+scoped_span::scoped_span(phase stage) noexcept
+    : trace_(tl_current), stage_(stage) {
+  if (trace_ != 0) start_ = now_ns();
+}
+
+scoped_span::~scoped_span() {
+  if (trace_ != 0) write_span(trace_, stage_, start_, now_ns());
+}
+
+std::vector<span> collect(std::uint64_t trace_id) {
+  std::vector<span> out;
+  if (trace_id == 0) return out;
+  tracer_state& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (const auto& r : s.rings) {
+    for (const slot& sl : r->slots) {
+      const std::uint64_t seq1 = sl.seq.load(std::memory_order_acquire);
+      if (seq1 == 0 || (seq1 & 1) != 0) continue;
+      span sp;
+      sp.trace_id = sl.trace.load(std::memory_order_relaxed);
+      sp.stage = static_cast<phase>(sl.stage.load(std::memory_order_relaxed));
+      sp.start_ns = sl.start.load(std::memory_order_relaxed);
+      sp.end_ns = sl.end.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (sl.seq.load(std::memory_order_relaxed) != seq1) continue;
+      if (sp.trace_id == trace_id) out.push_back(sp);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const span& a, const span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::string format_trace(std::uint64_t trace_id, std::string_view label) {
+  const std::vector<span> spans = collect(trace_id);
+  std::string out = "trace ";
+  out += std::to_string(trace_id);
+  out += " (";
+  out.append(label.data(), label.size());
+  out += ")";
+  if (spans.empty()) {
+    out += ": no spans recorded\n";
+    return out;
+  }
+  const std::uint64_t origin = spans.front().start_ns;
+  std::uint64_t total = 0;
+  for (const span& sp : spans) {
+    total = std::max(total, sp.end_ns > origin ? sp.end_ns - origin : 0);
+  }
+  // "The phase that stalled": the longest span that is not a wrapper
+  // around the others (api_call and serve contain the interesting work).
+  const span* slowest = nullptr;
+  for (const span& sp : spans) {
+    if (sp.stage == phase::api_call || sp.stage == phase::serve) continue;
+    if (slowest == nullptr || sp.duration_ns() > slowest->duration_ns()) {
+      slowest = &sp;
+    }
+  }
+  if (slowest == nullptr) slowest = &spans.front();
+  out += ": total ";
+  append_ms(out, total);
+  out += " ms, slowest phase ";
+  out += to_string(slowest->stage);
+  out += " (";
+  append_ms(out, slowest->duration_ns());
+  out += " ms)\n";
+  for (const span& sp : spans) {
+    out += "  [+";
+    append_ms(out, sp.start_ns > origin ? sp.start_ns - origin : 0);
+    out += " ms] ";
+    const std::string_view name = to_string(sp.stage);
+    out.append(name.data(), name.size());
+    out.append(name.size() < 12 ? 12 - name.size() : 1, ' ');
+    append_ms(out, sp.duration_ns());
+    out += " ms\n";
+  }
+  return out;
+}
+
+void set_slow_threshold(std::chrono::nanoseconds threshold) {
+  state().slow_threshold_ns.store(threshold.count(),
+                                  std::memory_order_relaxed);
+}
+
+std::chrono::nanoseconds slow_threshold() noexcept {
+  return std::chrono::nanoseconds(
+      state().slow_threshold_ns.load(std::memory_order_relaxed));
+}
+
+void set_slow_log(bool enabled) {
+  state().slow_log.store(enabled, std::memory_order_relaxed);
+}
+
+bool maybe_capture_slow(std::uint64_t trace_id,
+                        std::chrono::nanoseconds total,
+                        std::string_view label) {
+  tracer_state& s = state();
+  const std::int64_t threshold =
+      s.slow_threshold_ns.load(std::memory_order_relaxed);
+  if (trace_id == 0 || threshold <= 0 || total.count() < threshold) {
+    return false;
+  }
+  std::string dump = "slow request: ";
+  dump += format_trace(trace_id, label);
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    while (s.slow.size() >= max_slow_dumps) {
+      s.slow.pop_front();
+      s.slow_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.slow.push_back(dump);
+  }
+  s.slow_captured.fetch_add(1, std::memory_order_relaxed);
+  if (s.slow_log.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "%s", dump.c_str());
+  }
+  return true;
+}
+
+std::vector<std::string> slow_dumps() {
+  tracer_state& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return {s.slow.begin(), s.slow.end()};
+}
+
+trace_counters counters() {
+  tracer_state& s = state();
+  trace_counters c;
+  c.minted = s.minted.load(std::memory_order_relaxed);
+  c.spans = s.spans.load(std::memory_order_relaxed);
+  c.slow_captured = s.slow_captured.load(std::memory_order_relaxed);
+  c.slow_evicted = s.slow_evicted.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace elect::obs

@@ -40,6 +40,11 @@ service_report service_metrics::snapshot() const {
       short_circuit_losses_.load(std::memory_order_relaxed);
   report.acquire_p50_ms = acquire_latency_.quantile(0.50) / 1e6;
   report.acquire_p99_ms = acquire_latency_.quantile(0.99) / 1e6;
+  report.acquire_latency_count = acquire_latency_.count();
+  report.acquire_latency_sum_us =
+      static_cast<double>(acquire_latency_.sum_ns()) / 1e3;
+  report.acquire_latency_buckets = acquire_latency_.bucket_counts();
+  report.trace = obs::counters();
   return report;
 }
 
@@ -69,6 +74,8 @@ std::string service_report::to_json() const {
   out << "\"short_circuit_losses\":" << short_circuit_losses << ",";
   out << "\"acquire_p50_ms\":" << acquire_p50_ms << ",";
   out << "\"acquire_p99_ms\":" << acquire_p99_ms << ",";
+  out << "\"acquire_latency\":{\"count\":" << acquire_latency_count
+      << ",\"sum_us\":" << acquire_latency_sum_us << "},";
   out << "\"participated_entries\":" << participated_entries << ",";
   out << "\"total_messages\":" << total_messages << ",";
   out << "\"mailbox_pushes\":" << mailbox_pushes << ",";
@@ -79,6 +86,14 @@ std::string service_report::to_json() const {
       << ",\"published\":" << watch.published
       << ",\"delivered\":" << watch.delivered
       << ",\"dropped\":" << watch.dropped << "},";
+  out << "\"trace\":{\"minted\":" << trace.minted
+      << ",\"spans\":" << trace.spans
+      << ",\"slow_captured\":" << trace.slow_captured
+      << ",\"slow_evicted\":" << trace.slow_evicted << "},";
+  out << "\"journal\":{\"appended\":" << journal.appended
+      << ",\"evicted\":" << journal.evicted
+      << ",\"flushed\":" << journal.flushed
+      << ",\"flush_errors\":" << journal.flush_errors << "},";
   if (!net_json.empty()) out << "\"net\":" << net_json << ",";
   out << "\"shards\":[";
   for (std::size_t i = 0; i < shards.size(); ++i) {

@@ -17,6 +17,8 @@
 
 #include "common/check.hpp"
 #include "election/strategy.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
 #include "svc/watch.hpp"
 
 namespace elect::svc {
@@ -35,12 +37,29 @@ class latency_histogram {
                                   static_cast<int>(std::bit_width(nanos)) - 1);
     counts_[static_cast<std::size_t>(bucket)].fetch_add(
         1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(nanos, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     std::uint64_t total = 0;
     for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
     return total;
+  }
+
+  /// Sum of all recorded samples, in nanoseconds — with count(), the
+  /// `_count`/`_sum` pair a Prometheus histogram exposes directly.
+  [[nodiscard]] std::uint64_t sum_ns() const noexcept {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-bucket counts (non-cumulative), bucket b covering [2^b, 2^(b+1)).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const {
+    std::vector<std::uint64_t> out(bucket_count);
+    for (int b = 0; b < bucket_count; ++b) {
+      out[static_cast<std::size_t>(b)] =
+          counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    }
+    return out;
   }
 
   /// Midpoint reported for samples landing in bucket `b` — the estimate
@@ -77,6 +96,7 @@ class latency_histogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, bucket_count> counts_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
 };
 
 /// Hot-path counters for one registry shard.
@@ -154,6 +174,12 @@ struct service_report {
   std::uint64_t short_circuit_losses = 0;
   double acquire_p50_ms = 0.0;
   double acquire_p99_ms = 0.0;
+  /// Acquire latency totals (histogram count/sum — what Prometheus
+  /// renders as elect_acquire_latency_seconds_count/_sum).
+  std::uint64_t acquire_latency_count = 0;
+  double acquire_latency_sum_us = 0.0;
+  /// Non-cumulative per-bucket counts, bucket b = [2^b, 2^(b+1)) ns.
+  std::vector<std::uint64_t> acquire_latency_buckets;
   /// Per-node participated-map entries, summed over the pool (bounded by
   /// live keys x nodes, not by total epochs — see service::worker).
   std::uint64_t participated_entries = 0;
@@ -165,6 +191,11 @@ struct service_report {
   std::uint64_t max_communicate_calls = 0;
   /// Watch-hub subscription/delivery counters (svc/watch.hpp).
   watch_report watch;
+  /// Tracer counters (obs/trace.hpp).
+  obs::trace_counters trace;
+  /// Event-journal counters (obs/journal.hpp); zeros when journaling is
+  /// disabled.
+  obs::journal_report journal;
   /// Optional pre-serialized JSON object from the layer wrapping the
   /// service (the TCP front-end's per-connection/frame counters —
   /// net::server::report()). Emitted verbatim as `"net":{...}` when

@@ -329,6 +329,77 @@ std::size_t instance_registry::release_all(
       on_released, transition::released);
 }
 
+namespace {
+
+std::string_view grant_mode_name(int raw) {
+  switch (raw) {
+    case 0: return "open";
+    case 1: return "fast_claimed";
+    case 2: return "protocol_armed";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<key_inspection> instance_registry::list_keys() const {
+  std::vector<key_inspection> out;
+  for (const auto& shard_ptr : shards_) {
+    const std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    for (const auto& [key, state] : shard_ptr->keys) {
+      key_inspection info;
+      info.key = key;
+      info.entry = state.entry;
+      info.leader = state.leader;
+      info.lease_deadline = state.lease_deadline;
+      info.mode = grant_mode_name(static_cast<int>(state.mode));
+      info.attempts_this_epoch = state.attempts_this_epoch;
+      info.last_epoch_attempts = state.last_epoch_attempts;
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+std::optional<key_inspection> instance_registry::inspect(
+    const std::string& key) const {
+  const shard& s =
+      *shards_[static_cast<std::size_t>(shard_of(key))];
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.keys.find(key);
+  if (it == s.keys.end()) return std::nullopt;
+  key_inspection info;
+  info.key = key;
+  info.entry = it->second.entry;
+  info.leader = it->second.leader;
+  info.lease_deadline = it->second.lease_deadline;
+  info.mode = grant_mode_name(static_cast<int>(it->second.mode));
+  info.attempts_this_epoch = it->second.attempts_this_epoch;
+  info.last_epoch_attempts = it->second.last_epoch_attempts;
+  return info;
+}
+
+lease_status instance_registry::force_release(const std::string& key) {
+  shard& s = shard_for(key);
+  std::uint64_t released_epoch = 0;
+  int released_holder = -1;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.keys.find(key);
+    if (it == s.keys.end() || it->second.leader == -1) {
+      return lease_status::not_leader;
+    }
+    released_epoch = it->second.entry.epoch;
+    released_holder = it->second.leader;
+    bump_epoch_locked(it->second);
+  }
+  s.epoch_changed.notify_all();
+  if (hook_live()) {
+    hook_(key, released_epoch, transition::released, released_holder);
+  }
+  return lease_status::ok;
+}
+
 std::vector<std::string> instance_registry::keys_held_by(int session) const {
   std::vector<std::string> held;
   for (const auto& shard_ptr : shards_) {

@@ -134,6 +134,23 @@ struct fast_claim_result {
   std::chrono::steady_clock::time_point deadline{};
 };
 
+/// Admin snapshot of one key's state (list_keys / inspect). Consistent
+/// per key — taken under the key's shard lock — but keys may move on
+/// between snapshot and use.
+struct key_inspection {
+  std::string key;
+  instance_entry entry;
+  /// Holding session, -1 when unheld.
+  int leader = -1;
+  /// time_point::max() = non-expiring lease (or unheld).
+  std::chrono::steady_clock::time_point lease_deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Grant mode as text: "open", "fast_claimed", or "protocol_armed".
+  std::string_view mode;
+  std::uint64_t attempts_this_epoch = 0;
+  std::uint64_t last_epoch_attempts = 0;
+};
+
 /// One fused adaptive acquire entry (begin_adaptive_attempt): the
 /// attempt registration plus, when the contention estimate was clear,
 /// the fast-path outcome — all decided under one shard lock.
@@ -248,6 +265,20 @@ class instance_registry {
   /// Introspection for the network edge (per-connection accounting) and
   /// tests; not a hot path.
   [[nodiscard]] std::vector<std::string> keys_held_by(int session) const;
+
+  /// Admin: snapshot every registered key (shard by shard; not a
+  /// cross-shard atomic view). Not a hot path.
+  [[nodiscard]] std::vector<key_inspection> list_keys() const;
+
+  /// Admin: snapshot one key; empty when the key was never acquired.
+  [[nodiscard]] std::optional<key_inspection> inspect(
+      const std::string& key) const;
+
+  /// Admin: unconditionally end `key`'s current epoch regardless of
+  /// holder — the operator's "kick the stuck leader" lever. Publishes a
+  /// `released` transition for the ended epoch. `not_leader` when the
+  /// key is unknown or unheld (nothing to do).
+  lease_status force_release(const std::string& key);
 
   /// Force-release every holder whose lease deadline is <= now: bump the
   /// epoch, allocate a fresh instance, wake epoch waiters. `on_expired`

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace elect::svc {
 
 namespace {
@@ -13,6 +15,22 @@ std::chrono::milliseconds sweep_interval(const service_config& config) {
   }
   return std::chrono::milliseconds(std::max<std::uint64_t>(
       1, config.lease_ttl_ms / 4));
+}
+
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+obs::event_kind to_event_kind(transition kind) {
+  switch (kind) {
+    case transition::elected: return obs::event_kind::elected;
+    case transition::released: return obs::event_kind::released;
+    case transition::expired: return obs::event_kind::expired;
+  }
+  return obs::event_kind::elected;
 }
 
 }  // namespace
@@ -38,6 +56,15 @@ std::optional<std::string> service_config::validate() const {
            std::to_string(sweep_interval_ms) +
            " without lease_ttl_ms: there are no leases to sweep — set "
            "lease_ttl_ms or drop the sweep interval";
+  }
+  if (!journal_path.empty() && !journal_events) {
+    return "service_config.journal_path=\"" + journal_path +
+           "\" without journal_events: nothing would be written — enable "
+           "journal_events or drop the path";
+  }
+  if (journal_events && journal_capacity == 0) {
+    return "service_config.journal_capacity must be >= 1 when "
+           "journal_events is set";
   }
   const auto known_kind = [](election::strategy_kind kind) {
     const auto value = static_cast<int>(kind);
@@ -73,10 +100,27 @@ service::service(service_config config)
   // aborting with a less descriptive message first.
   const auto config_error = config_.validate();
   ELECT_CHECK_MSG(!config_error.has_value(), config_error.value_or(""));
+  if (config_.slow_request_threshold_ms != 0) {
+    obs::set_slow_threshold(
+        std::chrono::milliseconds(config_.slow_request_threshold_ms));
+  }
+  if (config_.journal_events) {
+    journal_ = std::make_unique<obs::journal>(config_.journal_capacity,
+                                              config_.journal_path);
+    // The journal consumes every transition, so the hook must fire even
+    // with zero watch subscriptions.
+    hub_.force_arm();
+    hub_.set_drop_hook([this](const std::string& key) {
+      journal_->append(obs::event_kind::watch_drop, key, 0, -1, "overflow");
+    });
+  }
   registry_.set_transition_hook(
       hub_.armed(), [this](const std::string& key, std::uint64_t epoch,
                            transition kind, int session) {
         hub_.publish(key, epoch, kind, session);
+        if (journal_) {
+          journal_->append(to_event_kind(kind), key, epoch, session, "");
+        }
       });
   for (int k = 0; k < election::strategy_kind_count; ++k) {
     strategies_[static_cast<std::size_t>(k)] =
@@ -142,6 +186,9 @@ void service::stop() {
   // claiming wins); stopping the hub after the pool keeps those flowing
   // to watchers until the very end, then drops the remainder.
   hub_.stop();
+  // After the hub: nothing publishes transitions anymore, so the journal
+  // can drain its sink and join the flusher.
+  if (journal_) journal_->stop();
 }
 
 std::uint64_t service::watch(const std::string& key, watch_hub::callback fn) {
@@ -292,6 +339,13 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
     acquire_result result;
     result.epoch = entry.epoch;
     result.instance = entry.instance;
+    // Spans are recorded against the job's trace id explicitly (not via
+    // a thread-local scope): the driver suspends across co_await while
+    // this node's thread serves other instances' protocol messages.
+    if (j->trace != 0) {
+      obs::record_for(j->trace, obs::phase::queue_wait,
+                      to_trace_ns(j->submitted), obs::now_ns());
+    }
 
     // Gate the distributed path on the registry's grant mode: if the
     // epoch was already granted (fast-claimed while this job queued, or
@@ -318,14 +372,25 @@ engine::task<std::int64_t> service::driver(engine::node& node, worker& w) {
         // (and the full protocol's winner report): an epoch-fenced CAS
         // in the registry. Runs on this node's thread, synchronously.
         ctx.claim = [this, j, &result] {
+          const std::uint64_t t0 = j->trace != 0 ? obs::now_ns() : 0;
           const auto deadline = registry_.claim_win(
               j->key, result.epoch, j->session_id, lease_ttl());
+          if (j->trace != 0) {
+            obs::record_for(j->trace, obs::phase::lease_grant, t0,
+                            obs::now_ns());
+          }
           if (!deadline.has_value()) return false;
           result.lease_deadline = *deadline;
           return true;
         };
+        const std::uint64_t elect_start =
+            j->trace != 0 ? obs::now_ns() : 0;
         const election::tas_result outcome =
             co_await protocol_for(j->kind).elect(node, std::move(ctx));
+        if (j->trace != 0) {
+          obs::record_for(j->trace, obs::phase::election, elect_start,
+                          obs::now_ns());
+        }
         result.won = outcome == election::tas_result::win;
       }
     }
@@ -364,6 +429,7 @@ acquire_result service::run_acquire(int session_id, process_id pid,
   j.key = key;
   j.session_id = session_id;
   j.kind = strategy_for(key);
+  j.trace = obs::current();
   j.submitted = std::chrono::steady_clock::now();
   // A cheap unlocked early-out; the authoritative stop() check is inside
   // submit() (under the worker lock, via draining).
@@ -378,8 +444,13 @@ acquire_result service::run_acquire(int session_id, process_id pid,
   // fencing makes a double grant impossible); only an armed protocol
   // sends us down the distributed path ourselves.
   if (j.kind == election::strategy_kind::adaptive) {
+    const std::uint64_t fast_start = j.trace != 0 ? obs::now_ns() : 0;
     const adaptive_attempt attempt =
         registry_.begin_adaptive_attempt(key, session_id, lease_ttl());
+    if (j.trace != 0) {
+      obs::record_for(j.trace, obs::phase::fast_path, fast_start,
+                      obs::now_ns());
+    }
     j.entry = attempt.attempt.entry;
     if (attempt.fast_attempted) {
       const fast_claim_result& fast = attempt.fast;
@@ -429,6 +500,7 @@ acquire_result service::session::acquire(const std::string& key) {
   for (;;) {
     const acquire_result result = try_acquire(key);
     if (result.won || result.rejected) return result;
+    const obs::scoped_span span(obs::phase::epoch_wait);
     owner_->registry_.wait_for_epoch_above(key, result.epoch);
   }
 }
@@ -443,6 +515,7 @@ acquire_result service::session::try_acquire_for(
     // still runs to completion above. wait returns true on epoch
     // advance *and* on service shutdown — the retry then comes back
     // rejected, so a stopped service never strands a timed waiter.
+    const obs::scoped_span span(obs::phase::epoch_wait);
     if (!owner_->registry_.wait_for_epoch_above_until(key, result.epoch,
                                                       deadline)) {
       result.timed_out = true;
@@ -452,10 +525,15 @@ acquire_result service::session::try_acquire_for(
 }
 
 lease_status service::count_lease_op(const std::string& key,
-                                     lease_status status, bool renewal) {
+                                     lease_status status, bool renewal,
+                                     std::uint64_t epoch) {
   const int shard = registry_.shard_of(key);
   if (status != lease_status::ok) {
     metrics_.record_stale_fence(shard);
+    if (journal_) {
+      journal_->append(obs::event_kind::stale_fence, key, epoch, -1,
+                       renewal ? "renew" : "release");
+    }
   } else if (renewal) {
     metrics_.record_renewal(shard);
   } else {
@@ -465,21 +543,25 @@ lease_status service::count_lease_op(const std::string& key,
 }
 
 lease_status service::session::release(const std::string& key) {
+  const obs::scoped_span span(obs::phase::lease_op);
   return owner_->count_lease_op(key, owner_->registry_.release(key, id_),
-                                /*renewal=*/false);
+                                /*renewal=*/false, 0);
 }
 
 lease_status service::session::release(const std::string& key,
                                        std::uint64_t epoch) {
-  return owner_->count_lease_op(
-      key, owner_->registry_.release(key, id_, epoch), /*renewal=*/false);
+  const obs::scoped_span span(obs::phase::lease_op);
+  return owner_->count_lease_op(key,
+                                owner_->registry_.release(key, id_, epoch),
+                                /*renewal=*/false, epoch);
 }
 
 lease_status service::session::renew(const std::string& key,
                                      std::uint64_t epoch) {
+  const obs::scoped_span span(obs::phase::lease_op);
   return owner_->count_lease_op(
       key, owner_->registry_.renew(key, id_, epoch, owner_->lease_ttl()),
-      /*renewal=*/true);
+      /*renewal=*/true, epoch);
 }
 
 std::size_t service::session::disconnect() {
@@ -515,6 +597,7 @@ service_report service::report() const {
   report.mean_communicate_calls = pool_metrics.mean_communicate_calls();
   report.max_communicate_calls = pool_metrics.max_communicate_calls();
   report.watch = hub_.report();
+  if (journal_) report.journal = journal_->report();
   return report;
 }
 

@@ -65,6 +65,7 @@
 #include "election/strategy.hpp"
 #include "engine/task.hpp"
 #include "mt/cluster.hpp"
+#include "obs/journal.hpp"
 #include "svc/metrics.hpp"
 #include "svc/registry.hpp"
 #include "svc/watch.hpp"
@@ -97,6 +98,20 @@ struct service_config {
   election::strategy_kind default_strategy = election::strategy_kind::full;
   /// Per-key strategy overrides (exact key match beats the default).
   std::unordered_map<std::string, election::strategy_kind> key_strategies;
+  /// Traced requests slower than this auto-capture a span dump naming
+  /// the stalled phase (obs::maybe_capture_slow). 0 disables. Note the
+  /// tracer threshold is process-global; the last service constructed
+  /// with a nonzero value wins.
+  std::uint64_t slow_request_threshold_ms = 0;
+  /// Journal typed events (elected / released / expired / stale_fence /
+  /// watch_drop, plus the server's disconnect_reclaim) to a bounded
+  /// in-memory ring readable via journal()->tail().
+  bool journal_events = false;
+  /// Optional JSONL sink for the journal (append-only file); requires
+  /// journal_events.
+  std::string journal_path;
+  /// In-memory journal ring capacity (and the sink's backlog bound).
+  std::size_t journal_capacity = 4096;
 
   /// Check the configuration without constructing a service: empty on
   /// success, otherwise a description of the first problem found. The
@@ -248,6 +263,12 @@ class service {
   /// quantiles, messages per acquire, communicate-call complexity).
   [[nodiscard]] service_report report() const;
 
+  /// The structured event journal, or nullptr when
+  /// config.journal_events is off. Embedders (the network front-end's
+  /// disconnect path) may append through this pointer; it stays valid
+  /// for the service's lifetime.
+  [[nodiscard]] obs::journal* journal() noexcept { return journal_.get(); }
+
  private:
   /// One queued acquire. The client thread owns the struct (on its
   /// stack) and sleeps on `done`; the node's driver fills `result`.
@@ -261,6 +282,9 @@ class service {
     /// client thread; the driver contends exactly this epoch (and loses
     /// cheaply if the key moved on by the time the job is served).
     instance_entry entry;
+    /// The submitting client's trace id (0 = untraced); the driver
+    /// records its phases against it.
+    std::uint64_t trace = 0;
     std::chrono::steady_clock::time_point submitted;
 
     std::mutex mutex;
@@ -324,18 +348,19 @@ class service {
   [[nodiscard]] bool submit(process_id pid, job& j);
   acquire_result run_acquire(int session_id, process_id pid,
                              const std::string& key);
-  /// Record the metric for a fenced release/renew outcome and pass the
-  /// status through.
+  /// Record the metric (and journal a stale_fence) for a fenced
+  /// release/renew outcome and pass the status through.
   lease_status count_lease_op(const std::string& key, lease_status status,
-                              bool renewal);
+                              bool renewal, std::uint64_t epoch);
   void prune_participated(worker& w);
   void sweeper_main();
 
   service_config config_;
   /// Declared before the registry: the registry's transition hook
-  /// targets the hub, so the hub must be constructed first and destroyed
-  /// last.
+  /// targets the hub and the journal, so both must be constructed first
+  /// and destroyed last.
   watch_hub hub_;
+  std::unique_ptr<obs::journal> journal_;
   instance_registry registry_;
   service_metrics metrics_;
   /// One shared protocol object per strategy kind (stateless; elect()

@@ -45,7 +45,9 @@ void watch_hub::remove(std::uint64_t id) {
       if (ids.empty()) by_key_.erase(by_key);
     }
     watchers_.erase(it);
-    if (watchers_.empty()) armed_.store(false, std::memory_order_relaxed);
+    if (watchers_.empty() && !forced_) {
+      armed_.store(false, std::memory_order_relaxed);
+    }
   }
   // The after-remove guarantee: wait out any in-flight delivery to this
   // id, so the caller can destroy callback state the moment we return.
@@ -58,19 +60,41 @@ void watch_hub::remove(std::uint64_t id) {
   });
 }
 
+void watch_hub::force_arm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_) return;
+  forced_ = true;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void watch_hub::set_drop_hook(std::function<void(const std::string&)> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  drop_hook_ = std::move(fn);
+}
+
 void watch_hub::publish(const std::string& key, std::uint64_t epoch,
                         transition kind, int session) {
   // armed() already gated the common no-watcher case before this call;
   // here we only pay when somebody, somewhere, is watching something.
+  bool dropped = false;
+  std::function<void(const std::string&)> drop_hook;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_ || by_key_.find(key) == by_key_.end()) return;
     if (queue_.size() >= max_queued_events) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
-      return;
+      dropped = true;
+      drop_hook = drop_hook_;
+    } else {
+      queue_.push_back(watch_event{key, epoch, kind, session});
+      published_.fetch_add(1, std::memory_order_relaxed);
     }
-    queue_.push_back(watch_event{key, epoch, kind, session});
-    published_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (dropped) {
+    // Hook runs outside the mutex: it appends to the journal, which must
+    // never serialize against delivery or other publishers.
+    if (drop_hook) drop_hook(key);
+    return;
   }
   queue_cv_.notify_one();
 }

@@ -91,6 +91,18 @@ class watch_hub {
   /// for unknown ids; safe from inside the subscription's own callback).
   void remove(std::uint64_t id);
 
+  /// Keep armed() true even with zero subscriptions. The service sets
+  /// this when the event journal is on: the registry's transition hook
+  /// must fire for every transition (to journal it), not just while
+  /// someone watches. stop() still disarms.
+  void force_arm();
+
+  /// Called (outside the hub mutex) with the key of each event dropped
+  /// to the queue bound — the journal's watch_drop feed. Set before any
+  /// publisher can run (service construction); not synchronized against
+  /// concurrent publish.
+  void set_drop_hook(std::function<void(const std::string&)> fn);
+
   /// Publish one transition (the registry hook's target). Cheap when
   /// nobody watches `key`: armed() gates the call before any of this
   /// runs, and a non-matching key costs one map probe under the mutex.
@@ -129,6 +141,8 @@ class watch_hub {
   std::vector<std::uint64_t> delivering_;
   std::uint64_t next_id_ = 1;
   bool stopped_ = false;
+  bool forced_ = false;
+  std::function<void(const std::string&)> drop_hook_;
 
   std::thread notifier_;
   std::atomic<bool> armed_{false};

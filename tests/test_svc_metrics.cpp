@@ -416,11 +416,33 @@ TEST(ServiceReportSchema, DocumentedKeysSurviveAJsonRoundTrip) {
     EXPECT_TRUE(member(fast_path, key).is_number()) << key;
   }
 
+  // Acquire-latency totals (the Prometheus _count/_sum pair).
+  const json_object& latency = member(root, "acquire_latency").object();
+  for (const std::string key : {"count", "sum_us"}) {
+    EXPECT_TRUE(member(latency, key).is_number()) << key;
+  }
+  EXPECT_EQ(member(latency, "count").number(), 2.0);
+  EXPECT_GE(member(latency, "sum_us").number(), 0.0);
+
   // Watch-hub block (subscriptions + delivery counters).
   const json_object& watch = member(root, "watch").object();
   for (const std::string key :
        {"active", "published", "delivered", "dropped"}) {
     EXPECT_TRUE(member(watch, key).is_number()) << key;
+  }
+
+  // Tracer block (lifetime process-wide counters).
+  const json_object& trace = member(root, "trace").object();
+  for (const std::string key :
+       {"minted", "spans", "slow_captured", "slow_evicted"}) {
+    EXPECT_TRUE(member(trace, key).is_number()) << key;
+  }
+
+  // Event-journal block.
+  const json_object& journal = member(root, "journal").object();
+  for (const std::string key :
+       {"appended", "evicted", "flushed", "flush_errors"}) {
+    EXPECT_TRUE(member(journal, key).is_number()) << key;
   }
 
   // Per-shard array: one entry per shard, all counters present.
