@@ -14,6 +14,11 @@
 //       ends the key's current epoch. The deposed holder's next fenced
 //       op answers stale_epoch.
 //
+//   ./build/examples/elect_admin --port 7400 snapshot
+//       take a command-log snapshot: the server persists it to its
+//       --snapshot path (when configured) and answers with the log
+//       stats (recording/recorded/retained/bytes) as JSON.
+//
 //   ./build/examples/elect_admin --port 7400 tail locks/demo
 //       subscribe to the key's leader transitions (the same watch
 //       stream api::client::watch consumes) and print one line per
@@ -43,6 +48,8 @@ int usage() {
       "  list                 all keys as JSON (requires --admin on)\n"
       "  inspect <key>        one key as JSON (requires --admin on)\n"
       "  force-release <key>  end the key's epoch (requires --admin on)\n"
+      "  snapshot             snapshot state + log stats (requires --admin "
+      "on)\n"
       "  tail <key>           stream leader transitions until Ctrl-C\n");
   return 2;
 }
@@ -142,6 +149,8 @@ int main(int argc, char** argv) {
     kind = net::wire::op::admin_inspect;
   } else if (command == "force-release" && !key.empty()) {
     kind = net::wire::op::admin_force_release;
+  } else if (command == "snapshot") {
+    kind = net::wire::op::admin_snapshot;
   } else {
     return usage();
   }

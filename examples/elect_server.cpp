@@ -13,6 +13,20 @@
 // the elect_admin CLI uses. --slow-ms arms slow-request trace capture;
 // --journal appends structured event records as JSONL.
 //
+// Durability:
+//
+//   ./build/examples/elect_server --port 7400 --snapshot state.elsn \
+//       --snapshot-interval-ms 1000
+//       record the command log and dump a binary snapshot of the
+//       registry to state.elsn (write-to-temp + rename) every interval;
+//       `elect_admin snapshot` forces one on demand.
+//
+//   ./build/examples/elect_server --port 7400 --restore state.elsn
+//       seed the registry from a snapshot before serving. Every
+//       restored key's epoch is bumped, so leases granted before the
+//       restart answer stale_epoch — pre-restart holders are fenced
+//       out, not silently trusted.
+//
 // Runs until SIGINT/SIGTERM (so `elect_server &` with stdin closed
 // keeps serving). Prints the combined net + service metrics JSON on
 // exit — and on every `r` + newline typed on stdin, so you can watch
@@ -25,11 +39,19 @@
 //       fetch and print a running server's metrics JSON, then exit.
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/client.hpp"
 #include "common/check.hpp"
@@ -42,6 +64,74 @@ volatile std::sig_atomic_t interrupted = 0;
 
 void on_signal(int) { interrupted = 1; }
 
+/// Write-to-temp + rename, same discipline as the server's
+/// admin_snapshot path: a crash mid-dump never tears the file a later
+/// --restore will read.
+bool dump_snapshot(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      bytes.empty() ||
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool ok = wrote && std::fflush(file) == 0;
+  if (std::fclose(file) != 0 || !ok ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Periodic snapshot dumper. Trims the command log on every dump: the
+/// snapshot already captures everything the trimmed prefix encoded, so
+/// a long-running server holds a bounded log, not an unbounded replay
+/// history.
+class snapshotter {
+ public:
+  snapshotter(elect::svc::service& service, std::string path,
+              std::uint64_t interval_ms)
+      : service_(service), path_(std::move(path)),
+        interval_(std::chrono::milliseconds(interval_ms)) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~snapshotter() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    // One final dump so a clean shutdown leaves the freshest state.
+    (void)dump_snapshot(path_, service_.registry().snapshot(true));
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+        return;
+      }
+      lock.unlock();
+      if (!dump_snapshot(path_, service_.registry().snapshot(true))) {
+        std::fprintf(stderr, "snapshot dump to %s failed\n", path_.c_str());
+      }
+      lock.lock();
+    }
+  }
+
+  elect::svc::service& service_;
+  const std::string path_;
+  const std::chrono::milliseconds interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +142,9 @@ int main(int argc, char** argv) {
   service_config.lease_ttl_ms = 5000;
   net::server_config server_config;
   server_config.port = 7400;
+  std::string snapshot_path;
+  std::uint64_t snapshot_interval_ms = 1000;
+  std::string restore_path;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const char* flag = argv[i];
@@ -97,6 +190,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(flag, "--journal") == 0) {
       service_config.journal_events = true;
       service_config.journal_path = value;
+    } else if (std::strcmp(flag, "--snapshot") == 0) {
+      snapshot_path = value;
+    } else if (std::strcmp(flag, "--snapshot-interval-ms") == 0) {
+      snapshot_interval_ms = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--restore") == 0) {
+      restore_path = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag);
       return 2;
@@ -109,7 +208,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid configuration: %s\n", error->c_str());
     return 2;
   }
+  if (!snapshot_path.empty()) {
+    if (snapshot_interval_ms == 0) {
+      std::fprintf(stderr, "--snapshot-interval-ms must be >= 1\n");
+      return 2;
+    }
+    // Snapshots only make sense over a recorded command log; arm it
+    // before the service sees any traffic, and let admin_snapshot
+    // persist to the same file on demand.
+    service_config.record_commands = true;
+    server_config.snapshot_path = snapshot_path;
+  }
   svc::service service(std::move(service_config));
+  if (!restore_path.empty()) {
+    std::ifstream in(restore_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read snapshot %s\n", restore_path.c_str());
+      return 1;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    // fence_restored: pre-restart leaseholders presenting restored
+    // epochs must see stale_epoch, never a silently honored lease.
+    if (const auto error =
+            service.registry().restore(bytes, /*fence_restored=*/true)) {
+      std::fprintf(stderr, "restore from %s failed: %s\n",
+                   restore_path.c_str(), error->c_str());
+      return 1;
+    }
+    std::printf("restored %s (all restored epochs fenced)\n",
+                restore_path.c_str());
+  }
   net::server server(service, server_config);
   if (!server.listening()) {
     std::fprintf(stderr, "bind %s:%u failed\n",
@@ -133,7 +262,15 @@ int main(int argc, char** argv) {
     }
   }
   if (server_config.enable_admin) {
-    std::printf("admin ops enabled (elect_admin list/inspect/force-release)\n");
+    std::printf(
+        "admin ops enabled (elect_admin list/inspect/force-release/"
+        "snapshot)\n");
+  }
+  std::optional<snapshotter> snapshots;
+  if (!snapshot_path.empty()) {
+    snapshots.emplace(service, snapshot_path, snapshot_interval_ms);
+    std::printf("snapshotting to %s every %llu ms\n", snapshot_path.c_str(),
+                static_cast<unsigned long long>(snapshot_interval_ms));
   }
   std::printf("type 'r' + enter for a metrics report; Ctrl-C stops\n");
 

@@ -1,0 +1,108 @@
+// restore_fence — the two halves of the snapshot/restore fencing story,
+// as a scriptable binary (CI's examples-smoke drives it).
+//
+//   ./build/examples/restore_fence --hold 127.0.0.1:7400 locks/demo
+//       acquire the key and stay connected: prints "held epoch=E" and
+//       sleeps until killed. The live connection is what keeps the
+//       lease out of the disconnect-reclaim path while the server
+//       snapshots it.
+//
+//   ./build/examples/restore_fence --verify 127.0.0.1:7400 locks/demo E
+//       the post-restore check: a fenced release with the pre-restart
+//       epoch E must answer stale_epoch (the restore bumped every
+//       restored key), and a fresh acquire must then win a newer epoch.
+//       Exits 0 only when both hold.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: restore_fence --hold <host:port> <key>\n"
+               "       restore_fence --verify <host:port> <key> <epoch>\n");
+  return 2;
+}
+
+bool split_endpoint(const std::string& endpoint, std::string& host,
+                    std::uint16_t& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return false;
+  }
+  host = endpoint.substr(0, colon);
+  port = static_cast<std::uint16_t>(
+      std::atoi(endpoint.c_str() + colon + 1));
+  return port != 0;
+}
+
+int run_hold(const std::string& host, std::uint16_t port,
+             const std::string& key) {
+  elect::net::client client(host, port);
+  if (!client.connected()) {
+    std::fprintf(stderr, "connect to %s:%u failed\n", host.c_str(), port);
+    return 1;
+  }
+  const elect::svc::acquire_result r = client.try_acquire(key);
+  if (!r.won) {
+    std::fprintf(stderr, "acquire of %s lost\n", key.c_str());
+    return 1;
+  }
+  std::printf("held epoch=%llu\n", static_cast<unsigned long long>(r.epoch));
+  std::fflush(stdout);
+  // Stay connected (and silent) until killed: the smoke test SIGKILLs
+  // the server out from under this process, then kills it too.
+  for (;;) usleep(200 * 1000);
+}
+
+int run_verify(const std::string& host, std::uint16_t port,
+               const std::string& key, std::uint64_t old_epoch) {
+  elect::net::client client(host, port);
+  if (!client.connected()) {
+    std::fprintf(stderr, "connect to %s:%u failed\n", host.c_str(), port);
+    return 1;
+  }
+  const elect::svc::lease_status fenced = client.release(key, old_epoch);
+  if (fenced != elect::svc::lease_status::stale_epoch) {
+    std::fprintf(stderr,
+                 "expected stale_epoch for pre-restart epoch %llu, got %d\n",
+                 static_cast<unsigned long long>(old_epoch),
+                 static_cast<int>(fenced));
+    return 1;
+  }
+  const elect::svc::acquire_result r = client.try_acquire(key);
+  if (!r.won || r.epoch <= old_epoch) {
+    std::fprintf(stderr, "re-acquire failed (won=%d epoch=%llu)\n",
+                 r.won ? 1 : 0,
+                 static_cast<unsigned long long>(r.epoch));
+    return 1;
+  }
+  std::printf("fenced epoch=%llu reacquired epoch=%llu\n",
+              static_cast<unsigned long long>(old_epoch),
+              static_cast<unsigned long long>(r.epoch));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_endpoint(argv[2], host, port)) return usage();
+  const std::string key = argv[3];
+  if (std::strcmp(argv[1], "--hold") == 0) {
+    return run_hold(host, port, key);
+  }
+  if (std::strcmp(argv[1], "--verify") == 0 && argc >= 5) {
+    return run_verify(host, port, key,
+                      static_cast<std::uint64_t>(std::atoll(argv[4])));
+  }
+  return usage();
+}

@@ -1,0 +1,52 @@
+#include "cmd/command.hpp"
+
+namespace elect::cmd {
+
+std::string_view to_string(command_kind k) {
+  switch (k) {
+    case command_kind::acquire_granted: return "acquire_granted";
+    case command_kind::released: return "released";
+    case command_kind::renewed: return "renewed";
+    case command_kind::expired: return "expired";
+    case command_kind::force_released: return "force_released";
+    case command_kind::disconnect_reclaimed: return "disconnect_reclaimed";
+    case command_kind::epoch_bumped: return "epoch_bumped";
+  }
+  return "unknown";
+}
+
+std::string to_json(const command& c) {
+  std::string out;
+  out.reserve(128 + c.key.size());
+  out += "{\"seq\":";
+  out += std::to_string(c.seq);
+  out += ",\"shard\":";
+  out += std::to_string(c.shard);
+  out += ",\"kind\":\"";
+  out += to_string(c.kind);
+  out += "\",\"key\":\"";
+  // Keys are caller-chosen; escape the two characters that would break
+  // the JSON string (the registry imposes no charset on keys).
+  for (const char ch : c.key) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += "\",\"session\":";
+  out += std::to_string(c.session);
+  out += ",\"epoch\":";
+  out += std::to_string(c.epoch);
+  out += ",\"mode\":";
+  out += std::to_string(static_cast<int>(c.mode));
+  out += ",\"at_ms\":";
+  out += std::to_string(c.at_ms);
+  if (c.lease_ms == lease_forever) {
+    out += ",\"lease_ms\":null}";
+  } else {
+    out += ",\"lease_ms\":";
+    out += std::to_string(c.lease_ms);
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace elect::cmd

@@ -1,0 +1,95 @@
+// Versioned binary snapshot of a registry's replayable state: per shard
+// a log watermark (last applied seq + its logical timestamp) and, for
+// every key that differs from the implicit default, the epoch, holder,
+// grant mode, and remaining lease.
+//
+// The format is designed so that two registries that processed the same
+// command stream encode byte-identical snapshots — the golden check for
+// replay determinism. That forces three normalizations on the encoder
+// (the registry performs them when it builds `snapshot_data`):
+//
+//   * keys sorted per shard (hash-map iteration order is not part of
+//     the state);
+//   * nothing that commands don't carry — no instance ids (allocation
+//     order across shards is scheduling-dependent) and no attempt
+//     counters (attempts are observations, not mutations);
+//   * keys still at the implicit default (epoch 0, unheld) are skipped,
+//     and an unheld key's grant mode is recorded as open — per the
+//     implicit-epoch-0 rule those states are indistinguishable from the
+//     outside, and replay may lack the non-mutating touches (peeks,
+//     arms that never granted) that created them.
+//
+// Leases are stored wall-clock-independently: the remaining TTL
+// relative to the shard's watermark timestamp, as a signed delta (a
+// lease can be past due but not yet swept). Restore re-anchors the
+// remainder to the restoring registry's own clock, so a lease with 3 s
+// left expires ~3 s after the restore — not instantly, not never.
+//
+// Layout (all integers little-endian):
+//
+//   u32 magic "ELSN"   u16 version   u32 shard_count
+//   per shard:
+//     u64 last_seq   u64 last_at_ms   u32 key_count
+//     per key (sorted ascending):
+//       u32 key_len  bytes key
+//       u64 epoch    u32 leader (two's complement, -1 = unheld)
+//       u8  mode     u64 lease_rel_ms (two's complement; i64 max =
+//                                      no deadline)
+//
+// Decoding is bounds-checked end to end and returns an error string —
+// never UB — on truncation, bad magic, or an unknown version.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elect::cmd {
+
+inline constexpr std::uint32_t snapshot_magic = 0x454C534Eu;  // "ELSN"
+inline constexpr std::uint16_t snapshot_version = 1;
+
+/// Sentinel for `lease_rel_ms`: the lease never expires (or the key is
+/// unheld).
+inline constexpr std::int64_t lease_rel_none = INT64_MAX;
+
+struct snapshot_key {
+  std::string key;
+  std::uint64_t epoch = 0;
+  std::int32_t leader = -1;
+  /// grant_mode_* from command.hpp; grant_mode_open whenever unheld.
+  std::uint8_t mode = 0;
+  /// Lease deadline minus the shard watermark's `last_at_ms` (signed:
+  /// an expired-but-unswept lease is negative); lease_rel_none when
+  /// there is no deadline.
+  std::int64_t lease_rel_ms = lease_rel_none;
+};
+
+struct snapshot_shard {
+  /// Watermark: seq of the last command applied in this shard (0 =
+  /// none) and its logical timestamp. Replay of a post-snapshot log
+  /// continues at last_seq + 1.
+  std::uint64_t last_seq = 0;
+  std::uint64_t last_at_ms = 0;
+  /// Sorted ascending by key.
+  std::vector<snapshot_key> keys;
+};
+
+struct snapshot_data {
+  std::vector<snapshot_shard> shards;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const snapshot_data& data);
+
+/// Empty `data` and a non-empty `error` on any malformed input.
+struct snapshot_decode_result {
+  std::optional<snapshot_data> data;
+  std::string error;
+};
+
+[[nodiscard]] snapshot_decode_result decode_snapshot(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace elect::cmd

@@ -521,7 +521,8 @@ std::string client::metrics_json() {
 std::optional<wire::response> client::admin(wire::op kind,
                                             const std::string& key) {
   if (kind != wire::op::admin_list && kind != wire::op::admin_inspect &&
-      kind != wire::op::admin_force_release) {
+      kind != wire::op::admin_force_release &&
+      kind != wire::op::admin_snapshot) {
     return std::nullopt;
   }
   return call(kind, key, 0, 0);

@@ -105,9 +105,10 @@ class client {
   /// The combined net + service metrics JSON; empty on failure.
   [[nodiscard]] std::string metrics_json();
   /// Issue one admin op (admin_list / admin_inspect /
-  /// admin_force_release; `key` ignored for list) and return the raw
-  /// response — `denied` when the server's admin surface is off, empty
-  /// on transport failure. The elect_admin CLI is built on this.
+  /// admin_force_release / admin_snapshot; `key` ignored for list and
+  /// snapshot) and return the raw response — `denied` when the
+  /// server's admin surface is off, empty on transport failure. The
+  /// elect_admin CLI is built on this.
   [[nodiscard]] std::optional<wire::response> admin(
       wire::op kind, const std::string& key = "");
 

@@ -148,6 +148,29 @@ std::string inspection_json(const svc::key_inspection& k) {
   return out;
 }
 
+/// Persist a snapshot via write-to-temp + rename, so a crash mid-write
+/// never leaves a torn file where a restore expects a whole one.
+bool write_snapshot_file(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      bytes.empty() ||
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!(wrote && flushed && closed)) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 /// The network front-end's own Prometheus series, appended after the
 /// service-level series obs::render_prometheus produces.
 void render_net_prometheus(std::string& out, const net_report& r) {
@@ -633,12 +656,11 @@ void server::serve(const pending& p) {
         // close raced us): disconnect-on-close already ran, so this
         // fresh win has nobody behind it — hand it straight back
         // instead of orphaning the key. The shard mutex orders the
-        // win against finish_connection's release_all scan, so a win
+        // win against finish_connection's reclaim scan, so a win
         // the scan could not see always observes closed here.
-        (void)session.release(req.key, result.epoch);
+        (void)session.reclaim(req.key, result.epoch);
         counters_.disconnect_reclaims.fetch_add(1,
                                                 std::memory_order_relaxed);
-        journal_disconnect_reclaim(req.key, session.id());
         complete(p.conn);
         return;
       }
@@ -686,6 +708,7 @@ void server::serve(const pending& p) {
     case wire::op::admin_list:
     case wire::op::admin_inspect:
     case wire::op::admin_force_release:
+    case wire::op::admin_snapshot:
       serve_admin(p, r);
       break;
     default:
@@ -791,19 +814,43 @@ void server::serve_admin(const pending& p, wire::response& r) {
       break;
     }
     case wire::op::admin_force_release:
-      r.result = wire::from_lease_status(registry.force_release(p.req.key));
+      // Through the service, not the registry: the forced-release
+      // counter and the journal's "admin" cause live there.
+      r.result = wire::from_lease_status(service_.force_release(p.req.key));
       break;
+    case wire::op::admin_snapshot: {
+      const std::vector<std::uint8_t> snap =
+          service_.registry().snapshot(/*trim_log=*/false);
+      bool written = false;
+      bool write_failed = false;
+      if (!config_.snapshot_path.empty()) {
+        written = write_snapshot_file(config_.snapshot_path, snap);
+        write_failed = !written;
+      }
+      const cmd::log_stats stats = service_.registry().log_stats();
+      std::string body = "{\"recording\":";
+      body += stats.recording ? "true" : "false";
+      body += ",\"recorded\":";
+      body += std::to_string(stats.recorded);
+      body += ",\"retained\":";
+      body += std::to_string(stats.retained);
+      body += ",\"bytes\":";
+      body += std::to_string(snap.size());
+      body += ",\"path\":\"";
+      json_escape_into(body, config_.snapshot_path);
+      body += "\",\"written\":";
+      body += written ? "true" : "false";
+      body += "}";
+      r.body = std::move(body);
+      // A snapshot the operator asked to persist but could not be
+      // written is a failure, not a success with a footnote.
+      r.result =
+          write_failed ? wire::status::rejected : wire::status::ok;
+      break;
+    }
     default:
       r.result = wire::status::bad_request;
       break;
-  }
-}
-
-void server::journal_disconnect_reclaim(const std::string& key,
-                                        int session_id) {
-  if (obs::journal* j = service_.journal(); j != nullptr) {
-    j->append(obs::event_kind::disconnect_reclaim, key, 0, session_id,
-              "connection closed");
   }
 }
 
@@ -885,9 +932,8 @@ void server::serve_blocking(const pending& p) {
     // The client died while its acquire was in flight; nobody is behind
     // the lease, so hand it straight back instead of wedging the key
     // until the TTL.
-    (void)session.release(p.req.key, result.epoch);
+    (void)session.reclaim(p.req.key, result.epoch);
     counters_.disconnect_reclaims.fetch_add(1, std::memory_order_relaxed);
-    journal_disconnect_reclaim(p.req.key, session.id());
     complete(p.conn);
     return;
   }
@@ -977,22 +1023,14 @@ void server::finish_connection(connection_ptr conn) {
   for (const std::uint64_t id : watches) service_.unwatch(id);
   if (conn->session.has_value()) {
     // The disconnect-on-close hook: whatever the remote client held is
-    // force-released NOW — its rivals re-elect immediately instead of
+    // reclaimed NOW — its rivals re-elect immediately instead of
     // waiting out the lease TTL. In-flight wins for this connection are
-    // reclaimed by their waiters (see serve_blocking). The held-keys
-    // snapshot names each reclaimed key in the event journal; keys won
-    // between snapshot and disconnect are reclaimed but journal only as
-    // their `released` transition.
-    std::vector<std::string> held;
-    if (service_.journal() != nullptr) held = conn->session->held_keys();
-    const std::size_t reclaimed = conn->session->disconnect();
+    // reclaimed by their waiters (see serve_blocking). Each reclaimed
+    // key's disconnect_reclaimed command carries its real epoch, so the
+    // event journal names every key with no pre-scan of held keys.
+    const std::size_t reclaimed = conn->session->reclaim_all();
     counters_.disconnect_reclaims.fetch_add(reclaimed,
                                             std::memory_order_relaxed);
-    if (reclaimed > 0) {
-      for (const std::string& key : held) {
-        journal_disconnect_reclaim(key, conn->session->id());
-      }
-    }
   }
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
 }

@@ -89,9 +89,13 @@ struct server_config {
   /// HTTP port; 0 binds ephemeral (read back with server::http_port()).
   std::uint16_t http_port = 0;
   /// Allow the wire admin ops (admin_list / admin_inspect /
-  /// admin_force_release). Off by default: force-release is an
-  /// operator lever, not a client right — `denied` when off.
+  /// admin_force_release / admin_snapshot). Off by default:
+  /// force-release is an operator lever, not a client right — `denied`
+  /// when off.
   bool enable_admin = false;
+  /// Where admin_snapshot persists the registry snapshot. Empty keeps
+  /// the op in-memory only (it still answers with command-log stats).
+  std::string snapshot_path;
 };
 
 /// Point-in-time counters for the network edge.
@@ -226,8 +230,6 @@ class server {
   void serve_unwatch(const pending& p, wire::response& r);
   /// The admin ops (executor thread); gated by config.enable_admin.
   void serve_admin(const pending& p, wire::response& r);
-  /// Journal one reclaimed key on a connection-death path.
-  void journal_disconnect_reclaim(const std::string& key, int session_id);
   // HTTP side-channel (loop thread only): accept, buffer one request,
   // answer, close.
   void http_accept_ready();

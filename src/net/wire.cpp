@@ -112,6 +112,7 @@ std::string_view to_string(op kind) {
     case op::admin_list: return "admin_list";
     case op::admin_inspect: return "admin_inspect";
     case op::admin_force_release: return "admin_force_release";
+    case op::admin_snapshot: return "admin_snapshot";
   }
   return "unknown";
 }
@@ -193,7 +194,7 @@ response make_event(const svc::watch_event& e) {
 
 std::optional<svc::watch_event> parse_event(const response& r) {
   if (r.kind != op::event || r.id != 0 ||
-      r.flags > static_cast<std::uint8_t>(svc::transition::expired) ||
+      r.flags > static_cast<std::uint8_t>(svc::transition::force_released) ||
       r.body.size() > max_key_bytes) {
     return std::nullopt;
   }

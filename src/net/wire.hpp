@@ -107,9 +107,15 @@ enum class op : std::uint8_t {
   /// "kick the stuck leader" lever); `not_leader` when unheld. Same
   /// gate as admin_list.
   admin_force_release = 14,
+  /// Admin: take a command-log snapshot. The server encodes the
+  /// registry's binary snapshot, writes it to the configured snapshot
+  /// path (when set), and answers with a small JSON object in `body`
+  /// describing the command log (recording/recorded/retained/bytes).
+  /// Same gate as admin_list.
+  admin_snapshot = 15,
 };
 
-inline constexpr int op_count = 15;
+inline constexpr int op_count = 16;
 
 [[nodiscard]] std::string_view to_string(op kind);
 

@@ -45,6 +45,8 @@ std::string_view to_string(event_kind k) {
     case event_kind::stale_fence: return "stale_fence";
     case event_kind::disconnect_reclaim: return "disconnect_reclaim";
     case event_kind::watch_drop: return "watch_drop";
+    case event_kind::force_released: return "force_released";
+    case event_kind::epoch_bumped: return "epoch_bumped";
   }
   return "unknown";
 }

@@ -34,7 +34,8 @@ namespace elect::obs {
 enum class event_kind : std::uint8_t {
   /// A session won `key`'s election and holds the new epoch.
   elected = 0,
-  /// The holder released (voluntarily, via disconnect, or by admin).
+  /// The holder released voluntarily (explicit release or a polite
+  /// disconnect).
   released = 1,
   /// The lease TTL lapsed; the sweeper ended the epoch.
   expired = 2,
@@ -44,6 +45,12 @@ enum class event_kind : std::uint8_t {
   disconnect_reclaim = 4,
   /// The watch hub's queue overflowed and discarded an event.
   watch_drop = 5,
+  /// An operator ended the epoch via admin force-release (distinct from
+  /// an expiry: somebody pulled the lever).
+  force_released = 6,
+  /// The epoch was bumped with no holder involved — restore-time
+  /// fencing of pre-restart leaseholders.
+  epoch_bumped = 7,
 };
 
 [[nodiscard]] std::string_view to_string(event_kind k);

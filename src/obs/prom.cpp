@@ -86,6 +86,8 @@ std::string render_prometheus(const svc::service_report& r) {
   counter(out, "elect_stale_fences_total",
           "Lease ops rejected by epoch/holder fencing (zombies).",
           r.stale_fences);
+  counter(out, "elect_forced_releases_total",
+          "Epochs ended by admin force-release.", r.forced_releases);
   counter(out, "elect_rejected_acquires_total",
           "Acquires turned away by service shutdown.", r.rejected_acquires);
   counter(out, "elect_short_circuit_losses_total",

@@ -15,12 +15,14 @@ service_report service_metrics::snapshot() const {
     sr.expirations = s.expirations.load(std::memory_order_relaxed);
     sr.renewals = s.renewals.load(std::memory_order_relaxed);
     sr.stale_fences = s.stale_fences.load(std::memory_order_relaxed);
+    sr.forced_releases = s.forced_releases.load(std::memory_order_relaxed);
     report.acquires += sr.acquires;
     report.wins += sr.wins;
     report.releases += sr.releases;
     report.expirations += sr.expirations;
     report.renewals += sr.renewals;
     report.stale_fences += sr.stale_fences;
+    report.forced_releases += sr.forced_releases;
     report.shards.push_back(sr);
   }
   report.rejected_acquires =
@@ -57,6 +59,7 @@ std::string service_report::to_json() const {
   out << "\"expirations\":" << expirations << ",";
   out << "\"renewals\":" << renewals << ",";
   out << "\"stale_fences\":" << stale_fences << ",";
+  out << "\"forced_releases\":" << forced_releases << ",";
   out << "\"rejected_acquires\":" << rejected_acquires << ",";
   out << "\"strategies\":{";
   for (int k = 0; k < election::strategy_kind_count; ++k) {
@@ -104,6 +107,7 @@ std::string service_report::to_json() const {
         << ",\"expirations\":" << shards[i].expirations
         << ",\"renewals\":" << shards[i].renewals
         << ",\"stale_fences\":" << shards[i].stale_fences
+        << ",\"forced_releases\":" << shards[i].forced_releases
         << ",\"keys\":" << shards[i].keys << "}";
   }
   out << "]}";

@@ -110,6 +110,8 @@ struct shard_counters {
   std::atomic<std::uint64_t> renewals{0};
   /// release()/renew() calls rejected by epoch/holder fencing (zombies).
   std::atomic<std::uint64_t> stale_fences{0};
+  /// Epochs ended by admin force-release (the operator's lever).
+  std::atomic<std::uint64_t> forced_releases{0};
 };
 
 /// Acquire traffic attributed to one election strategy.
@@ -150,6 +152,7 @@ struct shard_report {
   std::uint64_t expirations = 0;
   std::uint64_t renewals = 0;
   std::uint64_t stale_fences = 0;
+  std::uint64_t forced_releases = 0;
   std::size_t keys = 0;
 };
 
@@ -162,6 +165,8 @@ struct service_report {
   std::uint64_t expirations = 0;
   std::uint64_t renewals = 0;
   std::uint64_t stale_fences = 0;
+  /// Epochs ended by admin force-release across all shards.
+  std::uint64_t forced_releases = 0;
   /// Acquires turned away by a concurrent/completed stop() (not counted
   /// in `acquires`; they never reached an election).
   std::uint64_t rejected_acquires = 0;
@@ -249,6 +254,11 @@ class service_metrics {
 
   void record_renewal(int shard) {
     shards_[static_cast<std::size_t>(shard)].renewals.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  void record_forced_release(int shard) {
+    shards_[static_cast<std::size_t>(shard)].forced_releases.fetch_add(
         1, std::memory_order_relaxed);
   }
 

@@ -1,19 +1,24 @@
 #include "svc/registry.hpp"
 
+#include <algorithm>
 #include <functional>
 
+#include "cmd/snapshot.hpp"
 #include "common/check.hpp"
 
 namespace elect::svc {
 
 namespace {
 
-/// Lease deadline for a grant/renewal: zero TTL means "never expires".
-instance_registry::clock::time_point deadline_for(
-    instance_registry::clock::duration ttl) {
-  return ttl == instance_registry::clock::duration::zero()
-             ? instance_registry::clock::time_point::max()
-             : instance_registry::clock::now() + ttl;
+/// A grant's TTL on the command stream's logical clock: zero means
+/// "never expires" (cmd::lease_forever); sub-millisecond TTLs round up
+/// so they cannot collapse to an already-expired lease.
+std::uint64_t lease_ms_for(instance_registry::clock::duration ttl) {
+  if (ttl == instance_registry::clock::duration::zero()) {
+    return cmd::lease_forever;
+  }
+  const auto ms = std::chrono::ceil<std::chrono::milliseconds>(ttl).count();
+  return ms <= 0 ? 1 : static_cast<std::uint64_t>(ms);
 }
 
 }  // namespace
@@ -23,19 +28,24 @@ std::string_view to_string(transition t) {
     case transition::elected: return "elected";
     case transition::released: return "released";
     case transition::expired: return "expired";
+    case transition::force_released: return "force_released";
   }
   return "unknown";
 }
 
-void instance_registry::set_transition_hook(const std::atomic<bool>& armed,
-                                            transition_hook hook) {
+void instance_registry::set_command_hook(const std::atomic<bool>& armed,
+                                         command_hook hook) {
   hook_armed_ = &armed;
   hook_ = std::move(hook);
 }
 
+void instance_registry::enable_command_log() {
+  recording_.store(true, std::memory_order_relaxed);
+}
+
 instance_registry::instance_registry(int shard_count,
                                      std::uint64_t first_instance)
-    : next_instance_(first_instance) {
+    : next_instance_(first_instance), base_(clock::now()) {
   ELECT_CHECK(shard_count >= 1);
   ELECT_CHECK_MSG(first_instance < instance_id_limit,
                   "first_instance starts past the election-id guard");
@@ -52,6 +62,13 @@ int instance_registry::shard_of(const std::string& key) const {
 instance_registry::shard& instance_registry::shard_for(
     const std::string& key) {
   return *shards_[static_cast<std::size_t>(shard_of(key))];
+}
+
+std::uint64_t instance_registry::logical_now_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                            base_)
+          .count());
 }
 
 election::election_id instance_registry::allocate_instance() {
@@ -83,11 +100,68 @@ instance_registry::key_state& instance_registry::state_locked(
 void instance_registry::bump_epoch_locked(key_state& state) {
   state.leader = -1;
   state.lease_deadline = clock::time_point::max();
+  state.logical_deadline_ms = cmd::lease_forever;
   state.entry.epoch++;
   state.entry.instance = allocate_instance();
   state.mode = grant_mode::open;
   state.last_epoch_attempts = state.attempts_this_epoch;
   state.attempts_this_epoch = 0;
+}
+
+void instance_registry::set_lease_locked(key_state& state,
+                                         const cmd::command& c) {
+  // The >= guard keeps a pathological near-forever TTL from wrapping the
+  // logical deadline back into the past.
+  if (c.lease_ms == cmd::lease_forever ||
+      c.lease_ms >= cmd::lease_forever - c.at_ms) {
+    state.logical_deadline_ms = cmd::lease_forever;
+    state.lease_deadline = clock::time_point::max();
+    return;
+  }
+  state.logical_deadline_ms = c.at_ms + c.lease_ms;
+  state.lease_deadline =
+      base_ + std::chrono::milliseconds(state.logical_deadline_ms);
+}
+
+void instance_registry::apply_command_locked(shard& s, key_state& state,
+                                             cmd::command& c,
+                                             bool from_replay) {
+  // The executor half of the funnel: everything below is a pure function
+  // of (state, command) — no clock reads, no id ordering — which is what
+  // replay determinism rests on. Decisions were made by the caller.
+  switch (c.kind) {
+    case cmd::command_kind::acquire_granted:
+      state.leader = c.session;
+      state.mode = c.mode == cmd::grant_mode_fast_claimed
+                       ? grant_mode::fast_claimed
+                       : grant_mode::protocol_armed;
+      set_lease_locked(state, c);
+      break;
+    case cmd::command_kind::renewed:
+      set_lease_locked(state, c);
+      break;
+    case cmd::command_kind::released:
+    case cmd::command_kind::expired:
+    case cmd::command_kind::force_released:
+    case cmd::command_kind::disconnect_reclaimed:
+    case cmd::command_kind::epoch_bumped:
+      bump_epoch_locked(state);
+      break;
+  }
+  s.last_at_ms = c.at_ms;
+  if (from_replay) {
+    // Replayed commands keep their recorded seq; advancing the watermark
+    // (instead of re-appending) is what makes a post-replay snapshot
+    // byte-identical to the recorder's.
+    if (c.seq != 0) {
+      s.last_seq = c.seq;
+      if (s.next_seq <= c.seq) s.next_seq = c.seq + 1;
+    }
+  } else if (recording_.load(std::memory_order_relaxed)) {
+    c.seq = s.next_seq++;
+    s.last_seq = c.seq;
+    s.log.push_back(c);
+  }
 }
 
 instance_entry instance_registry::current(const std::string& key) {
@@ -115,8 +189,14 @@ std::optional<instance_entry> instance_registry::peek(const std::string& key) {
 
 adaptive_attempt instance_registry::begin_adaptive_attempt(
     const std::string& key, int session, clock::duration ttl) {
-  shard& s = shard_for(key);
+  const int shard_index = shard_of(key);
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
   adaptive_attempt result;
+  // Stack command, empty key: assembling it allocates nothing until a
+  // consumer (recording or an armed hook) asks for the key string — the
+  // zero-subscriber fast path stays allocation-free.
+  cmd::command c;
+  bool publish = false;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     key_state& state = state_locked(s, key);
@@ -151,15 +231,22 @@ adaptive_attempt instance_registry::begin_adaptive_attempt(
       result.fast = {fast_claim_outcome::held, {}};
       return result;
     }
-    state.leader = session;
-    state.mode = grant_mode::fast_claimed;
-    state.lease_deadline = deadline_for(ttl);
+    // Decision made — the CAS wins. Emit the grant as a command and let
+    // the funnel execute it.
+    c.shard = shard_index;
+    c.kind = cmd::command_kind::acquire_granted;
+    c.session = session;
+    c.epoch = state.entry.epoch;
+    c.mode = cmd::grant_mode_fast_claimed;
+    c.at_ms = logical_now_ms();
+    c.lease_ms = lease_ms_for(ttl);
+    publish = hook_live();
+    if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
+    apply_command_locked(s, state, c, /*from_replay=*/false);
     result.fast = {fast_claim_outcome::claimed, state.lease_deadline};
   }
-  // Grants publish like any other transition, outside the shard lock.
-  if (hook_live()) {
-    hook_(key, result.attempt.entry.epoch, transition::elected, session);
-  }
+  // Grants publish like any other mutation, outside the shard lock.
+  if (publish) hook_(c);
   return result;
 }
 
@@ -175,6 +262,11 @@ bool instance_registry::arm_protocol(const std::string& key,
   // the protocol (the short-circuit the metrics count). Concurrent
   // participants of a still-undecided election all arm the same epoch
   // (idempotent) and contend in one instance.
+  //
+  // Arming is an observation latch, not a command: it grants nothing.
+  // If nobody ever claims the armed epoch, replay (which sees no
+  // command) leaves the key open — snapshots normalize an unheld key's
+  // mode to open for exactly this reason.
   if (state.leader != -1) return false;
   state.mode = grant_mode::protocol_armed;
   return true;
@@ -183,8 +275,11 @@ bool instance_registry::arm_protocol(const std::string& key,
 std::optional<instance_registry::clock::time_point>
 instance_registry::claim_win(const std::string& key, std::uint64_t epoch,
                              int session, clock::duration ttl) {
-  shard& s = shard_for(key);
+  const int shard_index = shard_of(key);
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
   clock::time_point deadline;
+  cmd::command c;
+  bool publish = false;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
@@ -196,11 +291,19 @@ instance_registry::claim_win(const std::string& key, std::uint64_t epoch,
                     "protocol claim on a fast-claimed epoch — the fencing "
                     "that keeps the two grant paths apart is broken");
     if (state.leader != -1) return std::nullopt;
-    state.leader = session;
-    state.lease_deadline = deadline_for(ttl);
+    c.shard = shard_index;
+    c.kind = cmd::command_kind::acquire_granted;
+    c.session = session;
+    c.epoch = epoch;
+    c.mode = cmd::grant_mode_protocol;
+    c.at_ms = logical_now_ms();
+    c.lease_ms = lease_ms_for(ttl);
+    publish = hook_live();
+    if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
+    apply_command_locked(s, state, c, /*from_replay=*/false);
     deadline = state.lease_deadline;
   }
-  if (hook_live()) hook_(key, epoch, transition::elected, session);
+  if (publish) hook_(c);
   return deadline;
 }
 
@@ -219,9 +322,14 @@ instance_registry::lease_deadline_of(const std::string& key) {
   return it->second.lease_deadline;
 }
 
-lease_status instance_registry::release(const std::string& key, int session,
-                                        std::uint64_t epoch) {
-  shard& s = shard_for(key);
+lease_status instance_registry::end_epoch_fenced(const std::string& key,
+                                                 int session,
+                                                 std::uint64_t epoch,
+                                                 cmd::command_kind kind) {
+  const int shard_index = shard_of(key);
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  cmd::command c;
+  bool publish = false;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
@@ -235,34 +343,61 @@ lease_status instance_registry::release(const std::string& key, int session,
     }
     if (it->second.entry.epoch != epoch) return lease_status::stale_epoch;
     if (it->second.leader != session) return lease_status::not_leader;
-    bump_epoch_locked(it->second);
+    c.shard = shard_index;
+    c.kind = kind;
+    c.session = session;
+    c.epoch = epoch;
+    c.at_ms = logical_now_ms();
+    publish = hook_live();
+    if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
+    apply_command_locked(s, it->second, c, /*from_replay=*/false);
   }
   s.epoch_changed.notify_all();
-  if (hook_live()) hook_(key, epoch, transition::released, session);
+  if (publish) hook_(c);
   return lease_status::ok;
 }
 
+lease_status instance_registry::release(const std::string& key, int session,
+                                        std::uint64_t epoch) {
+  return end_epoch_fenced(key, session, epoch, cmd::command_kind::released);
+}
+
+lease_status instance_registry::reclaim(const std::string& key, int session,
+                                        std::uint64_t epoch) {
+  return end_epoch_fenced(key, session, epoch,
+                          cmd::command_kind::disconnect_reclaimed);
+}
+
 lease_status instance_registry::release(const std::string& key, int session) {
-  shard& s = shard_for(key);
-  std::uint64_t released_epoch = 0;
+  const int shard_index = shard_of(key);
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  cmd::command c;
+  bool publish = false;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
     if (it == s.keys.end() || it->second.leader != session) {
       return lease_status::not_leader;
     }
-    released_epoch = it->second.entry.epoch;
-    bump_epoch_locked(it->second);
+    c.shard = shard_index;
+    c.kind = cmd::command_kind::released;
+    c.session = session;
+    c.epoch = it->second.entry.epoch;
+    c.at_ms = logical_now_ms();
+    publish = hook_live();
+    if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
+    apply_command_locked(s, it->second, c, /*from_replay=*/false);
   }
   s.epoch_changed.notify_all();
-  if (hook_live()) hook_(key, released_epoch, transition::released, session);
+  if (publish) hook_(c);
   return lease_status::ok;
 }
 
 lease_status instance_registry::renew(const std::string& key, int session,
                                       std::uint64_t epoch,
                                       clock::duration ttl) {
-  shard& s = shard_for(key);
+  const int shard_index = shard_of(key);
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
   const std::lock_guard<std::mutex> lock(s.mutex);
   const auto it = s.keys.find(key);
   if (it == s.keys.end()) {
@@ -271,37 +406,49 @@ lease_status instance_registry::renew(const std::string& key, int session,
   }
   if (it->second.entry.epoch != epoch) return lease_status::stale_epoch;
   if (it->second.leader != session) return lease_status::not_leader;
-  it->second.lease_deadline = deadline_for(ttl);
+  // Renewals move no leadership: logged for replay (the deadline is
+  // state), but not published through the hook.
+  cmd::command c;
+  c.shard = shard_index;
+  c.kind = cmd::command_kind::renewed;
+  c.session = session;
+  c.epoch = epoch;
+  c.at_ms = logical_now_ms();
+  c.lease_ms = lease_ms_for(ttl);
+  if (recording_.load(std::memory_order_relaxed)) c.key = key;
+  apply_command_locked(s, it->second, c, /*from_replay=*/false);
   return lease_status::ok;
 }
 
 std::size_t instance_registry::bump_matching(
     const std::function<bool(const key_state&)>& predicate,
-    const std::function<void(int)>& on_bumped, transition kind) {
-  /// What a bumped key looked like before the bump — collected under the
-  /// shard lock, published after it.
-  struct ended {
-    std::string key;
-    std::uint64_t epoch;
-    int session;
-  };
+    const std::function<void(int)>& on_bumped, cmd::command_kind kind) {
   std::size_t bumped = 0;
-  std::vector<ended> events;
+  /// Commands emitted this shard — executed under the shard lock,
+  /// published after it.
+  std::vector<cmd::command> events;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shard& s = *shards_[i];
     // Sampled once per shard: a watcher subscribing mid-scan may miss
     // this sweep's transitions, which the delivery bound tolerates (its
     // clock starts at subscription).
     const bool publish = hook_live();
+    const bool record = recording_.load(std::memory_order_relaxed);
     std::size_t bumped_here = 0;
     {
       const std::lock_guard<std::mutex> lock(s.mutex);
+      const std::uint64_t at = logical_now_ms();
       for (auto& [key, state] : s.keys) {
         if (!predicate(state)) continue;
-        if (publish) {
-          events.push_back(ended{key, state.entry.epoch, state.leader});
-        }
-        bump_epoch_locked(state);
+        cmd::command c;
+        c.shard = static_cast<std::int32_t>(i);
+        c.kind = kind;
+        c.session = state.leader;
+        c.epoch = state.entry.epoch;
+        c.at_ms = at;
+        if (publish || record) c.key = key;
+        apply_command_locked(s, state, c, /*from_replay=*/false);
+        if (publish) events.push_back(std::move(c));
         ++bumped_here;
       }
     }
@@ -313,7 +460,7 @@ std::size_t instance_registry::bump_matching(
         on_bumped(static_cast<int>(i));
       }
     }
-    for (const ended& e : events) hook_(e.key, e.epoch, kind, e.session);
+    for (const cmd::command& c : events) hook_(c);
     events.clear();
   }
   return bumped;
@@ -321,12 +468,19 @@ std::size_t instance_registry::bump_matching(
 
 std::size_t instance_registry::release_all(
     int session, const std::function<void(int)>& on_released) {
-  // A disconnect is a voluntary release from the watch layer's point of
-  // view — the network edge's crash reclaim lands here too, which is how
-  // a remote crash is observed faster than the lease TTL.
+  // A graceful disconnect is a voluntary release from the watch layer's
+  // point of view; the network edge's *crash* reclaim goes through
+  // reclaim_all instead so the stream can tell the two apart.
   return bump_matching(
       [session](const key_state& state) { return state.leader == session; },
-      on_released, transition::released);
+      on_released, cmd::command_kind::released);
+}
+
+std::size_t instance_registry::reclaim_all(
+    int session, const std::function<void(int)>& on_reclaimed) {
+  return bump_matching(
+      [session](const key_state& state) { return state.leader == session; },
+      on_reclaimed, cmd::command_kind::disconnect_reclaimed);
 }
 
 namespace {
@@ -380,23 +534,27 @@ std::optional<key_inspection> instance_registry::inspect(
 }
 
 lease_status instance_registry::force_release(const std::string& key) {
-  shard& s = shard_for(key);
-  std::uint64_t released_epoch = 0;
-  int released_holder = -1;
+  const int shard_index = shard_of(key);
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  cmd::command c;
+  bool publish = false;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
     if (it == s.keys.end() || it->second.leader == -1) {
       return lease_status::not_leader;
     }
-    released_epoch = it->second.entry.epoch;
-    released_holder = it->second.leader;
-    bump_epoch_locked(it->second);
+    c.shard = shard_index;
+    c.kind = cmd::command_kind::force_released;
+    c.session = it->second.leader;
+    c.epoch = it->second.entry.epoch;
+    c.at_ms = logical_now_ms();
+    publish = hook_live();
+    if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
+    apply_command_locked(s, it->second, c, /*from_replay=*/false);
   }
   s.epoch_changed.notify_all();
-  if (hook_live()) {
-    hook_(key, released_epoch, transition::released, released_holder);
-  }
+  if (publish) hook_(c);
   return lease_status::ok;
 }
 
@@ -417,7 +575,208 @@ std::size_t instance_registry::sweep_expired(
       [now](const key_state& state) {
         return state.leader != -1 && state.lease_deadline <= now;
       },
-      on_expired, transition::expired);
+      on_expired, cmd::command_kind::expired);
+}
+
+std::vector<cmd::command> instance_registry::collect_commands() const {
+  std::vector<cmd::command> out;
+  for (const auto& shard_ptr : shards_) {
+    const std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    out.insert(out.end(), shard_ptr->log.begin(), shard_ptr->log.end());
+  }
+  return out;
+}
+
+cmd::log_stats instance_registry::log_stats() const {
+  cmd::log_stats stats;
+  stats.recording = recording_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    const std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    stats.recorded += shard_ptr->next_seq - 1;
+    stats.retained += shard_ptr->log.size();
+  }
+  return stats;
+}
+
+std::optional<std::string> instance_registry::apply(const cmd::command& c) {
+  const int shard_index = shard_of(c.key);
+  if (c.shard >= 0 && c.shard != shard_index) {
+    return "command seq " + std::to_string(c.seq) + " was recorded for shard " +
+           std::to_string(c.shard) + " but key '" + c.key +
+           "' maps to shard " + std::to_string(shard_index) +
+           " here — replaying into a registry with a different shard count?";
+  }
+  shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  cmd::command local = c;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (local.seq != 0 && s.last_seq != 0 && local.seq != s.last_seq + 1) {
+      return "sequence gap in shard " + std::to_string(shard_index) +
+             ": expected seq " + std::to_string(s.last_seq + 1) + ", got " +
+             std::to_string(local.seq);
+    }
+    key_state& state = state_locked(s, local.key);
+    const auto epoch_mismatch = [&]() -> std::string {
+      return std::string(cmd::to_string(local.kind)) + " for '" + local.key +
+             "' claims epoch " + std::to_string(local.epoch) +
+             " but the key is at epoch " +
+             std::to_string(state.entry.epoch) +
+             " — corrupt or mis-ordered stream";
+    };
+    switch (local.kind) {
+      case cmd::command_kind::acquire_granted:
+        if (state.entry.epoch != local.epoch) return epoch_mismatch();
+        if (state.leader != -1) {
+          return "acquire_granted for '" + local.key + "' epoch " +
+                 std::to_string(local.epoch) +
+                 " but the epoch is already held by session " +
+                 std::to_string(state.leader);
+        }
+        break;
+      case cmd::command_kind::renewed:
+      case cmd::command_kind::released:
+      case cmd::command_kind::expired:
+      case cmd::command_kind::force_released:
+      case cmd::command_kind::disconnect_reclaimed:
+        if (state.entry.epoch != local.epoch) return epoch_mismatch();
+        if (state.leader != local.session) {
+          return std::string(cmd::to_string(local.kind)) + " for '" +
+                 local.key + "' names holder " +
+                 std::to_string(local.session) + " but the holder is " +
+                 std::to_string(state.leader);
+        }
+        break;
+      case cmd::command_kind::epoch_bumped:
+        if (state.entry.epoch != local.epoch) return epoch_mismatch();
+        break;
+    }
+    apply_command_locked(s, state, local, /*from_replay=*/true);
+  }
+  s.epoch_changed.notify_all();
+  return std::nullopt;
+}
+
+std::optional<std::string> instance_registry::replay(
+    const std::vector<cmd::command>& log) {
+  for (const cmd::command& c : log) {
+    if (auto error = apply(c)) return error;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> instance_registry::snapshot(bool trim_log) {
+  cmd::snapshot_data data;
+  data.shards.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard& s = *shards_[i];
+    cmd::snapshot_shard& out = data.shards[i];
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    out.last_seq = s.last_seq;
+    out.last_at_ms = s.last_at_ms;
+    for (const auto& [key, state] : s.keys) {
+      // Epoch 0, unheld == the implicit default for a key nobody ever
+      // touched: indistinguishable from absent, so not state.
+      if (state.entry.epoch == 0 && state.leader == -1) continue;
+      cmd::snapshot_key k;
+      k.key = key;
+      k.epoch = state.entry.epoch;
+      k.leader = state.leader;
+      // Unheld modes normalize to open: an armed-but-never-claimed
+      // election emitted no command, so replay cannot know about it.
+      k.mode = state.leader == -1 ? cmd::grant_mode_open
+                                  : static_cast<std::uint8_t>(state.mode);
+      k.lease_rel_ms =
+          (state.leader == -1 ||
+           state.logical_deadline_ms == cmd::lease_forever)
+              ? cmd::lease_rel_none
+              : static_cast<std::int64_t>(state.logical_deadline_ms) -
+                    static_cast<std::int64_t>(s.last_at_ms);
+      out.keys.push_back(std::move(k));
+    }
+    std::sort(out.keys.begin(), out.keys.end(),
+              [](const cmd::snapshot_key& a, const cmd::snapshot_key& b) {
+                return a.key < b.key;
+              });
+    if (trim_log) {
+      // The snapshot covers everything up to last_seq — which is every
+      // retained entry — so the log's job is done; drop it.
+      s.log.clear();
+      s.log.shrink_to_fit();
+    }
+  }
+  return cmd::encode_snapshot(data);
+}
+
+std::optional<std::string> instance_registry::restore(
+    const std::vector<std::uint8_t>& bytes, bool fence_restored) {
+  auto decoded = cmd::decode_snapshot(bytes);
+  if (!decoded.data.has_value()) return decoded.error;
+  cmd::snapshot_data& data = *decoded.data;
+  if (data.shards.size() != shards_.size()) {
+    return "snapshot has " + std::to_string(data.shards.size()) +
+           " shards but this registry has " + std::to_string(shards_.size());
+  }
+  if (key_count() != 0) {
+    return "restore requires an empty registry";
+  }
+  const std::uint64_t logical = logical_now_ms();
+  const clock::time_point now = clock::now();
+  /// Fence bumps, published after all shard locks are released.
+  std::vector<cmd::command> fenced;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard& s = *shards_[i];
+    const cmd::snapshot_shard& in = data.shards[i];
+    const bool publish = hook_live();
+    const bool record = recording_.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.last_seq = in.last_seq;
+    s.next_seq = in.last_seq + 1;
+    s.last_at_ms = logical;
+    for (const cmd::snapshot_key& k : in.keys) {
+      if (shard_of(k.key) != static_cast<int>(i)) {
+        return "snapshot key '" + k.key + "' does not map to shard " +
+               std::to_string(i) + " — corrupt snapshot or hash mismatch";
+      }
+      key_state& state = state_locked(s, k.key);
+      state.entry.epoch = k.epoch;
+      state.leader = k.leader;
+      state.mode = static_cast<grant_mode>(k.mode);
+      if (k.leader == -1 || k.lease_rel_ms == cmd::lease_rel_none) {
+        state.logical_deadline_ms = cmd::lease_forever;
+        state.lease_deadline = clock::time_point::max();
+      } else {
+        // Re-anchor the remaining TTL (possibly negative: past due and
+        // unswept at snapshot time — the first sweep here expires it)
+        // to this registry's clock.
+        const std::int64_t deadline =
+            static_cast<std::int64_t>(logical) + k.lease_rel_ms;
+        state.logical_deadline_ms =
+            deadline < 0 ? 0 : static_cast<std::uint64_t>(deadline);
+        state.lease_deadline =
+            now + std::chrono::milliseconds(k.lease_rel_ms);
+      }
+      if (fence_restored) {
+        // Bump every restored key: a pre-snapshot leaseholder may have
+        // lost its lease in the gap the snapshot cannot see, so it must
+        // not be resurrected — its first fenced op answers stale_epoch
+        // and it re-acquires like everyone else.
+        cmd::command c;
+        c.shard = static_cast<std::int32_t>(i);
+        c.kind = cmd::command_kind::epoch_bumped;
+        c.session = -1;
+        c.epoch = state.entry.epoch;
+        c.at_ms = logical;
+        if (publish || record) c.key = k.key;
+        apply_command_locked(s, state, c, /*from_replay=*/false);
+        if (publish) fenced.push_back(std::move(c));
+      }
+    }
+  }
+  if (fence_restored) {
+    for (auto& shard_ptr : shards_) shard_ptr->epoch_changed.notify_all();
+    for (const cmd::command& c : fenced) hook_(c);
+  }
+  return std::nullopt;
 }
 
 bool instance_registry::wait_for_epoch_above_impl(

@@ -30,6 +30,17 @@
 //   * claim_win grants the epoch to the first protocol survivor and
 //     refuses everyone after (and any zombie of a stale epoch).
 //
+// Every state *mutation* — both grant paths, releases, renewals, the
+// sweeper, disconnect reclaim, admin force-release — funnels through one
+// deterministic executor: the call path decides (who wins, what
+// expires), builds a cmd::command describing the decision, and
+// apply_command_locked executes it. The same executor serves apply() /
+// replay(), so a recorded command stream folded into a fresh registry
+// reconstructs the same epochs, holders, modes, and (logical) lease
+// deadlines — see snapshot()/restore() and src/cmd/. Non-mutating
+// observations (attempt counters, arm_protocol's mode latch) stay
+// outside the stream; snapshots exclude them.
+//
 // Each begin_attempt() is counted per epoch; the count (plus the final
 // count of the previous epoch) is the contention estimate the adaptive
 // strategy steers by.
@@ -57,6 +68,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cmd/command.hpp"
 #include "election/vars.hpp"
 
 namespace elect::svc {
@@ -80,7 +92,8 @@ struct attempt_info {
 };
 
 /// One leader transition on a key, as seen by the registry. The watch
-/// layer (svc/watch.hpp, api::client::watch) is built on these.
+/// layer (svc/watch.hpp, api::client::watch) is built on these; each is
+/// a rendering of the command (cmd::command_kind) that caused it.
 enum class transition : std::uint8_t {
   /// An epoch was granted — by either grant path (protocol win or
   /// adaptive fast claim). `epoch` is the granted epoch, `session` the
@@ -88,12 +101,15 @@ enum class transition : std::uint8_t {
   elected = 0,
   /// The holder gave the key up voluntarily (fenced/unfenced release,
   /// release_all — including the network edge's disconnect-on-close
-  /// hook, which is how a remote crash surfaces). `epoch` is the epoch
-  /// that ended, `session` its last holder.
+  /// reclaim, which is how a remote crash surfaces). `epoch` is the
+  /// epoch that ended, `session` its last holder.
   released = 1,
   /// The sweeper force-released an expired lease (a crashed or wedged
   /// holder timed out). Same field meaning as `released`.
   expired = 2,
+  /// An operator ended the epoch (admin force-release): the "kick the
+  /// stuck leader" lever, distinguishable from an expiry.
+  force_released = 3,
 };
 
 [[nodiscard]] std::string_view to_string(transition t);
@@ -248,6 +264,14 @@ class instance_registry {
   /// session racing its own expiry should use the fenced overload.
   lease_status release(const std::string& key, int session);
 
+  /// Fenced release on behalf of a dead connection — same verdicts and
+  /// fencing as release(), but recorded as `disconnect_reclaimed` so the
+  /// stream (and the journal rendering it) can tell a crash reclaim from
+  /// a voluntary release. Used by the network edge for late wins on
+  /// closed connections.
+  lease_status reclaim(const std::string& key, int session,
+                       std::uint64_t epoch);
+
   /// Fenced renewal: extend the holder's lease to now + ttl. Same fencing
   /// as release(); `stale_epoch` tells a holder it lost the key.
   lease_status renew(const std::string& key, int session, std::uint64_t epoch,
@@ -259,6 +283,13 @@ class instance_registry {
   /// released.
   std::size_t release_all(int session,
                           const std::function<void(int)>& on_released = {});
+
+  /// reclaim() in bulk: end every lease `session` still holds because
+  /// its connection died (the network edge's crash reclaim — how a
+  /// remote crash is observed faster than the lease TTL). Identical
+  /// state effect to release_all; recorded as `disconnect_reclaimed`.
+  std::size_t reclaim_all(int session,
+                          const std::function<void(int)>& on_reclaimed = {});
 
   /// Every key `session` currently holds, in unspecified order. A
   /// snapshot — by the time the caller looks, leases may have expired.
@@ -275,9 +306,10 @@ class instance_registry {
       const std::string& key) const;
 
   /// Admin: unconditionally end `key`'s current epoch regardless of
-  /// holder — the operator's "kick the stuck leader" lever. Publishes a
-  /// `released` transition for the ended epoch. `not_leader` when the
-  /// key is unknown or unheld (nothing to do).
+  /// holder — the operator's "kick the stuck leader" lever. Emits a
+  /// `force_released` command (its own journal/watch kind, not an
+  /// expiry). `not_leader` when the key is unknown or unheld (nothing
+  /// to do).
   lease_status force_release(const std::string& key);
 
   /// Force-release every holder whose lease deadline is <= now: bump the
@@ -313,21 +345,81 @@ class instance_registry {
   /// Instance ids still allocatable before the fail-fast guard trips.
   [[nodiscard]] std::uint64_t remaining_instance_ids() const noexcept;
 
-  /// Invoked (under no lock) once per leader transition: grant, release,
-  /// or expiry. Fields per `transition`.
-  using transition_hook = std::function<void(
-      const std::string& key, std::uint64_t epoch, transition kind,
-      int session)>;
+  // --- The command stream (src/cmd/) ------------------------------------
 
-  /// Install the transition hook. `armed` is a cheap publish gate the
+  /// Start appending every mutation to the per-shard command log. Must
+  /// be called before the registry sees concurrent traffic (the service
+  /// enables it at construction when configured); commands emitted
+  /// before are lost, which is fine for a fresh registry. Off by
+  /// default: with recording off and no hook armed, the mutation paths
+  /// assemble no command payloads — the adaptive fast path stays at its
+  /// zero-allocation cost.
+  void enable_command_log();
+
+  [[nodiscard]] bool command_log_enabled() const noexcept {
+    return recording_.load(std::memory_order_relaxed);
+  }
+
+  /// Every retained command, shard by shard (each shard's slice in seq
+  /// order; cross-shard interleaving is unobservable — keys never
+  /// migrate). Feed to replay().
+  [[nodiscard]] std::vector<cmd::command> collect_commands() const;
+
+  /// Command-log accounting (recorded lifetime vs retained in memory).
+  [[nodiscard]] cmd::log_stats log_stats() const;
+
+  /// Execute one recorded command against this registry — the replay
+  /// half of the funnel. Validates before executing: the key must map
+  /// to `c.shard` (a mismatch means a different shard count), `c.seq`
+  /// must extend the shard's watermark without a gap, and the command's
+  /// epoch/holder must match the state it claims to mutate. Returns an
+  /// error string (state untouched) on any mismatch; commands are never
+  /// re-appended to the replaying registry's own log (the watermark
+  /// advances to `c.seq` instead, so a later snapshot matches the
+  /// recorder's).
+  [[nodiscard]] std::optional<std::string> apply(const cmd::command& c);
+
+  /// Fold a command stream into this registry: apply() in order,
+  /// stopping at the first error. Replaying a full stream into a fresh
+  /// registry (or a post-snapshot suffix into a restore()d one)
+  /// reconstructs the recorder's replayable state exactly — snapshot()
+  /// on both sides yields byte-identical bytes.
+  [[nodiscard]] std::optional<std::string> replay(
+      const std::vector<cmd::command>& log);
+
+  /// Serialize the replayable state (see src/cmd/snapshot.hpp for the
+  /// format and the normalizations that make two equivalent registries
+  /// encode byte-identically). With `trim_log`, retained commands
+  /// covered by this snapshot are dropped afterwards — the snapshot is
+  /// their compaction — bounding log memory for long-running servers.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot(bool trim_log = false);
+
+  /// Load a snapshot into this (required: empty) registry. Remaining
+  /// lease TTLs are re-anchored to this registry's clock: a lease with
+  /// 3 s left at snapshot time expires ~3 s after the restore. With
+  /// `fence_restored`, every restored key's epoch is then bumped (one
+  /// `epoch_bumped` command each): pre-snapshot leaseholders answer
+  /// `stale_epoch` from their first fenced op, instead of being
+  /// resurrected into leases they may have lost. Returns an error on a
+  /// malformed snapshot or a shard-count mismatch; the registry must be
+  /// discarded if restore fails partway.
+  [[nodiscard]] std::optional<std::string> restore(
+      const std::vector<std::uint8_t>& bytes, bool fence_restored);
+
+  /// Invoked (under no lock) once per mutation the watch/journal layers
+  /// render: every command kind except `renewed` (a renewal moves no
+  /// leadership; it is recorded in the log only).
+  using command_hook = std::function<void(const cmd::command&)>;
+
+  /// Install the command hook. `armed` is a cheap publish gate the
   /// hook's owner keeps current (true iff anyone is listening): the
-  /// registry skips the hook entirely — no event assembly, no function
-  /// call — while it reads false, which keeps the adaptive fast path at
-  /// its zero-subscriber cost. Must be called before the registry sees
-  /// concurrent traffic (the service installs it at construction); the
-  /// hook runs on whichever thread performed the transition.
-  void set_transition_hook(const std::atomic<bool>& armed,
-                           transition_hook hook);
+  /// registry skips the hook entirely — no command assembly, no
+  /// function call — while it reads false, which keeps the adaptive
+  /// fast path at its zero-subscriber cost. Must be called before the
+  /// registry sees concurrent traffic (the service installs it at
+  /// construction); the hook runs on whichever thread performed the
+  /// mutation.
+  void set_command_hook(const std::atomic<bool>& armed, command_hook hook);
 
  private:
   /// How the current epoch has been (or may be) granted.
@@ -344,6 +436,10 @@ class instance_registry {
     instance_entry entry;
     int leader = -1;
     clock::time_point lease_deadline = clock::time_point::max();
+    /// The same deadline on the logical clock (ms since construction);
+    /// cmd::lease_forever when non-expiring. What snapshots record —
+    /// wall-clock-independent, reconstructable from the command stream.
+    std::uint64_t logical_deadline_ms = cmd::lease_forever;
     grant_mode mode = grant_mode::open;
     /// Contention estimate inputs (see attempt_info).
     std::uint64_t attempts_this_epoch = 0;
@@ -354,6 +450,13 @@ class instance_registry {
     mutable std::mutex mutex;
     std::condition_variable epoch_changed;
     std::unordered_map<std::string, key_state> keys;
+    /// Retained command log (appended only while recording) and the
+    /// shard's watermark: seq/logical-time of the last command executed
+    /// here, live or replayed. All guarded by `mutex`.
+    std::vector<cmd::command> log;
+    std::uint64_t next_seq = 1;
+    std::uint64_t last_seq = 0;
+    std::uint64_t last_at_ms = 0;
   };
 
   shard& shard_for(const std::string& key);
@@ -366,20 +469,40 @@ class instance_registry {
   /// Allocate a fresh instance id; aborts at instance_id_limit (see
   /// file comment) instead of wrapping the 32-bit var_id namespace.
   [[nodiscard]] election::election_id allocate_instance();
+  /// Milliseconds since construction — the logical clock commands are
+  /// stamped with (steady-based: immune to wall-clock jumps).
+  [[nodiscard]] std::uint64_t logical_now_ms() const;
   /// Bump `key` to a fresh (instance, epoch) with no holder. Caller holds
   /// the shard lock and must notify epoch_changed after unlocking.
   void bump_epoch_locked(key_state& state);
+  /// Stamp both lease-deadline representations from a grant/renewal
+  /// command (steady deadline derived from the logical one, so live and
+  /// replayed executions agree).
+  void set_lease_locked(key_state& state, const cmd::command& c);
+  /// THE mutation funnel: execute `c` against `state` (deterministic
+  /// given the command), advance the shard watermark, and — live path
+  /// (`from_replay` false) while recording — assign the next seq and
+  /// append to the shard log. Caller holds the shard lock, fires the
+  /// hook / notifies waiters after unlocking. Replayed commands keep
+  /// their recorded seq and are never re-appended.
+  void apply_command_locked(shard& s, key_state& state, cmd::command& c,
+                            bool from_replay);
+  /// Shared body of the fenced epoch-enders: release() and reclaim()
+  /// differ only in the command kind they record.
+  lease_status end_epoch_fenced(const std::string& key, int session,
+                                std::uint64_t epoch, cmd::command_kind kind);
   /// Scan every shard and bump every key matching `predicate` (checked
   /// under the shard lock); waiters are notified per shard and
   /// `on_bumped(shard_index)` runs once per bumped key, under no lock.
-  /// Each bump also publishes a `kind` transition for the ended epoch.
-  /// Shared engine of release_all (match: held by one session) and
-  /// sweep_expired (match: lease deadline passed).
+  /// Each bump emits a `kind` command for the ended epoch.
+  /// Shared engine of release_all / reclaim_all (match: held by one
+  /// session) and sweep_expired (match: lease deadline passed).
   std::size_t bump_matching(const std::function<bool(const key_state&)>& predicate,
                             const std::function<void(int)>& on_bumped,
-                            transition kind);
-  /// Is the transition hook installed *and* armed right now? The gate
-  /// callers check before collecting event data under the shard lock.
+                            cmd::command_kind kind);
+  /// Is the command hook installed *and* armed right now? The gate
+  /// callers check before assembling command payloads under the shard
+  /// lock.
   [[nodiscard]] bool hook_live() const noexcept {
     return hook_armed_ != nullptr &&
            hook_armed_->load(std::memory_order_relaxed);
@@ -388,9 +511,12 @@ class instance_registry {
   std::vector<std::unique_ptr<shard>> shards_;
   std::atomic<std::uint64_t> next_instance_;
   std::atomic<bool> shutdown_{false};
-  /// Leader-transition hook + its owner's publish gate (see
-  /// set_transition_hook). Written once before concurrent use.
-  transition_hook hook_;
+  std::atomic<bool> recording_{false};
+  /// Origin of the logical clock.
+  const clock::time_point base_;
+  /// Mutation hook + its owner's publish gate (see set_command_hook).
+  /// Written once before concurrent use.
+  command_hook hook_;
   const std::atomic<bool>* hook_armed_ = nullptr;
 };
 

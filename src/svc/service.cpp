@@ -24,15 +24,6 @@ std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
           .count());
 }
 
-obs::event_kind to_event_kind(transition kind) {
-  switch (kind) {
-    case transition::elected: return obs::event_kind::elected;
-    case transition::released: return obs::event_kind::released;
-    case transition::expired: return obs::event_kind::expired;
-  }
-  return obs::event_kind::elected;
-}
-
 }  // namespace
 
 std::optional<std::string> service_config::validate() const {
@@ -114,14 +105,9 @@ service::service(service_config config)
       journal_->append(obs::event_kind::watch_drop, key, 0, -1, "overflow");
     });
   }
-  registry_.set_transition_hook(
-      hub_.armed(), [this](const std::string& key, std::uint64_t epoch,
-                           transition kind, int session) {
-        hub_.publish(key, epoch, kind, session);
-        if (journal_) {
-          journal_->append(to_event_kind(kind), key, epoch, session, "");
-        }
-      });
+  if (config_.record_commands) registry_.enable_command_log();
+  registry_.set_command_hook(
+      hub_.armed(), [this](const cmd::command& c) { render_command(c); });
   for (int k = 0; k < election::strategy_kind_count; ++k) {
     strategies_[static_cast<std::size_t>(k)] =
         election::make_strategy(static_cast<election::strategy_kind>(k));
@@ -204,6 +190,69 @@ std::size_t service::sweep_now() {
   return registry_.sweep_expired(
       std::chrono::steady_clock::now(),
       [this](int shard) { metrics_.record_expiration(shard); });
+}
+
+lease_status service::force_release(const std::string& key) {
+  const lease_status status = registry_.force_release(key);
+  if (status == lease_status::ok) {
+    metrics_.record_forced_release(registry_.shard_of(key));
+  }
+  return status;
+}
+
+void service::render_command(const cmd::command& c) {
+  // One source of truth: watch events and journal records are both
+  // renderings of the command stream, never parallel bookkeeping.
+  switch (c.kind) {
+    case cmd::command_kind::acquire_granted:
+      hub_.publish(c.key, c.epoch, transition::elected, c.session);
+      if (journal_) {
+        journal_->append(obs::event_kind::elected, c.key, c.epoch, c.session,
+                         "");
+      }
+      break;
+    case cmd::command_kind::released:
+      hub_.publish(c.key, c.epoch, transition::released, c.session);
+      if (journal_) {
+        journal_->append(obs::event_kind::released, c.key, c.epoch,
+                         c.session, "");
+      }
+      break;
+    case cmd::command_kind::expired:
+      hub_.publish(c.key, c.epoch, transition::expired, c.session);
+      if (journal_) {
+        journal_->append(obs::event_kind::expired, c.key, c.epoch, c.session,
+                         "");
+      }
+      break;
+    case cmd::command_kind::force_released:
+      hub_.publish(c.key, c.epoch, transition::force_released, c.session);
+      if (journal_) {
+        journal_->append(obs::event_kind::force_released, c.key, c.epoch,
+                         c.session, "admin");
+      }
+      break;
+    case cmd::command_kind::disconnect_reclaimed:
+      // Watchers see a release — the lease ended; *why* it ended is
+      // journal detail, where the crash/politeness distinction lives.
+      hub_.publish(c.key, c.epoch, transition::released, c.session);
+      if (journal_) {
+        journal_->append(obs::event_kind::disconnect_reclaim, c.key, c.epoch,
+                         c.session, "connection closed");
+      }
+      break;
+    case cmd::command_kind::epoch_bumped:
+      // Restore-time fencing: no holder changed hands, so watchers see
+      // nothing; the journal records the fence.
+      if (journal_) {
+        journal_->append(obs::event_kind::epoch_bumped, c.key, c.epoch, -1,
+                         "restore");
+      }
+      break;
+    case cmd::command_kind::renewed:
+      // Log-only; the registry never publishes renewals.
+      break;
+  }
 }
 
 void service::sweeper_main() {
@@ -566,6 +615,19 @@ lease_status service::session::renew(const std::string& key,
 
 std::size_t service::session::disconnect() {
   return owner_->registry_.release_all(
+      id_, [this](int shard) { owner_->metrics_.record_release(shard); });
+}
+
+lease_status service::session::reclaim(const std::string& key,
+                                       std::uint64_t epoch) {
+  const obs::scoped_span span(obs::phase::lease_op);
+  return owner_->count_lease_op(key,
+                                owner_->registry_.reclaim(key, id_, epoch),
+                                /*renewal=*/false, epoch);
+}
+
+std::size_t service::session::reclaim_all() {
+  return owner_->registry_.reclaim_all(
       id_, [this](int shard) { owner_->metrics_.record_release(shard); });
 }
 

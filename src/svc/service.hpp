@@ -112,6 +112,12 @@ struct service_config {
   std::string journal_path;
   /// In-memory journal ring capacity (and the sink's backlog bound).
   std::size_t journal_capacity = 4096;
+  /// Record every registry mutation to the per-shard command log
+  /// (src/cmd/): the replayable stream behind registry().snapshot() /
+  /// collect_commands(). Off by default — recording copies each
+  /// command (key string included) into the log, which the adaptive
+  /// fast path otherwise never pays for.
+  bool record_commands = false;
 
   /// Check the configuration without constructing a service: empty on
   /// success, otherwise a description of the first problem found. The
@@ -195,6 +201,17 @@ class service {
     /// Returns the number of keys released.
     std::size_t disconnect();
 
+    /// Fenced release on behalf of this session's dead connection (the
+    /// network edge reclaiming a late win on a closed socket). Same
+    /// verdicts as release(key, epoch); recorded/journaled as a
+    /// disconnect reclaim rather than a voluntary release.
+    lease_status reclaim(const std::string& key, std::uint64_t epoch);
+
+    /// disconnect(), but for a connection that died rather than said
+    /// goodbye: every held lease ends as a disconnect reclaim. Returns
+    /// the number of keys reclaimed.
+    std::size_t reclaim_all();
+
     /// Snapshot of the keys this session currently holds. Introspection
     /// for embedders (the network front-end accounts per-connection
     /// leases with it); leases may expire between snapshot and use.
@@ -247,8 +264,15 @@ class service {
   /// clock. Returns the number of leases expired.
   std::size_t sweep_now();
 
+  /// Admin force-release with accounting: ends `key`'s current epoch
+  /// regardless of holder (registry force_release) and counts the kick
+  /// in the forced_releases metric. The network front-end routes the
+  /// admin_force_release wire op through here.
+  lease_status force_release(const std::string& key);
+
   /// Subscribe to `key`'s leader transitions (elected / released /
-  /// expired). Returns the subscription id, 0 once the service stopped.
+  /// expired / force_released). Returns the subscription id, 0 once the
+  /// service stopped.
   /// Delivery semantics per svc/watch.hpp: asynchronous on the hub's
   /// notifier thread, per-key ordering, no cross-key ordering; a
   /// transition is observable within the lease TTL + sweep interval of
@@ -264,9 +288,9 @@ class service {
   [[nodiscard]] service_report report() const;
 
   /// The structured event journal, or nullptr when
-  /// config.journal_events is off. Embedders (the network front-end's
-  /// disconnect path) may append through this pointer; it stays valid
-  /// for the service's lifetime.
+  /// config.journal_events is off. The journal is a rendering of the
+  /// registry's command stream (one record per non-renewal command);
+  /// the pointer stays valid for the service's lifetime.
   [[nodiscard]] obs::journal* journal() noexcept { return journal_.get(); }
 
  private:
@@ -354,11 +378,15 @@ class service {
                               bool renewal, std::uint64_t epoch);
   void prune_participated(worker& w);
   void sweeper_main();
+  /// The registry's command hook: render one mutation into the watch
+  /// hub and (when enabled) the journal — the downstream layers are
+  /// views of the command stream, not parallel bookkeeping.
+  void render_command(const cmd::command& c);
 
   service_config config_;
-  /// Declared before the registry: the registry's transition hook
-  /// targets the hub and the journal, so both must be constructed first
-  /// and destroyed last.
+  /// Declared before the registry: the registry's command hook targets
+  /// the hub and the journal, so both must be constructed first and
+  /// destroyed last.
   watch_hub hub_;
   std::unique_ptr<obs::journal> journal_;
   instance_registry registry_;

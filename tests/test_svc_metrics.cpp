@@ -378,8 +378,9 @@ TEST(ServiceReportSchema, DocumentedKeysSurviveAJsonRoundTrip) {
   // Scalar counters.
   for (const std::string key :
        {"acquires", "wins", "releases", "expirations", "renewals",
-        "stale_fences", "rejected_acquires", "short_circuit_losses",
-        "participated_entries", "total_messages", "mailbox_pushes"}) {
+        "stale_fences", "forced_releases", "rejected_acquires",
+        "short_circuit_losses", "participated_entries", "total_messages",
+        "mailbox_pushes"}) {
     const json_value& value = member(root, key);
     ASSERT_TRUE(value.is_number()) << key;
     EXPECT_GE(value.number(), 0.0) << key;
@@ -453,7 +454,7 @@ TEST(ServiceReportSchema, DocumentedKeysSurviveAJsonRoundTrip) {
     const json_object& s = shard->object();
     for (const std::string key : {"acquires", "wins", "releases",
                                   "expirations", "renewals", "stale_fences",
-                                  "keys"}) {
+                                  "forced_releases", "keys"}) {
       EXPECT_TRUE(member(s, key).is_number()) << key;
     }
     keys_total += member(s, "keys").number();
