@@ -7,6 +7,12 @@
 //       --ttl-ms 5000 --strategy adaptive
 //   ./build/examples/elect_server --port 7400 --http-port 7401 \
 //       --admin on --slow-ms 50 --journal events.jsonl
+//   ./build/examples/elect_server --port 7400 --reactors 4
+//
+// --reactors N runs N per-core network reactors (default: hardware
+// concurrency; the ELECT_REACTORS env var overrides the default). The
+// banner reports whether accept is SO_REUSEPORT-sharded across them or
+// dealt round-robin from a single listener.
 //
 // --http-port starts the HTTP side-channel (GET /metrics Prometheus
 // text, /report JSON, /healthz). --admin on enables the wire admin ops
@@ -137,6 +143,11 @@ class snapshotter {
 int main(int argc, char** argv) {
   using namespace elect;
 
+  // Line-buffer stdout even when redirected to a file: scripts (and
+  // CI) background the server and poll the log for the banner, which
+  // otherwise sits in a full 4K stdio buffer until exit.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+
   svc::service_config service_config{.nodes = 8, .shards = 8};
   service_config.default_strategy = election::strategy_kind::adaptive;
   service_config.lease_ttl_ms = 5000;
@@ -179,6 +190,8 @@ int main(int argc, char** argv) {
       const auto parsed = election::parse_strategy(value);
       ELECT_CHECK_MSG(parsed.has_value(), "unknown --strategy");
       service_config.default_strategy = *parsed;
+    } else if (std::strcmp(flag, "--reactors") == 0) {
+      server_config.reactors = std::atoi(value);
     } else if (std::strcmp(flag, "--http-port") == 0) {
       server_config.http_enabled = true;
       server_config.http_port = static_cast<std::uint16_t>(std::atoi(value));
@@ -245,12 +258,15 @@ int main(int argc, char** argv) {
                  server_config.bind_address.c_str(), server_config.port);
     return 1;
   }
-  std::printf("elect_server listening on %s:%u (strategy %s, ttl %llu ms)\n",
-              server_config.bind_address.c_str(), server.port(),
-              std::string(election::to_string(
-                              service.config().default_strategy))
-                  .c_str(),
-              static_cast<unsigned long long>(service.config().lease_ttl_ms));
+  std::printf(
+      "elect_server listening on %s:%u (strategy %s, ttl %llu ms, "
+      "%d reactor%s, %s accept)\n",
+      server_config.bind_address.c_str(), server.port(),
+      std::string(election::to_string(service.config().default_strategy))
+          .c_str(),
+      static_cast<unsigned long long>(service.config().lease_ttl_ms),
+      server.reactor_count(), server.reactor_count() == 1 ? "" : "s",
+      server.reuseport_sharded() ? "SO_REUSEPORT-sharded" : "single-listener");
   if (server_config.http_enabled) {
     if (server.http_listening()) {
       std::printf("metrics at http://%s:%u/metrics (also /report, /healthz)\n",

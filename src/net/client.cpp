@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <iterator>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -64,37 +65,40 @@ std::chrono::steady_clock::time_point deadline_from_remaining(
 
 }  // namespace
 
-client::client(const std::string& host, std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) return;
+namespace {
+
+/// Connect + synchronous hello handshake for one stripe. Returns the
+/// connected fd (session id through `session_id`), or -1.
+int connect_channel(const std::string& host, std::uint16_t port,
+                    std::uint64_t hello_id, std::uint64_t* session_id) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof addr) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    return;
+    ::close(fd);
+    return -1;
   }
   const int one = 1;
-  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-  // Handshake synchronously, before the reader thread exists: one hello
+  // Handshake synchronously, before any reader thread exists: one hello
   // frame out, one response frame back on the still-quiet socket.
   wire::request hello = wire::make_hello_request();
-  hello.id = next_id_.fetch_add(1);
+  hello.id = hello_id;
   const auto frame = wire::encode_request(hello);
-  if (!write_all(fd_, frame.data(), frame.size())) {
-    ::close(fd_);
-    fd_ = -1;
-    return;
+  if (!write_all(fd, frame.data(), frame.size())) {
+    ::close(fd);
+    return -1;
   }
   wire::frame_reader reader;
   std::optional<wire::response> answer;
   std::uint8_t buffer[4096];
   while (!answer.has_value()) {
-    const ssize_t got = ::recv(fd_, buffer, sizeof buffer, 0);
+    const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
     if (got <= 0) {
       if (got < 0 && errno == EINTR) continue;
       break;
@@ -104,32 +108,95 @@ client::client(const std::string& host, std::uint16_t port) {
   }
   if (!answer.has_value() || answer->kind != wire::op::hello ||
       answer->result != wire::status::ok) {
-    ::close(fd_);
-    fd_ = -1;
-    return;
+    ::close(fd);
+    return -1;
   }
-  session_id_ = answer->epoch;
+  *session_id = answer->epoch;
+  return fd;
+}
+
+}  // namespace
+
+client::client(const std::string& host, std::uint16_t port)
+    : client(host, port, 1) {}
+
+client::client(const std::string& host, std::uint16_t port, int stripes) {
+  const int n = std::clamp(stripes, 1, 64);
+  channels_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto ch = std::make_unique<channel>();
+    ch->fd = connect_channel(host, port, next_id_.fetch_add(1),
+                             &ch->session_id);
+    if (ch->fd < 0) {
+      // One stripe failing fails the client: close the ones that made
+      // it (no reader threads exist yet, so plain close is safe).
+      for (auto& done : channels_) {
+        ::close(done->fd);
+        done->fd = -1;
+      }
+      channels_.clear();
+      return;
+    }
+    channels_.push_back(std::move(ch));
+  }
   open_.store(true, std::memory_order_release);
-  reader_ = std::thread([this] { reader_main(); });
+  for (auto& ch : channels_) {
+    channel* chp = ch.get();
+    ch->reader = std::thread([this, chp] { reader_main(*chp); });
+  }
 }
 
 client::~client() { close(); }
 
+std::uint64_t client::session_id() const noexcept {
+  return channels_.empty() ? 0 : channels_[0]->session_id;
+}
+
+client::channel& client::route(const std::string& key) {
+  if (channels_.size() == 1 || key.empty()) return *channels_[0];
+  return *channels_[std::hash<std::string>{}(key) % channels_.size()];
+}
+
 void client::close() {
-  // shutdown() unblocks the reader (recv returns 0); the fd itself is
-  // closed only after the reader joined so it cannot be recycled under
-  // a racing recv.
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  // One-shot and self-serializing: concurrent close() calls (or close
+  // racing the destructor) park here instead of double-closing fds.
+  const std::lock_guard<std::mutex> close_lock(close_mutex_);
+  if (close_done_) return;
+  close_done_ = true;
+  // shutdown() unblocks each reader (recv returns 0); the fds are
+  // closed only after the readers joined so they cannot be recycled
+  // under a racing recv.
+  for (auto& ch : channels_) {
+    if (ch->fd >= 0) ::shutdown(ch->fd, SHUT_RDWR);
+  }
   fail();
-  if (reader_.joinable()) reader_.join();
+  for (auto& ch : channels_) {
+    if (ch->reader.joinable()) ch->reader.join();
+  }
   {
     const std::lock_guard<std::mutex> lock(watch_mutex_);
     watch_stop_ = true;
   }
   watch_cv_.notify_all();
   if (event_thread_.joinable()) event_thread_.join();
-  if (fd_ >= 0) ::close(fd_);
-  fd_ = -1;
+  for (auto& ch : channels_) {
+    // Under the write lock: a submit racing this close either writes
+    // before us (onto a shut-down socket — a clean failure) or observes
+    // fd < 0 and fails without touching a recycled descriptor.
+    const std::lock_guard<std::mutex> lock(ch->write_mutex);
+    if (ch->fd >= 0) ::close(ch->fd);
+    ch->fd = -1;
+  }
+  // Drop routing slots nobody answered and nobody will: waiters were
+  // woken by fail() and report connection loss; un-taken slots must not
+  // outlive the close that orphaned them.
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      it = it->second.done ? std::next(it) : pending_.erase(it);
+    }
+  }
+  pending_cv_.notify_all();
 }
 
 void client::fail() {
@@ -142,11 +209,11 @@ void client::fail() {
   pending_cv_.notify_all();
 }
 
-void client::reader_main() {
+void client::reader_main(channel& ch) {
   wire::frame_reader reader;
   std::uint8_t buffer[64 * 1024];
   for (;;) {
-    const ssize_t got = ::recv(fd_, buffer, sizeof buffer, 0);
+    const ssize_t got = ::recv(ch.fd, buffer, sizeof buffer, 0);
     if (got <= 0) {
       if (got < 0 && errno == EINTR) continue;
       break;  // EOF / error / local close()
@@ -183,11 +250,13 @@ void client::reader_main() {
 
 std::uint64_t client::submit(wire::op kind, const std::string& key,
                              std::uint64_t epoch, std::uint64_t timeout_ms) {
-  return submit_impl(kind, key, epoch, timeout_ms, /*expect_reply=*/true);
+  if (channels_.empty()) return 0;
+  return submit_impl(route(key), kind, key, epoch, timeout_ms,
+                     /*expect_reply=*/true);
 }
 
-std::uint64_t client::submit_impl(wire::op kind, const std::string& key,
-                                  std::uint64_t epoch,
+std::uint64_t client::submit_impl(channel& ch, wire::op kind,
+                                  const std::string& key, std::uint64_t epoch,
                                   std::uint64_t timeout_ms,
                                   bool expect_reply) {
   if (!open_.load(std::memory_order_acquire)) return 0;
@@ -210,8 +279,8 @@ std::uint64_t client::submit_impl(wire::op kind, const std::string& key,
     pending_.emplace(r.id, slot{});
   }
   const auto frame = wire::encode_request(r);
-  const std::lock_guard<std::mutex> lock(write_mutex_);
-  if (!write_all(fd_, frame.data(), frame.size())) {
+  const std::lock_guard<std::mutex> lock(ch.write_mutex);
+  if (ch.fd < 0 || !write_all(ch.fd, frame.data(), frame.size())) {
     fail();
     // Leave the slot: take() reports the loss uniformly.
   }
@@ -223,8 +292,10 @@ std::optional<wire::response> client::take(std::uint64_t id) {
   std::unique_lock<std::mutex> lock(pending_mutex_);
   pending_cv_.wait(lock, [&] {
     const auto it = pending_.find(id);
-    const bool done = it != pending_.end() && it->second.done;
-    return done || !open_.load(std::memory_order_acquire);
+    // A vanished slot means close() swept it: report the loss. (Waking
+    // on !open_ alone would miss a slot erased after the wake.)
+    if (it == pending_.end()) return true;
+    return it->second.done || !open_.load(std::memory_order_acquire);
   });
   const auto it = pending_.find(id);
   if (it == pending_.end() || !it->second.done) {
@@ -418,7 +489,9 @@ std::uint64_t client::watch(const std::string& key,
     }
   }
   if (orphan_server_id != 0) {
-    (void)submit_impl(wire::op::unwatch, "", orphan_server_id, 0,
+    // The unwatch must ride the stripe that owns the subscription: the
+    // server only honors an unwatch from the connection that watched.
+    (void)submit_impl(route(key), wire::op::unwatch, "", orphan_server_id, 0,
                       /*expect_reply=*/false);
   }
   return failed ? 0 : id;
@@ -426,11 +499,12 @@ std::uint64_t client::watch(const std::string& key,
 
 void client::unwatch(std::uint64_t id) {
   std::uint64_t server_id = 0;
+  std::string key;
   {
     std::unique_lock<std::mutex> lock(watch_mutex_);
     const auto it = watches_.find(id);
     if (it == watches_.end()) return;
-    const std::string key = it->second.key;
+    key = it->second.key;
     watches_.erase(it);
     const auto ks = key_subs_.find(key);
     if (ks != key_subs_.end()) {
@@ -451,9 +525,10 @@ void client::unwatch(std::uint64_t id) {
   }
   // Fire-and-forget (expect_reply=false): semantically the unwatch
   // needs no answer, and it keeps the op issuable from inside a watch
-  // callback without waiting on any reply.
+  // callback without waiting on any reply. Routed by the watch's key so
+  // it lands on the stripe whose connection owns the subscription.
   if (server_id != 0) {
-    (void)submit_impl(wire::op::unwatch, "", server_id, 0,
+    (void)submit_impl(route(key), wire::op::unwatch, "", server_id, 0,
                       /*expect_reply=*/false);
   }
 }
@@ -507,9 +582,22 @@ void client::event_main() {
 }
 
 std::size_t client::disconnect() {
-  const auto r = call(wire::op::disconnect, "", 0, 0);
-  if (!r.has_value() || r->result != wire::status::ok) return 0;
-  return static_cast<std::size_t>(r->epoch);
+  // Every stripe is its own server session holding its own keys:
+  // disconnect them all, pipelined (submit all, then take all).
+  std::vector<std::uint64_t> ids;
+  ids.reserve(channels_.size());
+  for (auto& ch : channels_) {
+    ids.push_back(submit_impl(*ch, wire::op::disconnect, "", 0, 0,
+                              /*expect_reply=*/true));
+  }
+  std::size_t released = 0;
+  for (const std::uint64_t id : ids) {
+    const auto r = take(id);
+    if (r.has_value() && r->result == wire::status::ok) {
+      released += static_cast<std::size_t>(r->epoch);
+    }
+  }
+  return released;
 }
 
 std::string client::metrics_json() {

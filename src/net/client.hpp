@@ -25,6 +25,16 @@
 // session uses: acquire-family calls come back `rejected`, lease calls
 // come back `stale_epoch` — on a dead connection you must stop acting
 // as a leader, which is exactly what stale_epoch already means.
+//
+// Striping: against a multi-reactor server one socket lands on one
+// reactor, so one client caps out at a single reactor's throughput
+// however many threads share it. The striped constructor opens N
+// connections and routes each request by key hash, so one client
+// object spreads load across reactors while every op on a given key
+// stays on one connection (ordering per key is preserved, and the
+// server's per-connection lease accounting sees a stable owner). The
+// stripes are one client: any stripe failing fails them all, and
+// close()/destruction reclaims leases on every stripe.
 #pragma once
 
 #include <atomic>
@@ -33,11 +43,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "net/wire.hpp"
 #include "svc/service.hpp"
@@ -50,6 +62,11 @@ class client {
   /// Connect and handshake. Check connected() — failure (refused,
   /// version mismatch, service stopped) does not abort.
   client(const std::string& host, std::uint16_t port);
+  /// Striped connect: `stripes` connections (clamped to [1, 64]), each
+  /// with its own server session; requests route by key hash. See the
+  /// header comment. api::client and other single-connection users keep
+  /// the two-argument form (one stripe behaves exactly as before).
+  client(const std::string& host, std::uint16_t port, int stripes);
   ~client();
 
   client(const client&) = delete;
@@ -58,9 +75,11 @@ class client {
   [[nodiscard]] bool connected() const noexcept {
     return open_.load(std::memory_order_relaxed);
   }
-  /// The svc session id backing this connection (from the handshake).
-  [[nodiscard]] std::uint64_t session_id() const noexcept {
-    return session_id_;
+  /// The svc session id backing stripe 0 (from its handshake).
+  [[nodiscard]] std::uint64_t session_id() const noexcept;
+  /// How many connections this client stripes over.
+  [[nodiscard]] std::size_t stripe_count() const noexcept {
+    return channels_.size();
   }
 
   // Session API mirror. Semantics per svc::service::session, plus the
@@ -99,8 +118,9 @@ class client {
   /// (calling it from inside its own callback is safe and exempt from
   /// that wait). Unknown ids are a no-op.
   void unwatch(std::uint64_t id);
-  /// Politely drop everything this connection holds (wire op). Returns
-  /// the number of keys released; 0 on a dead connection.
+  /// Politely drop everything this client holds (wire op, issued on
+  /// every stripe). Returns the number of keys released across all
+  /// stripes; 0 on a dead connection.
   std::size_t disconnect();
   /// The combined net + service metrics JSON; empty on failure.
   [[nodiscard]] std::string metrics_json();
@@ -112,15 +132,19 @@ class client {
   [[nodiscard]] std::optional<wire::response> admin(
       wire::op kind, const std::string& key = "");
 
-  /// Hard-close the socket without a disconnect op — from the server's
-  /// point of view this client crashed; leases are reclaimed by the
-  /// disconnect-on-close hook. Idempotent; also run by the destructor.
+  /// Hard-close every stripe without a disconnect op — from the
+  /// server's point of view this client crashed; leases are reclaimed
+  /// by the disconnect-on-close hook. Safe to call concurrently with
+  /// in-flight requests (their take()/call() fails cleanly, no blocked
+  /// waiter and no leaked routing slot) and with itself (idempotent,
+  /// mutex-serialized). Also run by the destructor.
   void close();
 
-  // Raw pipelining layer. submit() frames and sends one request and
-  // returns its id without waiting (0 on a dead connection); take()
-  // blocks until that id's response arrives (empty on connection
-  // loss). One thread can keep a deep window in flight this way.
+  // Raw pipelining layer. submit() frames and sends one request on the
+  // key's stripe and returns its id without waiting (0 on a dead
+  // connection); take() blocks until that id's response arrives (empty
+  // on connection loss). One thread can keep a deep window in flight
+  // this way.
   std::uint64_t submit(wire::op kind, const std::string& key = "",
                        std::uint64_t epoch = 0, std::uint64_t timeout_ms = 0);
   [[nodiscard]] std::optional<wire::response> take(std::uint64_t id);
@@ -129,6 +153,16 @@ class client {
   struct slot {
     bool done = false;
     wire::response response;
+  };
+
+  /// One striped connection: socket, its handshake session, a write
+  /// lock serializing frame sends, and the reader thread routing its
+  /// responses into the shared pending map.
+  struct channel {
+    int fd = -1;
+    std::uint64_t session_id = 0;
+    std::mutex write_mutex;
+    std::thread reader;
   };
 
   struct watch_entry {
@@ -165,12 +199,15 @@ class client {
   /// response, always answered by the server, is dropped as an unknown
   /// id) — what lets unwatch be issued from inside a watch callback on
   /// the reader thread, which can never wait for its own reply.
-  std::uint64_t submit_impl(wire::op kind, const std::string& key,
-                            std::uint64_t epoch, std::uint64_t timeout_ms,
-                            bool expect_reply);
+  std::uint64_t submit_impl(channel& ch, wire::op kind,
+                            const std::string& key, std::uint64_t epoch,
+                            std::uint64_t timeout_ms, bool expect_reply);
+  /// The stripe a key's requests ride: key hash mod stripes (the empty
+  /// key — metrics, admin, disconnect — rides stripe 0).
+  [[nodiscard]] channel& route(const std::string& key);
   [[nodiscard]] static svc::acquire_result to_acquire_result(
       const std::optional<wire::response>& r);
-  void reader_main();
+  void reader_main(channel& ch);
   /// Queue one op::event push frame for the event thread (reader
   /// thread; never runs callbacks itself — a callback making a
   /// synchronous call on this client would otherwise deadlock waiting
@@ -178,15 +215,17 @@ class client {
   void dispatch_event(const wire::response& r);
   /// Deliver queued events to the matching watch callbacks.
   void event_main();
-  /// Mark the connection dead and wake every waiter.
+  /// Mark the whole client dead (one stripe down = all down) and wake
+  /// every waiter.
   void fail();
 
-  int fd_ = -1;
+  std::vector<std::unique_ptr<channel>> channels_;
   std::atomic<bool> open_{false};
-  std::uint64_t session_id_ = 0;
-  std::thread reader_;
 
-  std::mutex write_mutex_;
+  /// Serializes close() against itself; close_done_ makes it one-shot.
+  std::mutex close_mutex_;
+  bool close_done_ = false;
+
   std::atomic<std::uint64_t> next_id_{1};
 
   std::mutex pending_mutex_;

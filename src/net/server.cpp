@@ -7,12 +7,14 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -26,6 +28,12 @@ namespace elect::net {
 namespace {
 
 using namespace std::chrono_literals;
+
+/// Which reactor's loop is THIS thread? Lets posts targeted at the
+/// reactor we are already running on execute inline instead of taking
+/// the inbox + eventfd detour (the common case for handshake replies
+/// and protocol errors, which are produced on the read path itself).
+thread_local const void* current_reactor_tls = nullptr;
 
 /// Milliseconds of lease left, for the wire (clamped at zero; the
 /// sentinel for "never expires" is wire::lease_forever).
@@ -41,10 +49,9 @@ std::uint64_t lease_remaining_ms(
 }
 
 /// Write the whole buffer to a non-blocking socket, parking on POLLOUT
-/// when the send buffer is full. A slow consumer stalls only the thread
-/// serving it; `stopping` bounds that stall across server shutdown, and
-/// `deadline` (when non-null) bounds it absolutely — the event-push
-/// path uses it so the watch hub's notifier can never be held hostage.
+/// when the send buffer is full. Only the HTTP side-channel still uses
+/// this (a scrape response is one small buffered write); wire frames go
+/// through the per-connection output rings and writev.
 bool write_all(int fd, const std::uint8_t* data, std::size_t n,
                const std::atomic<bool>& stopping,
                const std::chrono::steady_clock::time_point* deadline =
@@ -174,47 +181,145 @@ bool write_snapshot_file(const std::string& path,
 /// The network front-end's own Prometheus series, appended after the
 /// service-level series obs::render_prometheus produces.
 void render_net_prometheus(std::string& out, const net_report& r) {
-  const auto counter = [&out](const char* name, const char* help,
-                              std::uint64_t value) {
-    out += "# HELP ";
-    out += name;
-    out += ' ';
-    out += help;
-    out += "\n# TYPE ";
-    out += name;
-    out += " counter\n";
-    out += name;
-    out += ' ';
-    out += std::to_string(value);
-    out += '\n';
-  };
-  out += "# HELP elect_net_connections_active Open client connections.\n";
-  out += "# TYPE elect_net_connections_active gauge\n";
-  out += "elect_net_connections_active ";
-  out += std::to_string(r.connections_active);
-  out += '\n';
-  counter("elect_net_connections_accepted_total", "Connections accepted.",
-          r.connections_accepted);
-  counter("elect_net_connections_refused_total",
-          "Connections refused at the cap.", r.connections_refused);
-  counter("elect_net_requests_total", "Wire requests decoded.", r.requests);
-  counter("elect_net_frames_in_total", "Frames received.", r.frames_in);
-  counter("elect_net_frames_out_total", "Frames sent.", r.frames_out);
-  counter("elect_net_bytes_in_total", "Bytes received.", r.bytes_in);
-  counter("elect_net_bytes_out_total", "Bytes sent.", r.bytes_out);
-  counter("elect_net_busy_rejections_total",
-          "Requests answered busy at the blocking-op cap.",
-          r.busy_rejections);
-  counter("elect_net_protocol_errors_total",
-          "Connections killed for protocol violations.", r.protocol_errors);
-  counter("elect_net_disconnect_reclaims_total",
-          "Leases reclaimed because their connection died.",
-          r.disconnect_reclaims);
-  counter("elect_net_events_pushed_total", "Watch event frames delivered.",
-          r.events_pushed);
-  counter("elect_net_events_dropped_total",
-          "Watch event frames dropped (dead or wedged consumer).",
-          r.events_dropped);
+  obs::prom_gauge(out, "elect_net_connections_active",
+                  "Open client connections.", r.connections_active);
+  obs::prom_counter(out, "elect_net_connections_accepted_total",
+                    "Connections accepted.", r.connections_accepted);
+  obs::prom_counter(out, "elect_net_connections_refused_total",
+                    "Connections refused at the cap.", r.connections_refused);
+  obs::prom_counter(out, "elect_net_requests_total", "Wire requests decoded.",
+                    r.requests);
+  obs::prom_counter(out, "elect_net_frames_in_total", "Frames received.",
+                    r.frames_in);
+  obs::prom_counter(out, "elect_net_frames_out_total", "Frames sent.",
+                    r.frames_out);
+  obs::prom_counter(out, "elect_net_bytes_in_total", "Bytes received.",
+                    r.bytes_in);
+  obs::prom_counter(out, "elect_net_bytes_out_total", "Bytes sent.",
+                    r.bytes_out);
+  obs::prom_counter(out, "elect_net_busy_rejections_total",
+                    "Requests answered busy at the blocking-op cap.",
+                    r.busy_rejections);
+  obs::prom_counter(out, "elect_net_protocol_errors_total",
+                    "Connections killed for protocol violations.",
+                    r.protocol_errors);
+  obs::prom_counter(out, "elect_net_disconnect_reclaims_total",
+                    "Leases reclaimed because their connection died.",
+                    r.disconnect_reclaims);
+  obs::prom_counter(out, "elect_net_events_pushed_total",
+                    "Watch event frames delivered.", r.events_pushed);
+  obs::prom_counter(out, "elect_net_events_dropped_total",
+                    "Watch event frames dropped (dead or wedged consumer).",
+                    r.events_dropped);
+  obs::prom_gauge(out, "elect_net_reactors", "Configured reactor count.",
+                  r.reactors);
+  obs::prom_counter(out, "elect_net_writev_total",
+                    "writev flush calls across all reactors.",
+                    r.writev_calls);
+  obs::prom_counter(out, "elect_net_frames_flushed_total",
+                    "Frames flushed via writev across all reactors.",
+                    r.frames_flushed);
+  obs::prom_counter(out, "elect_net_wakeups_total",
+                    "Cross-thread eventfd wakeups across all reactors.",
+                    r.reactor_wakeups);
+
+  // Per-reactor slices. The labels are the operational interface for
+  // spotting a hot or idle reactor; frames_flushed / writev is the
+  // coalesce ratio, per reactor.
+  obs::prom_type_line(out, "elect_net_reactor_connections",
+                      "Open connections pinned to each reactor.", "gauge");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_connections", "reactor",
+                      std::to_string(s.index), s.connections);
+  }
+  obs::prom_type_line(out, "elect_net_reactor_accepted_total",
+                      "Connections accepted (or adopted) per reactor.",
+                      "counter");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_accepted_total", "reactor",
+                      std::to_string(s.index), s.accepted);
+  }
+  obs::prom_type_line(out, "elect_net_reactor_wakeups_total",
+                      "Eventfd wakeups per reactor.", "counter");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_wakeups_total", "reactor",
+                      std::to_string(s.index), s.wakeups);
+  }
+  obs::prom_type_line(out, "elect_net_reactor_writev_total",
+                      "writev flush calls per reactor.", "counter");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_writev_total", "reactor",
+                      std::to_string(s.index), s.writev_calls);
+  }
+  obs::prom_type_line(out, "elect_net_reactor_frames_flushed_total",
+                      "Frames flushed per reactor.", "counter");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_frames_flushed_total",
+                      "reactor", std::to_string(s.index), s.frames_flushed);
+  }
+  obs::prom_type_line(out, "elect_net_reactor_drain_batches_total",
+                      "Flush passes that wrote at least one frame, per "
+                      "reactor.",
+                      "counter");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_drain_batches_total",
+                      "reactor", std::to_string(s.index), s.drain_batches);
+  }
+  obs::prom_type_line(out, "elect_net_reactor_requests_total",
+                      "Requests decoded per reactor.", "counter");
+  for (const auto& s : r.per_reactor) {
+    obs::prom_labeled(out, "elect_net_reactor_requests_total", "reactor",
+                      std::to_string(s.index), s.requests);
+  }
+}
+
+/// Resolve the reactor count: explicit config wins, then the
+/// ELECT_REACTORS environment variable (what CI uses to force 4 under
+/// the sanitizers), then hardware concurrency clamped to a sane fleet.
+int resolve_reactor_count(int configured) {
+  if (configured > 0) return std::clamp(configured, 1, 64);
+  if (const char* env = std::getenv("ELECT_REACTORS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return std::clamp(n, 1, 64);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
+}
+
+/// One bound, listening, non-blocking socket. With `reuseport`, failure
+/// to set SO_REUSEPORT is a failure (the caller falls back to the
+/// single-listener path rather than binding a non-sharded socket into a
+/// sharded group).
+int make_listener(const std::string& address, std::uint16_t port,
+                  bool reuseport, std::uint16_t* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 256) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+        0) {
+      *bound_port = ntohs(bound.sin_port);
+    }
+  }
+  return fd;
 }
 
 }  // namespace
@@ -234,7 +339,23 @@ std::string net_report::to_json() const {
       << ",\"disconnect_reclaims\":" << disconnect_reclaims
       << ",\"watch_subscriptions\":" << watch_subscriptions
       << ",\"events_pushed\":" << events_pushed
-      << ",\"events_dropped\":" << events_dropped << "}";
+      << ",\"events_dropped\":" << events_dropped
+      << ",\"reactors\":" << reactors
+      << ",\"reuseport\":" << (reuseport ? "true" : "false")
+      << ",\"writev_calls\":" << writev_calls
+      << ",\"frames_flushed\":" << frames_flushed
+      << ",\"reactor_wakeups\":" << reactor_wakeups << ",\"per_reactor\":[";
+  for (std::size_t i = 0; i < per_reactor.size(); ++i) {
+    const reactor_stat& s = per_reactor[i];
+    if (i != 0) out << ',';
+    out << "{\"index\":" << s.index << ",\"connections\":" << s.connections
+        << ",\"accepted\":" << s.accepted << ",\"wakeups\":" << s.wakeups
+        << ",\"writev_calls\":" << s.writev_calls
+        << ",\"frames_flushed\":" << s.frames_flushed
+        << ",\"drain_batches\":" << s.drain_batches
+        << ",\"requests\":" << s.requests << "}";
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -248,51 +369,98 @@ server::server(svc::service& service, server_config config)
   ELECT_CHECK(config_.max_waiters >= 1);
   ELECT_CHECK(config_.max_inflight_per_connection >= 1);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) return;
-  const int one = 1;
-  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
-      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd_, 256) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
+  const int n = resolve_reactor_count(config_.reactors);
+  reactors_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto r = std::make_unique<reactor>();
+    r->owner = this;
+    r->index = i;
+    reactors_.push_back(std::move(r));
   }
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
-    return;
+  const auto fail = [this] {
+    for (auto& re : reactors_) {
+      if (re->epoll_fd >= 0) ::close(re->epoll_fd);
+      if (re->wake_fd >= 0) ::close(re->wake_fd);
+      if (re->listen_fd >= 0) ::close(re->listen_fd);
+      re->epoll_fd = re->wake_fd = re->listen_fd = -1;
+    }
+    if (http_listen_fd_ >= 0) {
+      ::close(http_listen_fd_);
+      http_listen_fd_ = -1;
+    }
+  };
+
+  // The accept path: one SO_REUSEPORT listener per reactor when we can
+  // (the kernel spreads incoming connections across the group), a
+  // single listener on reactor 0 dealing round-robin when we can't.
+  bool sharded = config_.reuseport && n > 1;
+  if (sharded) {
+    std::uint16_t bound = 0;
+    const int first =
+        make_listener(config_.bind_address, config_.port, true, &bound);
+    if (first < 0) {
+      sharded = false;
+    } else {
+      reactors_[0]->listen_fd = first;
+      port_ = bound;
+      for (int i = 1; i < n && sharded; ++i) {
+        const int fd = make_listener(config_.bind_address, port_, true,
+                                     nullptr);
+        if (fd < 0) {
+          sharded = false;
+        } else {
+          reactors_[i]->listen_fd = fd;
+        }
+      }
+      if (!sharded) {
+        // A partial group is worse than no group: close everything and
+        // fall back to the single-listener path below.
+        for (auto& re : reactors_) {
+          if (re->listen_fd >= 0) ::close(re->listen_fd);
+          re->listen_fd = -1;
+        }
+        port_ = 0;
+      }
+    }
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  ELECT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
-  ev.data.fd = wake_fd_;
-  ELECT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  if (!sharded) {
+    const int fd =
+        make_listener(config_.bind_address, config_.port, false, &port_);
+    if (fd < 0) return;  // listening_ stays false: bind failed
+    reactors_[0]->listen_fd = fd;
+  }
+  reuseport_active_ = sharded;
+
+  for (auto& re : reactors_) {
+    re->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    re->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (re->epoll_fd < 0 || re->wake_fd < 0) {
+      fail();
+      return;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = re->wake_fd;
+    if (::epoll_ctl(re->epoll_fd, EPOLL_CTL_ADD, re->wake_fd, &ev) != 0) {
+      fail();
+      return;
+    }
+    if (re->listen_fd >= 0) {
+      ev.data.fd = re->listen_fd;
+      if (::epoll_ctl(re->epoll_fd, EPOLL_CTL_ADD, re->listen_fd, &ev) != 0) {
+        fail();
+        return;
+      }
+    }
+  }
 
   if (config_.http_enabled) {
-    // The HTTP side-channel rides the same epoll loop — a scrape is a
-    // few hundred bytes each way, not worth a second thread stack.
-    // Failure to bind degrades to "no HTTP" (http_listening() false)
-    // rather than taking the wire listener down with it.
+    // The HTTP side-channel rides reactor 0 — a scrape is a few hundred
+    // bytes each way, not worth a listener per reactor. Failure to bind
+    // degrades to "no HTTP" (http_listening() false) rather than taking
+    // the wire listeners down with it.
+    const int one = 1;
     http_listen_fd_ =
         ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
     if (http_listen_fd_ >= 0) {
@@ -316,9 +484,11 @@ server::server(svc::service& service, server_config config)
                           &hbound_len) == 0) {
           http_port_ = ntohs(hbound.sin_port);
         }
-        ev.data.fd = http_listen_fd_;
-        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, http_listen_fd_, &ev) !=
-            0) {
+        epoll_event hev{};
+        hev.events = EPOLLIN;
+        hev.data.fd = http_listen_fd_;
+        if (::epoll_ctl(reactors_[0]->epoll_fd, EPOLL_CTL_ADD,
+                        http_listen_fd_, &hev) != 0) {
           ::close(http_listen_fd_);
           http_listen_fd_ = -1;
           http_port_ = 0;
@@ -327,7 +497,11 @@ server::server(svc::service& service, server_config config)
     }
   }
 
-  loop_ = std::thread([this] { loop_main(); });
+  listening_ = true;
+  for (auto& re : reactors_) {
+    reactor* rp = re.get();
+    re->thread = std::thread([this, rp] { reactor_main(*rp); });
+  }
   executors_.reserve(static_cast<std::size_t>(config_.executors));
   for (int i = 0; i < config_.executors; ++i) {
     executors_.emplace_back([this] { executor_main(); });
@@ -338,12 +512,13 @@ server::~server() { stop(); }
 
 void server::stop() {
   if (stopping_.exchange(true)) return;
-  if (loop_.joinable()) {
-    const std::uint64_t one = 1;
-    (void)!::write(wake_fd_, &one, sizeof one);
-    loop_.join();
+  for (auto& re : reactors_) {
+    if (re->thread.joinable()) {
+      wake(*re);
+      re->thread.join();
+    }
   }
-  // The loop's teardown finished every connection, so queued work and
+  // Reactor teardown finished every connection, so queued work and
   // parked waiters now see closed connections and drain fast.
   queue_cv_.notify_all();
   for (auto& t : executors_) {
@@ -353,90 +528,175 @@ void server::stop() {
     std::unique_lock<std::mutex> lock(waiter_mutex_);
     waiter_cv_.wait(lock, [this] { return active_waiters_ == 0; });
   }
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (http_listen_fd_ >= 0) ::close(http_listen_fd_);
-  epoll_fd_ = wake_fd_ = listen_fd_ = http_listen_fd_ = -1;
+  for (auto& re : reactors_) {
+    {
+      const std::lock_guard<std::mutex> lock(re->inbox_mutex);
+      for (const int fd : re->adopt_inbox) ::close(fd);
+      re->adopt_inbox.clear();
+      re->flush_inbox.clear();
+      re->resume_inbox.clear();
+    }
+    if (re->epoll_fd >= 0) ::close(re->epoll_fd);
+    if (re->wake_fd >= 0) ::close(re->wake_fd);
+    if (re->listen_fd >= 0) ::close(re->listen_fd);
+    re->epoll_fd = re->wake_fd = re->listen_fd = -1;
+  }
+  if (http_listen_fd_ >= 0) {
+    ::close(http_listen_fd_);
+    http_listen_fd_ = -1;
+  }
 }
 
 // ---------------------------------------------------------------------
-// The epoll loop: accept, drain-and-dispatch, teardown.
+// The reactor loop: accept, drain-and-dispatch, flush, teardown.
 
-void server::loop_main() {
+void server::reactor_main(reactor& r) {
+  current_reactor_tls = &r;
   epoll_event events[64];
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int ready = ::epoll_wait(epoll_fd_, events, 64, -1);
+    const int ready =
+        ::epoll_wait(r.epoll_fd, events, 64, next_stall_timeout_ms(r));
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
     for (int i = 0; i < ready; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
+      const std::uint32_t mask = events[i].events;
+      if (fd == r.wake_fd) {
         std::uint64_t drained = 0;
-        (void)!::read(wake_fd_, &drained, sizeof drained);
+        (void)!::read(r.wake_fd, &drained, sizeof drained);
+        r.wakeups.fetch_add(1, std::memory_order_relaxed);
+        process_inbox(r);
         continue;
       }
-      if (fd == listen_fd_) {
-        accept_ready();
+      if (fd == r.listen_fd) {
+        accept_ready(r);
         continue;
       }
-      if (fd == http_listen_fd_) {
-        http_accept_ready();
+      if (r.index == 0 && fd == http_listen_fd_) {
+        http_accept_ready(r);
         continue;
       }
-      const auto it = connections_.find(fd);
-      if (it != connections_.end()) {
-        read_ready(it->second);
+      const auto it = r.connections.find(fd);
+      if (it != r.connections.end()) {
+        // Copy: the handlers may finish the connection and erase it.
+        const connection_ptr conn = it->second;
+        if ((mask & EPOLLOUT) != 0) flush_connection(r, conn);
+        if ((mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0 &&
+            r.connections.count(fd) != 0) {
+          read_ready(r, conn);
+        }
         continue;
       }
-      // Not a wire connection: an HTTP connection, or a connection
-      // finished earlier in this batch whose queued event survived it.
-      if (http_conns_.count(fd) != 0) http_read_ready(fd);
+      if (r.index == 0 && http_conns_.count(fd) != 0) http_read_ready(r, fd);
     }
+    fire_stalls(r);
   }
   // Teardown: finish every connection (disconnect-on-close included)
-  // while the map still owns them.
+  // while the map still owns them, and close sockets dealt to us that
+  // we never adopted.
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+    for (const int fd : r.adopt_inbox) ::close(fd);
+    r.adopt_inbox.clear();
+    r.flush_inbox.clear();
+    r.resume_inbox.clear();
+  }
   std::vector<connection_ptr> remaining;
-  remaining.reserve(connections_.size());
-  for (const auto& [fd, conn] : connections_) remaining.push_back(conn);
-  for (const auto& conn : remaining) finish_connection(conn);
-  for (const auto& [fd, buffered] : http_conns_) ::close(fd);
-  http_conns_.clear();
+  remaining.reserve(r.connections.size());
+  for (const auto& [fd, conn] : r.connections) remaining.push_back(conn);
+  for (const auto& conn : remaining) finish_connection(r, conn);
+  if (r.index == 0) {
+    for (const auto& [fd, buffered] : http_conns_) ::close(fd);
+    http_conns_.clear();
+  }
 }
 
-void server::accept_ready() {
+void server::process_inbox(reactor& r) {
+  std::vector<int> adopts;
+  std::vector<connection_ptr> resumes;
+  std::vector<connection_ptr> flushes;
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+    adopts.swap(r.adopt_inbox);
+    resumes.swap(r.resume_inbox);
+    flushes.swap(r.flush_inbox);
+    r.wake_pending = false;
+  }
+  for (const int fd : adopts) adopt_connection(r, fd);
+  for (const auto& conn : resumes) handle_resume(r, conn);
+  for (const auto& conn : flushes) flush_connection(r, conn);
+}
+
+void server::wake(reactor& r) {
+  const std::uint64_t one = 1;
+  (void)!::write(r.wake_fd, &one, sizeof one);
+}
+
+void server::accept_ready(reactor& r) {
   for (;;) {
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        ::accept4(r.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN or a transient accept error: wait for the next event
     }
     if (stopping_.load(std::memory_order_relaxed) ||
-        connections_.size() >=
-            static_cast<std::size_t>(config_.max_connections)) {
+        connections_active_.load(std::memory_order_relaxed) >=
+            static_cast<std::uint64_t>(config_.max_connections)) {
       counters_.connections_refused.fetch_add(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    auto conn = std::make_shared<connection>(fd, next_connection_id_++);
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLRDHUP;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      continue;  // conn destructor closes the fd
+    if (reuseport_active_ || reactors_.size() == 1) {
+      adopt_connection(r, fd);
+      continue;
     }
-    connections_.emplace(fd, std::move(conn));
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    // Single-listener fallback: reactor 0 owns the only listener and
+    // deals accepted sockets round-robin across the fleet. next_adopter_
+    // starts at 1, so spreading begins with the very first connection.
+    reactor& target = *reactors_[next_adopter_++ % reactors_.size()];
+    if (&target == &r) {
+      adopt_connection(r, fd);
+      continue;
+    }
+    bool kick = false;
+    {
+      const std::lock_guard<std::mutex> lock(target.inbox_mutex);
+      target.adopt_inbox.push_back(fd);
+      if (!target.wake_pending) {
+        target.wake_pending = true;
+        kick = true;
+      }
+    }
+    if (kick) wake(target);
   }
 }
 
-void server::read_ready(connection_ptr conn) {
+void server::adopt_connection(reactor& r, int fd) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    ::close(fd);
+    return;
+  }
+  auto conn = std::make_shared<connection>(
+      fd, next_connection_id_.fetch_add(1, std::memory_order_relaxed), r);
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.fd = fd;
+  if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return;  // conn destructor closes the fd
+  }
+  r.connections.emplace(fd, std::move(conn));
+  r.accepted.fetch_add(1, std::memory_order_relaxed);
+  r.active.fetch_add(1, std::memory_order_relaxed);
+  counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void server::read_ready(reactor& r, const connection_ptr& conn) {
   // Drain the socket in bounded bites, decoding and dispatching after
   // each recv. Draining straight to EAGAIN before ever consulting the
   // in-flight cap would let a client that pre-filled the kernel buffer
@@ -498,6 +758,7 @@ void server::read_ready(connection_ptr conn) {
         break;
       }
       counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      r.requests.fetch_add(1, std::memory_order_relaxed);
       conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
       if (req->kind == wire::op::acquire ||
           req->kind == wire::op::try_acquire_for) {
@@ -528,9 +789,9 @@ void server::read_ready(connection_ptr conn) {
   }
 
   if (dead) {
-    finish_connection(conn);
+    finish_connection(r, conn);
   } else {
-    maybe_pause(conn);
+    maybe_pause(r, conn);
   }
 }
 
@@ -546,10 +807,11 @@ void server::dispatch(const connection_ptr& conn, wire::request req) {
       // so no waiter outlives the server.
       std::thread([this, p = std::move(p)] {
         serve_blocking(p);
-        {
-          const std::lock_guard<std::mutex> inner(waiter_mutex_);
-          --active_waiters_;
-        }
+        // Notify under the mutex: stop() waits on this cv with the
+        // same mutex and destroys it right after the count hits zero,
+        // so a notify outside the lock could land on a dead cv.
+        const std::lock_guard<std::mutex> inner(waiter_mutex_);
+        --active_waiters_;
         waiter_cv_.notify_all();
       }).detach();
       return;
@@ -593,7 +855,9 @@ void server::protocol_error(const connection_ptr& conn,
   wire::response r;
   r.id = request_id;
   r.result = wire::status::bad_request;
-  send_response(conn, r);  // best effort; the connection dies right after
+  // Best effort: the frame lands in the output ring and the final flush
+  // in finish_connection pushes it at the raw socket before close.
+  send_response(conn, r);
 }
 
 // ---------------------------------------------------------------------
@@ -719,44 +983,83 @@ void server::serve(const pending& p) {
   complete(p.conn);
 }
 
+// ---------------------------------------------------------------------
+// The watch router. One hub subscription per watched key; fanout_event
+// fans the hub's callback to every wire subscriber of that key.
+//
+// Lock order: router_mutex_ → out_mutex → pause_mutex, never reversed.
+// service_.watch (hub add) is brief and safe anywhere; service_.unwatch
+// (hub remove) can block until in-flight deliveries finish, and a
+// delivery takes router_mutex_ — so unwatch is NEVER called with
+// router_mutex_ held.
+
 void server::serve_watch(const pending& p, wire::response& r) {
   const connection_ptr& conn = p.conn;
+  const std::string& key = p.req.key;
+  std::uint64_t id = 0;
+  bool need_subscribe = false;
   {
-    const std::lock_guard<std::mutex> lock(conn->watch_mutex);
+    const std::lock_guard<std::mutex> lock(router_mutex_);
+    // closed is set before finish_connection takes this lock to collect
+    // watch ids, so either finish sees the id we add here, or we see
+    // closed and refuse — never a leaked registration.
+    if (conn->closed.load(std::memory_order_relaxed)) {
+      r.result = wire::status::rejected;
+      return;
+    }
     if (conn->watch_ids.size() >=
         static_cast<std::size_t>(config_.max_watches_per_connection)) {
       counters_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
       r.result = wire::status::busy;
       return;
     }
-  }
-  // The callback owns a shared_ptr to the connection, so a pushed event
-  // can never dangle; finish_connection cancels the subscription, which
-  // is what lets the connection die.
-  const std::uint64_t id = service_.watch(
-      p.req.key,
-      [this, conn](const svc::watch_event& e) { push_event(conn, e); });
-  if (id == 0) {
-    r.result = wire::status::rejected;  // service stopped under us
-    return;
-  }
-  bool lost_race = false;
-  {
-    // closed is stored before finish_connection collects watch_ids
-    // (both under this mutex's ordering), so exactly one of the two
-    // sides cancels the subscription: either finish sees our id in the
-    // list, or we see closed and cancel it ourselves.
-    const std::lock_guard<std::mutex> lock(conn->watch_mutex);
-    if (conn->closed.load(std::memory_order_relaxed)) {
-      lost_race = true;
-    } else {
-      conn->watch_ids.push_back(id);
+    id = next_router_id_++;
+    watch_key_state& ks = router_by_key_[key];
+    ks.ids.push_back(id);
+    router_by_id_.emplace(id, watch_target{key, conn});
+    conn->watch_ids.push_back(id);
+    if (ks.hub_id == 0 && !ks.subscribing) {
+      ks.subscribing = true;
+      need_subscribe = true;
     }
   }
-  if (lost_race) {
-    service_.unwatch(id);
-    r.result = wire::status::rejected;
-    return;
+  if (need_subscribe) {
+    // First watcher on this key: register the single hub subscription
+    // whose callback serves every wire subscriber of the key.
+    const std::uint64_t hub_id = service_.watch(
+        key, [this](const svc::watch_event& e) { fanout_event(e); });
+    std::uint64_t drop_hub = 0;
+    bool failed = false;
+    {
+      const std::lock_guard<std::mutex> lock(router_mutex_);
+      // The entry cannot vanish while `subscribing` is set (unwatch and
+      // finish_connection leave it for us), so the lookup holds.
+      const auto kit = router_by_key_.find(key);
+      kit->second.subscribing = false;
+      if (hub_id != 0 && !kit->second.ids.empty()) {
+        kit->second.hub_id = hub_id;
+      } else {
+        if (hub_id == 0) {
+          // Service stopped under us: roll back this registration.
+          failed = true;
+          router_by_id_.erase(id);
+          auto& ids = kit->second.ids;
+          ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+          auto& wids = conn->watch_ids;
+          wids.erase(std::remove(wids.begin(), wids.end(), id), wids.end());
+        } else {
+          drop_hub = hub_id;  // everyone left while we registered
+        }
+        if (kit->second.ids.empty() && kit->second.hub_id == 0) {
+          router_by_key_.erase(kit);
+        }
+      }
+    }
+    if (drop_hub != 0) service_.unwatch(drop_hub);
+    if (failed) {
+      r.result = wire::status::rejected;
+      return;
+    }
   }
   counters_.watch_subscriptions.fetch_add(1, std::memory_order_relaxed);
   r.result = wire::status::ok;
@@ -765,20 +1068,67 @@ void server::serve_watch(const pending& p, wire::response& r) {
 
 void server::serve_unwatch(const pending& p, wire::response& r) {
   const std::uint64_t id = p.req.epoch;
-  bool owned = false;
+  std::uint64_t drop_hub = 0;
   {
-    const std::lock_guard<std::mutex> lock(p.conn->watch_mutex);
-    auto& ids = p.conn->watch_ids;
-    const auto it = std::find(ids.begin(), ids.end(), id);
-    if (it != ids.end()) {
-      ids.erase(it);
-      owned = true;
+    const std::lock_guard<std::mutex> lock(router_mutex_);
+    const auto idit = router_by_id_.find(id);
+    // Only ids this connection registered are cancelled — an unknown or
+    // foreign id is a harmless no-op, not a protocol violation.
+    if (idit != router_by_id_.end() && idit->second.conn == p.conn) {
+      const std::string key = idit->second.key;
+      router_by_id_.erase(idit);
+      auto& wids = p.conn->watch_ids;
+      wids.erase(std::remove(wids.begin(), wids.end(), id), wids.end());
+      const auto kit = router_by_key_.find(key);
+      if (kit != router_by_key_.end()) {
+        auto& ids = kit->second.ids;
+        ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+        if (ids.empty() && !kit->second.subscribing) {
+          drop_hub = kit->second.hub_id;
+          router_by_key_.erase(kit);
+        }
+      }
     }
   }
-  // Only ids this connection registered are cancelled — an unknown or
-  // foreign id is a harmless no-op, not a protocol violation.
-  if (owned) service_.unwatch(id);
+  if (drop_hub != 0) service_.unwatch(drop_hub);
   r.result = wire::status::ok;
+}
+
+void server::fanout_event(const svc::watch_event& e) {
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  // The fast lane: encode the event ONCE into a shared immutable
+  // buffer; every subscriber's ring gets the same bytes by reference.
+  auto buf = std::make_shared<const std::vector<std::uint8_t>>(
+      wire::encode_response(wire::make_event(e)));
+  std::vector<connection_ptr> targets;
+  {
+    const std::lock_guard<std::mutex> lock(router_mutex_);
+    const auto kit = router_by_key_.find(e.key);
+    if (kit == router_by_key_.end()) return;
+    targets.reserve(kit->second.ids.size());
+    for (const std::uint64_t id : kit->second.ids) {
+      const auto idit = router_by_id_.find(id);
+      if (idit != router_by_id_.end()) targets.push_back(idit->second.conn);
+    }
+  }
+  // Group the flush posts by owning reactor: one inbox lock + one
+  // eventfd kick per reactor, however many subscribers it hosts.
+  std::vector<std::vector<connection_ptr>> by_reactor(reactors_.size());
+  for (const connection_ptr& conn : targets) {
+    bool need_post = false;
+    if (!enqueue_frame(conn, buf, /*is_event=*/true, need_post)) {
+      counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (need_post) {
+      by_reactor[static_cast<std::size_t>(conn->owner.index)].push_back(conn);
+    }
+  }
+  for (std::size_t i = 0; i < by_reactor.size(); ++i) {
+    if (!by_reactor[i].empty()) {
+      post_flush_batch(*reactors_[i], std::move(by_reactor[i]));
+    }
+  }
 }
 
 void server::serve_admin(const pending& p, wire::response& r) {
@@ -854,37 +1204,6 @@ void server::serve_admin(const pending& p, wire::response& r) {
   }
 }
 
-void server::push_event(const connection_ptr& conn,
-                        const svc::watch_event& e) {
-  if (conn->closed.load(std::memory_order_relaxed)) {
-    counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  const std::vector<std::uint8_t> frame =
-      wire::encode_response(wire::make_event(e));
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(std::max<std::uint64_t>(
-          1, config_.event_write_budget_ms));
-  const std::lock_guard<std::mutex> lock(conn->write_mutex);
-  if (conn->closed.load(std::memory_order_relaxed)) {
-    counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  if (!write_all(conn->fd, frame.data(), frame.size(), stopping_,
-                 &deadline)) {
-    // The consumer is not draining (or died): drop it. Losing the
-    // connection also tears down its watches, so one wedged watcher
-    // cannot absorb the notifier's time budget event after event.
-    counters_.events_dropped.fetch_add(1, std::memory_order_relaxed);
-    start_close(conn);
-    return;
-  }
-  counters_.events_pushed.fetch_add(1, std::memory_order_relaxed);
-  counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
-}
-
 void server::serve_blocking(const pending& p) {
   svc::service::session& session = *p.conn->session;
   const obs::trace_scope trace(p.req.trace_id);
@@ -946,81 +1265,389 @@ void server::serve_blocking(const pending& p) {
 }
 
 // ---------------------------------------------------------------------
-// Response path, backpressure, connection teardown.
+// Response path: output rings, writev flushes, backpressure, teardown.
+
+bool server::enqueue_frame(
+    const connection_ptr& conn,
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes, bool is_event,
+    bool& need_post) {
+  need_post = false;
+  const std::size_t size = bytes->size();
+  bool overflow = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->out_mutex);
+    if (conn->closed.load(std::memory_order_relaxed)) return false;
+    if (conn->outbox_bytes + size > config_.max_outbox_bytes) {
+      overflow = true;
+    } else {
+      conn->outbox.push_back(out_frame{std::move(bytes), is_event});
+      conn->outbox_bytes += size;
+      if (!conn->flush_queued) {
+        conn->flush_queued = true;
+        need_post = true;
+      }
+    }
+  }
+  if (overflow) {
+    // A ring at the cap means the consumer stopped draining long ago;
+    // cut the connection rather than buffer without bound.
+    start_close(conn);
+    return false;
+  }
+  return true;
+}
 
 void server::send_response(const connection_ptr& conn,
                            const wire::response& r) {
   if (conn->closed.load(std::memory_order_relaxed)) return;
-  const std::vector<std::uint8_t> frame = wire::encode_response(r);
-  const std::lock_guard<std::mutex> lock(conn->write_mutex);
-  if (conn->closed.load(std::memory_order_relaxed)) return;
-  if (!write_all(conn->fd, frame.data(), frame.size(), stopping_)) {
-    start_close(conn);
+  auto frame = std::make_shared<const std::vector<std::uint8_t>>(
+      wire::encode_response(r));
+  bool need_post = false;
+  if (enqueue_frame(conn, std::move(frame), /*is_event=*/false, need_post) &&
+      need_post) {
+    post_flush(conn->owner, conn);
+  }
+}
+
+void server::post_flush(reactor& r, const connection_ptr& conn) {
+  if (current_reactor_tls == &r) {
+    flush_connection(r, conn);
     return;
   }
-  counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  bool kick = false;
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+    r.flush_inbox.push_back(conn);
+    if (!r.wake_pending) {
+      r.wake_pending = true;
+      kick = true;
+    }
+  }
+  if (kick) wake(r);
+}
+
+void server::post_flush_batch(reactor& r, std::vector<connection_ptr> conns) {
+  if (current_reactor_tls == &r) {
+    for (const auto& conn : conns) flush_connection(r, conn);
+    return;
+  }
+  bool kick = false;
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+    for (auto& conn : conns) r.flush_inbox.push_back(std::move(conn));
+    if (!r.wake_pending) {
+      r.wake_pending = true;
+      kick = true;
+    }
+  }
+  if (kick) wake(r);
+}
+
+void server::post_resume(reactor& r, const connection_ptr& conn) {
+  if (current_reactor_tls == &r) {
+    handle_resume(r, conn);
+    return;
+  }
+  bool kick = false;
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mutex);
+    r.resume_inbox.push_back(conn);
+    if (!r.wake_pending) {
+      r.wake_pending = true;
+      kick = true;
+    }
+  }
+  if (kick) wake(r);
+}
+
+std::pair<std::uint64_t, std::uint64_t> server::pop_written(
+    connection& conn, std::size_t wrote) {
+  conn.outbox_bytes -= wrote;
+  std::uint64_t frames = 0;
+  std::uint64_t events = 0;
+  while (wrote > 0 && !conn.outbox.empty()) {
+    out_frame& front = conn.outbox.front();
+    const std::size_t left = front.bytes->size() - conn.out_offset;
+    if (wrote >= left) {
+      wrote -= left;
+      conn.out_offset = 0;
+      ++frames;
+      if (front.is_event) ++events;
+      conn.outbox.pop_front();
+    } else {
+      conn.out_offset += wrote;
+      wrote = 0;
+    }
+  }
+  return {frames, events};
+}
+
+void server::flush_connection(reactor& r, const connection_ptr& conn) {
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  const auto budget = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, config_.event_write_budget_ms));
+  std::uint64_t flushed = 0;
+  for (;;) {
+    iovec iov[64];
+    int iov_count = 0;
+    {
+      const std::lock_guard<std::mutex> lock(conn->out_mutex);
+      std::size_t offset = conn->out_offset;
+      for (const out_frame& f : conn->outbox) {
+        if (iov_count == 64) break;
+        iov[iov_count].iov_base =
+            const_cast<std::uint8_t*>(f.bytes->data() + offset);
+        iov[iov_count].iov_len = f.bytes->size() - offset;
+        offset = 0;
+        ++iov_count;
+      }
+      // Drained under the same hold that observed empty: an appender
+      // racing in after this will see flush_queued false and post.
+      if (iov_count == 0) conn->flush_queued = false;
+    }
+    if (iov_count == 0) {
+      if (conn->want_writable) {
+        conn->want_writable = false;
+        rearm(r, conn);
+      }
+      conn->stall_armed = false;
+      break;
+    }
+    const ssize_t wrote = ::writev(conn->fd, iov, iov_count);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_writable) {
+          conn->want_writable = true;
+          rearm(r, conn);
+        }
+        if (!conn->stall_armed) {
+          // Start the no-progress clock; fire_stalls kills the
+          // connection if a full budget passes without a byte moving.
+          conn->stall_armed = true;
+          conn->stall_since = std::chrono::steady_clock::now();
+          r.stall_wheel.emplace(conn->stall_since + budget, conn->fd);
+        }
+        // flush_queued stays set: EPOLLOUT resumes this drain, and
+        // appenders need not post meanwhile.
+        if (flushed > 0) r.drain_batches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      finish_connection(r, conn);
+      return;
+    }
+    r.writev_calls.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(wrote),
+                                  std::memory_order_relaxed);
+    conn->stall_armed = false;  // progress resets the stall budget
+    std::uint64_t frames = 0;
+    std::uint64_t events = 0;
+    {
+      const std::lock_guard<std::mutex> lock(conn->out_mutex);
+      std::tie(frames, events) =
+          pop_written(*conn, static_cast<std::size_t>(wrote));
+    }
+    if (frames > 0) {
+      counters_.frames_out.fetch_add(frames, std::memory_order_relaxed);
+      r.frames_flushed.fetch_add(frames, std::memory_order_relaxed);
+      flushed += frames;
+    }
+    if (events > 0) {
+      counters_.events_pushed.fetch_add(events, std::memory_order_relaxed);
+    }
+  }
+  if (flushed > 0) r.drain_batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+void server::fire_stalls(reactor& r) {
+  if (r.stall_wheel.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::milliseconds(
+      std::max<std::uint64_t>(1, config_.event_write_budget_ms));
+  while (!r.stall_wheel.empty() && r.stall_wheel.begin()->first <= now) {
+    const int fd = r.stall_wheel.begin()->second;
+    r.stall_wheel.erase(r.stall_wheel.begin());
+    const auto it = r.connections.find(fd);
+    if (it == r.connections.end()) continue;  // already finished
+    const connection_ptr conn = it->second;
+    // An entry is current only if its deadline matches the live arm
+    // time; progress disarms, a re-arm inserts a fresh entry. Stale
+    // entries are skipped, not rescheduled.
+    if (!conn->stall_armed) continue;
+    if (conn->stall_since + budget > now) continue;
+    // No progress for a full budget: a dead consumer. Its queued
+    // frames count as dropped in finish_connection.
+    finish_connection(r, conn);
+  }
+}
+
+int server::next_stall_timeout_ms(reactor& r) const {
+  if (r.stall_wheel.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  const auto first = r.stall_wheel.begin()->first;
+  if (first <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(first - now)
+          .count() +
+      1;
+  return static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+void server::rearm(reactor& r, const connection_ptr& conn) {
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  std::uint32_t mask = EPOLLRDHUP;
+  {
+    const std::lock_guard<std::mutex> lock(conn->pause_mutex);
+    if (!conn->paused) mask |= EPOLLIN;
+  }
+  if (conn->want_writable) mask |= EPOLLOUT;
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.fd = conn->fd;
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
 void server::complete(const connection_ptr& conn) {
   conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
-  maybe_resume(conn);
+  bool post = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->pause_mutex);
+    if (conn->paused && !conn->resume_queued &&
+        !conn->closed.load(std::memory_order_relaxed) &&
+        conn->in_flight.load(std::memory_order_acquire) <=
+            config_.max_inflight_per_connection / 2) {
+      conn->resume_queued = true;
+      post = true;
+    }
+  }
+  if (post) post_resume(conn->owner, conn);
 }
 
-void server::maybe_pause(const connection_ptr& conn) {
-  const std::lock_guard<std::mutex> lock(conn->pause_mutex);
-  if (conn->paused || conn->closed.load(std::memory_order_relaxed)) return;
-  if (conn->in_flight.load(std::memory_order_acquire) <
-      config_.max_inflight_per_connection) {
-    return;
-  }
-  epoll_event ev{};
-  ev.events = EPOLLRDHUP;  // keep death visible, stop reading requests
-  ev.data.fd = conn->fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+void server::maybe_pause(reactor& r, const connection_ptr& conn) {
+  bool paused_now = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->pause_mutex);
+    if (conn->paused || conn->closed.load(std::memory_order_relaxed)) return;
+    if (conn->in_flight.load(std::memory_order_acquire) <
+        config_.max_inflight_per_connection) {
+      return;
+    }
     conn->paused = true;
+    paused_now = true;
+  }
+  if (paused_now) {
     counters_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+    rearm(r, conn);
   }
 }
 
-void server::maybe_resume(const connection_ptr& conn) {
-  const std::lock_guard<std::mutex> lock(conn->pause_mutex);
-  if (!conn->paused || conn->closed.load(std::memory_order_relaxed)) return;
-  if (conn->in_flight.load(std::memory_order_acquire) >
-      config_.max_inflight_per_connection / 2) {
-    return;
-  }
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLRDHUP;
-  ev.data.fd = conn->fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+void server::handle_resume(reactor& r, const connection_ptr& conn) {
+  bool resumed = false;
+  {
+    const std::lock_guard<std::mutex> lock(conn->pause_mutex);
+    conn->resume_queued = false;
+    if (!conn->paused || conn->closed.load(std::memory_order_relaxed)) return;
+    if (conn->in_flight.load(std::memory_order_acquire) >
+        config_.max_inflight_per_connection / 2) {
+      // Filled back up since the post; a later complete() re-posts.
+      return;
+    }
     conn->paused = false;
+    resumed = true;
   }
+  if (resumed) rearm(r, conn);
 }
 
 void server::start_close(const connection_ptr& conn) {
   if (conn->closed.exchange(true)) return;
   // The local shutdown makes epoll report the fd (EPOLLHUP fires even
-  // for a paused connection), so the loop runs finish_connection.
+  // for a paused connection), so the owning reactor runs
+  // finish_connection.
   ::shutdown(conn->fd, SHUT_RDWR);
 }
 
-void server::finish_connection(connection_ptr conn) {
-  if (connections_.erase(conn->fd) == 0) return;  // already finished
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-  conn->closed.store(true, std::memory_order_relaxed);
-  ::shutdown(conn->fd, SHUT_RDWR);
-  // Cancel the connection's watch subscriptions first: after unwatch
-  // returns, the hub will never invoke this connection's push callback
-  // again, so the shared_ptr cycle-breaker is exactly this loop. A
-  // watch racing in concurrently sees `closed` and cancels itself (see
-  // serve_watch).
-  std::vector<std::uint64_t> watches;
-  {
-    const std::lock_guard<std::mutex> lock(conn->watch_mutex);
-    watches.swap(conn->watch_ids);
+void server::finish_connection(reactor& r, const connection_ptr& conn) {
+  if (r.connections.erase(conn->fd) == 0) return;  // already finished
+  const bool was_closed = conn->closed.exchange(true);
+  if (!was_closed) {
+    // Final opportunistic flush: a one-shot refusal (bad hello, oversize
+    // frame) must still reach the peer, and responses a clean
+    // disconnect raced past deserve a best effort. writev while bytes
+    // move; EAGAIN or error abandons the rest.
+    const std::lock_guard<std::mutex> lock(conn->out_mutex);
+    while (!conn->outbox.empty()) {
+      iovec iov[64];
+      int iov_count = 0;
+      std::size_t offset = conn->out_offset;
+      for (const out_frame& f : conn->outbox) {
+        if (iov_count == 64) break;
+        iov[iov_count].iov_base =
+            const_cast<std::uint8_t*>(f.bytes->data() + offset);
+        iov[iov_count].iov_len = f.bytes->size() - offset;
+        offset = 0;
+        ++iov_count;
+      }
+      const ssize_t wrote = ::writev(conn->fd, iov, iov_count);
+      if (wrote <= 0) {
+        if (wrote < 0 && errno == EINTR) continue;
+        break;
+      }
+      r.writev_calls.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(wrote),
+                                    std::memory_order_relaxed);
+      const auto popped = pop_written(*conn, static_cast<std::size_t>(wrote));
+      if (popped.first > 0) {
+        counters_.frames_out.fetch_add(popped.first,
+                                       std::memory_order_relaxed);
+        r.frames_flushed.fetch_add(popped.first, std::memory_order_relaxed);
+      }
+      if (popped.second > 0) {
+        counters_.events_pushed.fetch_add(popped.second,
+                                          std::memory_order_relaxed);
+      }
+    }
   }
-  for (const std::uint64_t id : watches) service_.unwatch(id);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conn->stall_armed = false;
+  {
+    // Whatever could not be flushed is gone; count the lost events.
+    const std::lock_guard<std::mutex> lock(conn->out_mutex);
+    std::uint64_t dropped = 0;
+    for (const out_frame& f : conn->outbox) {
+      if (f.is_event) ++dropped;
+    }
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    conn->out_offset = 0;
+    if (dropped > 0) {
+      counters_.events_dropped.fetch_add(dropped, std::memory_order_relaxed);
+    }
+  }
+  // Cancel the connection's watch registrations. Hub subscriptions
+  // whose last subscriber this was are removed OUTSIDE the router lock:
+  // hub remove waits for in-flight deliveries, and a delivery takes the
+  // router lock (fanout_event) — holding it here would deadlock.
+  std::vector<std::uint64_t> hub_drops;
+  {
+    const std::lock_guard<std::mutex> lock(router_mutex_);
+    for (const std::uint64_t id : conn->watch_ids) {
+      const auto idit = router_by_id_.find(id);
+      if (idit == router_by_id_.end()) continue;
+      const std::string key = idit->second.key;
+      router_by_id_.erase(idit);
+      const auto kit = router_by_key_.find(key);
+      if (kit == router_by_key_.end()) continue;
+      auto& ids = kit->second.ids;
+      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.empty() && !kit->second.subscribing) {
+        if (kit->second.hub_id != 0) hub_drops.push_back(kit->second.hub_id);
+        router_by_key_.erase(kit);
+      }
+    }
+    conn->watch_ids.clear();
+  }
+  for (const std::uint64_t hub : hub_drops) service_.unwatch(hub);
   if (conn->session.has_value()) {
     // The disconnect-on-close hook: whatever the remote client held is
     // reclaimed NOW — its rivals re-elect immediately instead of
@@ -1032,16 +1659,17 @@ void server::finish_connection(connection_ptr conn) {
     counters_.disconnect_reclaims.fetch_add(reclaimed,
                                             std::memory_order_relaxed);
   }
+  r.active.fetch_sub(1, std::memory_order_relaxed);
   connections_active_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------
-// The HTTP side-channel (loop thread only). Deliberately minimal:
+// The HTTP side-channel (reactor 0 only). Deliberately minimal:
 // GET-only, one request per connection, answer and close. A scrape is
 // small and rare; anything fancier (keep-alive, chunking, pipelining)
-// buys nothing here and costs loop-thread attention.
+// buys nothing here and costs reactor-0 attention.
 
-void server::http_accept_ready() {
+void server::http_accept_ready(reactor& r) {
   for (;;) {
     const int fd = ::accept4(http_listen_fd_, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -1057,7 +1685,7 @@ void server::http_accept_ready() {
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP;
     ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
       continue;
     }
@@ -1065,7 +1693,7 @@ void server::http_accept_ready() {
   }
 }
 
-void server::http_read_ready(int fd) {
+void server::http_read_ready(reactor& r, int fd) {
   const auto it = http_conns_.find(fd);
   if (it == http_conns_.end()) return;
   std::string& buffered = it->second;
@@ -1075,18 +1703,18 @@ void server::http_read_ready(int fd) {
     if (got > 0) {
       buffered.append(buf, static_cast<std::size_t>(got));
       if (buffered.size() > 8192) {  // no sane GET is this big
-        http_close(fd);
+        http_close(r, fd);
         return;
       }
       continue;
     }
     if (got == 0) {
-      http_close(fd);
+      http_close(r, fd);
       return;
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    http_close(fd);
+    http_close(r, fd);
     return;
   }
   // Headers complete? (We ignore them — the request line is the API.)
@@ -1095,7 +1723,7 @@ void server::http_read_ready(int fd) {
     return;  // wait for the rest
   }
   http_respond(fd, buffered);
-  http_close(fd);
+  http_close(r, fd);
 }
 
 void server::http_respond(int fd, const std::string& buffered) {
@@ -1143,16 +1771,16 @@ void server::http_respond(int fd, const std::string& buffered) {
   response += std::to_string(body.size());
   response += "\r\nConnection: close\r\n\r\n";
   response += body;
-  // Bounded write on the loop thread: a scrape response is a few KiB,
-  // but a wedged scraper must not park the loop indefinitely.
+  // Bounded write on the reactor thread: a scrape response is a few
+  // KiB, but a wedged scraper must not park the reactor indefinitely.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
   (void)write_all(fd, reinterpret_cast<const std::uint8_t*>(response.data()),
                   response.size(), stopping_, &deadline);
 }
 
-void server::http_close(int fd) {
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+void server::http_close(reactor& r, int fd) {
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   http_conns_.erase(fd);
 }
@@ -1188,6 +1816,24 @@ net_report server::report() const {
   r.events_pushed = counters_.events_pushed.load(std::memory_order_relaxed);
   r.events_dropped =
       counters_.events_dropped.load(std::memory_order_relaxed);
+  r.reactors = reactors_.size();
+  r.reuseport = reuseport_active_;
+  r.per_reactor.reserve(reactors_.size());
+  for (const auto& re : reactors_) {
+    net_report::reactor_stat s;
+    s.index = re->index;
+    s.connections = re->active.load(std::memory_order_relaxed);
+    s.accepted = re->accepted.load(std::memory_order_relaxed);
+    s.wakeups = re->wakeups.load(std::memory_order_relaxed);
+    s.writev_calls = re->writev_calls.load(std::memory_order_relaxed);
+    s.frames_flushed = re->frames_flushed.load(std::memory_order_relaxed);
+    s.drain_batches = re->drain_batches.load(std::memory_order_relaxed);
+    s.requests = re->requests.load(std::memory_order_relaxed);
+    r.writev_calls += s.writev_calls;
+    r.frames_flushed += s.frames_flushed;
+    r.reactor_wakeups += s.wakeups;
+    r.per_reactor.push_back(s);
+  }
   return r;
 }
 

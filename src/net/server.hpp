@@ -1,9 +1,20 @@
 // elect::net::server — the TCP front-end of the election service.
 //
-// One epoll loop owns the listen socket and every connection's read
-// side. Readable sockets are drained to EAGAIN and *all* complete
-// frames are decoded before anything is dispatched (request batching:
-// one syscall burst, one queue lock, many requests), then:
+// The edge is N per-core reactors, not one epoll loop. Each reactor
+// owns an epoll fd, an eventfd wakeup, a timer wheel for slow-consumer
+// deadlines, its own accept socket (SO_REUSEPORT sharded accept — the
+// kernel spreads incoming connections across the listeners), and a
+// private connection table. A connection is pinned to the reactor that
+// accepted it for its whole lifetime, so per-connection read state
+// needs no cross-reactor locking. Where SO_REUSEPORT is unavailable
+// (or disabled via server_config::reuseport), reactor 0 keeps a single
+// listener and deals accepted sockets round-robin to its peers through
+// their adopt queues.
+//
+// Reads: a readable socket is drained to EAGAIN in bounded bites and
+// *all* complete frames are decoded before anything is dispatched
+// (request batching: one syscall burst, one queue lock, many
+// requests), then:
 //
 //   * non-blocking ops (try_acquire, release, renew, disconnect,
 //     metrics) go to a small executor pool — they only ever take shard
@@ -11,44 +22,51 @@
 //   * blocking ops (acquire, try_acquire_for) each get a waiter thread,
 //     bounded by `max_waiters`; past the cap the server answers `busy`
 //     instead of queueing a request behind threads that may sleep for
-//     minutes. Waiters sleep in bounded slices so server stop and
-//     connection death interrupt them promptly. Keeping the two classes
-//     apart means a release can always be served while every waiter is
-//     parked — the release is what wakes them, so mixing the classes in
-//     one queue could deadlock until a lease TTL broke the cycle.
+//     minutes.
+//
+// Writes: responses are never written by the thread that produced
+// them. Every encoded frame lands in the connection's output ring (a
+// deque of shared immutable buffers) and the owning reactor flushes
+// the ring with writev — one syscall coalesces every frame that is
+// ready, EAGAIN arms EPOLLOUT, and a consumer that makes no progress
+// for event_write_budget_ms is declared dead by the reactor's timer
+// wheel. Cross-thread completions reach the reactor through its inbox
+// plus an eventfd kick, so all epoll_ctl and all socket writes happen
+// on the owning reactor thread.
+//
+// Watch fanout rides a fast lane: the server keeps ONE hub
+// subscription per watched key; its callback encodes the event frame
+// once into a shared immutable buffer and appends that same buffer to
+// every subscribed connection's output ring, grouped per reactor with
+// one wakeup each — encode once, writev many.
 //
 // Every connection is backed by ONE svc::service session, so the
 // service-side crash story carries over the wire unchanged: when the
 // socket dies (EOF, reset, or server stop) the server applies
 // session::disconnect(), force-releasing everything the remote client
-// held — a crashed remote client fences exactly like PR 2's local
-// crash path, and faster than waiting out the TTL when the kernel
-// reports the close. A half-open peer (no FIN ever arrives) falls back
-// to the lease TTL + sweeper, same as a wedged local client.
+// held. A half-open peer (no FIN ever arrives) falls back to the lease
+// TTL + sweeper, same as a wedged local client.
 //
 // Backpressure is per connection: at `max_inflight_per_connection`
-// outstanding requests the loop stops *reading* that socket (drops
-// EPOLLIN) until completions drain below half the cap — the client's
-// sends then fill the kernel buffers and block/EAGAIN at the client,
-// which is the entire point. Responses complete out of order; the wire
-// request id is what keys them back (see net/wire.hpp).
-//
-// Responses are written by whichever thread finished the request,
-// under a per-connection write mutex, blocking on POLLOUT if the
-// socket's send buffer is full — a slow consumer stalls its own
-// responses, never the epoll loop.
+// outstanding requests the reactor stops *reading* that socket (drops
+// EPOLLIN) until completions drain below half the cap. The output ring
+// is bounded too (`max_outbox_bytes`): a consumer that never drains
+// loses the connection rather than growing the ring without bound.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/wire.hpp"
@@ -79,12 +97,12 @@ struct server_config {
   /// op answers `busy` (resource exhaustion, same family as the waiter
   /// cap — not a protocol violation).
   int max_watches_per_connection = 1024;
-  /// Budget for pushing one event frame into a slow consumer's socket
-  /// before the connection is declared dead. Bounds how long the watch
-  /// hub's notifier (and a teardown waiting on it) can stall.
+  /// How long a connection's output ring may sit unflushable (socket
+  /// full, no progress) before the reactor declares the consumer dead.
+  /// Bounds how long undelivered responses and events can pin memory.
   std::uint64_t event_write_budget_ms = 1000;
   /// Serve HTTP (/metrics Prometheus text, /report JSON, /healthz) on a
-  /// second listen socket, multiplexed onto the same epoll loop.
+  /// second listen socket, multiplexed onto reactor 0.
   bool http_enabled = false;
   /// HTTP port; 0 binds ephemeral (read back with server::http_port()).
   std::uint16_t http_port = 0;
@@ -96,10 +114,37 @@ struct server_config {
   /// Where admin_snapshot persists the registry snapshot. Empty keeps
   /// the op in-memory only (it still answers with command-log stats).
   std::string snapshot_path;
+  /// Reactor (event loop) count. 0 = auto: the ELECT_REACTORS
+  /// environment variable if set, else std::thread::hardware_concurrency
+  /// clamped to [1, 16]. Explicit values are clamped to [1, 64].
+  int reactors = 0;
+  /// Shard the accept path with one SO_REUSEPORT listener per reactor.
+  /// false forces the single-listener fallback (reactor 0 accepts and
+  /// deals connections round-robin) — deterministic spread, what the
+  /// multi-reactor tests use.
+  bool reuseport = true;
+  /// Bound on one connection's queued-but-unflushed output bytes.
+  /// Past it the connection is closed as a dead consumer.
+  std::size_t max_outbox_bytes = 8u << 20;
 };
 
 /// Point-in-time counters for the network edge.
 struct net_report {
+  /// Per-reactor slice of the edge: connection placement, wakeups, and
+  /// the writev coalescing that reactor achieved. frames_flushed /
+  /// writev_calls is the realized coalesce ratio; requests /
+  /// drain_batches the realized read-batching factor.
+  struct reactor_stat {
+    int index = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t writev_calls = 0;
+    std::uint64_t frames_flushed = 0;
+    std::uint64_t drain_batches = 0;
+    std::uint64_t requests = 0;
+  };
+
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_active = 0;
   std::uint64_t connections_refused = 0;
@@ -120,20 +165,29 @@ struct net_report {
   std::uint64_t disconnect_reclaims = 0;
   /// Watch subscriptions accepted over the wire (lifetime total).
   std::uint64_t watch_subscriptions = 0;
-  /// Event frames pushed to clients.
+  /// Event frames pushed to clients (counted when flushed to the
+  /// socket, not when queued).
   std::uint64_t events_pushed = 0;
-  /// Event frames not pushed: connection already closed, or the write
-  /// budget ran out on a non-draining consumer (which also kills the
-  /// connection).
+  /// Event frames not pushed: connection already closed, output ring
+  /// overflowed, or the consumer died with events still queued.
   std::uint64_t events_dropped = 0;
+  /// Reactor configuration and aggregates across the per-reactor rows.
+  std::uint64_t reactors = 0;
+  /// True when every reactor accepts on its own SO_REUSEPORT listener;
+  /// false in the single-listener round-robin fallback.
+  bool reuseport = false;
+  std::uint64_t writev_calls = 0;
+  std::uint64_t frames_flushed = 0;
+  std::uint64_t reactor_wakeups = 0;
+  std::vector<reactor_stat> per_reactor;
 
   [[nodiscard]] std::string to_json() const;
 };
 
 class server {
  public:
-  /// Binds, listens, and starts the loop + executors. The service must
-  /// outlive the server. Check listening() — construction does not
+  /// Binds, listens, and starts the reactors + executors. The service
+  /// must outlive the server. Check listening() — construction does not
   /// abort on bind failure (the port may be taken).
   server(svc::service& service, server_config config);
   ~server();
@@ -141,9 +195,18 @@ class server {
   server(const server&) = delete;
   server& operator=(const server&) = delete;
 
-  [[nodiscard]] bool listening() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] bool listening() const noexcept { return listening_; }
   /// The bound port (resolves config.port == 0 to the ephemeral pick).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Resolved reactor count (config.reactors == 0 auto-detects).
+  [[nodiscard]] int reactor_count() const noexcept {
+    return static_cast<int>(reactors_.size());
+  }
+  /// True when the accept path is SO_REUSEPORT-sharded (one listener
+  /// per reactor); false on the single-listener round-robin fallback.
+  [[nodiscard]] bool reuseport_sharded() const noexcept {
+    return reuseport_active_;
+  }
   /// Is the HTTP listener up? (Requires config.http_enabled and a
   /// successful bind.)
   [[nodiscard]] bool http_listening() const noexcept {
@@ -154,7 +217,7 @@ class server {
     return http_port_;
   }
 
-  /// Close the listener and every connection (their sessions are
+  /// Close the listeners and every connection (their sessions are
   /// disconnected, releasing held leases), drain the executors, and
   /// join every thread. Idempotent. Does NOT stop the service.
   void stop();
@@ -165,51 +228,162 @@ class server {
   [[nodiscard]] std::string report_json() const;
 
  private:
+  struct reactor;
+
+  /// One encoded frame queued for a connection. The buffer is shared
+  /// and immutable so the watch fast lane can hand the SAME encoded
+  /// event to thousands of rings without copying it once per watcher.
+  struct out_frame {
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+    bool is_event = false;
+  };
+
   struct connection {
-    connection(int fd_in, std::uint64_t id_in) : fd(fd_in), id(id_in) {}
+    connection(int fd_in, std::uint64_t id_in, reactor& owner_in)
+        : fd(fd_in), id(id_in), owner(owner_in) {}
     ~connection();
 
     const int fd;
     const std::uint64_t id;
+    /// The reactor this connection is pinned to — fixed at accept.
+    reactor& owner;
     /// Set once the hello handshake passed; requests before it (or an
     /// invalid hello) are protocol errors.
     std::optional<svc::service::session> session;
     wire::frame_reader reader;
 
-    /// Guards the socket write side (responses interleave from many
-    /// threads) — never held while reading.
-    std::mutex write_mutex;
+    /// Output ring: any thread appends encoded frames under out_mutex;
+    /// only the owning reactor pops (writev flush). flush_queued
+    /// dedupes wakeups — the appender that turns it on posts the
+    /// connection to the reactor, everyone after piggybacks.
+    std::mutex out_mutex;
+    std::deque<out_frame> outbox;
+    std::size_t outbox_bytes = 0;
+    /// Bytes of outbox.front() already written (partial writev).
+    std::size_t out_offset = 0;
+    bool flush_queued = false;
+
+    // Reactor-thread-only flush state.
+    bool want_writable = false;   // EPOLLOUT armed
+    bool stall_armed = false;     // timer-wheel entry live
+    std::chrono::steady_clock::time_point stall_since{};
 
     /// Outstanding dispatched requests; drives backpressure.
     std::atomic<int> in_flight{0};
-    /// Guards `paused` and orders pause/resume against in_flight so a
-    /// completion draining to zero can never race the loop into a
-    /// permanently paused socket.
+    /// Guards paused/resume_queued and orders pause/resume against
+    /// in_flight so a completion draining to zero can never race the
+    /// reactor into a permanently paused socket.
     std::mutex pause_mutex;
     bool paused = false;
+    /// A resume is already sitting in the owner's inbox.
+    bool resume_queued = false;
 
-    /// Watch-hub subscription ids owned by this connection: unwatch ops
-    /// may only cancel ids in here (a client cannot cancel another
-    /// connection's watches), and finish_connection cancels the rest.
-    std::mutex watch_mutex;
+    /// Watch-router ids owned by this connection (guarded by the
+    /// server's router_mutex_, not a connection-local lock — watch
+    /// registration is cold next to the data path).
     std::vector<std::uint64_t> watch_ids;
 
     std::atomic<bool> closed{false};
   };
   using connection_ptr = std::shared_ptr<connection>;
 
+  /// One per-core event loop: epoll + eventfd + (maybe) its own
+  /// listener + timer wheel + private connection table + inbox for
+  /// cross-thread work. Everything epoll_ctl happens on this thread.
+  struct reactor {
+    server* owner = nullptr;
+    int index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    /// This reactor's SO_REUSEPORT listener; -1 on every reactor but 0
+    /// in the single-listener fallback.
+    int listen_fd = -1;
+    std::thread thread;
+
+    /// Reactor-thread-only.
+    std::unordered_map<int, connection_ptr> connections;
+    /// Timer wheel (coarse): deadline -> fd for output-stall budgets.
+    std::multimap<std::chrono::steady_clock::time_point, int> stall_wheel;
+
+    /// Cross-thread inbox, drained on eventfd wakeup. wake_pending
+    /// coalesces eventfd writes: one kick per drain, however many posts.
+    std::mutex inbox_mutex;
+    std::vector<connection_ptr> flush_inbox;
+    std::vector<connection_ptr> resume_inbox;
+    std::vector<int> adopt_inbox;
+    bool wake_pending = false;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> wakeups{0};
+    std::atomic<std::uint64_t> writev_calls{0};
+    std::atomic<std::uint64_t> frames_flushed{0};
+    std::atomic<std::uint64_t> drain_batches{0};
+    std::atomic<std::uint64_t> requests{0};
+  };
+
   struct pending {
     connection_ptr conn;
     wire::request req;
   };
 
-  void loop_main();
+  /// The watch router: one hub subscription per watched key, fanned to
+  /// the wire subscribers by fanout_event. by_id is keyed by the wire
+  /// watch handle (what unwatch presents); by_key groups handles under
+  /// their shared hub subscription.
+  struct watch_target {
+    std::string key;
+    connection_ptr conn;
+  };
+  struct watch_key_state {
+    std::uint64_t hub_id = 0;
+    /// A hub subscription for this key is being registered (outside the
+    /// router lock). While set, the entry must not be erased — the
+    /// subscriber comes back to publish hub_id or drop it.
+    bool subscribing = false;
+    std::vector<std::uint64_t> ids;
+  };
+
+  void reactor_main(reactor& r);
   void executor_main();
-  void accept_ready();
-  /// Drain one readable socket and dispatch everything parsed. Takes
-  /// its own reference: the loop's copy in connections_ dies inside
-  /// finish_connection, so a reference to the map's slot would dangle.
-  void read_ready(connection_ptr conn);
+  /// Accept everything ready on r's listener. In fallback mode only
+  /// reactor 0 has one; it adopts locally or deals to a peer's inbox.
+  void accept_ready(reactor& r);
+  /// Register a freshly accepted socket with reactor r (its thread).
+  void adopt_connection(reactor& r, int fd);
+  /// Drain one readable socket and dispatch everything parsed.
+  void read_ready(reactor& r, const connection_ptr& conn);
+  /// Drain r's inbox: adopts, resumes, flushes.
+  void process_inbox(reactor& r);
+  /// writev the connection's output ring until drained or EAGAIN
+  /// (reactor thread only).
+  void flush_connection(reactor& r, const connection_ptr& conn);
+  /// Close every connection whose output stall outlived its budget.
+  void fire_stalls(reactor& r);
+  /// epoll timeout until the next stall deadline (-1 = forever).
+  [[nodiscard]] int next_stall_timeout_ms(reactor& r) const;
+  /// Recompute and apply the connection's epoll interest mask from
+  /// (paused, want_writable). Reactor thread only.
+  void rearm(reactor& r, const connection_ptr& conn);
+  /// Pop the frames a writev of `wrote` bytes completed off the ring
+  /// (out_mutex held). Returns {frames, events} fully written.
+  static std::pair<std::uint64_t, std::uint64_t> pop_written(
+      connection& conn, std::size_t wrote);
+  /// Append one encoded frame to the connection's output ring. Returns
+  /// false if the frame was dropped (closed / ring overflow — overflow
+  /// also starts the close). Sets need_post when the caller must
+  /// schedule a flush with the owning reactor.
+  bool enqueue_frame(const connection_ptr& conn,
+                     std::shared_ptr<const std::vector<std::uint8_t>> bytes,
+                     bool is_event, bool& need_post);
+  /// Hand the connection to its owner for a flush (inline when already
+  /// on that reactor's thread).
+  void post_flush(reactor& r, const connection_ptr& conn);
+  void post_flush_batch(reactor& r, std::vector<connection_ptr> conns);
+  void post_resume(reactor& r, const connection_ptr& conn);
+  void handle_resume(reactor& r, const connection_ptr& conn);
+  /// Kick r's eventfd (coalesced by wake_pending).
+  void wake(reactor& r);
   void dispatch(const connection_ptr& conn, wire::request req);
   /// Serve one non-blocking request (executor thread).
   void serve(const pending& p);
@@ -218,34 +392,33 @@ class server {
   /// Build the response for a decided acquire attempt.
   [[nodiscard]] static wire::response acquire_response(
       const wire::request& req, const svc::acquire_result& result);
-  /// Write one response frame; on transport failure starts the close.
+  /// Encode one response frame into the connection's output ring.
   void send_response(const connection_ptr& conn, const wire::response& r);
-  /// Push one watch event frame (hub notifier thread). Unlike
-  /// send_response the write is budgeted: a consumer that stops
-  /// draining for event_write_budget_ms loses the connection instead of
-  /// wedging watch delivery for everyone else.
-  void push_event(const connection_ptr& conn, const svc::watch_event& e);
+  /// The watch fast lane (hub notifier thread): encode the event once,
+  /// append the shared buffer to every subscribed connection's ring,
+  /// one inbox post + wakeup per reactor that has subscribers.
+  void fanout_event(const svc::watch_event& e);
   /// Register / cancel wire watches (executor thread).
   void serve_watch(const pending& p, wire::response& r);
   void serve_unwatch(const pending& p, wire::response& r);
   /// The admin ops (executor thread); gated by config.enable_admin.
   void serve_admin(const pending& p, wire::response& r);
-  // HTTP side-channel (loop thread only): accept, buffer one request,
+  // HTTP side-channel (reactor 0 only): accept, buffer one request,
   // answer, close.
-  void http_accept_ready();
-  void http_read_ready(int fd);
-  void http_close(int fd);
+  void http_accept_ready(reactor& r);
+  void http_read_ready(reactor& r, int fd);
+  void http_close(reactor& r, int fd);
   void http_respond(int fd, const std::string& buffered);
   void complete(const connection_ptr& conn);
-  void maybe_pause(const connection_ptr& conn);
-  void maybe_resume(const connection_ptr& conn);
+  void maybe_pause(reactor& r, const connection_ptr& conn);
   /// Initiate teardown from any thread: shutdown() the socket so the
-  /// loop sees it and runs finish_connection exactly once.
+  /// owning reactor sees it and runs finish_connection exactly once.
   void start_close(const connection_ptr& conn);
-  /// Loop-thread-only: unregister, disconnect the session (the
-  /// lease-reclaim hook), drop from the map. By value — it erases the
-  /// map's own shared_ptr and keeps using the connection after.
-  void finish_connection(connection_ptr conn);
+  /// Reactor-thread-only: final opportunistic flush (a bad_request
+  /// refusal must still reach the peer), unregister, cancel watches,
+  /// disconnect the session (the lease-reclaim hook), drop from the
+  /// map.
+  void finish_connection(reactor& r, const connection_ptr& conn);
   void handle_handshake(const connection_ptr& conn,
                         const wire::request& req);
   void protocol_error(const connection_ptr& conn, std::uint64_t request_id);
@@ -253,23 +426,25 @@ class server {
   svc::service& service_;
   const server_config config_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: kicks the loop for stop()
+  bool listening_ = false;
+  bool reuseport_active_ = false;
   std::uint16_t port_ = 0;
   int http_listen_fd_ = -1;
   std::uint16_t http_port_ = 0;
-  /// Loop-thread-only: accepted HTTP connections and their buffered
-  /// request bytes (serve-one-request-then-close, no keep-alive).
+  /// Reactor-0-thread-only: accepted HTTP connections and their
+  /// buffered request bytes (serve-one-request-then-close).
   std::unordered_map<int, std::string> http_conns_;
 
-  std::thread loop_;
+  std::vector<std::unique_ptr<reactor>> reactors_;
+  /// Round-robin cursor for the single-listener fallback. Starts at 1
+  /// so the first accepted connection lands off reactor 0 — spreading
+  /// begins immediately.
+  std::size_t next_adopter_ = 1;
+
   std::vector<std::thread> executors_;
   std::atomic<bool> stopping_{false};
 
-  /// Loop-thread-only registry of live connections.
-  std::unordered_map<int, connection_ptr> connections_;
-  std::uint64_t next_connection_id_ = 1;
+  std::atomic<std::uint64_t> next_connection_id_{1};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -280,6 +455,16 @@ class server {
   std::mutex waiter_mutex_;
   std::condition_variable waiter_cv_;
   int active_waiters_ = 0;
+
+  /// Watch router state. Lock order: router_mutex_ before any
+  /// connection's out_mutex (fanout path); hub calls (service_.watch /
+  /// unwatch) that can block on delivery NEVER run under router_mutex_
+  /// except add — remove is always deferred past the unlock, because
+  /// the notifier may be parked on router_mutex_ inside fanout_event.
+  std::mutex router_mutex_;
+  std::unordered_map<std::uint64_t, watch_target> router_by_id_;
+  std::unordered_map<std::string, watch_key_state> router_by_key_;
+  std::uint64_t next_router_id_ = 1;
 
   struct counters {
     std::atomic<std::uint64_t> connections_accepted{0};

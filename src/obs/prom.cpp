@@ -4,9 +4,8 @@
 #include <cstdio>
 
 namespace elect::obs {
-namespace {
 
-void counter(std::string& out, const char* name, const char* help,
+void prom_counter(std::string& out, const char* name, const char* help,
              std::uint64_t value) {
   out += "# HELP ";
   out += name;
@@ -21,7 +20,7 @@ void counter(std::string& out, const char* name, const char* help,
   out += '\n';
 }
 
-void gauge(std::string& out, const char* name, const char* help,
+void prom_gauge(std::string& out, const char* name, const char* help,
            std::uint64_t value) {
   out += "# HELP ";
   out += name;
@@ -36,7 +35,7 @@ void gauge(std::string& out, const char* name, const char* help,
   out += '\n';
 }
 
-void labeled(std::string& out, const char* name, const char* label,
+void prom_labeled(std::string& out, const char* name, const char* label,
              std::string_view value, std::uint64_t count) {
   out += name;
   out += '{';
@@ -48,7 +47,7 @@ void labeled(std::string& out, const char* name, const char* label,
   out += '\n';
 }
 
-void type_line(std::string& out, const char* name, const char* help,
+void prom_type_line(std::string& out, const char* name, const char* help,
                const char* type) {
   out += "# HELP ";
   out += name;
@@ -60,6 +59,8 @@ void type_line(std::string& out, const char* name, const char* help,
   out += type;
   out += '\n';
 }
+
+namespace {
 
 void append_double(std::string& out, double value) {
   char buf[64];
@@ -73,54 +74,54 @@ std::string render_prometheus(const svc::service_report& r) {
   std::string out;
   out.reserve(8192);
 
-  counter(out, "elect_acquires_total",
+  prom_counter(out, "elect_acquires_total",
           "Acquire attempts served (one election or fast claim each).",
           r.acquires);
-  counter(out, "elect_wins_total", "Acquire attempts that won their epoch.",
+  prom_counter(out, "elect_wins_total", "Acquire attempts that won their epoch.",
           r.wins);
-  counter(out, "elect_releases_total", "Voluntary releases.", r.releases);
-  counter(out, "elect_expirations_total",
+  prom_counter(out, "elect_releases_total", "Voluntary releases.", r.releases);
+  prom_counter(out, "elect_expirations_total",
           "Leases force-released by the expiry sweeper.", r.expirations);
-  counter(out, "elect_renewals_total", "Successful lease renewals.",
+  prom_counter(out, "elect_renewals_total", "Successful lease renewals.",
           r.renewals);
-  counter(out, "elect_stale_fences_total",
+  prom_counter(out, "elect_stale_fences_total",
           "Lease ops rejected by epoch/holder fencing (zombies).",
           r.stale_fences);
-  counter(out, "elect_forced_releases_total",
+  prom_counter(out, "elect_forced_releases_total",
           "Epochs ended by admin force-release.", r.forced_releases);
-  counter(out, "elect_rejected_acquires_total",
+  prom_counter(out, "elect_rejected_acquires_total",
           "Acquires turned away by service shutdown.", r.rejected_acquires);
-  counter(out, "elect_short_circuit_losses_total",
+  prom_counter(out, "elect_short_circuit_losses_total",
           "Protocol-path acquires that lost before running the protocol.",
           r.short_circuit_losses);
 
-  type_line(out, "elect_strategy_acquires_total",
+  prom_type_line(out, "elect_strategy_acquires_total",
             "Acquire attempts per election strategy.", "counter");
   for (int k = 0; k < election::strategy_kind_count; ++k) {
-    labeled(out, "elect_strategy_acquires_total", "strategy",
+    prom_labeled(out, "elect_strategy_acquires_total", "strategy",
             election::to_string(static_cast<election::strategy_kind>(k)),
             r.strategies[static_cast<std::size_t>(k)].acquires);
   }
-  type_line(out, "elect_strategy_wins_total",
+  prom_type_line(out, "elect_strategy_wins_total",
             "Epoch wins per election strategy.", "counter");
   for (int k = 0; k < election::strategy_kind_count; ++k) {
-    labeled(out, "elect_strategy_wins_total", "strategy",
+    prom_labeled(out, "elect_strategy_wins_total", "strategy",
             election::to_string(static_cast<election::strategy_kind>(k)),
             r.strategies[static_cast<std::size_t>(k)].wins);
   }
 
-  type_line(out, "elect_fast_path_total",
+  prom_type_line(out, "elect_fast_path_total",
             "Adaptive CAS fast-path attempts by outcome.", "counter");
-  labeled(out, "elect_fast_path_total", "outcome", "hit", r.fast_path.hits);
-  labeled(out, "elect_fast_path_total", "outcome", "conflict",
+  prom_labeled(out, "elect_fast_path_total", "outcome", "hit", r.fast_path.hits);
+  prom_labeled(out, "elect_fast_path_total", "outcome", "conflict",
           r.fast_path.conflicts);
-  labeled(out, "elect_fast_path_total", "outcome", "fallback",
+  prom_labeled(out, "elect_fast_path_total", "outcome", "fallback",
           r.fast_path.fallbacks);
 
   // Log-bucketed acquire latency. Bucket b of the histogram covers
   // [2^b, 2^(b+1)) nanoseconds; the exposition is cumulative with `le`
   // upper bounds in seconds, closed by +Inf = _count.
-  type_line(out, "elect_acquire_latency_seconds",
+  prom_type_line(out, "elect_acquire_latency_seconds",
             "Acquire latency (submit to decision).", "histogram");
   std::uint64_t cumulative = 0;
   for (std::size_t b = 0; b < r.acquire_latency_buckets.size(); ++b) {
@@ -143,35 +144,35 @@ std::string render_prometheus(const svc::service_report& r) {
 
   std::uint64_t keys = 0;
   for (const auto& shard : r.shards) keys += shard.keys;
-  gauge(out, "elect_keys", "Registered election keys.", keys);
-  gauge(out, "elect_participated_entries",
+  prom_gauge(out, "elect_keys", "Registered election keys.", keys);
+  prom_gauge(out, "elect_participated_entries",
         "Per-node participated-map entries across the pool.",
         r.participated_entries);
-  counter(out, "elect_messages_total", "Protocol messages sent in the pool.",
+  prom_counter(out, "elect_messages_total", "Protocol messages sent in the pool.",
           r.total_messages);
 
-  gauge(out, "elect_watch_active", "Live watch subscriptions.",
+  prom_gauge(out, "elect_watch_active", "Live watch subscriptions.",
         r.watch.active);
-  counter(out, "elect_watch_published_total",
+  prom_counter(out, "elect_watch_published_total",
           "Watch events enqueued for delivery.", r.watch.published);
-  counter(out, "elect_watch_delivered_total",
+  prom_counter(out, "elect_watch_delivered_total",
           "Watch callback invocations completed.", r.watch.delivered);
-  counter(out, "elect_watch_dropped_total",
+  prom_counter(out, "elect_watch_dropped_total",
           "Watch events dropped at the queue bound.", r.watch.dropped);
 
-  counter(out, "elect_trace_minted_total", "Trace ids minted.",
+  prom_counter(out, "elect_trace_minted_total", "Trace ids minted.",
           r.trace.minted);
-  counter(out, "elect_trace_spans_total", "Trace spans recorded.",
+  prom_counter(out, "elect_trace_spans_total", "Trace spans recorded.",
           r.trace.spans);
-  counter(out, "elect_trace_slow_captured_total",
+  prom_counter(out, "elect_trace_slow_captured_total",
           "Slow-request trace dumps captured.", r.trace.slow_captured);
 
-  counter(out, "elect_journal_appended_total",
+  prom_counter(out, "elect_journal_appended_total",
           "Structured events appended to the journal.", r.journal.appended);
-  counter(out, "elect_journal_evicted_total",
+  prom_counter(out, "elect_journal_evicted_total",
           "Journal records evicted from the in-memory ring.",
           r.journal.evicted);
-  counter(out, "elect_journal_flushed_total",
+  prom_counter(out, "elect_journal_flushed_total",
           "Journal records written to the JSONL sink.", r.journal.flushed);
 
   return out;

@@ -9,7 +9,9 @@
 // renaming one is a breaking change.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "svc/metrics.hpp"
 
@@ -19,5 +21,22 @@ namespace elect::obs {
 /// appends its own elect_net_* series (net/server.cpp) — the split
 /// keeps obs independent of the net layer.
 [[nodiscard]] std::string render_prometheus(const svc::service_report& report);
+
+// Exposition-format building blocks, shared with the net layer's
+// elect_net_* rendering so both halves of /metrics emit identical
+// HELP/TYPE framing. Each appends to `out`.
+
+/// HELP + TYPE + one unlabeled counter sample.
+void prom_counter(std::string& out, const char* name, const char* help,
+                  std::uint64_t value);
+/// HELP + TYPE + one unlabeled gauge sample.
+void prom_gauge(std::string& out, const char* name, const char* help,
+                std::uint64_t value);
+/// HELP + TYPE header only — follow with prom_labeled samples.
+void prom_type_line(std::string& out, const char* name, const char* help,
+                    const char* type);
+/// One `name{label="value"} count` sample (no HELP/TYPE framing).
+void prom_labeled(std::string& out, const char* name, const char* label,
+                  std::string_view value, std::uint64_t count);
 
 }  // namespace elect::obs

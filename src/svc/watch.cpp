@@ -29,7 +29,9 @@ std::uint64_t watch_hub::add(std::string key, callback fn) {
   if (stopped_) return 0;
   const std::uint64_t id = next_id_++;
   by_key_[key].push_back(id);
-  watchers_.emplace(id, watcher{std::move(key), std::move(fn)});
+  watchers_.emplace(
+      id, watcher{std::move(key),
+                  std::make_shared<const callback>(std::move(fn))});
   armed_.store(true, std::memory_order_relaxed);
   return id;
 }
@@ -77,6 +79,7 @@ void watch_hub::publish(const std::string& key, std::uint64_t epoch,
   // armed() already gated the common no-watcher case before this call;
   // here we only pay when somebody, somewhere, is watching something.
   bool dropped = false;
+  bool notify = false;
   std::function<void(const std::string&)> drop_hook;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -86,6 +89,10 @@ void watch_hub::publish(const std::string& key, std::uint64_t epoch,
       dropped = true;
       drop_hook = drop_hook_;
     } else {
+      // The notifier only sleeps on an empty queue, so only the
+      // empty→non-empty edge needs a wakeup; a publisher appending to a
+      // backlog skips the notify (and its futex syscall) entirely.
+      notify = queue_.empty();
       queue_.push_back(watch_event{key, epoch, kind, session});
       published_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -96,7 +103,7 @@ void watch_hub::publish(const std::string& key, std::uint64_t epoch,
     if (drop_hook) drop_hook(key);
     return;
   }
-  queue_cv_.notify_one();
+  if (notify) queue_cv_.notify_one();
 }
 
 void watch_hub::notifier_main() {
@@ -106,9 +113,11 @@ void watch_hub::notifier_main() {
     if (stopped_) return;
     watch_event event = std::move(queue_.front());
     queue_.pop_front();
-    // Snapshot the matching callbacks; invoke outside the mutex so a
-    // callback can publish, subscribe, or call back into the service.
-    std::vector<std::pair<std::uint64_t, callback>> targets;
+    // Snapshot the matching callbacks (refcount bumps, not function
+    // copies); invoke outside the mutex so a callback can publish,
+    // subscribe, or call back into the service.
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<const callback>>>
+        targets;
     const auto by_key = by_key_.find(event.key);
     if (by_key != by_key_.end()) {
       targets.reserve(by_key->second.size());
@@ -119,7 +128,7 @@ void watch_hub::notifier_main() {
     }
     if (targets.empty()) continue;
     lock.unlock();
-    for (const auto& [id, fn] : targets) fn(event);
+    for (const auto& [id, fn] : targets) (*fn)(event);
     delivered_.fetch_add(targets.size(), std::memory_order_relaxed);
     lock.lock();
     delivering_.clear();

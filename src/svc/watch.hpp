@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -122,9 +123,13 @@ class watch_hub {
   [[nodiscard]] watch_report report() const;
 
  private:
+  /// The callback is held behind a shared_ptr so the notifier's
+  /// per-event snapshot copies one refcount per target instead of a
+  /// deep std::function (which may own captured state — at fanout scale
+  /// those copies were the hub's hottest allocation).
   struct watcher {
     std::string key;
-    callback fn;
+    std::shared_ptr<const callback> fn;
   };
 
   void notifier_main();

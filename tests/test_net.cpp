@@ -731,5 +731,267 @@ TEST(NetRemote, DeadConnectionTearsDownItsWatches) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Multi-reactor coverage. reuseport=false forces the single-listener
+// round-robin accept path, which deals connections across reactors
+// deterministically (starting at reactor 1) — so these tests exercise
+// cross-reactor behavior even when the kernel would have hashed every
+// loopback connection onto one listener.
+
+net::server_config reactor_config(int reactors, bool reuseport = false) {
+  net::server_config config;
+  config.reactors = reactors;
+  config.reuseport = reuseport;
+  return config;
+}
+
+// Satellite regression: close() with responses still in flight must
+// fail the pending requests cleanly — no blocked take(), no deadlock
+// between the closing thread and waiters, and a concurrent double
+// close must be safe.
+TEST(NetClient, CloseWithInFlightRequestsFailsThemCleanly) {
+  remote_stack stack;
+  const auto holder = stack.connect();
+  auto doomed = stack.connect();
+  ASSERT_TRUE(holder->connected());
+  ASSERT_TRUE(doomed->connected());
+
+  const auto held = holder->try_acquire("close/held");
+  ASSERT_TRUE(held.won);
+
+  // Park an acquire server-side (it can only complete when the holder
+  // releases — which never happens) plus a metrics call racing close.
+  const std::uint64_t parked_id =
+      doomed->submit(net::wire::op::acquire, "close/held");
+  ASSERT_NE(parked_id, 0u);
+
+  std::atomic<bool> took{false};
+  std::thread waiter([&] {
+    // Blocks until close() fails it; must NOT hang.
+    const auto r = doomed->take(parked_id);
+    EXPECT_FALSE(r.has_value());  // clean loss, not a response
+    took.store(true);
+  });
+  std::thread spammer([&] {
+    // More traffic in flight while the connection dies.
+    for (int i = 0; i < 50; ++i) {
+      (void)doomed->submit(net::wire::op::metrics);
+    }
+  });
+  std::this_thread::sleep_for(20ms);
+  std::thread closer_a([&] { doomed->close(); });
+  std::thread closer_b([&] { doomed->close(); });  // concurrent double close
+  closer_a.join();
+  closer_b.join();
+  spammer.join();
+
+  // The parked waiter must have been released promptly by the close.
+  const auto freed_by = std::chrono::steady_clock::now() + 5s;
+  while (!took.load()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), freed_by)
+        << "take() still blocked after close()";
+    std::this_thread::sleep_for(5ms);
+  }
+  waiter.join();
+  // Post-close submits fail cleanly (id 0), and close stays idempotent.
+  EXPECT_EQ(doomed->submit(net::wire::op::metrics), 0u);
+  doomed->close();
+  EXPECT_EQ(holder->release("close/held", held.epoch), svc::lease_status::ok);
+}
+
+TEST(NetReactors, UniqueWinnerAcrossClientsOnDifferentReactors) {
+  constexpr int clients = 8;
+  constexpr int rounds = 5;
+  remote_stack stack({.nodes = clients, .shards = 4, .seed = 11},
+                     reactor_config(4));
+  ASSERT_EQ(stack.server.reactor_count(), 4);
+
+  std::vector<std::unique_ptr<net::client>> handles;
+  for (int i = 0; i < clients; ++i) {
+    handles.push_back(stack.connect());
+    ASSERT_TRUE(handles.back()->connected());
+  }
+  // Round-robin accept: 8 connections over 4 reactors = 2 each.
+  const auto spread = stack.server.report();
+  ASSERT_EQ(spread.per_reactor.size(), 4u);
+  int hosting = 0;
+  for (const auto& s : spread.per_reactor) hosting += s.accepted > 0 ? 1 : 0;
+  EXPECT_GE(hosting, 2) << "connections were not spread across reactors";
+
+  for (int round = 0; round < rounds; ++round) {
+    const std::string key = "xreactor/" + std::to_string(round);
+    std::vector<char> won(clients, 0);
+    std::vector<std::thread> racers;
+    racers.reserve(clients);
+    for (int i = 0; i < clients; ++i) {
+      racers.emplace_back([&, i] {
+        won[static_cast<std::size_t>(i)] =
+            handles[static_cast<std::size_t>(i)]->try_acquire(key).won;
+      });
+    }
+    for (auto& t : racers) t.join();
+    int winners = 0;
+    for (int i = 0; i < clients; ++i) {
+      winners += won[static_cast<std::size_t>(i)] ? 1 : 0;
+    }
+    EXPECT_EQ(winners, 1) << "round " << round;
+  }
+}
+
+TEST(NetReactors, KilledSocketOffReactorZeroIsReclaimed) {
+  // The disconnect-on-close reclaim must work when the dead connection
+  // lives on a reactor other than 0 (teardown runs on the owning
+  // reactor's thread, wherever that is). Round-robin adoption starts at
+  // reactor 1, so the doomed connection is guaranteed off reactor 0.
+  constexpr std::uint64_t ttl_ms = 400;
+  constexpr std::uint64_t sweep_ms = 20;
+  remote_stack stack({.nodes = 4,
+                      .shards = 2,
+                      .seed = 7,
+                      .lease_ttl_ms = ttl_ms,
+                      .sweep_interval_ms = sweep_ms},
+                     reactor_config(4));
+  auto doomed = stack.connect();
+  const auto heir = stack.connect();
+  ASSERT_TRUE(doomed->connected());
+  ASSERT_TRUE(heir->connected());
+  {
+    const auto report = stack.server.report();
+    ASSERT_EQ(report.per_reactor.size(), 4u);
+    EXPECT_EQ(report.per_reactor[0].accepted, 0u)
+        << "expected round-robin adoption to start off reactor 0";
+    EXPECT_GE(report.per_reactor[1].accepted, 1u);
+  }
+
+  const auto won = doomed->try_acquire("offzero/crashy");
+  ASSERT_TRUE(won.won);
+  doomed->close();  // no disconnect op: a crash
+
+  const auto heir_result = heir->try_acquire_for(
+      "offzero/crashy", std::chrono::milliseconds(ttl_ms + 10 * sweep_ms));
+  ASSERT_TRUE(heir_result.won);
+  EXPECT_GE(stack.server.report().disconnect_reclaims, 1u);
+  EXPECT_EQ(heir->release("offzero/crashy", heir_result.epoch),
+            svc::lease_status::ok);
+}
+
+TEST(NetReactors, BackpressureCapHoldsPerConnectionUnderFourReactors) {
+  // Four flooding connections on four reactors: each must be paused
+  // against ITS cap independently, and every request still answered.
+  net::server_config server_config = reactor_config(4);
+  server_config.max_inflight_per_connection = 4;
+  remote_stack stack({.nodes = 4, .shards = 4}, server_config);
+
+  constexpr int clients = 4;
+  constexpr int burst = 64;
+  std::vector<std::unique_ptr<net::client>> handles;
+  for (int i = 0; i < clients; ++i) {
+    handles.push_back(stack.connect());
+    ASSERT_TRUE(handles.back()->connected());
+  }
+  std::atomic<int> wins{0};
+  std::vector<std::thread> flooders;
+  for (int c = 0; c < clients; ++c) {
+    flooders.emplace_back([&, c] {
+      auto& client = *handles[static_cast<std::size_t>(c)];
+      std::vector<std::uint64_t> ids;
+      ids.reserve(burst);
+      for (int i = 0; i < burst; ++i) {
+        ids.push_back(client.submit(
+            net::wire::op::try_acquire,
+            "bp/" + std::to_string(c) + "/" + std::to_string(i)));
+      }
+      for (const std::uint64_t id : ids) {
+        const auto r = client.take(id);
+        if (r.has_value() && r->won()) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : flooders) t.join();
+  EXPECT_EQ(wins.load(), clients * burst);  // disjoint keys: all won
+  EXPECT_GE(stack.server.report().backpressure_pauses, 1u);
+}
+
+TEST(NetReactors, WatchFanoutAcrossReactorsDeliversExactlyOnce) {
+  // Watchers pinned to different reactors all subscribe to ONE key; a
+  // transition must reach every one of them exactly once (the shared
+  // encoded buffer fans out per reactor — no duplicates, no misses).
+  constexpr int watchers = 6;
+  remote_stack stack({.nodes = 2, .shards = 2}, reactor_config(4));
+  std::vector<std::unique_ptr<net::client>> handles;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> counts(watchers, 0);
+  for (int w = 0; w < watchers; ++w) {
+    handles.push_back(stack.connect());
+    ASSERT_TRUE(handles.back()->connected());
+    const std::uint64_t id = handles.back()->watch(
+        "fan/one", [&, w](const svc::watch_event&) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          ++counts[static_cast<std::size_t>(w)];
+          cv.notify_all();
+        });
+    ASSERT_NE(id, 0u);
+  }
+
+  const auto actor = stack.connect();
+  const auto won = actor->try_acquire("fan/one");
+  ASSERT_TRUE(won.won);
+  EXPECT_EQ(actor->release("fan/one", won.epoch), svc::lease_status::ok);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 5s, [&] {
+      for (const int c : counts) {
+        if (c < 2) return false;
+      }
+      return true;
+    })) << "not every watcher heard both transitions";
+  }
+  std::this_thread::sleep_for(150ms);  // let any (wrong) duplicates land
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (int w = 0; w < watchers; ++w) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(w)], 2)
+          << "watcher " << w << " saw a duplicate or missed an event";
+    }
+  }
+  // elected + released to each of the 6 watchers = 12 pushed frames.
+  EXPECT_GE(stack.server.report().events_pushed,
+            static_cast<std::uint64_t>(2 * watchers));
+}
+
+TEST(NetClient, StripedClientSpreadsKeysAndDisconnectsEverything) {
+  remote_stack stack({.nodes = 8, .shards = 4}, reactor_config(4));
+  net::client striped("127.0.0.1", stack.server.port(), 4);
+  ASSERT_TRUE(striped.connected());
+  EXPECT_EQ(striped.stripe_count(), 4u);
+  // Four stripes = four server connections (sessions).
+  EXPECT_GE(stack.server.report().connections_accepted, 4u);
+
+  constexpr int keys = 8;
+  std::vector<std::uint64_t> epochs(keys);
+  for (int k = 0; k < keys; ++k) {
+    const auto won = striped.try_acquire("stripe/" + std::to_string(k));
+    ASSERT_TRUE(won.won) << "key " << k;
+    epochs[static_cast<std::size_t>(k)] = won.epoch;
+  }
+  // Release half through the API; the polite disconnect must sweep the
+  // rest across ALL stripes' sessions, not just stripe 0's.
+  for (int k = 0; k < keys / 2; ++k) {
+    EXPECT_EQ(striped.release("stripe/" + std::to_string(k),
+                              epochs[static_cast<std::size_t>(k)]),
+              svc::lease_status::ok);
+  }
+  EXPECT_EQ(striped.disconnect(), static_cast<std::size_t>(keys - keys / 2));
+  for (int k = 0; k < keys; ++k) {
+    EXPECT_EQ(stack.service.registry().leader_of("stripe/" +
+                                                 std::to_string(k)),
+              -1)
+        << "key " << k << " still held after striped disconnect";
+  }
+  striped.close();
+}
+
 }  // namespace
 }  // namespace elect
