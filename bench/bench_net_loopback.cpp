@@ -30,7 +30,8 @@
 // 32-connection row (>= 5k under --smoke, where op counts shrink and
 // CI machines vary), and zero lost acquires everywhere.
 //
-// Build & run:  ./build/bench/bench_net_loopback [--smoke] [--watchers N]
+// Build & run:
+//   ./build/bench/bench_net_loopback [--smoke] [--watchers N] [--seed S]
 #include <fcntl.h>
 #include <sys/epoll.h>
 #include <sys/resource.h>
@@ -59,6 +60,12 @@ namespace {
 
 using namespace elect;
 
+// Service PRNG seed for both experiments; `--seed N` overrides (the
+// historical default 3 keeps unseeded runs comparable to earlier
+// BENCH_net_loopback.json artifacts). File-scope because the two
+// run_* functions build their own service_config.
+std::uint64_t bench_seed = 3;
+
 struct sweep_row {
   int reactors = 1;
   int stripes = 1;  // connections per net::client
@@ -77,7 +84,7 @@ struct sweep_result {
 };
 
 sweep_result run_sweep(const sweep_row& row) {
-  svc::service_config service_config{.nodes = 8, .shards = 8, .seed = 3};
+  svc::service_config service_config{.nodes = 8, .shards = 8, .seed = bench_seed};
   // Adaptive: disjoint keys ride the CAS fast path, so the wire is the
   // thing under test, not the election ladder.
   service_config.default_strategy = election::strategy_kind::adaptive;
@@ -257,7 +264,7 @@ fanout_result run_fanout(int want_watchers, int rounds) {
   const int watchers = static_cast<int>(
       std::min<long>(want_watchers, std::max<long>(1, (fd_budget - 256) / 2)));
 
-  svc::service_config service_config{.nodes = 8, .shards = 8, .seed = 3};
+  svc::service_config service_config{.nodes = 8, .shards = 8, .seed = bench_seed};
   service_config.default_strategy = election::strategy_kind::adaptive;
   svc::service service(std::move(service_config));
   net::server_config server_config;
@@ -392,6 +399,7 @@ int main(int argc, char** argv) {
     }
   }
   const int rounds = smoke ? 40 : 400;
+  bench_seed = bench::parse_seed(argc, argv, bench_seed);
 
   bench::print_header(
       "E11", "Wire-level loopback throughput (elect::net)",
@@ -418,6 +426,7 @@ int main(int argc, char** argv) {
                     "frames/writev", "lost", "sec"});
   bench::json_emitter json("net_loopback");
   json.meta_field("smoke", smoke);
+  json.meta_field("seed", static_cast<std::int64_t>(bench_seed));
   json.meta_field("rounds_per_connection", static_cast<std::int64_t>(rounds));
 
   double baseline_pairs_per_s = 0.0;

@@ -130,7 +130,10 @@ churn_result run_row(const churn_row& row, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Historical default 1: `bench_svc_churn` with no flags runs the
+  // exact workload every earlier BENCH_svc_churn.json was measured on.
+  const std::uint64_t seed = bench::parse_seed(argc, argv, 1);
   bench::print_header(
       "E10", "Lease churn with crashing clients (TTL × sweep grid)",
       "a crashed winner cannot wedge a key: the sweeper reclaims it "
@@ -156,11 +159,12 @@ int main() {
                     "crashes", "expired", "fenced", "acq/s", "p99 ms",
                     "sec"});
   bench::json_emitter json("svc_churn");
+  json.meta_field("seed", static_cast<std::int64_t>(seed));
   std::string acceptance_json;
 
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const churn_row& row = rows[i];
-    const churn_result result = run_row(row, /*seed=*/1 + i);
+    const churn_result result = run_row(row, seed + i);
     const svc::service_report& report = result.report;
     table.add_row({std::to_string(row.ttl_ms), std::to_string(row.sweep_ms),
                    row.crash_period == 0

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <fstream>
 #include <iostream>
@@ -18,6 +20,23 @@
 #include "exp/table.hpp"
 
 namespace elect::bench {
+
+/// Parse `--seed N` from the bench's argv, falling back to the bench's
+/// historical default when absent — so unseeded runs reproduce the
+/// numbers every earlier PR published. Benches derive all their PRNG
+/// streams (service seed, per-row offsets) from this one value and
+/// stamp it into BENCH_*.json as meta.seed, which is what lets a
+/// perf-trajectory diff say "same workload, different code" — or lets
+/// the chaos harness replay a bench row that behaved strangely.
+inline std::uint64_t parse_seed(int argc, char** argv,
+                                std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
 
 inline std::string exp_fmt(double v) {
   char buffer[32];

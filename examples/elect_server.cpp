@@ -156,6 +156,13 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::uint64_t snapshot_interval_ms = 1000;
   std::string restore_path;
+  // A snapshot is a *prefix* of history: epochs granted after the last
+  // dump and before a kill -9 are invisible to --restore, so fencing
+  // restored epochs by +1 could re-grant an epoch a pre-crash client
+  // already won. 2^20 jumps restored keys clear past any plausible
+  // crash gap; --fence-bump 1 reintroduces the collision (the chaos
+  // harness's plantable fencing bug).
+  std::uint64_t fence_bump = 1ull << 20;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const char* flag = argv[i];
@@ -209,6 +216,8 @@ int main(int argc, char** argv) {
       snapshot_interval_ms = static_cast<std::uint64_t>(std::atoll(value));
     } else if (std::strcmp(flag, "--restore") == 0) {
       restore_path = value;
+    } else if (std::strcmp(flag, "--fence-bump") == 0) {
+      fence_bump = static_cast<std::uint64_t>(std::atoll(value));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag);
       return 2;
@@ -242,15 +251,17 @@ int main(int argc, char** argv) {
     const std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
     // fence_restored: pre-restart leaseholders presenting restored
-    // epochs must see stale_epoch, never a silently honored lease.
-    if (const auto error =
-            service.registry().restore(bytes, /*fence_restored=*/true)) {
+    // epochs must see stale_epoch, never a silently honored lease. The
+    // bump also has to clear the crash gap — see fence_bump above.
+    if (const auto error = service.registry().restore(
+            bytes, /*fence_restored=*/true, fence_bump)) {
       std::fprintf(stderr, "restore from %s failed: %s\n",
                    restore_path.c_str(), error->c_str());
       return 1;
     }
-    std::printf("restored %s (all restored epochs fenced)\n",
-                restore_path.c_str());
+    std::printf("restored %s (all restored epochs fenced, bump %llu)\n",
+                restore_path.c_str(),
+                static_cast<unsigned long long>(fence_bump));
   }
   net::server server(service, server_config);
   if (!server.listening()) {

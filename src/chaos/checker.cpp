@@ -1,0 +1,344 @@
+#include "chaos/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace elect::chaos {
+
+namespace {
+
+/// Pull one "field":value scalar out of a JSON line. Good enough for
+/// the journal's flat, known-shape records; returns false when absent.
+bool json_u64(const std::string& line, const std::string& field,
+              std::uint64_t& out) {
+  const std::string needle = "\"" + field + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  try {
+    out = std::stoull(line.substr(at + needle.size()));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool json_i64(const std::string& line, const std::string& field,
+              std::int64_t& out) {
+  const std::string needle = "\"" + field + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  try {
+    out = std::stoll(line.substr(at + needle.size()));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool json_string(const std::string& line, const std::string& field,
+                 std::string& out) {
+  const std::string needle = "\"" + field + "\":\"";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return false;
+  const auto from = start + needle.size();
+  const auto end = line.find('"', from);
+  if (end == std::string::npos) return false;
+  out = line.substr(from, end - from);
+  return true;
+}
+
+/// A grant witness for R1/R3: who claims to have won (key, epoch), and
+/// when the claim's operation ran (client records only — journal lines
+/// carry no runner-clock time and join R1 but not R3).
+struct grant_witness {
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  std::string who;  // "worker 3" / "journal inc 1 holder 7"
+  bool timed = false;
+};
+
+std::string format_us(std::uint64_t us) {
+  return std::to_string(us / 1000) + "." + std::to_string(us % 1000 / 100) +
+         "ms";
+}
+
+}  // namespace
+
+incarnation_evidence parse_journal(const std::string& jsonl) {
+  incarnation_evidence out;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string kind;
+    if (!json_string(line, "kind", kind) || kind != "elected") continue;
+    journal_grant g;
+    if (!json_string(line, "key", g.key)) continue;
+    if (!json_u64(line, "epoch", g.epoch)) continue;
+    (void)json_i64(line, "holder", g.holder);
+    out.grants.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::string report::to_string() const {
+  std::string out = "checker: " + std::to_string(records) + " records, " +
+                    std::to_string(grants) + " grants, " +
+                    std::to_string(watch_events) + " watch events, " +
+                    std::to_string(journal_grants) + " journal grants";
+  if (ok()) {
+    out += " — OK\n";
+    return out;
+  }
+  out += " — " + std::to_string(violations.size()) + " VIOLATION(S)\n";
+  for (const violation& v : violations) {
+    out += "  [" + v.rule + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+report check(const std::vector<record>& records,
+             const std::vector<incarnation_evidence>& journals) {
+  report out;
+  out.records = records.size();
+
+  // ---- R1: unique holder per (key, epoch) --------------------------
+  // Collect every independent claim of "I/he won (key, epoch)" and
+  // flag (key, epoch) pairs with more than one distinct winner.
+  // Watch events join as evidence about *sessions*; the same session
+  // reported twice (duplication) is fine.
+  std::map<std::pair<std::string, std::uint64_t>,
+           std::map<std::string, grant_witness>>
+      claims;  // (key, epoch) -> winner identity -> earliest witness
+
+  for (const record& r : records) {
+    if (r.op == op_kind::acquire && r.result == outcome::ok) {
+      out.grants++;
+      grant_witness w{r.start_us, r.end_us,
+                      "worker " + std::to_string(r.worker), true};
+      auto& slot = claims[{r.key, r.epoch}];
+      const std::string id = "worker:" + std::to_string(r.worker);
+      const auto it = slot.find(id);
+      if (it == slot.end()) {
+        slot.emplace(id, w);
+      } else {
+        // The same worker winning the same (key, epoch) twice is its
+        // own violation — an epoch must be granted once.
+        out.violations.push_back(
+            {"R1", "worker " + std::to_string(r.worker) + " won key '" +
+                       r.key + "' epoch " + std::to_string(r.epoch) +
+                       " twice (at " + format_us(it->second.start_us) +
+                       " and " + format_us(r.start_us) + ")"});
+      }
+    }
+    if (r.op == op_kind::watch_event && r.transition == 0 /* elected */) {
+      out.watch_events++;
+      if (r.session >= 0) {
+        grant_witness w{r.start_us, r.end_us,
+                        "watch@" + std::to_string(r.worker) + " session " +
+                            std::to_string(r.session),
+                        false};
+        claims[{r.key, r.epoch}].emplace(
+            "session:" + std::to_string(r.session), w);
+      }
+    } else if (r.op == op_kind::watch_event) {
+      out.watch_events++;
+    }
+  }
+  for (std::size_t inc = 0; inc < journals.size(); ++inc) {
+    for (const journal_grant& g : journals[inc].grants) {
+      out.journal_grants++;
+      grant_witness w{0, 0,
+                      "journal inc " + std::to_string(inc) + " holder " +
+                          std::to_string(g.holder),
+                      false};
+      claims[{g.key, g.epoch}].emplace(
+          "jholder:" + std::to_string(inc) + ":" + std::to_string(g.holder),
+          w);
+    }
+  }
+  for (const auto& [key_epoch, winners] : claims) {
+    // Distinct worker claims are always distinct holders. session/
+    // jholder identities can legitimately coexist with the one worker
+    // claim (they are the same grant seen through different lenses),
+    // so only multiple *worker* claims, multiple *journal* claims
+    // within one incarnation, or multiple distinct sessions convict.
+    std::vector<std::string> workers;
+    std::set<std::int64_t> sessions;
+    std::map<std::size_t, std::set<std::int64_t>> per_inc_holders;
+    for (const auto& [id, w] : winners) {
+      if (id.rfind("worker:", 0) == 0) workers.push_back(w.who);
+      if (id.rfind("session:", 0) == 0) {
+        sessions.insert(std::stoll(id.substr(8)));
+      }
+      if (id.rfind("jholder:", 0) == 0) {
+        const auto colon = id.find(':', 8);
+        per_inc_holders[std::stoull(id.substr(8, colon - 8))].insert(
+            std::stoll(id.substr(colon + 1)));
+      }
+    }
+    const auto convict = [&](const std::string& what) {
+      out.violations.push_back(
+          {"R1", "key '" + key_epoch.first + "' epoch " +
+                     std::to_string(key_epoch.second) + ": " + what});
+    };
+    if (workers.size() > 1) {
+      std::string who;
+      for (const auto& w : workers) who += (who.empty() ? "" : ", ") + w;
+      convict("multiple winners (" + who + ")");
+    }
+    if (sessions.size() > 1) {
+      convict("watch events name " + std::to_string(sessions.size()) +
+              " distinct sessions as the elected holder");
+    }
+    for (const auto& [inc, holders] : per_inc_holders) {
+      if (holders.size() > 1) {
+        convict("journal incarnation " + std::to_string(inc) + " elected " +
+                std::to_string(holders.size()) + " distinct holders");
+      }
+    }
+  }
+
+  // ---- R2: journal epoch monotonicity ------------------------------
+  {
+    // Within an incarnation: strictly increasing per key. Across
+    // incarnations: the first elected on a key must exceed everything
+    // any earlier incarnation's journal granted on it.
+    std::unordered_map<std::string, std::uint64_t> prior_max;  // before inc
+    for (std::size_t inc = 0; inc < journals.size(); ++inc) {
+      std::unordered_map<std::string, std::uint64_t> last;  // within inc
+      for (const journal_grant& g : journals[inc].grants) {
+        const auto it = last.find(g.key);
+        if (it != last.end() && g.epoch <= it->second) {
+          out.violations.push_back(
+              {"R2", "journal inc " + std::to_string(inc) + " key '" +
+                         g.key + "': epoch " + std::to_string(g.epoch) +
+                         " not above prior " + std::to_string(it->second)});
+        }
+        if (it == last.end()) {
+          const auto prior = prior_max.find(g.key);
+          if (prior != prior_max.end() && g.epoch <= prior->second) {
+            out.violations.push_back(
+                {"R2", "journal inc " + std::to_string(inc) + " key '" +
+                           g.key + "': first epoch " +
+                           std::to_string(g.epoch) +
+                           " does not clear earlier incarnations' max " +
+                           std::to_string(prior->second) +
+                           " (restore fence too small?)"});
+          }
+        }
+        last[g.key] = std::max(last[g.key], g.epoch);
+      }
+      for (const auto& [key, epoch] : last) {
+        prior_max[key] = std::max(prior_max[key], epoch);
+      }
+    }
+  }
+
+  // ---- R3: real-time epoch order across histories ------------------
+  // Sweep grants per key by start time, tracking the max epoch among
+  // grants already *completed*; a new grant at or below that max went
+  // backward in real time.
+  {
+    struct timed_grant {
+      std::uint64_t start_us, end_us, epoch;
+      int worker;
+    };
+    std::unordered_map<std::string, std::vector<timed_grant>> per_key;
+    for (const record& r : records) {
+      if (r.op == op_kind::acquire && r.result == outcome::ok) {
+        per_key[r.key].push_back({r.start_us, r.end_us, r.epoch, r.worker});
+      }
+    }
+    for (auto& [key, grants] : per_key) {
+      std::sort(grants.begin(), grants.end(),
+                [](const timed_grant& a, const timed_grant& b) {
+                  return a.start_us < b.start_us;
+                });
+      // completed grants, ordered by end time, paired with epoch
+      std::vector<timed_grant> done = grants;
+      std::sort(done.begin(), done.end(),
+                [](const timed_grant& a, const timed_grant& b) {
+                  return a.end_us < b.end_us;
+                });
+      std::size_t drained = 0;
+      std::uint64_t max_done_epoch = 0;
+      const timed_grant* max_done = nullptr;
+      for (const timed_grant& g : grants) {
+        while (drained < done.size() && done[drained].end_us <= g.start_us) {
+          if (done[drained].epoch >= max_done_epoch) {
+            max_done_epoch = done[drained].epoch;
+            max_done = &done[drained];
+          }
+          drained++;
+        }
+        if (max_done != nullptr && g.epoch <= max_done_epoch &&
+            !(g.start_us == max_done->start_us &&
+              g.worker == max_done->worker)) {
+          out.violations.push_back(
+              {"R3", "key '" + key + "': worker " + std::to_string(g.worker) +
+                         " granted epoch " + std::to_string(g.epoch) +
+                         " at " + format_us(g.start_us) + " after worker " +
+                         std::to_string(max_done->worker) +
+                         "'s grant of epoch " +
+                         std::to_string(max_done_epoch) + " completed at " +
+                         format_us(max_done->end_us) +
+                         " (epoch went backward in real time)"});
+        }
+      }
+    }
+  }
+
+  // ---- R4: zombie ops stay fenced ----------------------------------
+  // Per (worker, key, epoch): once the worker saw the epoch end — its
+  // own release-ok, or any stale_epoch/not_leader answer presenting
+  // it — a later ok on the same token is an unfenced zombie op.
+  {
+    std::set<std::tuple<int, std::string, std::uint64_t>> ended;
+    for (const record& r : records) {
+      if (r.op != op_kind::release && r.op != op_kind::renew) continue;
+      const auto token = std::make_tuple(r.worker, r.key, r.epoch);
+      if (r.result == outcome::ok) {
+        if (ended.count(token) != 0) {
+          out.violations.push_back(
+              {"R4", "worker " + std::to_string(r.worker) + " key '" +
+                         r.key + "' epoch " + std::to_string(r.epoch) +
+                         ": " + std::string(to_string(r.op)) +
+                         " succeeded at " + format_us(r.start_us) +
+                         " after the worker already observed the epoch end"});
+        }
+        if (r.op == op_kind::release) ended.insert(token);
+      } else if (r.result == outcome::stale_epoch ||
+                 r.result == outcome::not_leader) {
+        ended.insert(token);
+      }
+    }
+  }
+
+  // ---- R5: watch event order per (worker, key) ---------------------
+  {
+    std::map<std::pair<int, std::string>, std::uint64_t> last_elected;
+    for (const record& r : records) {
+      if (r.op != op_kind::watch_event || r.transition != 0) continue;
+      const auto key = std::make_pair(r.worker, r.key);
+      const auto it = last_elected.find(key);
+      if (it != last_elected.end() && r.epoch < it->second) {
+        out.violations.push_back(
+            {"R5", "worker " + std::to_string(r.worker) + " key '" + r.key +
+                       "': elected event for epoch " +
+                       std::to_string(r.epoch) + " arrived after epoch " +
+                       std::to_string(it->second) +
+                       " (watch stream went backward)"});
+      }
+      const std::uint64_t prior =
+          it != last_elected.end() ? it->second : 0;
+      last_elected[key] = std::max(prior, r.epoch);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace elect::chaos

@@ -1,0 +1,84 @@
+// elect::chaos::checker — validates a chaos run's merged histories
+// against the service's safety contract.
+//
+// Evidence model. Client histories (chaos::record) are authoritative:
+// every worker is a thread of the runner process, all records carry the
+// runner's one steady clock, and a worker's memory of "I won epoch e"
+// survives any number of server crashes. The server's event journal is
+// supplementary evidence, trusted only as a per-*incarnation* prefix —
+// a kill -9 loses whatever the journal flusher had buffered, so the
+// absence of a journal line proves nothing, but a present line is a
+// fact the server itself asserted.
+//
+// Rules:
+//   R1 unique-holder  — for each (key, epoch), at most one distinct
+//      winner across all acquire-ok records, journal elected lines,
+//      and watch elected events.
+//   R2 epoch-monotonic — journal elected epochs per key strictly
+//      increase within an incarnation, and every incarnation's first
+//      elected epoch on a key exceeds every epoch any earlier
+//      incarnation's journal granted on it (a restore fence that
+//      re-grants the crash gap fails here).
+//   R3 real-time      — a grant of epoch e that *started* after a
+//      grant of e' >= e *completed* (any workers) means the key's
+//      epoch went backward in real time. This is the client-side net
+//      for the fence_bump=1 bug: the pre-crash winner's completed
+//      grant is the witness against the post-restore re-grant.
+//   R4 zombie-fenced  — once a worker observed its (key, epoch) end
+//      (own release-ok, or a stale_epoch/not_leader answer on it),
+//      any later ok on the same (key, epoch) is an unfenced zombie op.
+//   R5 watch-order    — per (worker, key), elected epochs arrive
+//      non-decreasing; equal epochs are allowed only as consecutive
+//      duplicates (nemesis duplication), not after an intervening
+//      higher epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/history.hpp"
+
+namespace elect::chaos {
+
+/// One journal "elected" assertion from a server incarnation.
+struct journal_grant {
+  std::string key;
+  std::uint64_t epoch = 0;
+  std::int64_t holder = -1;
+};
+
+/// A server incarnation's journal evidence, in journal (= seq) order.
+struct incarnation_evidence {
+  std::vector<journal_grant> grants;
+};
+
+/// Parse elected lines out of one incarnation's event-journal JSONL
+/// (obs::journal format). Lines of other kinds, or malformed lines
+/// (a kill -9 can truncate the final line mid-write), are skipped.
+[[nodiscard]] incarnation_evidence parse_journal(const std::string& jsonl);
+
+struct violation {
+  std::string rule;    // "R1".."R5"
+  std::string detail;  // human-readable, includes key/epoch/witnesses
+};
+
+struct report {
+  std::vector<violation> violations;
+  // Coverage counters, so a "pass" on a run where nothing happened is
+  // visibly vacuous.
+  std::uint64_t records = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t watch_events = 0;
+  std::uint64_t journal_grants = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Check merged histories (sorted by start_us — collector::take()'s
+/// output) plus per-incarnation journal evidence in incarnation order.
+[[nodiscard]] report check(const std::vector<record>& records,
+                           const std::vector<incarnation_evidence>& journals);
+
+}  // namespace elect::chaos

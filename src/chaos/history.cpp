@@ -1,0 +1,62 @@
+#include "chaos/history.hpp"
+
+#include <algorithm>
+
+namespace elect::chaos {
+
+std::string_view to_string(op_kind k) {
+  switch (k) {
+    case op_kind::acquire: return "acquire";
+    case op_kind::release: return "release";
+    case op_kind::renew: return "renew";
+    case op_kind::watch_event: return "watch_event";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(outcome o) {
+  switch (o) {
+    case outcome::ok: return "ok";
+    case outcome::lost: return "lost";
+    case outcome::timed_out: return "timed_out";
+    case outcome::rejected: return "rejected";
+    case outcome::connection_lost: return "connection_lost";
+    case outcome::stale_epoch: return "stale_epoch";
+    case outcome::not_leader: return "not_leader";
+  }
+  return "unknown";
+}
+
+std::string to_jsonl(const std::vector<record>& records) {
+  std::string out;
+  out.reserve(records.size() * 96);
+  for (const record& r : records) {
+    out += "{\"start_us\":" + std::to_string(r.start_us) +
+           ",\"end_us\":" + std::to_string(r.end_us) +
+           ",\"worker\":" + std::to_string(r.worker) + ",\"op\":\"" +
+           std::string(to_string(r.op)) + "\",\"result\":\"" +
+           std::string(to_string(r.result)) + "\",\"key\":\"" + r.key +
+           "\",\"epoch\":" + std::to_string(r.epoch);
+    if (r.op == op_kind::watch_event) {
+      out += ",\"transition\":" + std::to_string(r.transition) +
+             ",\"session\":" + std::to_string(r.session);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<record> collector::take() {
+  std::vector<record> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(records_);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const record& a, const record& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+}  // namespace elect::chaos

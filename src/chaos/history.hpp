@@ -1,0 +1,89 @@
+// elect::chaos::history — what each chaos worker testifies to.
+//
+// Every lease operation a worker performs (and every watch event it
+// receives) becomes one record with start/end timestamps on the *runner
+// process's* steady clock. All workers are threads of that one process,
+// so cross-history real-time ordering is sound: if record A's end_us
+// precedes record B's start_us, A really completed before B began —
+// the foundation of the checker's real-time rules.
+//
+// Client histories are the authoritative evidence. The server's journal
+// and command log are only trusted as per-incarnation *prefixes* (a
+// kill -9 loses whatever the flusher had buffered), but a worker that
+// won epoch e holds that fact in its own memory across any number of
+// server crashes — which is exactly the witness needed to catch a
+// restore fence that re-grants a pre-crash epoch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elect::chaos {
+
+enum class op_kind : std::uint8_t {
+  acquire = 0,
+  release = 1,
+  renew = 2,
+  /// A watch callback firing; start_us == end_us == arrival time.
+  watch_event = 3,
+};
+
+/// Operation outcome, flattening acquire_result and lease_status into
+/// one axis (ok means "won" for acquire, "accepted" for release/renew).
+enum class outcome : std::uint8_t {
+  ok = 0,
+  lost = 1,
+  timed_out = 2,
+  rejected = 3,
+  connection_lost = 4,
+  stale_epoch = 5,
+  not_leader = 6,
+};
+
+[[nodiscard]] std::string_view to_string(op_kind k);
+[[nodiscard]] std::string_view to_string(outcome o);
+
+struct record {
+  /// Microseconds since the runner's epoch (one shared steady clock).
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  /// Worker index (checker identity; a worker may reconnect through
+  /// many net::client instances and stays the same witness).
+  int worker = -1;
+  op_kind op = op_kind::acquire;
+  outcome result = outcome::ok;
+  std::string key;
+  /// acquire ok: the granted epoch. release/renew: the fencing token
+  /// presented. watch_event: the transition's epoch.
+  std::uint64_t epoch = 0;
+  /// watch_event only: the svc::transition value
+  /// (elected/released/expired/force_released).
+  std::uint8_t transition = 0;
+  /// watch_event only: the svc session id the event names (-1 = none).
+  std::int64_t session = -1;
+};
+
+/// One JSONL line per record (artifact format, human-greppable).
+[[nodiscard]] std::string to_jsonl(const std::vector<record>& records);
+
+/// Thread-safe record sink shared by every worker in a run.
+class collector {
+ public:
+  void add(record r) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(r));
+  }
+
+  /// Steal the records (sorted by start_us) — call once, after the
+  /// workers joined.
+  [[nodiscard]] std::vector<record> take();
+
+ private:
+  std::mutex mutex_;
+  std::vector<record> records_;
+};
+
+}  // namespace elect::chaos

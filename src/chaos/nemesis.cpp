@@ -1,0 +1,561 @@
+#include "chaos/nemesis.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/wire.hpp"
+
+namespace elect::chaos {
+
+namespace {
+
+constexpr std::uint64_t nemesis_label = 0x6e656d65ULL;  // "neme"
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Rebuild a complete frame (length prefix + body) from a deframed
+/// body — the inverse of what frame_reader strips.
+std::vector<std::uint8_t> reframe(const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + body.size());
+  const auto length = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+  }
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+}  // namespace
+
+struct nemesis::impl {
+  /// One frame waiting (or due) to be written to a direction's
+  /// destination socket.
+  struct pending_frame {
+    std::vector<std::uint8_t> bytes;
+    bool dribble = false;
+  };
+
+  /// One relay direction of a pair: read from src, deframe, fault,
+  /// queue, write to dst.
+  struct direction {
+    int src_fd = -1;
+    int dst_fd = -1;
+    net::wire::frame_reader reader;
+    rng_stream rng{1};
+    /// Frames ordered by due time (steady ms). Equal keys keep
+    /// insertion order (multimap), so undelayed traffic stays FIFO.
+    std::multimap<std::uint64_t, pending_frame> queue;
+    /// The frame currently being written; once started it must finish
+    /// before any queued frame (partial frames cannot interleave).
+    std::vector<std::uint8_t> active;
+    std::size_t active_off = 0;
+    bool active_dribble = false;
+    std::uint32_t dribble_chunk = 3;
+    std::uint32_t dribble_gap_ms = 2;
+    /// Next time the active dribble writes a chunk.
+    std::uint64_t active_due_ms = 0;
+    /// dst socket returned EAGAIN; EPOLLOUT is armed on dst.
+    bool write_blocked = false;
+    /// Latest due time ever assigned to a server-push event frame on
+    /// this direction. Event frames are delayed like anything else but
+    /// never overtake each other: a TCP stream stalls (head-of-line),
+    /// it does not reorder, and the watch contract — which the checker
+    /// enforces (R5) — is per-connection event order. Responses stay
+    /// fully reorderable; out-of-order responses are a deliberate
+    /// robustness target of the protocol.
+    std::uint64_t last_event_due_ms = 0;
+  };
+
+  struct pair {
+    int id = 0;
+    int group = 0;
+    int client_fd = -1;
+    int server_fd = -1;
+    direction c2s;
+    direction s2c;
+    bool tainted = false;
+  };
+
+  struct control_message {
+    enum class kind { policy, sever_all, stop } what = kind::stop;
+    fault_policy policy;
+    std::uint64_t ticket = 0;
+  };
+
+  explicit impl(nemesis_config config) : config_(std::move(config)) {
+    start_ = std::chrono::steady_clock::now();
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return;
+    const int one = 1;
+    (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.listen_port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    control_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epoll_fd_ < 0 || control_fd_ < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    watch(listen_fd_, EPOLLIN);
+    watch(control_fd_, EPOLLIN);
+    loop_ = std::thread([this] { loop_main(); });
+  }
+
+  ~impl() { stop(); }
+
+  [[nodiscard]] std::uint64_t now_ms() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  void watch(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void rearm(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void post(control_message m) {
+    if (!loop_.joinable()) return;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard<std::mutex> lock(control_mutex_);
+      ticket = ++control_ticket_;
+      m.ticket = ticket;
+      control_queue_.push_back(std::move(m));
+    }
+    const std::uint64_t one = 1;
+    (void)::write(control_fd_, &one, sizeof one);
+    // Synchronous: phase boundaries must not race the phase they end.
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    control_cv_.wait(lock,
+                     [&] { return control_done_ >= ticket || stopped_; });
+  }
+
+  void stop() {
+    if (loop_.joinable()) {
+      post({control_message::kind::stop, {}, 0});
+      loop_.join();
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (control_fd_ >= 0) ::close(control_fd_);
+    listen_fd_ = epoll_fd_ = control_fd_ = -1;
+  }
+
+  // ---- loop side ----------------------------------------------------
+
+  void loop_main() {
+    epoll_event events[64];
+    for (;;) {
+      const int timeout = next_timeout_ms();
+      const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+      if (n < 0 && errno != EINTR) break;
+      const std::uint64_t now = now_ms();
+      bool stop_requested = false;
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == control_fd_) {
+          stop_requested = drain_control() || stop_requested;
+          continue;
+        }
+        if (fd == listen_fd_) {
+          accept_clients();
+          continue;
+        }
+        const auto it = endpoints_.find(fd);
+        if (it == endpoints_.end()) continue;
+        pair* p = it->second;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          sever(p);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) read_side(p, fd);
+        if ((events[i].events & EPOLLOUT) != 0) {
+          direction& d = fd == p->server_fd ? p->c2s : p->s2c;
+          d.write_blocked = false;
+          rearm(fd, EPOLLIN);
+        }
+      }
+      // Pump every direction whose due time arrived (and any just
+      // unblocked by EPOLLOUT or fed by reads).
+      for (auto it = pairs_.begin(); it != pairs_.end();) {
+        pair* p = it->second.get();
+        ++it;  // pump may sever (erasing the map entry)
+        if (!pump(p, &p->c2s, now) || !pump(p, &p->s2c, now)) sever(p);
+      }
+      if (stop_requested) break;
+    }
+    // Close every pair; leave control fds to stop().
+    std::vector<pair*> all;
+    all.reserve(pairs_.size());
+    for (auto& [id, p] : pairs_) all.push_back(p.get());
+    for (pair* p : all) sever(p);
+    const std::lock_guard<std::mutex> lock(control_mutex_);
+    stopped_ = true;
+    control_done_ = control_ticket_;
+    control_cv_.notify_all();
+  }
+
+  [[nodiscard]] int next_timeout_ms() {
+    std::uint64_t next = ~0ull;
+    for (const auto& [id, p] : pairs_) {
+      for (const direction* d : {&p->c2s, &p->s2c}) {
+        if (!d->active.empty() && d->active_dribble && !d->write_blocked) {
+          next = std::min(next, d->active_due_ms);
+        }
+        if (d->active.empty() && !d->queue.empty()) {
+          next = std::min(next, d->queue.begin()->first);
+        }
+      }
+    }
+    if (next == ~0ull) return 200;
+    const std::uint64_t now = now_ms();
+    return next <= now ? 0
+                       : static_cast<int>(std::min<std::uint64_t>(
+                             next - now, 200));
+  }
+
+  /// Returns true when a stop was requested.
+  bool drain_control() {
+    std::uint64_t drained = 0;
+    (void)::read(control_fd_, &drained, sizeof drained);
+    bool stop_requested = false;
+    for (;;) {
+      control_message m;
+      {
+        const std::lock_guard<std::mutex> lock(control_mutex_);
+        if (control_queue_.empty()) break;
+        m = std::move(control_queue_.front());
+        control_queue_.pop_front();
+      }
+      switch (m.what) {
+        case control_message::kind::policy: {
+          policy_ = m.policy;
+          // Phase boundary: tainted pairs carry wedged synchronous
+          // callers — sever them free.
+          std::vector<pair*> tainted;
+          for (auto& [id, p] : pairs_) {
+            if (p->tainted) tainted.push_back(p.get());
+          }
+          for (pair* p : tainted) {
+            bump([](nemesis_stats& s) { s.taint_severs++; });
+            sever(p);
+          }
+          break;
+        }
+        case control_message::kind::sever_all: {
+          std::vector<pair*> all;
+          for (auto& [id, p] : pairs_) all.push_back(p.get());
+          for (pair* p : all) sever(p);
+          break;
+        }
+        case control_message::kind::stop:
+          stop_requested = true;
+          break;
+      }
+      const std::lock_guard<std::mutex> lock(control_mutex_);
+      control_done_ = std::max(control_done_, m.ticket);
+      control_cv_.notify_all();
+    }
+    return stop_requested;
+  }
+
+  void accept_clients() {
+    for (;;) {
+      const int client_fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (client_fd < 0) return;
+      const int server_fd = connect_upstream();
+      if (server_fd < 0) {
+        // Server down (mid-restart): refuse by closing — the client
+        // sees a sever and retries.
+        ::close(client_fd);
+        continue;
+      }
+      const int one = 1;
+      (void)::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+      (void)::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+      if (!set_nonblocking(client_fd) || !set_nonblocking(server_fd)) {
+        ::close(client_fd);
+        ::close(server_fd);
+        continue;
+      }
+      auto p = std::make_unique<pair>();
+      p->id = next_pair_id_++;
+      p->group = p->id % group_count;
+      p->client_fd = client_fd;
+      p->server_fd = server_fd;
+      p->c2s.src_fd = client_fd;
+      p->c2s.dst_fd = server_fd;
+      p->c2s.rng = rng_stream(config_.seed,
+                              {nemesis_label,
+                               static_cast<std::uint64_t>(p->id), 0});
+      p->s2c.src_fd = server_fd;
+      p->s2c.dst_fd = client_fd;
+      p->s2c.rng = rng_stream(config_.seed,
+                              {nemesis_label,
+                               static_cast<std::uint64_t>(p->id), 1});
+      watch(client_fd, EPOLLIN);
+      watch(server_fd, EPOLLIN);
+      endpoints_[client_fd] = p.get();
+      endpoints_[server_fd] = p.get();
+      bump([](nemesis_stats& s) { s.pairs_accepted++; });
+      pairs_.emplace(p->id, std::move(p));
+    }
+  }
+
+  [[nodiscard]] int connect_upstream() const {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.upstream_port);
+    if (::inet_pton(AF_INET, config_.upstream_host.c_str(),
+                    &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  void sever(pair* p) {
+    if (endpoints_.erase(p->client_fd) == 0) return;  // already severed
+    endpoints_.erase(p->server_fd);
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, p->client_fd, nullptr);
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, p->server_fd, nullptr);
+    ::close(p->client_fd);
+    ::close(p->server_fd);
+    bump([](nemesis_stats& s) { s.pairs_severed++; });
+    pairs_.erase(p->id);  // destroys *p
+  }
+
+  void read_side(pair* p, int fd) {
+    direction& d = fd == p->client_fd ? p->c2s : p->s2c;
+    std::uint8_t buffer[64 * 1024];
+    for (;;) {
+      const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+      if (got > 0) {
+        if (!d.reader.feed(buffer, static_cast<std::size_t>(got))) {
+          sever(p);  // frame too large: corruption, kill the relay too
+          return;
+        }
+        while (auto body = d.reader.next()) {
+          if (!admit(p, d, *body)) {
+            sever(p);
+            return;
+          }
+        }
+        continue;
+      }
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (got < 0 && errno == EINTR) continue;
+      sever(p);  // EOF or hard error on either side kills the pair
+      return;
+    }
+  }
+
+  /// Roll the active policy's dice for one deframed frame and queue the
+  /// survivors. False = sever the pair now.
+  [[nodiscard]] bool admit(pair* p, direction& d,
+                           const std::vector<std::uint8_t>& body) {
+    const bool partitioned =
+        (policy_.partition_groups &
+         (1ull << static_cast<unsigned>(p->group))) != 0;
+    if (partitioned || d.rng.bernoulli(policy_.drop)) {
+      p->tainted = true;
+      bump([](nemesis_stats& s) { s.frames_dropped++; });
+      return true;
+    }
+    if (d.rng.bernoulli(policy_.sever)) return false;
+    const int copies = d.rng.bernoulli(policy_.duplicate) ? 2 : 1;
+    if (copies == 2) bump([](nemesis_stats& s) { s.frames_duplicated++; });
+    // Server->client push frames carry id 0 in their first 8 body
+    // bytes; see last_event_due_ms for why they keep relative order.
+    const bool event_frame =
+        d.dst_fd == p->client_fd && body.size() >= 9 && body[0] == 0 &&
+        body[1] == 0 && body[2] == 0 && body[3] == 0 && body[4] == 0 &&
+        body[5] == 0 && body[6] == 0 && body[7] == 0;
+    const std::uint64_t now = now_ms();
+    for (int i = 0; i < copies; ++i) {
+      pending_frame f;
+      f.bytes = reframe(body);
+      std::uint64_t due = now;
+      if (policy_.delay > 0.0 && d.rng.bernoulli(policy_.delay)) {
+        due += static_cast<std::uint64_t>(
+            d.rng.between(policy_.delay_min_ms, policy_.delay_max_ms));
+        bump([](nemesis_stats& s) { s.frames_delayed++; });
+      }
+      if (event_frame) {
+        // Multimap insertion order breaks due ties, so an equal-due
+        // later event still queues behind the earlier one.
+        due = std::max(due, d.last_event_due_ms);
+        d.last_event_due_ms = due;
+      }
+      if (policy_.dribble > 0.0 && d.rng.bernoulli(policy_.dribble)) {
+        f.dribble = true;
+        bump([](nemesis_stats& s) { s.frames_dribbled++; });
+      }
+      d.queue.emplace(due, std::move(f));
+    }
+    return true;
+  }
+
+  /// Write what is due on one direction. False = the pair must die
+  /// (dst write error).
+  [[nodiscard]] bool pump(pair* p, direction* d, std::uint64_t now) {
+    (void)p;
+    for (;;) {
+      if (d->active.empty()) {
+        if (d->queue.empty() || d->queue.begin()->first > now) return true;
+        auto first = d->queue.begin();
+        d->active = std::move(first->second.bytes);
+        d->active_off = 0;
+        d->active_dribble = first->second.dribble;
+        d->active_due_ms = now;
+        d->dribble_chunk = std::max<std::uint32_t>(
+            1, policy_.dribble_chunk);
+        d->dribble_gap_ms = policy_.dribble_gap_ms;
+        d->queue.erase(first);
+      }
+      if (d->write_blocked) return true;
+      if (d->active_dribble && d->active_due_ms > now) return true;
+      const std::size_t remaining = d->active.size() - d->active_off;
+      const std::size_t slice =
+          d->active_dribble
+              ? std::min<std::size_t>(remaining, d->dribble_chunk)
+              : remaining;
+      const ssize_t wrote = ::send(d->dst_fd, d->active.data() + d->active_off,
+                                   slice, MSG_NOSIGNAL);
+      if (wrote < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          d->write_blocked = true;
+          rearm(d->dst_fd, EPOLLIN | EPOLLOUT);
+          return true;
+        }
+        if (errno == EINTR) continue;
+        return false;
+      }
+      d->active_off += static_cast<std::size_t>(wrote);
+      if (d->active_off == d->active.size()) {
+        d->active.clear();
+        d->active_off = 0;
+        d->active_dribble = false;
+        bump([](nemesis_stats& s) { s.frames_forwarded++; });
+        continue;
+      }
+      if (d->active_dribble) {
+        d->active_due_ms = now + d->dribble_gap_ms;
+        return true;
+      }
+      // Partial non-dribble write without EAGAIN: loop and finish.
+    }
+  }
+
+  template <typename Fn>
+  void bump(Fn fn) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    fn(stats_);
+  }
+
+  // ---- state --------------------------------------------------------
+
+  nemesis_config config_;
+  std::chrono::steady_clock::time_point start_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int control_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread loop_;
+
+  // Loop-thread-only state.
+  fault_policy policy_;
+  int next_pair_id_ = 0;
+  std::map<int, std::unique_ptr<pair>> pairs_;
+  std::unordered_map<int, pair*> endpoints_;
+
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  std::deque<control_message> control_queue_;
+  std::uint64_t control_ticket_ = 0;
+  std::uint64_t control_done_ = 0;
+  bool stopped_ = false;
+
+  mutable std::mutex stats_mutex_;
+  nemesis_stats stats_;
+};
+
+nemesis::nemesis(nemesis_config config)
+    : impl_(std::make_unique<impl>(std::move(config))) {}
+
+nemesis::~nemesis() = default;
+
+bool nemesis::running() const { return impl_->loop_.joinable(); }
+
+std::uint16_t nemesis::port() const { return impl_->port_; }
+
+void nemesis::set_policy(const fault_policy& policy) {
+  impl_->post({impl::control_message::kind::policy, policy, 0});
+}
+
+void nemesis::sever_all() {
+  impl_->post({impl::control_message::kind::sever_all, {}, 0});
+}
+
+nemesis_stats nemesis::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->stats_mutex_);
+  return impl_->stats_;
+}
+
+void nemesis::stop() { impl_->stop(); }
+
+}  // namespace elect::chaos

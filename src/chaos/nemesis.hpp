@@ -1,0 +1,86 @@
+// elect::chaos::nemesis — a fault-injecting TCP relay between clients
+// and a live elect_server.
+//
+// Clients connect to the nemesis' listen port; each accepted connection
+// gets its own upstream connection to the real server, and the nemesis
+// relays bytes both ways — but at *frame* granularity: each direction
+// runs a wire::frame_reader, and faults are rolled per complete frame
+// from a PRNG stream derived off (seed, pair index, direction). Whole
+// frames are dropped, duplicated, delayed (unequal delays reorder),
+// byte-dribbled, or the pair is severed outright; a partition mask cuts
+// whole client groups. Partial frames are never interleaved: once a
+// dribble starts on a direction, later frames queue behind it.
+//
+// Drops and the synchronous client: net::client blocks each caller
+// until its response arrives, so a silently dropped frame would wedge
+// the caller forever. The nemesis therefore *taints* a pair on every
+// drop and severs all tainted pairs at the next set_policy() (phase
+// boundary) — the blocked caller then sees connection_lost and the
+// worker recovers, which is exactly the crash semantics the service
+// already promises.
+//
+// Single-threaded: one epoll loop owns every socket; control calls
+// (set_policy, sever_all, stop) post to it via an eventfd.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "chaos/schedule.hpp"
+
+namespace elect::chaos {
+
+struct nemesis_config {
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  /// 0 = ephemeral; port() reports the bound port either way.
+  std::uint16_t listen_port = 0;
+  std::uint64_t seed = 1;
+};
+
+struct nemesis_stats {
+  std::uint64_t pairs_accepted = 0;
+  std::uint64_t pairs_severed = 0;
+  std::uint64_t taint_severs = 0;
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_delayed = 0;
+  std::uint64_t frames_dribbled = 0;
+};
+
+class nemesis {
+ public:
+  explicit nemesis(nemesis_config config);
+  ~nemesis();
+
+  nemesis(const nemesis&) = delete;
+  nemesis& operator=(const nemesis&) = delete;
+
+  /// False when the listen socket could not be bound.
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Swap the active fault policy (a phase boundary). Also severs
+  /// every tainted pair — see the header comment. Synchronous: the
+  /// loop has applied the policy before this returns.
+  void set_policy(const fault_policy& policy);
+
+  /// Sever every pair (used around a server kill/restart so clients
+  /// re-anchor against the new incarnation promptly).
+  void sever_all();
+
+  [[nodiscard]] nemesis_stats stats() const;
+
+  /// Stop the loop and close everything. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace elect::chaos

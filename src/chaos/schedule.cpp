@@ -1,0 +1,202 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace elect::chaos {
+
+namespace {
+
+/// Labels for the plan-derivation stream (distinct from the nemesis'
+/// per-connection streams, which derive under different labels).
+constexpr std::uint64_t plan_label = 0x706c616eULL;  // "plan"
+
+fault_policy flaky_policy(rng_stream& rng) {
+  fault_policy p;
+  p.drop = 0.005 + rng.next_double() * 0.02;
+  p.duplicate = 0.01 + rng.next_double() * 0.05;
+  p.delay = 0.05 + rng.next_double() * 0.25;
+  p.delay_min_ms = 1;
+  p.delay_max_ms = static_cast<std::uint32_t>(rng.between(5, 40));
+  p.dribble = 0.01 + rng.next_double() * 0.05;
+  p.dribble_chunk = static_cast<std::uint32_t>(rng.between(1, 7));
+  p.dribble_gap_ms = static_cast<std::uint32_t>(rng.between(1, 3));
+  return p;
+}
+
+fault_policy partition_policy(rng_stream& rng) {
+  fault_policy p;
+  // Cut 1..group_count-1 groups — never all of them, so some workers
+  // keep making progress and the checker has cross-history evidence to
+  // compare the partitioned side against after the heal.
+  const int cut = static_cast<int>(rng.between(1, group_count - 1));
+  while (__builtin_popcountll(p.partition_groups) < cut) {
+    p.partition_groups |= 1ull << rng.below(group_count);
+  }
+  // Light reordering on the healthy side keeps the run interesting.
+  p.delay = 0.05;
+  p.delay_min_ms = 1;
+  p.delay_max_ms = 10;
+  return p;
+}
+
+fault_policy sever_policy(rng_stream& rng) {
+  fault_policy p;
+  p.sever = 0.002 + rng.next_double() * 0.01;
+  p.duplicate = 0.02;
+  p.delay = 0.1;
+  p.delay_min_ms = 1;
+  p.delay_max_ms = 15;
+  return p;
+}
+
+void append_policy(std::string& out, const fault_policy& p) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                " drop=%.6f dup=%.6f delay=%.6f dmin=%u dmax=%u"
+                " dribble=%.6f chunk=%u gap=%u sever=%.6f partition=%llu",
+                p.drop, p.duplicate, p.delay, p.delay_min_ms, p.delay_max_ms,
+                p.dribble, p.dribble_chunk, p.dribble_gap_ms, p.sever,
+                static_cast<unsigned long long>(p.partition_groups));
+  out += buffer;
+}
+
+}  // namespace
+
+plan make_plan(std::uint64_t seed, std::uint32_t phase_ms, bool smoke) {
+  rng_stream rng(seed, {plan_label});
+  plan result;
+  result.seed = seed;
+
+  const auto calm = [&](const char* name, std::uint32_t ms) {
+    phase p;
+    p.name = name;
+    p.duration_ms = ms;
+    result.phases.push_back(std::move(p));
+  };
+
+  // Open calm: workers connect and build up baseline churn (and the
+  // snapshotter gets at least one dump in before any kill).
+  calm("warmup", phase_ms);
+
+  // The middle is a seed-shuffled mix. Smoke keeps one of each fault
+  // family; full runs draw 4-7 phases.
+  std::vector<int> mix;
+  if (smoke) {
+    mix = {0, 1, 2};  // flaky, partition, kill
+  } else {
+    const int extra = static_cast<int>(rng.between(4, 7));
+    for (int i = 0; i < extra; ++i) {
+      mix.push_back(static_cast<int>(rng.below(4)));
+    }
+    // Every full run gets at least one partition and one kill, wherever
+    // the draw put them; append if the draw missed them.
+    if (std::find(mix.begin(), mix.end(), 1) == mix.end()) mix.push_back(1);
+    if (std::find(mix.begin(), mix.end(), 2) == mix.end()) mix.push_back(2);
+  }
+
+  for (const int kind : mix) {
+    phase p;
+    p.duration_ms = phase_ms;
+    switch (kind) {
+      case 0:
+        p.name = "flaky";
+        p.policy = flaky_policy(rng);
+        break;
+      case 1:
+        p.name = "partition";
+        p.policy = partition_policy(rng);
+        break;
+      case 2:
+        p.name = "kill";
+        p.kill_server = true;
+        // Post-restart faults stay light: the interesting part is the
+        // restore fence meeting pre-crash grants.
+        p.policy.delay = 0.05;
+        p.policy.delay_min_ms = 1;
+        p.policy.delay_max_ms = 10;
+        break;
+      default:
+        p.name = "sever";
+        p.policy = sever_policy(rng);
+        break;
+    }
+    result.phases.push_back(std::move(p));
+    // Breathe between fault phases so severed clients reconnect and
+    // histories re-anchor (heal phases also fire the taint-severs).
+    calm("heal", phase_ms / 2);
+  }
+
+  calm("drain", phase_ms);
+  return result;
+}
+
+std::string to_trace(const plan& p) {
+  std::string out = "elect_chaos trace v1\n";
+  out += "seed " + std::to_string(p.seed) + "\n";
+  for (const phase& ph : p.phases) {
+    out += "phase name=" + ph.name +
+           " ms=" + std::to_string(ph.duration_ms) +
+           " kill=" + (ph.kill_server ? std::string("1") : std::string("0"));
+    append_policy(out, ph.policy);
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<plan> parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "elect_chaos trace v1") {
+    return std::nullopt;
+  }
+  plan result;
+  bool saw_seed = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string head;
+    fields >> head;
+    if (head == "seed") {
+      fields >> result.seed;
+      if (fields.fail()) return std::nullopt;
+      saw_seed = true;
+      continue;
+    }
+    if (head != "phase") return std::nullopt;
+    phase ph;
+    std::string token;
+    while (fields >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) return std::nullopt;
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "name") ph.name = value;
+        else if (key == "ms") ph.duration_ms = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "kill") ph.kill_server = value == "1";
+        else if (key == "drop") ph.policy.drop = std::stod(value);
+        else if (key == "dup") ph.policy.duplicate = std::stod(value);
+        else if (key == "delay") ph.policy.delay = std::stod(value);
+        else if (key == "dmin") ph.policy.delay_min_ms = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "dmax") ph.policy.delay_max_ms = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "dribble") ph.policy.dribble = std::stod(value);
+        else if (key == "chunk") ph.policy.dribble_chunk = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "gap") ph.policy.dribble_gap_ms = static_cast<std::uint32_t>(std::stoul(value));
+        else if (key == "sever") ph.policy.sever = std::stod(value);
+        else if (key == "partition") ph.policy.partition_groups = std::stoull(value);
+        else return std::nullopt;  // unknown key: a different dialect
+      } catch (...) {
+        return std::nullopt;
+      }
+    }
+    result.phases.push_back(std::move(ph));
+  }
+  if (!saw_seed || result.phases.empty()) return std::nullopt;
+  return result;
+}
+
+}  // namespace elect::chaos

@@ -1,0 +1,99 @@
+// elect::chaos::schedule — the seeded fault plan a chaos run executes.
+//
+// A *plan* is a sequence of *phases*; each phase holds a fault_policy
+// (the fault mix the nemesis proxy applies to every relayed frame while
+// the phase is active) and optionally starts by kill -9'ing the server
+// and restarting it from its snapshot. The whole plan is a pure
+// function of the seed — make_plan(seed) is deterministic — and the
+// per-frame dice inside the nemesis derive from the same seed, so one
+// integer names an entire adversary.
+//
+// Reproducibility is the point: every run records its plan to a trace
+// file (a simple line format, parse_trace is the inverse of to_trace),
+// and `elect_chaos --replay trace` re-executes exactly the phases a
+// failing run executed, even across binary changes that would alter
+// what make_plan derives from the seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elect::chaos {
+
+/// The fault mix applied to relayed frames while a phase is active.
+/// Probabilities are per frame, rolled independently per connection
+/// direction from a stream derived off the run seed.
+struct fault_policy {
+  /// P(frame silently discarded). A drop *taints* the connection pair:
+  /// a synchronous caller is now waiting for a reply that will never
+  /// come, so the nemesis severs every tainted pair at the next phase
+  /// boundary — the client sees connection_lost and recovers, rather
+  /// than wedging forever.
+  double drop = 0.0;
+  /// P(frame forwarded twice). Exercises at-least-once delivery of
+  /// watch events (request/response frames are idempotent at the
+  /// protocol layer only for reads; duplicated requests get duplicated
+  /// responses with the same id, which the client tolerates).
+  double duplicate = 0.0;
+  /// P(frame held back delay_min_ms..delay_max_ms before forwarding).
+  /// Unequal delays on consecutive frames reorder them.
+  double delay = 0.0;
+  std::uint32_t delay_min_ms = 0;
+  std::uint32_t delay_max_ms = 0;
+  /// P(frame written dribble_chunk bytes at a time, dribble_gap_ms
+  /// apart). Exercises incremental deframing on both peers; later
+  /// frames on the direction queue behind the dribble (partial frames
+  /// must never interleave).
+  double dribble = 0.0;
+  std::uint32_t dribble_chunk = 3;
+  std::uint32_t dribble_gap_ms = 2;
+  /// P(the connection pair is killed outright on frame arrival) — the
+  /// hard sever fault, distinct from drop's deferred taint-sever.
+  double sever = 0.0;
+  /// Bitmask over client groups (connection's accept index mod
+  /// group_count): set bits are partitioned — every frame either way
+  /// is dropped (and taints, so the heal at the phase boundary severs
+  /// the survivors free).
+  std::uint64_t partition_groups = 0;
+
+  [[nodiscard]] bool quiet() const {
+    return drop == 0.0 && duplicate == 0.0 && delay == 0.0 &&
+           dribble == 0.0 && sever == 0.0 && partition_groups == 0;
+  }
+};
+
+/// Client groups the partition mask ranges over.
+inline constexpr int group_count = 4;
+
+struct phase {
+  std::string name;
+  std::uint32_t duration_ms = 0;
+  /// Kill -9 the server and restart it with --restore at phase start.
+  bool kill_server = false;
+  fault_policy policy;
+};
+
+struct plan {
+  std::uint64_t seed = 0;
+  std::vector<phase> phases;
+};
+
+/// Derive a run's plan from its seed: a shuffled mix of calm, flaky
+/// (drop/dup/delay/dribble), partition, sever-storm, and kill phases,
+/// always opening and closing calm so workers can connect and drain.
+/// `phase_ms` scales every phase; `smoke` trims the phase list for a
+/// seconds-long CI budget.
+[[nodiscard]] plan make_plan(std::uint64_t seed, std::uint32_t phase_ms,
+                             bool smoke);
+
+/// Serialize a plan to the trace format (one `phase` line per phase;
+/// stable across versions — parse_trace rejects unknown trace
+/// versions rather than guessing).
+[[nodiscard]] std::string to_trace(const plan& p);
+
+/// Parse a trace produced by to_trace. Empty on malformed input.
+[[nodiscard]] std::optional<plan> parse_trace(const std::string& text);
+
+}  // namespace elect::chaos

@@ -117,6 +117,15 @@ int connect_channel(const std::string& host, std::uint16_t port,
 
 }  // namespace
 
+std::string_view to_string(close_reason r) {
+  switch (r) {
+    case close_reason::none: return "none";
+    case close_reason::local_close: return "local_close";
+    case close_reason::severed: return "severed";
+  }
+  return "unknown";
+}
+
 client::client(const std::string& host, std::uint16_t port)
     : client(host, port, 1) {}
 
@@ -129,12 +138,15 @@ client::client(const std::string& host, std::uint16_t port, int stripes) {
                              &ch->session_id);
     if (ch->fd < 0) {
       // One stripe failing fails the client: close the ones that made
-      // it (no reader threads exist yet, so plain close is safe).
+      // it (no reader threads exist yet, so plain close is safe). A
+      // failed connect is a sever — the user never got a connection to
+      // close.
       for (auto& done : channels_) {
         ::close(done->fd);
         done->fd = -1;
       }
       channels_.clear();
+      reason_.store(close_reason::severed, std::memory_order_release);
       return;
     }
     channels_.push_back(std::move(ch));
@@ -163,6 +175,13 @@ void client::close() {
   const std::lock_guard<std::mutex> close_lock(close_mutex_);
   if (close_done_) return;
   close_done_ = true;
+  // Claim the cause before any socket is touched: once the shutdown
+  // lands, the reader threads break out and call fail(), whose CAS must
+  // find local_close already set. A client that was severed earlier
+  // keeps `severed` — the first cause wins.
+  close_reason expected = close_reason::none;
+  (void)reason_.compare_exchange_strong(expected, close_reason::local_close,
+                                        std::memory_order_acq_rel);
   // shutdown() unblocks each reader (recv returns 0); the fds are
   // closed only after the readers joined so they cannot be recycled
   // under a racing recv.
@@ -200,6 +219,11 @@ void client::close() {
 }
 
 void client::fail() {
+  // Anything reaching fail() without close() having claimed the reason
+  // first is a sever: peer EOF, protocol poison, a failed send.
+  close_reason expected = close_reason::none;
+  (void)reason_.compare_exchange_strong(expected, close_reason::severed,
+                                        std::memory_order_acq_rel);
   open_.store(false, std::memory_order_release);
   {
     const std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -319,10 +343,13 @@ std::optional<wire::response> client::call(wire::op kind,
 // Session API mirror.
 
 svc::acquire_result client::to_acquire_result(
-    const std::optional<wire::response>& r) {
+    const std::optional<wire::response>& r) const {
   svc::acquire_result result;
   if (!r.has_value()) {
     result.rejected = true;  // transport loss: the service is gone to us
+    // A sever (vs our own close()) is flagged so the caller knows the
+    // server may still count it as holder until TTL/reclaim fences it.
+    result.connection_lost = reason() == close_reason::severed;
     return result;
   }
   result.epoch = r->epoch;
@@ -402,16 +429,30 @@ svc::acquire_result client::try_acquire_for(const std::string& key,
   }
 }
 
+namespace {
+
+/// The lease-status verdict for a call that got no response: our own
+/// close() keeps the original crash-semantics mapping (stale_epoch —
+/// the server reclaims on disconnect, PR 4); a sever is reported as
+/// connection_lost so the caller can tell a fenced epoch from a dead
+/// wire.
+svc::lease_status lost_status(close_reason r) {
+  return r == close_reason::local_close ? svc::lease_status::stale_epoch
+                                        : svc::lease_status::connection_lost;
+}
+
+}  // namespace
+
 svc::lease_status client::release(const std::string& key) {
   const auto r = call(wire::op::release, key, 0, 0);
-  if (!r.has_value()) return svc::lease_status::stale_epoch;
+  if (!r.has_value()) return lost_status(reason());
   return wire::to_lease_status(r->result);
 }
 
 svc::lease_status client::release(const std::string& key,
                                   std::uint64_t epoch) {
   const auto r = call(wire::op::release_fenced, key, epoch, 0);
-  if (!r.has_value()) return svc::lease_status::stale_epoch;
+  if (!r.has_value()) return lost_status(reason());
   return wire::to_lease_status(r->result);
 }
 
@@ -423,7 +464,7 @@ svc::lease_status client::renew(
     const std::string& key, std::uint64_t epoch,
     std::chrono::steady_clock::time_point* refreshed_deadline) {
   const auto r = call(wire::op::renew, key, epoch, 0);
-  if (!r.has_value()) return svc::lease_status::stale_epoch;
+  if (!r.has_value()) return lost_status(reason());
   if (r->result == wire::status::ok && refreshed_deadline != nullptr) {
     *refreshed_deadline = deadline_from_remaining(r->lease_remaining_ms);
   }
@@ -607,13 +648,15 @@ std::string client::metrics_json() {
 }
 
 std::optional<wire::response> client::admin(wire::op kind,
-                                            const std::string& key) {
+                                            const std::string& key,
+                                            std::uint64_t epoch) {
   if (kind != wire::op::admin_list && kind != wire::op::admin_inspect &&
       kind != wire::op::admin_force_release &&
-      kind != wire::op::admin_snapshot) {
+      kind != wire::op::admin_snapshot &&
+      kind != wire::op::admin_commands) {
     return std::nullopt;
   }
-  return call(kind, key, 0, 0);
+  return call(kind, key, epoch, 0);
 }
 
 }  // namespace elect::net

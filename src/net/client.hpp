@@ -22,9 +22,17 @@
 // while the connection stays usable.
 //
 // Transport failure is reported through the same types the local
-// session uses: acquire-family calls come back `rejected`, lease calls
-// come back `stale_epoch` — on a dead connection you must stop acting
-// as a leader, which is exactly what stale_epoch already means.
+// session uses, but a *sever* is distinguishable from a *shutdown*:
+// if the connection died underneath the client (peer crash, network
+// fault, refused connect), acquire-family calls come back `rejected`
+// with `connection_lost` set and lease calls come back
+// `lease_status::connection_lost`; if this process itself called
+// close() (crash semantics, PR 4), calls keep the original mapping —
+// `rejected` without connection_lost, lease calls `stale_epoch`.
+// Either way the caller must stop acting as a leader; reason() reports
+// which way the transport went down. Chaos histories (and real users)
+// need the distinction: a sever means the server may still count you
+// as holder until the TTL or disconnect reclaim fences you.
 //
 // Striping: against a multi-reactor server one socket lands on one
 // reactor, so one client caps out at a single reactor's throughput
@@ -57,6 +65,14 @@
 
 namespace elect::net {
 
+/// Why a client's transport is down. `severed` covers every loss the
+/// user did not ask for: a failed connect, the peer closing or
+/// crashing, a protocol violation killing the stream. `local_close`
+/// means this process called close() (or destroyed the client).
+enum class close_reason : std::uint8_t { none, local_close, severed };
+
+[[nodiscard]] std::string_view to_string(close_reason r);
+
 class client {
  public:
   /// Connect and handshake. Check connected() — failure (refused,
@@ -74,6 +90,12 @@ class client {
 
   [[nodiscard]] bool connected() const noexcept {
     return open_.load(std::memory_order_relaxed);
+  }
+  /// Why the transport is down (close_reason::none while connected).
+  /// Once severed, a later close() does not rewrite history: the first
+  /// cause wins.
+  [[nodiscard]] close_reason reason() const noexcept {
+    return reason_.load(std::memory_order_acquire);
   }
   /// The svc session id backing stripe 0 (from its handshake).
   [[nodiscard]] std::uint64_t session_id() const noexcept;
@@ -125,12 +147,14 @@ class client {
   /// The combined net + service metrics JSON; empty on failure.
   [[nodiscard]] std::string metrics_json();
   /// Issue one admin op (admin_list / admin_inspect /
-  /// admin_force_release / admin_snapshot; `key` ignored for list and
-  /// snapshot) and return the raw response — `denied` when the
-  /// server's admin surface is off, empty on transport failure. The
-  /// elect_admin CLI is built on this.
+  /// admin_force_release / admin_snapshot / admin_commands; `key`
+  /// ignored for list and snapshot) and return the raw response —
+  /// `denied` when the server's admin surface is off, empty on
+  /// transport failure. `epoch` carries the op's integer argument
+  /// (admin_commands: the page offset into the command stream). The
+  /// elect_admin CLI and the chaos checker are built on this.
   [[nodiscard]] std::optional<wire::response> admin(
-      wire::op kind, const std::string& key = "");
+      wire::op kind, const std::string& key = "", std::uint64_t epoch = 0);
 
   /// Hard-close every stripe without a disconnect op — from the
   /// server's point of view this client crashed; leases are reclaimed
@@ -205,8 +229,8 @@ class client {
   /// The stripe a key's requests ride: key hash mod stripes (the empty
   /// key — metrics, admin, disconnect — rides stripe 0).
   [[nodiscard]] channel& route(const std::string& key);
-  [[nodiscard]] static svc::acquire_result to_acquire_result(
-      const std::optional<wire::response>& r);
+  [[nodiscard]] svc::acquire_result to_acquire_result(
+      const std::optional<wire::response>& r) const;
   void reader_main(channel& ch);
   /// Queue one op::event push frame for the event thread (reader
   /// thread; never runs callbacks itself — a callback making a
@@ -221,6 +245,10 @@ class client {
 
   std::vector<std::unique_ptr<channel>> channels_;
   std::atomic<bool> open_{false};
+  /// First cause of transport death; CAS'd from none exactly once
+  /// (close() claims local_close before shutting sockets down, so the
+  /// reader threads' fail() can't misreport a user close as a sever).
+  std::atomic<close_reason> reason_{close_reason::none};
 
   /// Serializes close() against itself; close_done_ makes it one-shot.
   std::mutex close_mutex_;

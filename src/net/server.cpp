@@ -973,6 +973,7 @@ void server::serve(const pending& p) {
     case wire::op::admin_inspect:
     case wire::op::admin_force_release:
     case wire::op::admin_snapshot:
+    case wire::op::admin_commands:
       serve_admin(p, r);
       break;
     default:
@@ -1196,6 +1197,40 @@ void server::serve_admin(const pending& p, wire::response& r) {
       // written is a failure, not a success with a footnote.
       r.result =
           write_failed ? wire::status::rejected : wire::status::ok;
+      break;
+    }
+    case wire::op::admin_commands: {
+      // Page through the retained command stream: the request's epoch
+      // field is the offset into collect_commands() order, the
+      // response's epoch is the next offset. The collection is
+      // re-taken per page — stable as long as nothing trims between
+      // pages (callers fetch at quiesce; a concurrent trim shows up as
+      // a shrunk total, not corruption).
+      if (!registry.command_log_enabled()) {
+        r.result = wire::status::rejected;
+        break;
+      }
+      const std::vector<cmd::command> all = registry.collect_commands();
+      const std::uint64_t offset =
+          std::min<std::uint64_t>(p.req.epoch, all.size());
+      std::string body = "{\"total\":";
+      body += std::to_string(all.size());
+      body += ",\"offset\":";
+      body += std::to_string(offset);
+      body += ",\"commands\":[";
+      std::uint64_t next = offset;
+      bool first = true;
+      for (; next < all.size(); ++next) {
+        const std::string one = cmd::to_json(all[next]);
+        if (body.size() + one.size() > wire::max_frame_bytes / 2) break;
+        if (!first) body += ',';
+        body += one;
+        first = false;
+      }
+      body += "]}";
+      r.body = std::move(body);
+      r.epoch = next;
+      r.result = wire::status::ok;
       break;
     }
     default:

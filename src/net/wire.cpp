@@ -113,6 +113,7 @@ std::string_view to_string(op kind) {
     case op::admin_inspect: return "admin_inspect";
     case op::admin_force_release: return "admin_force_release";
     case op::admin_snapshot: return "admin_snapshot";
+    case op::admin_commands: return "admin_commands";
   }
   return "unknown";
 }
@@ -246,6 +247,10 @@ status from_lease_status(svc::lease_status s) {
     case svc::lease_status::ok: return status::ok;
     case svc::lease_status::stale_epoch: return status::stale_epoch;
     case svc::lease_status::not_leader: return status::not_leader;
+    case svc::lease_status::connection_lost:
+      // Client-side verdict only — a server session never produces it.
+      // Encode defensively as the fencing answer it implies.
+      return status::stale_epoch;
   }
   return status::bad_request;
 }

@@ -113,9 +113,18 @@ enum class op : std::uint8_t {
   /// describing the command log (recording/recorded/retained/bytes).
   /// Same gate as admin_list.
   admin_snapshot = 15,
+  /// Admin: page through the registry's retained command log (the
+  /// replayable stream behind snapshots). `epoch` carries the page
+  /// offset into the collected stream; the response `body` is a JSON
+  /// object {"total":N,"offset":O,"commands":[...]} holding as many
+  /// commands (cmd::to_json objects, shard-by-shard seq order) as fit
+  /// one frame, and the response `epoch` echoes the next offset. The
+  /// chaos checker's command-stream access. Same gate as admin_list;
+  /// `rejected` when the registry is not recording.
+  admin_commands = 16,
 };
 
-inline constexpr int op_count = 16;
+inline constexpr int op_count = 17;
 
 [[nodiscard]] std::string_view to_string(op kind);
 

@@ -144,7 +144,15 @@ void instance_registry::apply_command_locked(shard& s, key_state& state,
     case cmd::command_kind::expired:
     case cmd::command_kind::force_released:
     case cmd::command_kind::disconnect_reclaimed:
+      bump_epoch_locked(state);
+      break;
     case cmd::command_kind::epoch_bumped:
+      // A bump ends every epoch <= c.epoch, not just the current one:
+      // restore-time fencing records c.epoch = restored + (bump - 1) so
+      // the key lands at c.epoch + 1, clear of anything a crash gap
+      // could have granted. The ordinary emit sites use c.epoch ==
+      // current, which makes this the same +1 it always was.
+      state.entry.epoch = c.epoch;
       bump_epoch_locked(state);
       break;
   }
@@ -647,7 +655,10 @@ std::optional<std::string> instance_registry::apply(const cmd::command& c) {
         }
         break;
       case cmd::command_kind::epoch_bumped:
-        if (state.entry.epoch != local.epoch) return epoch_mismatch();
+        // Forward jumps are legal (restore fencing records the highest
+        // epoch the bump ends, which may exceed the current one); only
+        // a bump that would move the epoch backwards is corruption.
+        if (local.epoch < state.entry.epoch) return epoch_mismatch();
         break;
     }
     apply_command_locked(s, state, local, /*from_replay=*/true);
@@ -708,7 +719,11 @@ std::vector<std::uint8_t> instance_registry::snapshot(bool trim_log) {
 }
 
 std::optional<std::string> instance_registry::restore(
-    const std::vector<std::uint8_t>& bytes, bool fence_restored) {
+    const std::vector<std::uint8_t>& bytes, bool fence_restored,
+    std::uint64_t fence_bump) {
+  if (fence_restored && fence_bump == 0) {
+    return "fence_bump must be >= 1 when fencing restored epochs";
+  }
   auto decoded = cmd::decode_snapshot(bytes);
   if (!decoded.data.has_value()) return decoded.error;
   cmd::snapshot_data& data = *decoded.data;
@@ -759,12 +774,14 @@ std::optional<std::string> instance_registry::restore(
         // Bump every restored key: a pre-snapshot leaseholder may have
         // lost its lease in the gap the snapshot cannot see, so it must
         // not be resurrected — its first fenced op answers stale_epoch
-        // and it re-acquires like everyone else.
+        // and it re-acquires like everyone else. The bump ends epochs
+        // up to restored + (fence_bump - 1), jumping clear of grants
+        // the crash gap may have issued past the snapshot.
         cmd::command c;
         c.shard = static_cast<std::int32_t>(i);
         c.kind = cmd::command_kind::epoch_bumped;
         c.session = -1;
-        c.epoch = state.entry.epoch;
+        c.epoch = state.entry.epoch + (fence_bump - 1);
         c.at_ms = logical;
         if (publish || record) c.key = k.key;
         apply_command_locked(s, state, c, /*from_replay=*/false);

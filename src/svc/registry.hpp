@@ -124,6 +124,16 @@ enum class lease_status {
   /// The epoch is current but the caller is not the recorded holder
   /// (nobody is, or someone else won). No effect.
   not_leader,
+  /// The transport to the service died underneath the call — the
+  /// connection was severed (peer crash, network fault), NOT closed by
+  /// this process. The registry never produces this; it is the network
+  /// client's verdict (net::client), distinguishable from both a real
+  /// fence (stale_epoch) and a user-initiated close() (which keeps the
+  /// PR-4 crash-semantics mapping to stale_epoch). The holder must stop
+  /// acting as leader either way; after a sever it may still hold the
+  /// lease server-side until the TTL or the disconnect reclaim fences
+  /// it.
+  connection_lost,
 };
 
 /// Outcome of the single-acquirer CAS fast path (try_fast_claim).
@@ -400,11 +410,21 @@ class instance_registry {
   /// `fence_restored`, every restored key's epoch is then bumped (one
   /// `epoch_bumped` command each): pre-snapshot leaseholders answer
   /// `stale_epoch` from their first fenced op, instead of being
-  /// resurrected into leases they may have lost. Returns an error on a
-  /// malformed snapshot or a shard-count mismatch; the registry must be
-  /// discarded if restore fails partway.
+  /// resurrected into leases they may have lost.
+  ///
+  /// `fence_bump` is how far past the restored epoch the fence jumps
+  /// (>= 1). A snapshot is a *prefix* of the truth: epochs granted after
+  /// the last dump and before the crash are invisible here, so a bump
+  /// of 1 can re-grant an epoch some pre-crash client already won —
+  /// two leaders holding the same (key, epoch) fencing token. A large
+  /// jump (elect_server defaults to 2^20) clears every epoch the crash
+  /// gap could plausibly have granted; the chaos checker's
+  /// unique-holder rule is what verifies the assumption. Returns an
+  /// error on a malformed snapshot or a shard-count mismatch; the
+  /// registry must be discarded if restore fails partway.
   [[nodiscard]] std::optional<std::string> restore(
-      const std::vector<std::uint8_t>& bytes, bool fence_restored);
+      const std::vector<std::uint8_t>& bytes, bool fence_restored,
+      std::uint64_t fence_bump = 1);
 
   /// Invoked (under no lock) once per mutation the watch/journal layers
   /// render: every command kind except `renewed` (a renewal moves no

@@ -136,6 +136,11 @@ struct acquire_result {
   /// try_acquire_for only: the timeout elapsed before the key's epoch
   /// moved; the last attempt's loss is reported alongside.
   bool timed_out = false;
+  /// Set only by net::client, alongside rejected: the connection to the
+  /// remote service was severed underneath the call (peer crash,
+  /// network fault) rather than closed by this process. The local
+  /// service never sets it. See lease_status::connection_lost.
+  bool connection_lost = false;
   /// The epoch was granted through the adaptive CAS fast path — no
   /// distributed election ran for this attempt.
   bool fast_path = false;

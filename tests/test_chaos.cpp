@@ -1,0 +1,448 @@
+// elect::chaos tests: the schedule's determinism and trace round-trip,
+// the checker's teeth (hand-crafted histories that violate each rule
+// must convict, and a clean history must pass), the restore-fence
+// crash-gap story end to end against the real registry (fence_bump=1
+// IS the plantable bug; 2^20 is the fix), and the nemesis proxy
+// relaying, duplicating, and taint-severing real wire traffic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/checker.hpp"
+#include "chaos/history.hpp"
+#include "chaos/nemesis.hpp"
+#include "chaos/schedule.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "svc/service.hpp"
+
+namespace elect {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------
+// Schedule: determinism + trace round-trip.
+
+TEST(ChaosSchedule, PlanIsAPureFunctionOfTheSeed) {
+  const chaos::plan a = chaos::make_plan(42, 800, /*smoke=*/false);
+  const chaos::plan b = chaos::make_plan(42, 800, /*smoke=*/false);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  EXPECT_EQ(chaos::to_trace(a), chaos::to_trace(b));
+
+  const chaos::plan c = chaos::make_plan(43, 800, /*smoke=*/false);
+  EXPECT_NE(chaos::to_trace(a), chaos::to_trace(c));
+
+  // Every full plan carries at least one kill and one partition —
+  // the acceptance faults are never schedulable away.
+  bool kill = false, partition = false;
+  for (const chaos::phase& p : a.phases) {
+    kill = kill || p.kill_server;
+    partition = partition || p.policy.partition_groups != 0;
+  }
+  EXPECT_TRUE(kill);
+  EXPECT_TRUE(partition);
+}
+
+TEST(ChaosSchedule, TraceRoundTripsExactly) {
+  const chaos::plan plan = chaos::make_plan(7, 400, /*smoke=*/true);
+  const std::string trace = chaos::to_trace(plan);
+  const auto parsed = chaos::parse_trace(trace);
+  ASSERT_TRUE(parsed.has_value());
+  // Re-serializing the parse must reproduce the trace byte-for-byte:
+  // that is what makes --replay exact.
+  EXPECT_EQ(chaos::to_trace(*parsed), trace);
+  EXPECT_EQ(parsed->seed, 7u);
+}
+
+TEST(ChaosSchedule, ParseRejectsForeignDialects) {
+  EXPECT_FALSE(chaos::parse_trace("").has_value());
+  EXPECT_FALSE(chaos::parse_trace("elect_chaos trace v2\nseed 1\n")
+                   .has_value());
+  EXPECT_FALSE(chaos::parse_trace("elect_chaos trace v1\nseed 1\n")
+                   .has_value());  // no phases
+  EXPECT_FALSE(
+      chaos::parse_trace(
+          "elect_chaos trace v1\nseed 1\nphase name=x ms=10 kill=0 bogus=1\n")
+          .has_value());
+}
+
+// ---------------------------------------------------------------------
+// Checker self-tests: every rule must convict its hand-crafted
+// violation, and the clean history must pass.
+
+chaos::record grant(int worker, const std::string& key, std::uint64_t epoch,
+                    std::uint64_t start_us, std::uint64_t end_us) {
+  chaos::record r;
+  r.worker = worker;
+  r.op = chaos::op_kind::acquire;
+  r.result = chaos::outcome::ok;
+  r.key = key;
+  r.epoch = epoch;
+  r.start_us = start_us;
+  r.end_us = end_us;
+  return r;
+}
+
+chaos::record lease_op(int worker, chaos::op_kind op, chaos::outcome result,
+                       const std::string& key, std::uint64_t epoch,
+                       std::uint64_t at_us) {
+  chaos::record r;
+  r.worker = worker;
+  r.op = op;
+  r.result = result;
+  r.key = key;
+  r.epoch = epoch;
+  r.start_us = at_us;
+  r.end_us = at_us + 10;
+  return r;
+}
+
+chaos::record elected_event(int worker, const std::string& key,
+                            std::uint64_t epoch, std::int64_t session,
+                            std::uint64_t at_us) {
+  chaos::record r;
+  r.worker = worker;
+  r.op = chaos::op_kind::watch_event;
+  r.result = chaos::outcome::ok;
+  r.key = key;
+  r.epoch = epoch;
+  r.transition = 0;  // svc::transition::elected
+  r.session = session;
+  r.start_us = r.end_us = at_us;
+  return r;
+}
+
+bool convicts(const chaos::report& report, const std::string& rule) {
+  for (const chaos::violation& v : report.violations) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(ChaosChecker, CleanHistoryPasses) {
+  std::vector<chaos::record> records;
+  records.push_back(grant(0, "k", 0, 100, 200));
+  records.push_back(lease_op(0, chaos::op_kind::renew, chaos::outcome::ok,
+                             "k", 0, 300));
+  records.push_back(lease_op(0, chaos::op_kind::release, chaos::outcome::ok,
+                             "k", 0, 400));
+  records.push_back(grant(1, "k", 1, 500, 600));
+  // The zombie comes back and is fenced — that is the contract working.
+  records.push_back(lease_op(0, chaos::op_kind::release,
+                             chaos::outcome::stale_epoch, "k", 0, 700));
+  records.push_back(elected_event(2, "k", 0, 10, 210));
+  records.push_back(elected_event(2, "k", 0, 10, 211));  // nemesis dup
+  records.push_back(elected_event(2, "k", 1, 11, 610));
+  const chaos::report report = chaos::check(records, {});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.grants, 2u);
+}
+
+TEST(ChaosChecker, DoubleLeaderConvictsR1) {
+  // Two different workers both won (k, 5): split brain.
+  std::vector<chaos::record> records;
+  records.push_back(grant(0, "k", 5, 100, 200));
+  records.push_back(grant(1, "k", 5, 150, 250));
+  const chaos::report report = chaos::check(records, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(convicts(report, "R1")) << report.to_string();
+}
+
+TEST(ChaosChecker, WatchEventsNamingTwoSessionsConvictR1) {
+  std::vector<chaos::record> records;
+  records.push_back(elected_event(0, "k", 5, 10, 100));
+  records.push_back(elected_event(1, "k", 5, 11, 110));
+  const chaos::report report = chaos::check(records, {});
+  EXPECT_TRUE(convicts(report, "R1")) << report.to_string();
+}
+
+TEST(ChaosChecker, JournalEpochRegressionAcrossIncarnationsConvictsR2) {
+  // Incarnation 0's journal granted (k, 7); after the crash-restart,
+  // incarnation 1 granted (k, 3) — the restore fence failed to clear
+  // history it provably knew about.
+  chaos::incarnation_evidence inc0;
+  inc0.grants.push_back({"k", 6, 1});
+  inc0.grants.push_back({"k", 7, 2});
+  chaos::incarnation_evidence inc1;
+  inc1.grants.push_back({"k", 3, 3});
+  const chaos::report report = chaos::check({}, {inc0, inc1});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(convicts(report, "R2")) << report.to_string();
+
+  // Same journals with a clearing first grant: fine.
+  chaos::incarnation_evidence fixed;
+  fixed.grants.push_back({"k", 8, 3});
+  EXPECT_TRUE(chaos::check({}, {inc0, fixed}).ok());
+}
+
+TEST(ChaosChecker, RealTimeEpochRegressionConvictsR3) {
+  // Worker 0's grant of epoch 9 completed at t=200; worker 1 then won
+  // epoch 4 in a grant that *started* at t=300. No journal needed —
+  // the client histories alone prove the epoch went backward (the
+  // crash-gap double grant looks exactly like this).
+  std::vector<chaos::record> records;
+  records.push_back(grant(0, "k", 9, 100, 200));
+  records.push_back(grant(1, "k", 4, 300, 400));
+  const chaos::report report = chaos::check(records, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(convicts(report, "R3")) << report.to_string();
+
+  // Overlapping grants of different epochs are NOT an R3 violation
+  // (the later-started one may have linearized first).
+  std::vector<chaos::record> overlap;
+  overlap.push_back(grant(0, "k", 9, 100, 500));
+  overlap.push_back(grant(1, "k", 4, 300, 400));
+  EXPECT_FALSE(convicts(chaos::check(overlap, {}), "R3"));
+}
+
+TEST(ChaosChecker, UnfencedZombieReleaseConvictsR4) {
+  // Worker 0 released (k, 3), then a later release of the SAME token
+  // succeeded again — the fence let a zombie through.
+  std::vector<chaos::record> records;
+  records.push_back(grant(0, "k", 3, 100, 150));
+  records.push_back(lease_op(0, chaos::op_kind::release, chaos::outcome::ok,
+                             "k", 3, 200));
+  records.push_back(lease_op(0, chaos::op_kind::release, chaos::outcome::ok,
+                             "k", 3, 300));
+  const chaos::report report = chaos::check(records, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(convicts(report, "R4")) << report.to_string();
+
+  // A renew that succeeds after the worker already saw stale_epoch on
+  // the token is the post-expiry zombie variant.
+  std::vector<chaos::record> zombie;
+  zombie.push_back(grant(0, "k", 3, 100, 150));
+  zombie.push_back(lease_op(0, chaos::op_kind::renew,
+                            chaos::outcome::stale_epoch, "k", 3, 200));
+  zombie.push_back(lease_op(0, chaos::op_kind::renew, chaos::outcome::ok,
+                            "k", 3, 300));
+  EXPECT_TRUE(convicts(chaos::check(zombie, {}), "R4"));
+}
+
+TEST(ChaosChecker, OutOfOrderWatchEventsConvictR5) {
+  std::vector<chaos::record> records;
+  records.push_back(elected_event(0, "k", 7, 10, 100));
+  records.push_back(elected_event(0, "k", 5, 11, 200));  // went backward
+  const chaos::report report = chaos::check(records, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(convicts(report, "R5")) << report.to_string();
+
+  // Consecutive duplicates of the same epoch are nemesis duplication,
+  // not a violation; and different workers' streams are independent.
+  std::vector<chaos::record> fine;
+  fine.push_back(elected_event(0, "k", 7, 10, 100));
+  fine.push_back(elected_event(0, "k", 7, 10, 150));
+  fine.push_back(elected_event(1, "k", 5, 9, 200));
+  fine.push_back(elected_event(1, "k", 7, 10, 300));
+  EXPECT_FALSE(convicts(chaos::check(fine, {}), "R5"));
+}
+
+TEST(ChaosChecker, ParseJournalReadsElectedLinesAndSkipsNoise) {
+  const std::string jsonl =
+      "{\"seq\":1,\"ts_ms\":5,\"kind\":\"elected\",\"key\":\"a\","
+      "\"epoch\":3,\"holder\":7,\"cause\":\"\"}\n"
+      "{\"seq\":2,\"ts_ms\":6,\"kind\":\"released\",\"key\":\"a\","
+      "\"epoch\":3,\"holder\":7,\"cause\":\"\"}\n"
+      "{\"seq\":3,\"ts_ms\":7,\"kind\":\"elected\",\"key\":\"b\","
+      "\"epoch\":0,\"holder\":2,\"cause\":\"\"}\n"
+      "{\"seq\":4,\"ts_ms\":8,\"kind\":\"elected\",\"key\":\"c\",\"epo";
+  const chaos::incarnation_evidence evidence = chaos::parse_journal(jsonl);
+  ASSERT_EQ(evidence.grants.size(), 2u);
+  EXPECT_EQ(evidence.grants[0].key, "a");
+  EXPECT_EQ(evidence.grants[0].epoch, 3u);
+  EXPECT_EQ(evidence.grants[0].holder, 7);
+  EXPECT_EQ(evidence.grants[1].key, "b");
+}
+
+// ---------------------------------------------------------------------
+// The restore fence vs the crash gap, against the real registry. This
+// is the deterministic version of `elect_chaos --plant-fence-bug`.
+
+TEST(ChaosChecker, CrashGapDoubleGrantIsCaughtAndBigFenceBumpPreventsIt) {
+  for (const bool planted : {true, false}) {
+    svc::service_config config{.nodes = 4, .shards = 2};
+    config.record_commands = true;
+    svc::service before(std::move(config));
+    auto session = before.connect();
+
+    std::vector<chaos::record> records;
+    std::uint64_t t = 100;
+    // Pre-crash churn: epochs 0..4 granted; the snapshot is taken
+    // after epoch 2 — epochs 3 and 4 live only in the crash gap.
+    std::vector<std::uint8_t> snapshot;
+    std::uint64_t gap_epoch = 0;
+    for (int i = 0; i < 5; ++i) {
+      const auto won = session.try_acquire("gap/key");
+      ASSERT_TRUE(won.won);
+      records.push_back(grant(0, "gap/key", won.epoch, t, t + 10));
+      t += 100;
+      ASSERT_EQ(session.release("gap/key", won.epoch),
+                svc::lease_status::ok);
+      if (i == 2) snapshot = before.registry().snapshot(false);
+      gap_epoch = won.epoch;
+    }
+    ASSERT_FALSE(snapshot.empty());
+    ASSERT_EQ(gap_epoch, 4u);
+
+    // Crash. Restart from the snapshot — which ends at epoch 2 and
+    // knows nothing of 3 or 4.
+    svc::service after({.nodes = 4, .shards = 2});
+    ASSERT_FALSE(after.registry()
+                     .restore(snapshot, /*fence_restored=*/true,
+                              planted ? 1 : (1ull << 20))
+                     .has_value());
+    auto session2 = after.connect();
+    const auto regrant = session2.try_acquire("gap/key");
+    ASSERT_TRUE(regrant.won);
+    records.push_back(grant(1, "gap/key", regrant.epoch, t, t + 10));
+
+    const chaos::report report = chaos::check(records, {});
+    if (planted) {
+      // fence_bump=1 lands the restart at epoch 3 < 4: a pre-crash
+      // client already won that epoch, and the checker must say so.
+      EXPECT_LE(regrant.epoch, gap_epoch);
+      ASSERT_FALSE(report.ok()) << "planted fence bug not caught";
+      EXPECT_TRUE(convicts(report, "R3")) << report.to_string();
+    } else {
+      EXPECT_GT(regrant.epoch, gap_epoch);
+      EXPECT_TRUE(report.ok()) << report.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Nemesis over a real server.
+
+struct proxied_stack {
+  proxied_stack()
+      : service({.nodes = 4, .shards = 2}), server(service, {}) {
+    chaos::nemesis_config config;
+    config.upstream_port = server.port();
+    config.seed = 99;
+    proxy = std::make_unique<chaos::nemesis>(config);
+  }
+
+  ~proxied_stack() {
+    proxy->stop();
+    server.stop();
+  }
+
+  [[nodiscard]] std::unique_ptr<net::client> connect() const {
+    return std::make_unique<net::client>("127.0.0.1", proxy->port());
+  }
+
+  svc::service service;
+  net::server server;
+  std::unique_ptr<chaos::nemesis> proxy;
+};
+
+TEST(ChaosNemesis, QuietPolicyRelaysTheFullSessionApi) {
+  proxied_stack stack;
+  ASSERT_TRUE(stack.proxy->running());
+  const auto client = stack.connect();
+  ASSERT_TRUE(client->connected());
+
+  const auto won = client->try_acquire("via/proxy");
+  ASSERT_TRUE(won.won);
+  EXPECT_EQ(client->renew("via/proxy", won.epoch), svc::lease_status::ok);
+  EXPECT_EQ(client->release("via/proxy", won.epoch), svc::lease_status::ok);
+  // 4 round trips (hello + 3 ops) = 8 frames. The counter is bumped by
+  // the loop thread just after the forwarding write, so the client can
+  // observe the last response a hair before the bump — poll briefly.
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (stack.proxy->stats().frames_forwarded < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(stack.proxy->stats().frames_forwarded, 8u);
+}
+
+TEST(ChaosNemesis, DuplicatedResponsesAreToleratedByTheClient) {
+  proxied_stack stack;
+  // Connect before arming the fault: a duplicated *hello* is a wire
+  // protocol violation the server answers by killing the connection
+  // (chaos workers ride that out via their reconnect loop). Past the
+  // handshake, duplicates of every frame must be harmless.
+  const auto client = stack.connect();
+  ASSERT_TRUE(client->connected());
+  chaos::fault_policy dup;
+  dup.duplicate = 1.0;
+  stack.proxy->set_policy(dup);
+  // A duplicated c2s request earns two answers under one id (try_acquire:
+  // won, then lost) and the caller may observe either — so assert
+  // *liveness* (every call returns, the connection survives), not
+  // specific verdicts. Distinct keys keep a lost-overwrite from wedging
+  // later rounds behind a lease the client doesn't know it holds.
+  for (int i = 0; i < 16; ++i) {
+    const std::string key = "dup/key-" + std::to_string(i);
+    const auto won = client->try_acquire(key);
+    if (!won.won) continue;
+    const auto released = client->release(key, won.epoch);
+    EXPECT_TRUE(released == svc::lease_status::ok ||
+                released == svc::lease_status::stale_epoch ||
+                released == svc::lease_status::not_leader)
+        << static_cast<int>(released);
+  }
+  EXPECT_TRUE(client->connected());
+  EXPECT_GT(stack.proxy->stats().frames_duplicated, 0u);
+}
+
+TEST(ChaosNemesis, DropTaintsAndThePhaseBoundarySeversTheWedgedPair) {
+  proxied_stack stack;
+  const auto client = stack.connect();
+  ASSERT_TRUE(client->connected());
+  ASSERT_TRUE(client->try_acquire("taint/key").won);
+
+  // Black hole: every frame dropped. The release below would wedge
+  // forever on a pure drop — the phase boundary must sever it free.
+  chaos::fault_policy black_hole;
+  black_hole.drop = 1.0;
+  stack.proxy->set_policy(black_hole);
+
+  std::thread releaser([&] {
+    // Severed mid-call: the verdict is connection_lost, not a fencing
+    // answer — the server may still count us as holder until the TTL.
+    EXPECT_EQ(client->release("taint/key", 0),
+              svc::lease_status::connection_lost);
+  });
+  // Wait until the doomed frame has actually been dropped (tainting
+  // the pair), then end the phase: tainted pairs are severed.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (stack.proxy->stats().frames_dropped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_GE(stack.proxy->stats().frames_dropped, 1u);
+  stack.proxy->set_policy({});
+  releaser.join();
+  EXPECT_EQ(client->reason(), net::close_reason::severed);
+  EXPECT_GE(stack.proxy->stats().taint_severs, 1u);
+  EXPECT_GE(stack.proxy->stats().frames_dropped, 1u);
+}
+
+TEST(ChaosNemesis, SeverAllCutsEveryPair) {
+  proxied_stack stack;
+  const auto a = stack.connect();
+  const auto b = stack.connect();
+  ASSERT_TRUE(a->connected());
+  ASSERT_TRUE(b->connected());
+  stack.proxy->sever_all();
+  // The reader threads observe the close promptly; calls then degrade.
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while ((a->connected() || b->connected()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_FALSE(a->connected());
+  EXPECT_FALSE(b->connected());
+  EXPECT_EQ(a->reason(), net::close_reason::severed);
+  EXPECT_EQ(stack.proxy->stats().pairs_severed, 2u);
+}
+
+}  // namespace
+}  // namespace elect

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/nemesis.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
@@ -181,11 +182,16 @@ TEST(NetClient, HandshakeConnectsAndBadPortFails) {
   const auto good = stack.connect();
   EXPECT_TRUE(good->connected());
 
-  // A port nobody listens on: constructor fails cleanly, calls degrade.
+  // A port nobody listens on: constructor fails cleanly, calls degrade
+  // — and report the transport verdict, not a fencing verdict: the
+  // connection was never established, which is a sever, not a close().
   net::client bad("127.0.0.1", 1);
   EXPECT_FALSE(bad.connected());
-  EXPECT_TRUE(bad.try_acquire("x").rejected);
-  EXPECT_EQ(bad.release("x"), svc::lease_status::stale_epoch);
+  EXPECT_EQ(bad.reason(), net::close_reason::severed);
+  const auto attempt = bad.try_acquire("x");
+  EXPECT_TRUE(attempt.rejected);
+  EXPECT_TRUE(attempt.connection_lost);
+  EXPECT_EQ(bad.release("x"), svc::lease_status::connection_lost);
 }
 
 TEST(NetRemote, SoloAcquireWinsRenewsAndReleases) {
@@ -991,6 +997,90 @@ TEST(NetClient, StripedClientSpreadsKeysAndDisconnectsEverything) {
         << "key " << k << " still held after striped disconnect";
   }
   striped.close();
+}
+
+// ---------------------------------------------------------------------
+// Connection loss vs local close (chaos PR): the two ways a transport
+// dies must be distinguishable in the returned statuses.
+
+TEST(NetClient, RemoteSeverDuringInFlightTakeReportsConnectionLost) {
+  auto stack = std::make_unique<remote_stack>(
+      svc::service_config{.nodes = 4, .shards = 2});
+  const auto holder = stack->connect();
+  ASSERT_TRUE(holder->connected());
+  const auto won = holder->try_acquire("sever/key");
+  ASSERT_TRUE(won.won);
+
+  // A second client submits a blocking acquire that never arrives: a
+  // nemesis proxy black-holes the frame and then severs the pair —
+  // a real network sever with the request in flight. (server.stop()
+  // would not do: a graceful stop *answers* parked ops with rejected
+  // before closing; only a sever leaves the take empty.)
+  chaos::nemesis_config nemesis_config;
+  nemesis_config.upstream_port = stack->server.port();
+  nemesis_config.seed = 11;
+  chaos::nemesis proxy(nemesis_config);
+  ASSERT_TRUE(proxy.running());
+  const auto blocked =
+      std::make_unique<net::client>("127.0.0.1", proxy.port());
+  ASSERT_TRUE(blocked->connected());
+  chaos::fault_policy black_hole;
+  black_hole.drop = 1.0;
+  proxy.set_policy(black_hole);
+  const std::uint64_t id = blocked->submit(net::wire::op::acquire,
+                                           "sever/key");
+  ASSERT_NE(id, 0u);
+  const auto dropped = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(5);
+  while (proxy.stats().frames_dropped == 0 &&
+         std::chrono::steady_clock::now() < dropped) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(proxy.stats().frames_dropped, 1u);
+  proxy.set_policy({});  // phase boundary: severs the tainted pair
+
+  // The in-flight take() fails cleanly, and every verdict says
+  // *severed*, not closed: acquire-family calls report rejected +
+  // connection_lost, lease calls report lease_status::connection_lost.
+  EXPECT_FALSE(blocked->take(id).has_value());
+  EXPECT_EQ(blocked->reason(), net::close_reason::severed);
+  EXPECT_FALSE(blocked->connected());
+  const auto after = blocked->try_acquire("sever/key");
+  EXPECT_TRUE(after.rejected);
+  EXPECT_TRUE(after.connection_lost);
+  EXPECT_EQ(blocked->release("sever/key", 0),
+            svc::lease_status::connection_lost);
+  EXPECT_EQ(blocked->renew("sever/key", 0),
+            svc::lease_status::connection_lost);
+
+  // The holder's direct connection dies with the server itself; a call
+  // submitted after the transport is gone reports the loss the same way.
+  stack->server.stop();
+  EXPECT_EQ(holder->release("sever/key", won.epoch),
+            svc::lease_status::connection_lost);
+  EXPECT_EQ(holder->reason(), net::close_reason::severed);
+
+  // A sever already recorded is not rewritten by a later close():
+  // the first cause wins.
+  holder->close();
+  EXPECT_EQ(holder->reason(), net::close_reason::severed);
+}
+
+TEST(NetClient, LocalCloseKeepsTheOriginalCrashSemanticsMapping) {
+  remote_stack stack;
+  const auto client = stack.connect();
+  ASSERT_TRUE(client->connected());
+  ASSERT_TRUE(client->try_acquire("close/key").won);
+  EXPECT_EQ(client->reason(), net::close_reason::none);
+
+  client->close();
+  // This process hung up: calls degrade with the PR-4 mapping (plain
+  // rejected / stale_epoch), and reason() reports the local close.
+  EXPECT_EQ(client->reason(), net::close_reason::local_close);
+  const auto after = client->try_acquire("close/key");
+  EXPECT_TRUE(after.rejected);
+  EXPECT_FALSE(after.connection_lost);
+  EXPECT_EQ(client->release("close/key", 0), svc::lease_status::stale_epoch);
 }
 
 }  // namespace
