@@ -23,6 +23,12 @@
 //       subscribe to the key's leader transitions (the same watch
 //       stream api::client::watch consumes) and print one line per
 //       event until Ctrl-C. Does not need --admin on.
+//
+//   ./build/examples/elect_admin --port 7400 cluster-status
+//       one cluster member's replication view (role, term, leader,
+//       commit/applied indices, peer lag) as JSON. Answered by every
+//       member — primary or follower — and does not need --admin on;
+//       "{\"role\":\"standalone\"}" from a non-cluster server.
 #include <unistd.h>
 
 #include <csignal>
@@ -50,7 +56,9 @@ int usage() {
       "  force-release <key>  end the key's epoch (requires --admin on)\n"
       "  snapshot             snapshot state + log stats (requires --admin "
       "on)\n"
-      "  tail <key>           stream leader transitions until Ctrl-C\n");
+      "  tail <key>           stream leader transitions until Ctrl-C\n"
+      "  cluster-status       replication role/term/lag as JSON (any "
+      "member)\n");
   return 2;
 }
 
@@ -151,6 +159,8 @@ int main(int argc, char** argv) {
     kind = net::wire::op::admin_force_release;
   } else if (command == "snapshot") {
     kind = net::wire::op::admin_snapshot;
+  } else if (command == "cluster-status") {
+    kind = net::wire::op::admin_cluster_status;
   } else {
     return usage();
   }

@@ -16,6 +16,19 @@
 //   ./build/examples/elect_chaos --seed 7 --smoke     # CI budget (~4s)
 //   ./build/examples/elect_chaos --replay out/trace   # rerun a failure
 //   ./build/examples/elect_chaos --plant-fence-bug    # expects a catch
+//   ./build/examples/elect_chaos --cluster 3 --seed 7 # replicated mode
+//
+// --cluster N forks an N-member replicated cluster (elect_server
+// --cluster), one nemesis proxy in front of each member, and workers
+// holding multi-endpoint clients that chase not_primary redirects.
+// Every kill phase becomes kill-the-PRIMARY: SIGKILL the member
+// currently holding the term mid-churn, let the survivors elect and
+// fence, then respawn the victim as a follower (durable vote state, so
+// a respawn cannot double-vote its old term). The checker rules R1-R5
+// run unchanged over the merged client histories — the authoritative
+// evidence; member journals are kept as artifacts but not fed to the
+// checker, since R2's incarnation ordering is defined for one process,
+// not a fleet of replicas journaling the same replayed grants.
 //
 // Every run writes artifacts to --dir (default chaos_out): the trace
 // (replayable plan), histories.jsonl, per-incarnation journals and
@@ -218,6 +231,181 @@ class server_process {
   int incarnation_ = 0;
 };
 
+/// An N-member replicated cluster of elect_server children. Members
+/// keep fixed ports (the --cluster list all of them agree on) and
+/// durable vote state, so a killed member respawns into the same seat
+/// as a follower and catches up over the peer channel.
+class cluster_fleet {
+ public:
+  cluster_fleet(std::string binary, std::string dir,
+                std::vector<std::uint16_t> ports, std::uint64_t fence_bump)
+      : binary_(std::move(binary)),
+        dir_(std::move(dir)),
+        ports_(std::move(ports)),
+        fence_bump_(fence_bump),
+        pids_(ports_.size(), -1),
+        incarnations_(ports_.size(), 0) {
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      if (!members_.empty()) members_ += ",";
+      members_ += "127.0.0.1:" + std::to_string(ports_[i]);
+    }
+  }
+
+  ~cluster_fleet() {
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+      if (pids_[i] > 0) {
+        ::kill(pids_[i], SIGKILL);
+        (void)::waitpid(pids_[i], nullptr, 0);
+      }
+    }
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] std::uint16_t port(int member) const {
+    return ports_[static_cast<std::size_t>(member)];
+  }
+  [[nodiscard]] const std::string& members_csv() const { return members_; }
+  [[nodiscard]] std::string journal_path(int member, int incarnation) const {
+    return dir_ + "/journal.m" + std::to_string(member) + "." +
+           std::to_string(incarnation) + ".jsonl";
+  }
+  [[nodiscard]] int incarnation(int member) const {
+    return incarnations_[static_cast<std::size_t>(member)];
+  }
+
+  bool spawn(int member) {
+    const auto idx = static_cast<std::size_t>(member);
+    const std::string votes = dir_ + "/votes-m" + std::to_string(member);
+    (void)::mkdir(votes.c_str(), 0755);
+    std::vector<std::string> args = {
+        binary_,
+        "--cluster", members_,
+        "--cluster-self", std::to_string(member),
+        "--cluster-dir", votes,
+        "--shards", "4",
+        "--ttl-ms", "300",
+        "--admin", "on",
+        "--journal", journal_path(member, incarnations_[idx]),
+        "--fence-bump", std::to_string(fence_bump_),
+    };
+    const pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      const std::string log = dir_ + "/server.m" + std::to_string(member) +
+                              "." + std::to_string(incarnations_[idx]) +
+                              ".log";
+      const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(binary_.c_str(), argv.data());
+      std::_Exit(127);
+    }
+    pids_[idx] = pid;
+    return wait_ready(member);
+  }
+
+  bool spawn_all() {
+    for (int i = 0; i < size(); ++i) {
+      if (!spawn(i)) return false;
+    }
+    return true;
+  }
+
+  void kill9(int member) {
+    const auto idx = static_cast<std::size_t>(member);
+    if (pids_[idx] <= 0) return;
+    ::kill(pids_[idx], SIGKILL);
+    (void)::waitpid(pids_[idx], nullptr, 0);
+    pids_[idx] = -1;
+    incarnations_[idx]++;
+  }
+
+  /// Ask each live member who it thinks it is; the one answering
+  /// "role":"primary" for itself is the victim a kill phase wants.
+  /// -1 while the cluster is mid-election (or unreachable).
+  [[nodiscard]] int find_primary() const {
+    for (int m = 0; m < size(); ++m) {
+      if (pids_[static_cast<std::size_t>(m)] <= 0) continue;
+      net::client probe("127.0.0.1", port(m));
+      if (!probe.connected()) continue;
+      const auto status = probe.admin(net::wire::op::admin_cluster_status);
+      if (!status.has_value() ||
+          status->result != net::wire::status::ok) {
+        continue;
+      }
+      if (status->body.find("\"role\":\"primary\"") != std::string::npos) {
+        return m;
+      }
+    }
+    return -1;
+  }
+
+  /// Bounded wait for a primary to exist — a kill phase should aim at
+  /// a real primary, not fire into an election.
+  [[nodiscard]] int await_primary(std::uint64_t limit_ms) const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(limit_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const int p = find_primary();
+      if (p >= 0) return p;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return -1;
+  }
+
+  void stop_all() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+      if (pids_[i] <= 0) continue;
+      ::kill(pids_[i], SIGTERM);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    for (std::size_t i = 0; i < pids_.size(); ++i) {
+      if (pids_[i] <= 0) continue;
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (::waitpid(pids_[i], nullptr, WNOHANG) == pids_[i]) {
+          pids_[i] = -1;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (pids_[i] > 0) {
+        ::kill(pids_[i], SIGKILL);
+        (void)::waitpid(pids_[i], nullptr, 0);
+        pids_[i] = -1;
+      }
+    }
+  }
+
+ private:
+  bool wait_ready(int member) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(8);
+    while (std::chrono::steady_clock::now() < deadline) {
+      net::client probe("127.0.0.1", port(member));
+      if (probe.connected()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+  }
+
+  std::string binary_;
+  std::string dir_;
+  std::vector<std::uint16_t> ports_;
+  std::uint64_t fence_bump_ = 1;
+  std::string members_;
+  std::vector<pid_t> pids_;
+  std::vector<int> incarnations_;
+};
+
 chaos::outcome map_acquire(const svc::acquire_result& r) {
   if (r.won) return chaos::outcome::ok;
   if (r.connection_lost) return chaos::outcome::connection_lost;
@@ -241,6 +429,10 @@ struct worker_config {
   int id = 0;
   std::uint64_t seed = 1;
   std::uint16_t nemesis_port = 0;
+  /// Cluster mode: "host:port,host:port,..." of every member's nemesis
+  /// front. Non-empty wins over nemesis_port — the client chases
+  /// not_primary redirects across the list.
+  std::string endpoints;
   int keys = 4;
   std::uint64_t acquire_timeout_ms = 80;
 };
@@ -260,8 +452,10 @@ void worker_main(const worker_config& config, chaos::collector* sink,
   while (!stop->load(std::memory_order_relaxed)) {
     if (client == nullptr || !client->connected()) {
       client.reset();
-      client = std::make_unique<net::client>("127.0.0.1",
-                                             config.nemesis_port);
+      client = config.endpoints.empty()
+                   ? std::make_unique<net::client>("127.0.0.1",
+                                                   config.nemesis_port)
+                   : std::make_unique<net::client>(config.endpoints);
       if (!client->connected()) {
         client.reset();
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -330,12 +524,151 @@ void worker_main(const worker_config& config, chaos::collector* sink,
   }
 }
 
+/// The replicated-cluster run: N members, one nemesis per member,
+/// kill phases aimed at the current primary. Returns the process exit
+/// code (0 green, 1 violation, 2 setup failure).
+int run_cluster(const chaos::plan& plan, const std::string& dir,
+                std::uint64_t seed, int cluster_size, int workers, int keys,
+                bool smoke, const std::string& server_bin) {
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < cluster_size; ++i) {
+    const std::uint16_t p = free_port();
+    if (p == 0) {
+      std::fprintf(stderr, "cannot allocate member ports\n");
+      return 2;
+    }
+    ports.push_back(p);
+  }
+  cluster_fleet fleet(server_bin, dir, ports, 1ull << 20);
+  if (!fleet.spawn_all()) {
+    std::fprintf(stderr, "cannot start the %d-member cluster\n", cluster_size);
+    return 2;
+  }
+
+  // One nemesis in front of each member; peer traffic between members
+  // stays direct (member ports), so replication survives client-side
+  // fault policies and the kill phases are the cluster-level nemesis.
+  std::vector<std::unique_ptr<chaos::nemesis>> nemeses;
+  std::string endpoints;
+  for (int m = 0; m < cluster_size; ++m) {
+    chaos::nemesis_config nc;
+    nc.upstream_port = fleet.port(m);
+    nc.seed = seed ^ (0x6E656D00ull + static_cast<std::uint64_t>(m));
+    auto nem = std::make_unique<chaos::nemesis>(nc);
+    if (!nem->running()) {
+      std::fprintf(stderr, "cannot start nemesis %d\n", m);
+      return 2;
+    }
+    if (!endpoints.empty()) endpoints += ",";
+    endpoints += "127.0.0.1:" + std::to_string(nem->port());
+    nemeses.push_back(std::move(nem));
+  }
+
+  const int first_primary = fleet.await_primary(8000);
+  if (first_primary < 0) {
+    std::fprintf(stderr, "no primary emerged from the initial election\n");
+    return 2;
+  }
+  std::printf(
+      "chaos seed %llu: %d-member cluster (%s), primary m%d, %d workers, "
+      "%d keys, %zu phases%s\n",
+      static_cast<unsigned long long>(seed), cluster_size,
+      fleet.members_csv().c_str(), first_primary, workers, keys,
+      plan.phases.size(), smoke ? " [smoke]" : "");
+
+  chaos::collector sink;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    worker_config wc;
+    wc.id = i;
+    wc.seed = seed;
+    wc.endpoints = endpoints;
+    wc.keys = keys;
+    // Commit waits ride on every cluster grant; give acquires headroom.
+    wc.acquire_timeout_ms = smoke ? 100 : 160;
+    threads.emplace_back([wc, &sink, &stop] { worker_main(wc, &sink, &stop); });
+  }
+
+  bool setup_failed = false;
+  for (const chaos::phase& ph : plan.phases) {
+    std::printf("[%7.3fs] phase %-10s %ums%s\n",
+                static_cast<double>(now_us()) / 1e6, ph.name.c_str(),
+                ph.duration_ms,
+                ph.kill_server ? " (kill the primary)" : "");
+    if (ph.kill_server) {
+      // Aim at a real primary (firing into an election kills a
+      // follower, which proves nothing), drop it mid-churn, and
+      // respawn it as a follower that must catch up and stay fenced.
+      const int victim = fleet.await_primary(4000);
+      if (victim >= 0) {
+        fleet.kill9(victim);
+        for (auto& nem : nemeses) nem->sever_all();
+        if (!fleet.spawn(victim)) {
+          std::fprintf(stderr, "member m%d respawn failed\n", victim);
+          setup_failed = true;
+          break;
+        }
+      }
+    }
+    for (auto& nem : nemeses) nem->set_policy(ph.policy);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ph.duration_ms));
+  }
+
+  for (auto& nem : nemeses) nem->set_policy({});
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& nem : nemeses) nem->sever_all();
+  for (std::thread& t : threads) t.join();
+  chaos::nemesis_stats faults;
+  for (auto& nem : nemeses) {
+    const chaos::nemesis_stats s = nem->stats();
+    faults.pairs_accepted += s.pairs_accepted;
+    faults.pairs_severed += s.pairs_severed;
+    faults.taint_severs += s.taint_severs;
+    faults.frames_forwarded += s.frames_forwarded;
+    faults.frames_dropped += s.frames_dropped;
+    faults.frames_duplicated += s.frames_duplicated;
+    faults.frames_delayed += s.frames_delayed;
+    faults.frames_dribbled += s.frames_dribbled;
+    nem->stop();
+  }
+  fleet.stop_all();
+
+  // Client histories are the evidence; member journals stay on disk as
+  // artifacts (R2's incarnation ordering is a one-process notion).
+  const std::vector<chaos::record> records = sink.take();
+  const chaos::report report = chaos::check(records, {});
+
+  (void)write_file(dir + "/histories.jsonl", chaos::to_jsonl(records));
+  (void)write_file(dir + "/report.txt", report.to_string());
+
+  std::printf(
+      "nemesis (summed over %d proxies): %llu pairs (%llu severed, "
+      "%llu taint-severs), %llu frames forwarded, %llu dropped, "
+      "%llu duplicated, %llu delayed, %llu dribbled\n",
+      cluster_size, static_cast<unsigned long long>(faults.pairs_accepted),
+      static_cast<unsigned long long>(faults.pairs_severed),
+      static_cast<unsigned long long>(faults.taint_severs),
+      static_cast<unsigned long long>(faults.frames_forwarded),
+      static_cast<unsigned long long>(faults.frames_dropped),
+      static_cast<unsigned long long>(faults.frames_duplicated),
+      static_cast<unsigned long long>(faults.frames_delayed),
+      static_cast<unsigned long long>(faults.frames_dribbled));
+  std::printf("%s", report.to_string().c_str());
+  std::printf("artifacts in %s/ (trace, histories.jsonl, journals, logs)\n",
+              dir.c_str());
+  if (setup_failed) return 2;
+  return report.ok() ? 0 : 1;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--smoke] [--replay TRACE] [--plant-fence-bug]\n"
       "          [--dir PATH] [--workers N] [--keys N] [--phase-ms N]\n"
-      "          [--server-bin PATH]\n",
+      "          [--server-bin PATH] [--cluster N]\n",
       argv0);
   return 2;
 }
@@ -355,6 +688,7 @@ int main(int argc, char** argv) {
   int keys = 4;
   std::uint32_t phase_ms = 0;  // 0 = default by mode
   std::string server_bin;
+  int cluster_size = 0;  // 0 = single-node; >= 3 = replicated cluster
 
   for (int i = 1; i < argc; ++i) {
     const char* flag = argv[i];
@@ -393,11 +727,25 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       server_bin = v;
+    } else if (std::strcmp(flag, "--cluster") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      cluster_size = std::atoi(v);
     } else {
       return usage(argv[0]);
     }
   }
   if (workers < 1 || keys < 1) return usage(argv[0]);
+  if (cluster_size != 0 && (cluster_size < 3 || cluster_size > 5)) {
+    std::fprintf(stderr, "--cluster takes 3..5 members\n");
+    return 2;
+  }
+  if (cluster_size != 0 && plant_fence_bug) {
+    // The planted bug is a restore-fence defect; cluster failover never
+    // takes the --restore path, so the plant would be vacuously green.
+    std::fprintf(stderr, "--plant-fence-bug is a single-node drill\n");
+    return 2;
+  }
   if (phase_ms == 0) phase_ms = smoke ? 400 : 800;
   if (server_bin.empty()) {
     // Default: elect_server next to this binary.
@@ -429,6 +777,11 @@ int main(int argc, char** argv) {
   if (!write_file(dir + "/trace", chaos::to_trace(plan))) {
     std::fprintf(stderr, "cannot write %s/trace\n", dir.c_str());
     return 2;
+  }
+
+  if (cluster_size != 0) {
+    return run_cluster(plan, dir, seed, cluster_size, workers, keys, smoke,
+                       server_bin);
   }
 
   const std::uint16_t server_port = free_port();

@@ -33,6 +33,22 @@
 //       restart answer stale_epoch — pre-restart holders are fenced
 //       out, not silently trusted.
 //
+// Cluster mode (replicated, epoch-fenced failover — see src/repl/):
+//
+//   ./build/examples/elect_server \
+//       --cluster 127.0.0.1:7400,127.0.0.1:7410,127.0.0.1:7420 \
+//       --cluster-self 0 --cluster-dir /tmp/elect-node0
+//       one member of a replicated election cluster. The listen port
+//       comes from the member's own endpoint in the --cluster list
+//       (--port is ignored). Mutating client ops are only served by
+//       the elected primary (others answer not_primary with the
+//       primary's endpoint; api::client's comma-list constructor
+//       follows the redirect). --cluster-dir persists the member's
+//       vote state so a restart cannot double-vote a term.
+//       --fence-bump is the promotion fence: every epoch jumps by it
+//       on failover so a dead primary's unacked grants can never be
+//       silently honored.
+//
 // Runs until SIGINT/SIGTERM (so `elect_server &` with stdin closed
 // keeps serving). Prints the combined net + service metrics JSON on
 // exit — and on every `r` + newline typed on stdin, so you can watch
@@ -59,9 +75,12 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "api/client.hpp"
 #include "common/check.hpp"
 #include "net/server.hpp"
+#include "repl/node.hpp"
 #include "svc/service.hpp"
 
 namespace {
@@ -163,6 +182,10 @@ int main(int argc, char** argv) {
   // crash gap; --fence-bump 1 reintroduces the collision (the chaos
   // harness's plantable fencing bug).
   std::uint64_t fence_bump = 1ull << 20;
+  std::string cluster_members;
+  int cluster_self = 0;
+  std::string cluster_dir;
+  std::uint64_t cluster_seed = 1;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const char* flag = argv[i];
@@ -218,6 +241,14 @@ int main(int argc, char** argv) {
       restore_path = value;
     } else if (std::strcmp(flag, "--fence-bump") == 0) {
       fence_bump = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--cluster") == 0) {
+      cluster_members = value;
+    } else if (std::strcmp(flag, "--cluster-self") == 0) {
+      cluster_self = std::atoi(value);
+    } else if (std::strcmp(flag, "--cluster-dir") == 0) {
+      cluster_dir = value;
+    } else if (std::strcmp(flag, "--cluster-seed") == 0) {
+      cluster_seed = static_cast<std::uint64_t>(std::atoll(value));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag);
       return 2;
@@ -241,6 +272,38 @@ int main(int argc, char** argv) {
     service_config.record_commands = true;
     server_config.snapshot_path = snapshot_path;
   }
+  std::optional<repl::cluster_config> cluster;
+  if (!cluster_members.empty()) {
+    repl::cluster_config cc;
+    const auto parsed = repl::parse_endpoints(cluster_members);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "malformed --cluster list: %s\n",
+                   cluster_members.c_str());
+      return 2;
+    }
+    cc.members = *parsed;
+    cc.self = cluster_self;
+    cc.fence_bump = fence_bump;
+    cc.state_dir = cluster_dir;
+    cc.seed = cluster_seed;
+    if (const auto error = cc.validate()) {
+      std::fprintf(stderr, "invalid cluster configuration: %s\n",
+                   error->c_str());
+      return 2;
+    }
+    if (!cluster_dir.empty()) (void)::mkdir(cluster_dir.c_str(), 0755);
+    // The replicated log drains the registry's command log; the member
+    // listens where its own --cluster entry says, whatever --port said.
+    service_config.record_commands = true;
+    // Disjoint per-member session ids: a lease replicated from another
+    // member's log must never match a live local session, so a
+    // failed-over holder fences (stale/not_leader) instead of
+    // accidentally renewing a stranger's lease.
+    service_config.session_id_base = cc.self << 24;
+    server_config.bind_address = cc.members[static_cast<std::size_t>(cc.self)].host;
+    server_config.port = cc.members[static_cast<std::size_t>(cc.self)].port;
+    cluster = std::move(cc);
+  }
   svc::service service(std::move(service_config));
   if (!restore_path.empty()) {
     std::ifstream in(restore_path, std::ios::binary);
@@ -262,6 +325,25 @@ int main(int argc, char** argv) {
     std::printf("restored %s (all restored epochs fenced, bump %llu)\n",
                 restore_path.c_str(),
                 static_cast<unsigned long long>(fence_bump));
+  }
+  std::optional<repl::node> cluster_node;
+  if (cluster.has_value()) {
+    // The node starts before the server listens: the commit gate and
+    // sweeper suspension must be armed before any client op can land.
+    // Outbound peer connects just retry until the other members'
+    // servers come up.
+    cluster_node.emplace(*cluster, service);
+    cluster_node->start();
+    repl::node* node = &*cluster_node;
+    server_config.cluster.is_primary = [node] { return node->is_primary(); };
+    server_config.cluster.primary_hint = [node] {
+      return node->primary_endpoint();
+    };
+    server_config.cluster.peer = [node](const net::wire::request& r) {
+      return node->handle_peer(r);
+    };
+    server_config.cluster.status_json = [node] { return node->status_json(); };
+    server_config.cluster.prom_text = [node] { return node->prom_text(); };
   }
   net::server server(service, server_config);
   if (!server.listening()) {
@@ -292,6 +374,17 @@ int main(int argc, char** argv) {
     std::printf(
         "admin ops enabled (elect_admin list/inspect/force-release/"
         "snapshot)\n");
+  }
+  if (cluster_node.has_value()) {
+    std::printf(
+        "cluster member %d of %d (%s), quorum %d, fence bump %llu%s%s\n",
+        cluster_node->id(), static_cast<int>(cluster->members.size()),
+        cluster->members[static_cast<std::size_t>(cluster->self)]
+            .to_string()
+            .c_str(),
+        cluster->quorum(), static_cast<unsigned long long>(fence_bump),
+        cluster_dir.empty() ? "" : ", vote state in ",
+        cluster_dir.empty() ? "" : cluster_dir.c_str());
   }
   std::optional<snapshotter> snapshots;
   if (!snapshot_path.empty()) {

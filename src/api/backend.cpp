@@ -97,6 +97,9 @@ class remote_backend final : public backend {
   remote_backend(const std::string& host, std::uint16_t port)
       : client_(host, port) {}
 
+  explicit remote_backend(const std::string& endpoints)
+      : client_(endpoints) {}
+
   [[nodiscard]] bool connected() const override { return client_.connected(); }
 
   [[nodiscard]] svc::acquire_result try_acquire(
@@ -153,6 +156,10 @@ std::unique_ptr<backend> make_local_backend(svc::service& service) {
 std::unique_ptr<backend> make_remote_backend(const std::string& host,
                                              std::uint16_t port) {
   return std::make_unique<remote_backend>(host, port);
+}
+
+std::unique_ptr<backend> make_remote_backend(const std::string& endpoints) {
+  return std::make_unique<remote_backend>(endpoints);
 }
 
 }  // namespace elect::api

@@ -95,4 +95,12 @@ class backend {
 [[nodiscard]] std::unique_ptr<backend> make_remote_backend(
     const std::string& host, std::uint16_t port);
 
+/// A backend over a comma-separated "host1:p1,host2:p2,..." endpoint
+/// list: connects to the first reachable member and follows cluster
+/// `not_primary` redirects transparently (net::client's multi-endpoint
+/// mode). A single "host:port" behaves exactly like the two-argument
+/// factory.
+[[nodiscard]] std::unique_ptr<backend> make_remote_backend(
+    const std::string& endpoints);
+
 }  // namespace elect::api

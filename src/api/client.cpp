@@ -383,7 +383,12 @@ client::client(const std::string& host, std::uint16_t port)
 }
 
 client::client(const std::string& endpoint)
-    : client(endpoint_host(endpoint), endpoint_port(endpoint)) {}
+    : core_(endpoint.find(',') != std::string::npos
+                // Cluster form "host1:p1,host2:p2,...": the backend
+                // follows not_primary redirects across the members.
+                ? std::make_shared<detail::core>(make_remote_backend(endpoint))
+                : std::make_shared<detail::core>(make_remote_backend(
+                      endpoint_host(endpoint), endpoint_port(endpoint)))) {}
 
 client::~client() { core_->shutdown(); }
 

@@ -192,9 +192,13 @@ class client {
   /// Remote client: a wire-protocol connection to an elect_server.
   client(const std::string& host, std::uint16_t port);
 
-  /// Remote client from a "host:port" endpoint string (what command
-  /// lines pass around). A malformed endpoint yields a client that is
-  /// simply not connected().
+  /// Remote client from an endpoint string (what command lines pass
+  /// around). A single "host:port" connects to that server; a
+  /// comma-separated "host1:p1,host2:p2,..." list is cluster mode —
+  /// the client connects to the first reachable member and follows
+  /// `not_primary` redirects transparently, so acquire/renew/release
+  /// keep working across a failover. A malformed endpoint yields a
+  /// client that is simply not connected().
   explicit client(const std::string& endpoint);
 
   /// Releases every lease this client still holds (politely, via

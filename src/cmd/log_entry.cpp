@@ -1,0 +1,74 @@
+#include "cmd/log_entry.hpp"
+
+namespace elect::cmd {
+
+namespace {
+
+/// Highest valid command_kind raw value (the enum is dense from 0).
+constexpr std::uint8_t kind_max =
+    static_cast<std::uint8_t>(command_kind::epoch_bumped);
+
+/// A batch count beyond this is a malformed frame, not a real log
+/// slice: even the largest append fits the 1 MiB wire frame with room
+/// to spare, and a hostile length prefix must not drive an allocation.
+constexpr std::uint32_t max_batch_entries = 1u << 16;
+
+}  // namespace
+
+void encode_command(byte_writer& out, const command& c) {
+  out.u64(c.seq);
+  out.i32(c.shard);
+  out.u8(static_cast<std::uint8_t>(c.kind));
+  out.str(c.key);
+  out.i32(c.session);
+  out.u64(c.epoch);
+  out.u8(c.mode);
+  out.u64(c.at_ms);
+  out.u64(c.lease_ms);
+}
+
+bool decode_command(byte_reader& in, command& out,
+                    std::uint32_t max_key_bytes) {
+  std::uint8_t kind = 0;
+  std::uint8_t mode = 0;
+  if (!in.u64(out.seq) || !in.i32(out.shard) || !in.u8(kind) ||
+      !in.str(out.key, max_key_bytes) || !in.i32(out.session) ||
+      !in.u64(out.epoch) || !in.u8(mode) || !in.u64(out.at_ms) ||
+      !in.u64(out.lease_ms)) {
+    return false;
+  }
+  if (kind > kind_max || mode > grant_mode_protocol) return false;
+  out.kind = static_cast<command_kind>(kind);
+  out.mode = mode;
+  return true;
+}
+
+std::string encode_entries(const std::vector<log_entry>& batch) {
+  byte_writer out;
+  out.u32(static_cast<std::uint32_t>(batch.size()));
+  for (const log_entry& e : batch) {
+    out.u64(e.term);
+    encode_command(out, e.change);
+  }
+  return out.take();
+}
+
+std::optional<std::vector<log_entry>> decode_entries(
+    std::string_view body, std::uint32_t max_key_bytes) {
+  byte_reader in(body);
+  std::uint32_t count = 0;
+  if (!in.u32(count) || count > max_batch_entries) return std::nullopt;
+  std::vector<log_entry> batch;
+  batch.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    log_entry e;
+    if (!in.u64(e.term) || !decode_command(in, e.change, max_key_bytes)) {
+      return std::nullopt;
+    }
+    batch.push_back(std::move(e));
+  }
+  if (!in.exhausted()) return std::nullopt;
+  return batch;
+}
+
+}  // namespace elect::cmd

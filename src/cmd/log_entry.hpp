@@ -1,0 +1,149 @@
+// Term-stamped replicated-log entries and their binary codec.
+//
+// The replication layer (src/repl/) sequences registry commands into a
+// log it ships between cluster nodes over the v4 peer ops. Each entry
+// pairs one cmd::command with the primary *term* that appended it —
+// the term is what lets a follower detect a deposed primary's
+// uncommitted tail and truncate it (same index, different term =>
+// conflicting history).
+//
+// Entries travel in the opaque `body` string of a wire request, so the
+// codec here is the wire-grade kind: little-endian, bounds-checked end
+// to end, and rejecting trailing bytes. The byte_writer / byte_reader
+// pair is exported because the repl envelopes (vote, append, snapshot
+// headers) are built from the same primitives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cmd/command.hpp"
+
+namespace elect::cmd {
+
+/// One replicated-log entry: a registry command plus the primary term
+/// under which it was appended. A `change.shard` of -1 marks a
+/// barrier no-op — the entry a fresh primary appends at promotion to
+/// assert its term in the log; it carries no registry mutation and is
+/// skipped at apply time.
+struct log_entry {
+  std::uint64_t term = 0;
+  command change;
+};
+
+/// Append-only little-endian byte builder over a std::string (the wire
+/// `body` type).
+class byte_writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  /// Two's-complement i32 (sessions, shards: -1 is meaningful).
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reads over one body string. Mirrors
+/// net::wire's internal cursor; a failed read latches the failure so
+/// callers can chain reads and check once.
+class byte_reader {
+ public:
+  explicit byte_reader(std::string_view in) : in_(in) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& out) {
+    if (at_ + 1 > in_.size()) return fail();
+    out = static_cast<std::uint8_t>(in_[at_++]);
+    return true;
+  }
+
+  [[nodiscard]] bool u32(std::uint32_t& out) {
+    if (at_ + 4 > in_.size()) return fail();
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(in_[at_++]))
+             << (8 * i);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool u64(std::uint64_t& out) {
+    if (at_ + 8 > in_.size()) return fail();
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(in_[at_++]))
+             << (8 * i);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool i32(std::int32_t& out) {
+    std::uint32_t raw = 0;
+    if (!u32(raw)) return false;
+    out = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  [[nodiscard]] bool str(std::string& out, std::uint32_t max_bytes) {
+    std::uint32_t length = 0;
+    if (!u32(length)) return false;
+    if (length > max_bytes || at_ + length > in_.size()) return fail();
+    out.assign(in_.data() + at_, length);
+    at_ += length;
+    return true;
+  }
+
+  /// Everything consumed, nothing trailing.
+  [[nodiscard]] bool exhausted() const { return ok_ && at_ == in_.size(); }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view in_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+/// Append one command's wire form to `out`. Every replayable field is
+/// carried (seq included — replicas must apply the recorder's seqs).
+void encode_command(byte_writer& out, const command& c);
+
+/// Decode one command; false (reader latched failed or fields out of
+/// range) on malformed input.
+[[nodiscard]] bool decode_command(byte_reader& in, command& out,
+                                  std::uint32_t max_key_bytes);
+
+/// Encode a batch of term-stamped entries: u32 count, then each entry
+/// as u64 term + command.
+[[nodiscard]] std::string encode_entries(const std::vector<log_entry>& batch);
+
+/// Decode a batch; empty on any malformed byte (including trailing
+/// garbage — peers must agree on the dialect exactly).
+[[nodiscard]] std::optional<std::vector<log_entry>> decode_entries(
+    std::string_view body, std::uint32_t max_key_bytes);
+
+}  // namespace elect::cmd

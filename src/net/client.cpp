@@ -130,6 +130,71 @@ client::client(const std::string& host, std::uint16_t port)
     : client(host, port, 1) {}
 
 client::client(const std::string& host, std::uint16_t port, int stripes) {
+  (void)open_channels(host, port, stripes);
+}
+
+namespace {
+
+/// "host:port" with a digit-only port in [1, 65535]; nullopt otherwise.
+std::optional<std::pair<std::string, std::uint16_t>> parse_host_port(
+    const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  std::uint32_t port = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(text[i] - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port == 0) return std::nullopt;
+  return std::make_pair(text.substr(0, colon),
+                        static_cast<std::uint16_t>(port));
+}
+
+}  // namespace
+
+client::client(const std::string& endpoints) {
+  std::size_t begin = 0;
+  while (begin <= endpoints.size()) {
+    std::size_t end = endpoints.find(',', begin);
+    if (end == std::string::npos) end = endpoints.size();
+    if (end > begin) {
+      if (auto parsed = parse_host_port(endpoints.substr(begin, end - begin));
+          parsed.has_value()) {
+        endpoints_.push_back(std::move(*parsed));
+      }
+    }
+    begin = end + 1;
+  }
+  if (endpoints_.empty()) {
+    reason_.store(close_reason::severed, std::memory_order_release);
+    return;
+  }
+  if (endpoints_.size() == 1) {
+    // A single endpoint keeps the exact fixed-target behavior: no
+    // redirect-following, same failure mapping as (host, port).
+    const auto target = endpoints_[0];
+    endpoints_.clear();
+    (void)open_channels(target.first, target.second, 1);
+    return;
+  }
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (open_channels(endpoints_[i].first, endpoints_[i].second, 1)) {
+      endpoint_index_ = i;
+      return;
+    }
+    // open_channels left `severed` behind; clear it so the next
+    // candidate starts from a clean slate.
+    reason_.store(close_reason::none, std::memory_order_release);
+  }
+  reason_.store(close_reason::severed, std::memory_order_release);
+}
+
+bool client::open_channels(const std::string& host, std::uint16_t port,
+                           int stripes) {
   const int n = std::clamp(stripes, 1, 64);
   channels_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -147,7 +212,7 @@ client::client(const std::string& host, std::uint16_t port, int stripes) {
       }
       channels_.clear();
       reason_.store(close_reason::severed, std::memory_order_release);
-      return;
+      return false;
     }
     channels_.push_back(std::move(ch));
   }
@@ -155,6 +220,135 @@ client::client(const std::string& host, std::uint16_t port, int stripes) {
   for (auto& ch : channels_) {
     channel* chp = ch.get();
     ch->reader = std::thread([this, chp] { reader_main(*chp); });
+  }
+  return true;
+}
+
+bool client::reopen_locked(const std::string& host, std::uint16_t port) {
+  // Tear down like close(), but resurrectably: sockets and readers go,
+  // the channel structs (and every outstanding route() reference) stay.
+  for (auto& ch : channels_) {
+    if (ch->fd >= 0) ::shutdown(ch->fd, SHUT_RDWR);
+  }
+  fail();
+  for (auto& ch : channels_) {
+    if (ch->reader.joinable()) ch->reader.join();
+  }
+  for (auto& ch : channels_) {
+    const std::lock_guard<std::mutex> lock(ch->write_mutex);
+    if (ch->fd >= 0) ::close(ch->fd);
+    ch->fd = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      it = it->second.done ? std::next(it) : pending_.erase(it);
+    }
+  }
+  pending_cv_.notify_all();
+
+  // Reconnect every channel to the new target. The old readers are
+  // joined, so assigning fresh fds and threads into the same structs
+  // races nothing.
+  for (auto& ch : channels_) {
+    ch->fd = connect_channel(host, port, next_id_.fetch_add(1),
+                             &ch->session_id);
+    if (ch->fd < 0) {
+      for (auto& done : channels_) {
+        if (done->fd >= 0) ::close(done->fd);
+        done->fd = -1;
+      }
+      return false;
+    }
+  }
+  reason_.store(close_reason::none, std::memory_order_release);
+  open_.store(true, std::memory_order_release);
+  for (auto& ch : channels_) {
+    channel* chp = ch.get();
+    ch->reader = std::thread([this, chp] { reader_main(*chp); });
+  }
+  generation_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+bool client::failover(std::uint64_t seen_generation, const std::string& hint) {
+  if (endpoints_.empty()) return false;
+  bool reconnected = false;
+  {
+    const std::lock_guard<std::mutex> close_lock(close_mutex_);
+    if (close_done_) return false;
+    if (generation_.load(std::memory_order_acquire) != seen_generation) {
+      // Someone already failed over since the caller's redirect; just
+      // retry against whatever they connected to.
+      return open_.load(std::memory_order_acquire);
+    }
+    // Hint first (the deposed member usually knows its successor), then
+    // the rest of the ring starting after the current member.
+    if (const auto hinted = parse_host_port(hint); hinted.has_value()) {
+      if (reopen_locked(hinted->first, hinted->second)) {
+        for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+          if (endpoints_[i] == *hinted) endpoint_index_ = i;
+        }
+        reconnected = true;
+      }
+    }
+    for (std::size_t step = 1;
+         !reconnected && step <= endpoints_.size(); ++step) {
+      const std::size_t i = (endpoint_index_ + step) % endpoints_.size();
+      if (reopen_locked(endpoints_[i].first, endpoints_[i].second)) {
+        endpoint_index_ = i;
+        reconnected = true;
+      }
+    }
+  }
+  if (reconnected) resubscribe_watches();
+  return reconnected;
+}
+
+void client::resubscribe_watches() {
+  std::vector<std::string> keys;
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    for (auto& [key, ks] : key_subs_) {
+      ks.server_id = 0;
+      ks.subscribing = true;
+      keys.push_back(key);
+    }
+  }
+  for (const std::string& key : keys) {
+    const auto r = call(wire::op::watch, key, 0, 0);
+    const std::lock_guard<std::mutex> lock(watch_mutex_);
+    const auto it = key_subs_.find(key);
+    if (it == key_subs_.end()) continue;  // last watcher left meanwhile
+    it->second.subscribing = false;
+    if (r.has_value() && r->result == wire::status::ok) {
+      it->second.server_id = r->epoch;
+    }
+  }
+}
+
+std::optional<wire::response> client::call_routed(wire::op kind,
+                                                  const std::string& key,
+                                                  std::uint64_t epoch,
+                                                  std::uint64_t timeout_ms) {
+  if (endpoints_.empty()) return call(kind, key, epoch, timeout_ms);
+  // Budget: enough rounds to ride out one full election (randomized
+  // timeout + votes) with every member probed a few times.
+  const int max_attempts = static_cast<int>(endpoints_.size()) * 4 + 4;
+  auto backoff = std::chrono::milliseconds(25);
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    auto r = call(kind, key, epoch, timeout_ms);
+    const bool redirected =
+        r.has_value() && r->result == wire::status::not_primary;
+    const bool severed =
+        !r.has_value() && reason() == close_reason::severed;
+    if ((!redirected && !severed) || attempt >= max_attempts) return r;
+    std::this_thread::sleep_for(backoff);
+    if (backoff < std::chrono::milliseconds(400)) backoff *= 2;
+    // Even a failed failover round is worth looping past: the next
+    // attempt may find a member back up mid-election.
+    (void)failover(gen, redirected ? r->body : std::string());
   }
 }
 
@@ -365,7 +559,7 @@ svc::acquire_result client::to_acquire_result(
 
 svc::acquire_result client::try_acquire(const std::string& key) {
   const auto start = std::chrono::steady_clock::now();
-  auto result = to_acquire_result(call(wire::op::try_acquire, key, 0, 0));
+  auto result = to_acquire_result(call_routed(wire::op::try_acquire, key, 0, 0));
   result.latency_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
@@ -378,7 +572,7 @@ svc::acquire_result client::acquire(const std::string& key) {
   auto backoff = busy_backoff_initial;
   std::chrono::milliseconds slept{0};
   for (;;) {
-    const auto r = call(wire::op::acquire, key, 0, 0);
+    const auto r = call_routed(wire::op::acquire, key, 0, 0);
     if (r.has_value() && r->result == wire::status::busy) {
       if (slept >= busy_retry_budget) {
         // The waiter cap has been full for the entire retry budget:
@@ -409,8 +603,8 @@ svc::acquire_result client::try_acquire_for(const std::string& key,
         deadline - std::chrono::steady_clock::now());
     const auto budget = std::max(left, std::chrono::milliseconds(0));
     const auto r =
-        call(wire::op::try_acquire_for, key, 0,
-             static_cast<std::uint64_t>(budget.count()));
+        call_routed(wire::op::try_acquire_for, key, 0,
+                    static_cast<std::uint64_t>(budget.count()));
     if (r.has_value() && r->result == wire::status::busy) {
       if (std::chrono::steady_clock::now() + backoff >= deadline) {
         svc::acquire_result result;
@@ -444,14 +638,14 @@ svc::lease_status lost_status(close_reason r) {
 }  // namespace
 
 svc::lease_status client::release(const std::string& key) {
-  const auto r = call(wire::op::release, key, 0, 0);
+  const auto r = call_routed(wire::op::release, key, 0, 0);
   if (!r.has_value()) return lost_status(reason());
   return wire::to_lease_status(r->result);
 }
 
 svc::lease_status client::release(const std::string& key,
                                   std::uint64_t epoch) {
-  const auto r = call(wire::op::release_fenced, key, epoch, 0);
+  const auto r = call_routed(wire::op::release_fenced, key, epoch, 0);
   if (!r.has_value()) return lost_status(reason());
   return wire::to_lease_status(r->result);
 }
@@ -463,7 +657,7 @@ svc::lease_status client::renew(const std::string& key, std::uint64_t epoch) {
 svc::lease_status client::renew(
     const std::string& key, std::uint64_t epoch,
     std::chrono::steady_clock::time_point* refreshed_deadline) {
-  const auto r = call(wire::op::renew, key, epoch, 0);
+  const auto r = call_routed(wire::op::renew, key, epoch, 0);
   if (!r.has_value()) return lost_status(reason());
   if (r->result == wire::status::ok && refreshed_deadline != nullptr) {
     *refreshed_deadline = deadline_from_remaining(r->lease_remaining_ms);
@@ -653,7 +847,8 @@ std::optional<wire::response> client::admin(wire::op kind,
   if (kind != wire::op::admin_list && kind != wire::op::admin_inspect &&
       kind != wire::op::admin_force_release &&
       kind != wire::op::admin_snapshot &&
-      kind != wire::op::admin_commands) {
+      kind != wire::op::admin_commands &&
+      kind != wire::op::admin_cluster_status) {
     return std::nullopt;
   }
   return call(kind, key, epoch, 0);

@@ -78,6 +78,19 @@ class client {
   /// Connect and handshake. Check connected() — failure (refused,
   /// version mismatch, service stopped) does not abort.
   client(const std::string& host, std::uint16_t port);
+  /// Cluster-aware connect: `endpoints` is a comma-separated
+  /// "host1:p1,host2:p2,..." list (a single "host:port" also works).
+  /// The client connects to the first reachable member and, from then
+  /// on, transparently follows `not_primary` redirects and fails over
+  /// on severed connections: the acquire/release/renew family retries
+  /// against the hinted (or next) endpoint with backoff until a
+  /// primary answers or the retry budget runs out. Lease state does
+  /// NOT move with the client — a lease granted by the old primary is
+  /// either preserved (committed before the crash) or fenced; the
+  /// first renew after failover reports which. Watch subscriptions are
+  /// re-issued best-effort after a failover. Single-endpoint
+  /// (host, port) clients keep the exact legacy behavior.
+  explicit client(const std::string& endpoints);
   /// Striped connect: `stripes` connections (clamped to [1, 64]), each
   /// with its own server session; requests route by key hash. See the
   /// header comment. api::client and other single-connection users keep
@@ -219,6 +232,29 @@ class client {
                                                    const std::string& key,
                                                    std::uint64_t epoch,
                                                    std::uint64_t timeout_ms);
+  /// call(), plus redirect-following for multi-endpoint clients: on
+  /// `not_primary` or a severed transport, fail over (hinted endpoint
+  /// first, then round-robin) with backoff and reissue the op.
+  /// Single-endpoint clients pass straight through to call().
+  [[nodiscard]] std::optional<wire::response> call_routed(
+      wire::op kind, const std::string& key, std::uint64_t epoch,
+      std::uint64_t timeout_ms);
+  /// Open `stripes` connections to one target (constructor body).
+  /// False leaves the client dead with reason `severed`.
+  bool open_channels(const std::string& host, std::uint16_t port,
+                     int stripes);
+  /// Tear down the current channels and reconnect everything to a new
+  /// target. Requires close_mutex_; returns false (client stays dead,
+  /// channels closed) when the target refuses.
+  bool reopen_locked(const std::string& host, std::uint16_t port);
+  /// One failover round: try the hint, then the other endpoints. The
+  /// generation check makes concurrent callers piggyback on a
+  /// finished failover instead of tearing it down again.
+  bool failover(std::uint64_t seen_generation, const std::string& hint);
+  /// Re-issue the wire watch op for every locally subscribed key after
+  /// a failover (best-effort: a key the new primary refuses just stops
+  /// delivering).
+  void resubscribe_watches();
   /// submit() body; `expect_reply` false skips the pending slot (the
   /// response, always answered by the server, is dropped as an unknown
   /// id) — what lets unwatch be issued from inside a watch callback on
@@ -244,6 +280,16 @@ class client {
   void fail();
 
   std::vector<std::unique_ptr<channel>> channels_;
+  /// Failover targets (multi-endpoint constructor only; empty keeps
+  /// the legacy fixed-target behavior). The channel structs are
+  /// *reused* across a failover — only fds and reader threads are
+  /// replaced — so route() stays safe without a lock.
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints_;
+  /// Index into endpoints_ currently connected; close_mutex_ guards it.
+  std::size_t endpoint_index_ = 0;
+  /// Bumped after every successful reopen; lets a caller that observed
+  /// a redirect detect that another thread already failed over.
+  std::atomic<std::uint64_t> generation_{0};
   std::atomic<bool> open_{false};
   /// First cause of transport death; CAS'd from none exactly once
   /// (close() claims local_close before shutting sockets down, so the

@@ -886,7 +886,11 @@ wire::response server::acquire_response(const wire::request& req,
   r.kind = req.kind;
   r.epoch = result.epoch;
   if (result.rejected) {
-    r.result = wire::status::rejected;
+    // A cluster primary that lost its quorum fails the commit gate:
+    // the grant was applied locally but never confirmed — the client
+    // must treat it as a dead connection, not a clean loss.
+    r.result = result.connection_lost ? wire::status::connection_lost
+                                      : wire::status::rejected;
   } else if (result.won) {
     r.result = wire::status::ok;
     r.flags |= wire::flag_won;
@@ -911,6 +915,37 @@ void server::serve(const pending& p) {
   wire::response r;
   r.id = req.id;
   r.kind = req.kind;
+  if (config_.cluster.enabled()) {
+    switch (req.kind) {
+      case wire::op::peer_vote:
+      case wire::op::peer_append:
+      case wire::op::peer_snapshot:
+        // Replication traffic: straight to the repl node, no session
+        // semantics involved.
+        send_response(p.conn, config_.cluster.peer(req));
+        complete(p.conn);
+        return;
+      case wire::op::try_acquire:
+      case wire::op::release:
+      case wire::op::release_fenced:
+      case wire::op::renew:
+      case wire::op::admin_force_release:
+        // Mutations only run where the replicated log is written.
+        // (disconnect is deliberately absent: a follower session holds
+        // nothing, so serving it locally is correct — and the implicit
+        // disconnect on socket close has no one to redirect anyway.)
+        if (!config_.cluster.is_primary()) {
+          r.result = wire::status::not_primary;
+          r.body = config_.cluster.primary_hint();
+          send_response(p.conn, r);
+          complete(p.conn);
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+  }
   switch (req.kind) {
     case wire::op::try_acquire: {
       const svc::acquire_result result = session.try_acquire(req.key);
@@ -968,6 +1003,15 @@ void server::serve(const pending& p) {
         r.body.clear();
         r.result = wire::status::bad_request;
       }
+      break;
+    case wire::op::admin_cluster_status:
+      // Answered by every member, primary or not, and NOT gated by
+      // enable_admin: a client or operator locating the primary must
+      // not need force-release rights to ask who leads.
+      r.body = config_.cluster.status_json
+                   ? config_.cluster.status_json()
+                   : std::string("{\"role\":\"standalone\"}");
+      r.result = wire::status::ok;
       break;
     case wire::op::admin_list:
     case wire::op::admin_inspect:
@@ -1243,6 +1287,19 @@ void server::serve_blocking(const pending& p) {
   svc::service::session& session = *p.conn->session;
   const obs::trace_scope trace(p.req.trace_id);
   const serve_trace timing(p.req.trace_id, p.req.kind);
+  const auto not_primary = [&] {
+    return config_.cluster.enabled() && !config_.cluster.is_primary();
+  };
+  if (not_primary()) {
+    wire::response redirect;
+    redirect.id = p.req.id;
+    redirect.kind = p.req.kind;
+    redirect.result = wire::status::not_primary;
+    redirect.body = config_.cluster.primary_hint();
+    send_response(p.conn, redirect);
+    complete(p.conn);
+    return;
+  }
   const bool bounded = p.req.kind == wire::op::try_acquire_for;
   const auto slice = std::chrono::milliseconds(
       std::max<std::uint64_t>(1, config_.blocking_slice_ms));
@@ -1279,6 +1336,19 @@ void server::serve_blocking(const pending& p) {
       result = svc::acquire_result{};
       result.rejected = true;
       break;
+    }
+    if (not_primary()) {
+      // Deposed mid-wait: the waiter cannot win here any more (the
+      // commit gate fails every new grant); tell the client where to
+      // re-queue instead of letting it park against a follower.
+      wire::response redirect;
+      redirect.id = p.req.id;
+      redirect.kind = p.req.kind;
+      redirect.result = wire::status::not_primary;
+      redirect.body = config_.cluster.primary_hint();
+      send_response(p.conn, redirect);
+      complete(p.conn);
+      return;
     }
   }
   if (result.won &&
@@ -1786,6 +1856,7 @@ void server::http_respond(int fd, const std::string& buffered) {
   } else if (path == "/metrics") {
     body = obs::render_prometheus(service_.report());
     render_net_prometheus(body, report());
+    if (config_.cluster.prom_text) body += config_.cluster.prom_text();
   } else if (path == "/report") {
     content_type = "application/json";
     body = report_json();
@@ -1875,6 +1946,9 @@ net_report server::report() const {
 std::string server::report_json() const {
   svc::service_report combined = service_.report();
   combined.net_json = report().to_json();
+  if (config_.cluster.status_json) {
+    combined.repl_json = config_.cluster.status_json();
+  }
   return combined.to_json();
 }
 

@@ -59,6 +59,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,28 @@
 #include "svc/service.hpp"
 
 namespace elect::net {
+
+/// Hooks a replicated-cluster node (elect::repl) installs on its
+/// server. All five are set together or not at all; `peer` present is
+/// what puts the server in cluster mode. The server stays ignorant of
+/// replication — it only (a) redirects mutating client ops away from
+/// non-primaries with `not_primary` (body = `primary_hint()`), (b)
+/// forwards the peer ops (peer_vote / peer_append / peer_snapshot) to
+/// `peer`, (c) answers admin_cluster_status from `status_json` on
+/// every member (deliberately NOT gated by enable_admin: finding the
+/// primary must not require operator rights), and (d) splices
+/// `status_json` / `prom_text` into /report and /metrics.
+struct cluster_hooks {
+  std::function<bool()> is_primary;
+  std::function<std::string()> primary_hint;
+  std::function<wire::response(const wire::request&)> peer;
+  std::function<std::string()> status_json;
+  std::function<std::string()> prom_text;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return static_cast<bool>(peer);
+  }
+};
 
 struct server_config {
   /// Address to bind. Loopback by default: this PR's scope is the wire
@@ -126,6 +149,8 @@ struct server_config {
   /// Bound on one connection's queued-but-unflushed output bytes.
   /// Past it the connection is closed as a dead consumer.
   std::size_t max_outbox_bytes = 8u << 20;
+  /// Replicated-cluster hooks; default-empty = standalone server.
+  cluster_hooks cluster;
 };
 
 /// Point-in-time counters for the network edge.

@@ -114,6 +114,10 @@ std::string_view to_string(op kind) {
     case op::admin_force_release: return "admin_force_release";
     case op::admin_snapshot: return "admin_snapshot";
     case op::admin_commands: return "admin_commands";
+    case op::admin_cluster_status: return "admin_cluster_status";
+    case op::peer_vote: return "peer_vote";
+    case op::peer_append: return "peer_append";
+    case op::peer_snapshot: return "peer_snapshot";
   }
   return "unknown";
 }
@@ -129,6 +133,8 @@ std::string_view to_string(status s) {
     case status::busy: return "busy";
     case status::bad_request: return "bad_request";
     case status::denied: return "denied";
+    case status::not_primary: return "not_primary";
+    case status::connection_lost: return "connection_lost";
   }
   return "unknown";
 }
@@ -141,6 +147,7 @@ std::vector<std::uint8_t> encode_request(const request& r) {
   put_u64(frame, r.epoch);
   put_u64(frame, r.timeout_ms);
   put_u64(frame, r.trace_id);
+  put_string(frame, r.body);
   finish_frame(frame);
   return frame;
 }
@@ -214,7 +221,7 @@ std::optional<request> decode_request(const std::vector<std::uint8_t>& body) {
   std::uint8_t kind = 0;
   if (!in.u64(r.id) || !in.u8(kind) || !in.string(r.key, max_key_bytes) ||
       !in.u64(r.epoch) || !in.u64(r.timeout_ms) || !in.u64(r.trace_id) ||
-      !in.exhausted()) {
+      !in.string(r.body, max_frame_bytes) || !in.exhausted()) {
     return std::nullopt;
   }
   if (kind >= op_count) return std::nullopt;
@@ -233,10 +240,7 @@ std::optional<response> decode_response(
       !in.string(r.body, max_frame_bytes) || !in.exhausted()) {
     return std::nullopt;
   }
-  if (kind >= op_count ||
-      result > static_cast<std::uint8_t>(status::denied)) {
-    return std::nullopt;
-  }
+  if (kind >= op_count || result > status_max) return std::nullopt;
   r.kind = static_cast<op>(kind);
   r.result = static_cast<status>(result);
   return r;
@@ -248,9 +252,10 @@ status from_lease_status(svc::lease_status s) {
     case svc::lease_status::stale_epoch: return status::stale_epoch;
     case svc::lease_status::not_leader: return status::not_leader;
     case svc::lease_status::connection_lost:
-      // Client-side verdict only — a server session never produces it.
-      // Encode defensively as the fencing answer it implies.
-      return status::stale_epoch;
+      // Since v4 the sever verdict has its own code: a cluster primary
+      // that lost its quorum mid-op reports it, and the client-side
+      // verdict round-trips instead of masquerading as a fence.
+      return status::connection_lost;
   }
   return status::bad_request;
 }
@@ -259,6 +264,11 @@ svc::lease_status to_lease_status(status s) {
   switch (s) {
     case status::ok: return svc::lease_status::ok;
     case status::not_leader: return svc::lease_status::not_leader;
+    case status::connection_lost: return svc::lease_status::connection_lost;
+    // not_primary is intercepted by the client's redirect layer before
+    // this mapping; a caller that sees it anyway must treat the lease
+    // op as not applied on this node.
+    case status::not_primary: return svc::lease_status::not_leader;
     default: return svc::lease_status::stale_epoch;
   }
 }

@@ -44,13 +44,17 @@ namespace elect::net::wire {
 
 /// "ELN" + version byte, carried in the hello exchange.
 inline constexpr std::uint32_t protocol_magic = 0x454C4E00u;
-/// v3: every request carries a trace id (request tracing spans the
-/// wire), plus the admin_list / admin_inspect / admin_force_release
-/// ops. The trace id is an unconditional field — the codec rejects
+/// v4: requests grow an unconditional `body` string (the peer
+/// replication ops carry log-entry batches, votes, and snapshots in
+/// it), the status enum gains `not_primary` (cluster redirect, body =
+/// the primary's endpoint hint) and `connection_lost` (previously
+/// encoded defensively as stale_epoch), and the op range 17.. carries
+/// the elect::repl peer channel (peer_vote / peer_append /
+/// peer_snapshot) plus admin_cluster_status. The codec rejects
 /// trailing bytes, so "optional" fields are expressed as version bumps
-/// and the handshake keeps v2 peers out before any frame can misparse.
-/// (v2 added watch/unwatch + server-push event frames.)
-inline constexpr std::uint16_t protocol_version = 3;
+/// and the handshake keeps v3 peers out before any frame can misparse.
+/// (v3 added the trace id + admin ops; v2 watch/unwatch + events.)
+inline constexpr std::uint16_t protocol_version = 4;
 
 /// Hard cap on one frame's body. Requests are tiny (a key plus a few
 /// integers); responses are bounded by the metrics JSON. Anything
@@ -122,9 +126,31 @@ enum class op : std::uint8_t {
   /// chaos checker's command-stream access. Same gate as admin_list;
   /// `rejected` when the registry is not recording.
   admin_commands = 16,
+  /// Admin: the cluster's view of itself as a JSON object in `body` —
+  /// node id, role, term, commit/last index, per-peer replication lag,
+  /// and the current primary's endpoint. Answered by every cluster
+  /// node (it is how elect_admin finds the primary); `denied` on a
+  /// non-cluster server. Unlike the other admin ops it is NOT gated by
+  /// enable_admin — discovering the primary is part of the client
+  /// protocol, not an operator surface.
+  admin_cluster_status = 17,
+  /// Peer channel (elect::repl): request a vote for `epoch` = term.
+  /// `body` is a repl-encoded vote request (candidate id, last log
+  /// index/term); the response body carries the verdict. `denied` on a
+  /// non-cluster server.
+  peer_vote = 18,
+  /// Peer channel: append log entries. `body` is a repl-encoded batch
+  /// (term, leader id, prev index/term, commit index, entries); an
+  /// empty batch is the heartbeat. The response body carries (term,
+  /// match index, success).
+  peer_append = 19,
+  /// Peer channel: install a registry snapshot on a lagging follower.
+  /// `body` is a repl-encoded header + the binary registry snapshot
+  /// (cmd::snapshot format).
+  peer_snapshot = 20,
 };
 
-inline constexpr int op_count = 17;
+inline constexpr int op_count = 21;
 
 [[nodiscard]] std::string_view to_string(op kind);
 
@@ -151,7 +177,24 @@ enum class status : std::uint8_t {
   /// An admin op on a server whose config does not enable the admin
   /// surface. The connection stays up.
   denied = 8,
+  /// Cluster redirect: this node is a replica, not the primary —
+  /// mutating ops must go to the primary. The response `body` carries
+  /// the primary's "host:port" endpoint hint when known (empty while
+  /// an election is in flight); net::client's multi-endpoint
+  /// constructor follows it transparently.
+  not_primary = 9,
+  /// The mutation could not be quorum-committed before the ack (the
+  /// primary lost its quorum mid-operation), or — client-side — the
+  /// transport died underneath the call. Until v4 the client-side
+  /// verdict was encoded defensively as stale_epoch; it now round-trips
+  /// as itself.
+  connection_lost = 10,
 };
+
+/// Highest valid status value (decode bound — keep in sync with the
+/// enum's last member).
+inline constexpr std::uint8_t status_max =
+    static_cast<std::uint8_t>(status::connection_lost);
 
 [[nodiscard]] std::string_view to_string(status s);
 
@@ -170,6 +213,9 @@ struct request {
   /// Request trace id (obs::mint), 0 when untraced. The server serves
   /// the request under this id so its spans join the client's trace.
   std::uint64_t trace_id = 0;
+  /// Opaque payload (v4): the repl peer ops carry their encoded batch /
+  /// vote / snapshot here. Empty for every client-facing op.
+  std::string body;
 };
 
 /// Response flag bits.

@@ -1,0 +1,79 @@
+// elect::repl — cluster membership and timing configuration.
+//
+// A cluster is a small, fixed list of "host:port" endpoints (the same
+// ports the nodes' net::servers listen on — peer traffic shares the
+// client listener and is told apart by op code), plus this node's index
+// into that list. Membership is static for the process lifetime;
+// rolling a new member means restarting with a new --cluster list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elect::repl {
+
+struct endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  /// Canonical "host:port" rendering (what not_primary redirects and
+  /// cluster-status bodies carry).
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Parse one "host:port". Empty on malformed input (missing colon,
+/// empty host, port out of range).
+[[nodiscard]] std::optional<endpoint> parse_endpoint(const std::string& s);
+
+/// Parse a comma-separated endpoint list ("h1:p1,h2:p2,..."). Empty on
+/// the first malformed element; an empty input yields an empty list.
+[[nodiscard]] std::optional<std::vector<endpoint>> parse_endpoints(
+    const std::string& s);
+
+struct cluster_config {
+  /// Every member, this node included, in a fixed order all members
+  /// agree on (node ids are indices into this list).
+  std::vector<endpoint> members;
+  /// This node's index into `members`.
+  int self = 0;
+  /// How far epochs jump at promotion (registry fence_all): clears
+  /// every epoch the deposed primary's uncommitted tail could have
+  /// granted. Mirrors elect_server's restore fencing default.
+  std::uint64_t fence_bump = 1ull << 20;
+  /// Primary heartbeat interval (empty peer_append).
+  std::uint64_t heartbeat_ms = 50;
+  /// Election timeout range; each node draws uniformly per timeout so
+  /// split votes decay (the randomized-retry half of the cluster-scope
+  /// test-and-set).
+  std::uint64_t election_timeout_min_ms = 300;
+  std::uint64_t election_timeout_max_ms = 600;
+  /// Per-peer-call socket bound (connect + send + receive each).
+  std::uint64_t peer_io_timeout_ms = 1000;
+  /// How long the commit-before-ack gate waits for quorum before the
+  /// op is answered `connection_lost`.
+  std::uint64_t commit_wait_ms = 3000;
+  /// Compact the replicated log into a snapshot once it holds this
+  /// many entries (and everything is committed).
+  std::uint64_t compact_threshold = 8192;
+  /// Directory for the durable vote state ({term, voted_for} — the
+  /// one-shot-per-term guarantee must survive a restart). Empty keeps
+  /// it in memory: fine for tests and for chaos runs that respawn
+  /// members fresh.
+  std::string state_dir;
+  /// Seeds the election-timeout RNG (xor'ed with `self` so members
+  /// sharing a seed still desynchronize).
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] int quorum() const noexcept {
+    return static_cast<int>(members.size()) / 2 + 1;
+  }
+
+  /// Empty on success, else a description of the first problem.
+  [[nodiscard]] std::optional<std::string> validate() const;
+};
+
+}  // namespace elect::repl

@@ -1,0 +1,119 @@
+// The replicated log: a dense run of term-stamped entries over a
+// compacted prefix.
+//
+// Indices are 1-based and never reused. Compaction replaces the prefix
+// [1, snap_last_index] with a registry snapshot (the bytes of
+// svc::instance_registry::snapshot() at exactly that point); the
+// in-memory vector then holds (snap_last_index, last_index]. The
+// structure is not thread-safe — repl::node guards it with its own
+// mutex.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cmd/log_entry.hpp"
+
+namespace elect::repl {
+
+class replicated_log {
+ public:
+  /// Index of the last entry (0 when empty and never compacted).
+  [[nodiscard]] std::uint64_t last_index() const noexcept {
+    return snap_last_index_ + entries_.size();
+  }
+
+  /// Term of the entry at `index`; the snapshot's last term at the
+  /// compaction boundary, 0 below it or above last_index().
+  [[nodiscard]] std::uint64_t term_at(std::uint64_t index) const noexcept {
+    if (index == snap_last_index_) return snap_last_term_;
+    if (index <= snap_last_index_ || index > last_index()) return 0;
+    return entries_[static_cast<std::size_t>(index - snap_last_index_ - 1)]
+        .term;
+  }
+
+  [[nodiscard]] std::uint64_t last_term() const noexcept {
+    return term_at(last_index());
+  }
+
+  /// First index still present as an entry (compacted ones are gone).
+  [[nodiscard]] std::uint64_t first_index() const noexcept {
+    return snap_last_index_ + 1;
+  }
+
+  [[nodiscard]] const cmd::log_entry& at(std::uint64_t index) const {
+    return entries_[static_cast<std::size_t>(index - snap_last_index_ - 1)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  void append(cmd::log_entry entry) {
+    entries_.push_back(std::move(entry));
+  }
+
+  /// Drop every entry at or above `index` (conflict resolution: a new
+  /// primary's history wins). No-op when index > last_index().
+  void truncate_from(std::uint64_t index) {
+    if (index <= snap_last_index_) {
+      entries_.clear();
+      return;
+    }
+    const std::uint64_t keep = index - snap_last_index_ - 1;
+    if (keep < entries_.size()) {
+      entries_.resize(static_cast<std::size_t>(keep));
+    }
+  }
+
+  /// Entries in (from, to], for building one append batch.
+  [[nodiscard]] std::vector<cmd::log_entry> slice(std::uint64_t from,
+                                                  std::uint64_t to) const {
+    std::vector<cmd::log_entry> out;
+    for (std::uint64_t i = from + 1; i <= to && i <= last_index(); ++i) {
+      out.push_back(at(i));
+    }
+    return out;
+  }
+
+  /// Replace the prefix [1, index] with `snapshot_bytes` taken at
+  /// exactly that point. `index` must be <= last_index().
+  void compact_to(std::uint64_t index, std::uint64_t term,
+                  std::vector<std::uint8_t> snapshot_bytes) {
+    if (index <= snap_last_index_) return;
+    const std::uint64_t drop = index - snap_last_index_;
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(drop));
+    snap_last_index_ = index;
+    snap_last_term_ = term;
+    snapshot_ = std::move(snapshot_bytes);
+  }
+
+  /// Discard everything and restart the log from an installed snapshot
+  /// (follower side of peer_snapshot).
+  void reset_to(std::uint64_t index, std::uint64_t term,
+                std::vector<std::uint8_t> snapshot_bytes) {
+    entries_.clear();
+    snap_last_index_ = index;
+    snap_last_term_ = term;
+    snapshot_ = std::move(snapshot_bytes);
+  }
+
+  [[nodiscard]] std::uint64_t snapshot_last_index() const noexcept {
+    return snap_last_index_;
+  }
+  [[nodiscard]] std::uint64_t snapshot_last_term() const noexcept {
+    return snap_last_term_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& snapshot_bytes()
+      const noexcept {
+    return snapshot_;
+  }
+
+ private:
+  std::vector<cmd::log_entry> entries_;
+  std::uint64_t snap_last_index_ = 0;
+  std::uint64_t snap_last_term_ = 0;
+  /// Registry snapshot at snap_last_index_ (empty when never compacted).
+  std::vector<std::uint8_t> snapshot_;
+};
+
+}  // namespace elect::repl

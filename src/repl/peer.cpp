@@ -1,0 +1,134 @@
+#include "repl/peer.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace elect::repl {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t wrote = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    // A send timeout (EAGAIN on SO_SNDTIMEO) counts as a dead peer too:
+    // the caller reconnects rather than risk a half-written frame.
+    return false;
+  }
+  return true;
+}
+
+/// Read frames until one decodes to a response, the timeout fires, or
+/// the peer hangs up.
+std::optional<net::wire::response> read_response(int fd) {
+  net::wire::frame_reader reader;
+  std::uint8_t buffer[16384];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return std::nullopt;  // timeout, reset, or orderly close
+    }
+    if (!reader.feed(buffer, static_cast<std::size_t>(got))) {
+      return std::nullopt;
+    }
+    while (auto body = reader.next()) {
+      auto decoded = net::wire::decode_response(*body);
+      if (!decoded.has_value()) return std::nullopt;
+      // Event pushes can interleave if a watch somehow shares the
+      // connection; peer channels never subscribe, so anything that is
+      // not a direct response is a protocol violation.
+      if (decoded->kind == net::wire::op::event) continue;
+      return decoded;
+    }
+  }
+}
+
+}  // namespace
+
+bool peer_channel::ensure_connected() {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  // Bound every blocking step — a partitioned peer must cost one
+  // timeout, not a wedged replication thread. Applies to connect() on
+  // Linux via SO_SNDTIMEO.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_ms_ / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms_ % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(target_.port);
+  if (::inet_pton(AF_INET, target_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  // Hello handshake: keeps v3 peers (and random port scanners) out
+  // before any repl payload crosses the wire.
+  net::wire::request hello = net::wire::make_hello_request();
+  hello.id = next_id_++;
+  const auto frame = net::wire::encode_request(hello);
+  if (!write_all(fd, frame.data(), frame.size())) {
+    ::close(fd);
+    return false;
+  }
+  const auto answer = read_response(fd);
+  if (!answer.has_value() || answer->kind != net::wire::op::hello ||
+      answer->result != net::wire::status::ok) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void peer_channel::sever() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<net::wire::response> peer_channel::call(net::wire::op kind,
+                                                      std::string body) {
+  if (!ensure_connected()) return std::nullopt;
+  net::wire::request r;
+  r.id = next_id_++;
+  r.kind = kind;
+  r.body = std::move(body);
+  const auto frame = net::wire::encode_request(r);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    sever();
+    return std::nullopt;
+  }
+  auto answer = read_response(fd_);
+  // One call in flight at a time, so the next response must be ours;
+  // an id mismatch means the stream is out of sync — resync by
+  // reconnecting.
+  if (!answer.has_value() || answer->id != r.id || answer->kind != kind) {
+    sever();
+    return std::nullopt;
+  }
+  return answer;
+}
+
+}  // namespace elect::repl

@@ -98,6 +98,7 @@ std::string service_report::to_json() const {
       << ",\"flushed\":" << journal.flushed
       << ",\"flush_errors\":" << journal.flush_errors << "},";
   if (!net_json.empty()) out << "\"net\":" << net_json << ",";
+  if (!repl_json.empty()) out << "\"repl\":" << repl_json << ",";
   out << "\"shards\":[";
   for (std::size_t i = 0; i < shards.size(); ++i) {
     if (i > 0) out << ",";

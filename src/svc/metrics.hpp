@@ -206,6 +206,10 @@ struct service_report {
   /// net::server::report()). Emitted verbatim as `"net":{...}` when
   /// non-empty, so one report covers the wire and the elections.
   std::string net_json;
+  /// Same contract for the replication layer (elect::repl): the cluster
+  /// node's role/term/commit/lag counters, emitted verbatim as
+  /// `"repl":{...}` when non-empty.
+  std::string repl_json;
 
   [[nodiscard]] std::string to_json() const;
 };

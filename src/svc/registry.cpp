@@ -330,6 +330,28 @@ instance_registry::lease_deadline_of(const std::string& key) {
   return it->second.lease_deadline;
 }
 
+std::optional<cmd::command> instance_registry::fence_after_end_locked(
+    shard& s, key_state& state, const std::string& key,
+    std::int32_t shard_index, std::uint64_t at_ms) {
+  if (state.pending_fence == 0) return std::nullopt;
+  // The ended epoch's bump just ran: the key sits at E+1 unheld. The
+  // deposed primary's uncommitted tail could have journaled grants a
+  // few epochs past E; jumping to E+pending_fence+1 clears them the
+  // same way restore-time fencing clears a crash gap.
+  cmd::command c;
+  c.shard = shard_index;
+  c.kind = cmd::command_kind::epoch_bumped;
+  c.session = -1;
+  c.epoch = state.entry.epoch + (state.pending_fence - 1);
+  c.at_ms = at_ms;
+  state.pending_fence = 0;
+  const bool publish = hook_live();
+  if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
+  apply_command_locked(s, state, c, /*from_replay=*/false);
+  if (!publish) return std::nullopt;
+  return c;
+}
+
 lease_status instance_registry::end_epoch_fenced(const std::string& key,
                                                  int session,
                                                  std::uint64_t epoch,
@@ -338,6 +360,7 @@ lease_status instance_registry::end_epoch_fenced(const std::string& key,
   shard& s = *shards_[static_cast<std::size_t>(shard_index)];
   cmd::command c;
   bool publish = false;
+  std::optional<cmd::command> fenced;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
@@ -359,9 +382,11 @@ lease_status instance_registry::end_epoch_fenced(const std::string& key,
     publish = hook_live();
     if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
     apply_command_locked(s, it->second, c, /*from_replay=*/false);
+    fenced = fence_after_end_locked(s, it->second, key, shard_index, c.at_ms);
   }
   s.epoch_changed.notify_all();
   if (publish) hook_(c);
+  if (fenced.has_value()) hook_(*fenced);
   return lease_status::ok;
 }
 
@@ -381,6 +406,7 @@ lease_status instance_registry::release(const std::string& key, int session) {
   shard& s = *shards_[static_cast<std::size_t>(shard_index)];
   cmd::command c;
   bool publish = false;
+  std::optional<cmd::command> fenced;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
@@ -395,9 +421,11 @@ lease_status instance_registry::release(const std::string& key, int session) {
     publish = hook_live();
     if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
     apply_command_locked(s, it->second, c, /*from_replay=*/false);
+    fenced = fence_after_end_locked(s, it->second, key, shard_index, c.at_ms);
   }
   s.epoch_changed.notify_all();
   if (publish) hook_(c);
+  if (fenced.has_value()) hook_(*fenced);
   return lease_status::ok;
 }
 
@@ -457,6 +485,10 @@ std::size_t instance_registry::bump_matching(
         if (publish || record) c.key = key;
         apply_command_locked(s, state, c, /*from_replay=*/false);
         if (publish) events.push_back(std::move(c));
+        if (auto fenced = fence_after_end_locked(
+                s, state, key, static_cast<std::int32_t>(i), at)) {
+          events.push_back(std::move(*fenced));
+        }
         ++bumped_here;
       }
     }
@@ -546,6 +578,7 @@ lease_status instance_registry::force_release(const std::string& key) {
   shard& s = *shards_[static_cast<std::size_t>(shard_index)];
   cmd::command c;
   bool publish = false;
+  std::optional<cmd::command> fenced;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.keys.find(key);
@@ -560,9 +593,11 @@ lease_status instance_registry::force_release(const std::string& key) {
     publish = hook_live();
     if (publish || recording_.load(std::memory_order_relaxed)) c.key = key;
     apply_command_locked(s, it->second, c, /*from_replay=*/false);
+    fenced = fence_after_end_locked(s, it->second, key, shard_index, c.at_ms);
   }
   s.epoch_changed.notify_all();
   if (publish) hook_(c);
+  if (fenced.has_value()) hook_(*fenced);
   return lease_status::ok;
 }
 
@@ -593,6 +628,33 @@ std::vector<cmd::command> instance_registry::collect_commands() const {
     out.insert(out.end(), shard_ptr->log.begin(), shard_ptr->log.end());
   }
   return out;
+}
+
+std::vector<cmd::command> instance_registry::collect_commands_after(
+    const std::vector<std::uint64_t>& floors) const {
+  ELECT_CHECK_MSG(floors.size() == shards_.size(),
+                  "collect_commands_after: one floor per shard");
+  std::vector<cmd::command> out;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const shard& s = *shards_[i];
+    const std::uint64_t floor = floors[i];
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    // The retained log is in seq order (append order); skip the shipped
+    // prefix with a binary search instead of rescanning it every drain.
+    const auto first = std::lower_bound(
+        s.log.begin(), s.log.end(), floor,
+        [](const cmd::command& c, std::uint64_t f) { return c.seq <= f; });
+    out.insert(out.end(), first, s.log.end());
+  }
+  return out;
+}
+
+std::uint64_t instance_registry::shard_last_seq(int shard_index) const {
+  ELECT_CHECK(shard_index >= 0 &&
+              shard_index < static_cast<int>(shards_.size()));
+  const shard& s = *shards_[static_cast<std::size_t>(shard_index)];
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.last_seq;
 }
 
 cmd::log_stats instance_registry::log_stats() const {
@@ -796,29 +858,95 @@ std::optional<std::string> instance_registry::restore(
   return std::nullopt;
 }
 
+std::optional<std::string> instance_registry::install_snapshot(
+    const std::vector<std::uint8_t>& bytes) {
+  // The snapshot replaces local state wholesale: a diverged follower
+  // (applied entries its new primary never committed) or a lagging one
+  // (its primary compacted the suffix it was missing) converges by
+  // adoption, not by reconciliation.
+  for (auto& shard_ptr : shards_) {
+    shard& s = *shard_ptr;
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.keys.clear();
+    s.log.clear();
+    s.log.shrink_to_fit();
+    s.next_seq = 1;
+    s.last_seq = 0;
+    s.last_at_ms = 0;
+  }
+  const auto error = restore(bytes, /*fence_restored=*/false);
+  // Waiters re-evaluate against the installed (or cleared) state; the
+  // wait predicate re-probes the key map on every wakeup, so the clear
+  // above cannot leave one holding a dangling reference.
+  for (auto& shard_ptr : shards_) shard_ptr->epoch_changed.notify_all();
+  return error;
+}
+
+std::size_t instance_registry::fence_all(std::uint64_t bump) {
+  ELECT_CHECK_MSG(bump >= 1, "fence_all: bump must be >= 1");
+  std::size_t fenced = 0;
+  std::vector<cmd::command> events;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard& s = *shards_[i];
+    const bool publish = hook_live();
+    const bool record = recording_.load(std::memory_order_relaxed);
+    std::size_t fenced_here = 0;
+    {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      const std::uint64_t at = logical_now_ms();
+      for (auto& [key, state] : s.keys) {
+        if (state.leader != -1) {
+          // A committed lease survives the failover under its epoch —
+          // the holder's fenced ops keep answering ok. The bump lands
+          // when this epoch ends (fence_after_end_locked), so the next
+          // grant still jumps clear of the deposed primary's tail.
+          state.pending_fence = std::max(state.pending_fence, bump);
+          ++fenced_here;
+          continue;
+        }
+        // Unheld (epoch 0 included — first grants are epoch 0): jump
+        // now. Ends epochs <= current + (bump - 1), same arithmetic as
+        // restore-time fencing.
+        cmd::command c;
+        c.shard = static_cast<std::int32_t>(i);
+        c.kind = cmd::command_kind::epoch_bumped;
+        c.session = -1;
+        c.epoch = state.entry.epoch + (bump - 1);
+        c.at_ms = at;
+        if (publish || record) c.key = key;
+        apply_command_locked(s, state, c, /*from_replay=*/false);
+        if (publish) events.push_back(std::move(c));
+        ++fenced_here;
+      }
+    }
+    if (fenced_here == 0) continue;
+    s.epoch_changed.notify_all();
+    fenced += fenced_here;
+    for (const cmd::command& c : events) hook_(c);
+    events.clear();
+  }
+  return fenced;
+}
+
 bool instance_registry::wait_for_epoch_above_impl(
     const std::string& key, std::uint64_t epoch,
     const clock::time_point* deadline) {
   shard& s = shard_for(key);
   std::unique_lock<std::mutex> lock(s.mutex);
-  // Resolve the key's state once; unordered_map references are stable
-  // across inserts, so later wakeups only re-probe while the key is still
-  // absent. A never-acquired key sits at epoch 0 implicitly — waiting
-  // must not create state or burn an instance id for it.
-  const key_state* state = nullptr;
-  const auto it = s.keys.find(key);
-  if (it != s.keys.end()) state = &it->second;
+  // Re-probe the key on every wakeup rather than caching a reference:
+  // install_snapshot() clears and repopulates the key map under this
+  // same lock, so a reference resolved before the install would dangle.
+  // A never-acquired key sits at epoch 0 implicitly — waiting must not
+  // create state or burn an instance id for it.
+  //
   // shutdown() counts as "woken" so a waiter parked across stop()
   // retries immediately and comes back rejected instead of sleeping
   // forever (or, timed, sleeping out its timeout).
   const auto woken = [&] {
     if (shutdown_.load(std::memory_order_relaxed)) return true;
-    if (state == nullptr) {
-      const auto probe = s.keys.find(key);
-      if (probe == s.keys.end()) return false;  // implicit epoch 0, never > epoch
-      state = &probe->second;
-    }
-    return state->entry.epoch > epoch;
+    const auto probe = s.keys.find(key);
+    if (probe == s.keys.end()) return false;  // implicit epoch 0, never > epoch
+    return probe->second.entry.epoch > epoch;
   };
   if (deadline == nullptr) {
     s.epoch_changed.wait(lock, woken);

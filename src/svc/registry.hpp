@@ -375,6 +375,21 @@ class instance_registry {
   /// migrate). Feed to replay().
   [[nodiscard]] std::vector<cmd::command> collect_commands() const;
 
+  /// Retained commands with seq > floors[shard], shard by shard in seq
+  /// order — the incremental form of collect_commands(). `floors` must
+  /// have shard_count() entries. The replication layer drains new
+  /// commands with it: per-shard floors advance monotonically, so each
+  /// command is shipped exactly once even though the log is also
+  /// consulted by snapshots.
+  [[nodiscard]] std::vector<cmd::command> collect_commands_after(
+      const std::vector<std::uint64_t>& floors) const;
+
+  /// The shard's command-stream watermark: seq of the last command
+  /// executed there (live or replayed). The cluster primary samples it
+  /// right after a mutation to learn what the commit-before-ack gate
+  /// must wait for.
+  [[nodiscard]] std::uint64_t shard_last_seq(int shard) const;
+
   /// Command-log accounting (recorded lifetime vs retained in memory).
   [[nodiscard]] cmd::log_stats log_stats() const;
 
@@ -426,6 +441,31 @@ class instance_registry {
       const std::vector<std::uint8_t>& bytes, bool fence_restored,
       std::uint64_t fence_bump = 1);
 
+  /// restore() for a registry that already holds state: drop every key,
+  /// log entry, and watermark, then load `bytes` without fencing. The
+  /// replication layer installs a primary's snapshot on a lagging or
+  /// diverged follower with it — the snapshot IS the authoritative
+  /// state, so nothing local survives (epoch waiters are woken and
+  /// re-evaluate against the installed state). Same error conditions
+  /// as restore(); on error the registry is left cleared, not torn.
+  [[nodiscard]] std::optional<std::string> install_snapshot(
+      const std::vector<std::uint8_t>& bytes);
+
+  /// Failover fencing (elect::repl): called by a node the moment it
+  /// becomes primary, with the cluster's --fence-bump margin. Every
+  /// known *unheld* key's epoch jumps by `bump` immediately (one
+  /// `epoch_bumped` command each, replicated like any mutation), so
+  /// epochs the deposed primary may have granted past the commit point
+  /// can never be re-granted. A *held* key keeps its holder and epoch —
+  /// a quorum-committed lease survives failover and its holder's fenced
+  /// ops keep answering ok — but the bump is recorded as pending and
+  /// lands when that epoch ends, so the key's next grant jumps clear
+  /// too. Pending bumps are leader-local soft state (not part of the
+  /// replayable stream until they fire); a primary that fails before a
+  /// pending bump lands is covered by its successor's own fence_all().
+  /// Returns the number of keys fenced (immediately or pending).
+  std::size_t fence_all(std::uint64_t bump);
+
   /// Invoked (under no lock) once per mutation the watch/journal layers
   /// render: every command kind except `renewed` (a renewal moves no
   /// leadership; it is recorded in the log only).
@@ -464,6 +504,11 @@ class instance_registry {
     /// Contention estimate inputs (see attempt_info).
     std::uint64_t attempts_this_epoch = 0;
     std::uint64_t last_epoch_attempts = 0;
+    /// Deferred failover fence (fence_all on a held key): added to the
+    /// epoch when it next ends, then cleared. Leader-local soft state —
+    /// never snapshotted or replayed; it shapes the commands a primary
+    /// *emits*, not how commands apply.
+    std::uint64_t pending_fence = 0;
   };
 
   struct shard {
@@ -511,6 +556,13 @@ class instance_registry {
   /// differ only in the command kind they record.
   lease_status end_epoch_fenced(const std::string& key, int session,
                                 std::uint64_t epoch, cmd::command_kind kind);
+  /// If `state` carries a pending failover fence, emit the deferred
+  /// epoch_bumped now (the epoch just ended — the next grant must jump
+  /// clear of the deposed primary's uncommitted tail) and return the
+  /// command for publication. Caller holds the shard lock.
+  [[nodiscard]] std::optional<cmd::command> fence_after_end_locked(
+      shard& s, key_state& state, const std::string& key,
+      std::int32_t shard_index, std::uint64_t at_ms);
   /// Scan every shard and bump every key matching `predicate` (checked
   /// under the shard lock); waiters are notified per shard and
   /// `on_bumped(shard_index)` runs once per bumped key, under no lock.

@@ -42,6 +42,10 @@ std::optional<std::string> service_config::validate() const {
   if (participated_prune_threshold == 0) {
     return "service_config.participated_prune_threshold must be >= 1";
   }
+  if (session_id_base < 0) {
+    return "service_config.session_id_base must be >= 0 (got " +
+           std::to_string(session_id_base) + ")";
+  }
   if (sweep_interval_ms != 0 && lease_ttl_ms == 0) {
     return "service_config.sweep_interval_ms=" +
            std::to_string(sweep_interval_ms) +
@@ -106,6 +110,7 @@ service::service(service_config config)
     });
   }
   if (config_.record_commands) registry_.enable_command_log();
+  next_session_ = config_.session_id_base;
   registry_.set_command_hook(
       hub_.armed(), [this](const cmd::command& c) { render_command(c); });
   for (int k = 0; k < election::strategy_kind_count; ++k) {
@@ -197,7 +202,7 @@ lease_status service::force_release(const std::string& key) {
   if (status == lease_status::ok) {
     metrics_.record_forced_release(registry_.shard_of(key));
   }
-  return status;
+  return gate_lease_op(key, status);
 }
 
 void service::render_command(const cmd::command& c) {
@@ -261,10 +266,44 @@ void service::sweeper_main() {
   while (!sweeper_stop_) {
     sweeper_cv_.wait_for(lock, interval, [this] { return sweeper_stop_; });
     if (sweeper_stop_) return;
+    // Suspended (cluster follower): keep the thread, skip the sweep —
+    // expiry is the primary's decision, replicated as a command.
+    if (sweeper_suspended_.load(std::memory_order_relaxed)) continue;
     lock.unlock();
     sweep_now();
     lock.lock();
   }
+}
+
+// ---------------------------------------------------------------------
+// Commit gating: in cluster mode no mutation is acked before a quorum
+// has it. The gate itself lives in the repl layer; the service only
+// converts a failed wait into the sever verdict.
+
+acquire_result service::gate_acquire(acquire_result result,
+                                     const std::string& key) {
+  if (!result.won || !commit_gate_ || commit_gate_(key)) return result;
+  // The grant applied locally but never reached a quorum: this primary
+  // may not confirm it. Failover reconciles the registry; the caller
+  // must treat the lease as never granted.
+  result.won = false;
+  result.fast_path = false;
+  result.rejected = true;
+  result.connection_lost = true;
+  return result;
+}
+
+lease_status service::gate_lease_op(const std::string& key,
+                                    lease_status status) {
+  if (status != lease_status::ok || !commit_gate_ || commit_gate_(key)) {
+    return status;
+  }
+  return lease_status::connection_lost;
+}
+
+std::size_t service::gate_multi_release(std::size_t count) {
+  if (count != 0 && commit_gate_) commit_gate_(std::string());
+  return count;
 }
 
 // ---------------------------------------------------------------------
@@ -522,7 +561,7 @@ acquire_result service::run_acquire(int session_id, process_id pid,
         }
         metrics_.record_acquire(registry_.shard_of(key), j.kind, result.won,
                                 result.latency_ns);
-        return result;
+        return gate_acquire(std::move(result), key);
       }
       metrics_.record_fast_path_fallback();
     }
@@ -535,7 +574,7 @@ acquire_result service::run_acquire(int session_id, process_id pid,
   if (!submit(pid, j)) return reject();
   std::unique_lock<std::mutex> lock(j.mutex);
   j.cv.wait(lock, [&] { return j.done; });
-  return j.result;
+  return gate_acquire(std::move(j.result), key);
 }
 
 // ---------------------------------------------------------------------
@@ -593,42 +632,47 @@ lease_status service::count_lease_op(const std::string& key,
 
 lease_status service::session::release(const std::string& key) {
   const obs::scoped_span span(obs::phase::lease_op);
-  return owner_->count_lease_op(key, owner_->registry_.release(key, id_),
-                                /*renewal=*/false, 0);
+  return owner_->gate_lease_op(
+      key, owner_->count_lease_op(key, owner_->registry_.release(key, id_),
+                                  /*renewal=*/false, 0));
 }
 
 lease_status service::session::release(const std::string& key,
                                        std::uint64_t epoch) {
   const obs::scoped_span span(obs::phase::lease_op);
-  return owner_->count_lease_op(key,
-                                owner_->registry_.release(key, id_, epoch),
-                                /*renewal=*/false, epoch);
+  return owner_->gate_lease_op(
+      key,
+      owner_->count_lease_op(key, owner_->registry_.release(key, id_, epoch),
+                             /*renewal=*/false, epoch));
 }
 
 lease_status service::session::renew(const std::string& key,
                                      std::uint64_t epoch) {
   const obs::scoped_span span(obs::phase::lease_op);
-  return owner_->count_lease_op(
-      key, owner_->registry_.renew(key, id_, epoch, owner_->lease_ttl()),
-      /*renewal=*/true, epoch);
+  return owner_->gate_lease_op(
+      key, owner_->count_lease_op(
+               key,
+               owner_->registry_.renew(key, id_, epoch, owner_->lease_ttl()),
+               /*renewal=*/true, epoch));
 }
 
 std::size_t service::session::disconnect() {
-  return owner_->registry_.release_all(
-      id_, [this](int shard) { owner_->metrics_.record_release(shard); });
+  return owner_->gate_multi_release(owner_->registry_.release_all(
+      id_, [this](int shard) { owner_->metrics_.record_release(shard); }));
 }
 
 lease_status service::session::reclaim(const std::string& key,
                                        std::uint64_t epoch) {
   const obs::scoped_span span(obs::phase::lease_op);
-  return owner_->count_lease_op(key,
-                                owner_->registry_.reclaim(key, id_, epoch),
-                                /*renewal=*/false, epoch);
+  return owner_->gate_lease_op(
+      key,
+      owner_->count_lease_op(key, owner_->registry_.reclaim(key, id_, epoch),
+                             /*renewal=*/false, epoch));
 }
 
 std::size_t service::session::reclaim_all() {
-  return owner_->registry_.reclaim_all(
-      id_, [this](int shard) { owner_->metrics_.record_release(shard); });
+  return owner_->gate_multi_release(owner_->registry_.reclaim_all(
+      id_, [this](int shard) { owner_->metrics_.record_release(shard); }));
 }
 
 std::vector<std::string> service::session::held_keys() const {

@@ -53,6 +53,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -118,6 +119,12 @@ struct service_config {
   /// command (key string included) into the log, which the adaptive
   /// fast path otherwise never pays for.
   bool record_commands = false;
+  /// First session id this service hands out. Cluster members set a
+  /// disjoint per-node base (repl: self << 24) so a lease replicated
+  /// from another member's log can never collide with a live local
+  /// session — a renew/release of a failed-over lease must fence
+  /// (stale/not_leader), not accidentally match a stranger.
+  int session_id_base = 0;
 
   /// Check the configuration without constructing a service: empty on
   /// success, otherwise a description of the first problem found. The
@@ -298,6 +305,29 @@ class service {
   /// the pointer stays valid for the service's lifetime.
   [[nodiscard]] obs::journal* journal() noexcept { return journal_.get(); }
 
+  /// Install the replication commit gate (cluster mode). After every
+  /// locally applied mutation the gate is called with the key the op
+  /// touched (empty key = the op may have spanned every shard) and must
+  /// return true once the mutation is quorum-committed. A false return
+  /// converts the op's ack into `connection_lost`: a primary that lost
+  /// its quorum must not confirm grants *or renewals* — that refusal is
+  /// what demotes a zombie's clients before a fenced successor can
+  /// double-grant. Install before serving traffic; swapping the gate is
+  /// not synchronized against in-flight calls.
+  void set_commit_gate(std::function<bool(const std::string&)> gate) {
+    commit_gate_ = std::move(gate);
+  }
+
+  /// Suspend/resume the lease-expiry sweeper without tearing down its
+  /// thread. Cluster followers suspend it — only the primary decides
+  /// expiry (an `expired` command the followers then replicate), so a
+  /// follower sweeping locally would fork the replica state — and the
+  /// node resumes it on promotion. sweep_now() remains callable either
+  /// way (tests and embedders drive their own clock through it).
+  void set_sweeper_suspended(bool suspended) noexcept {
+    sweeper_suspended_.store(suspended, std::memory_order_relaxed);
+  }
+
  private:
   /// One queued acquire. The client thread owns the struct (on its
   /// stack) and sleeps on `done`; the node's driver fills `result`.
@@ -381,6 +411,20 @@ class service {
   /// release/renew outcome and pass the status through.
   lease_status count_lease_op(const std::string& key, lease_status status,
                               bool renewal, std::uint64_t epoch);
+  /// Run the commit gate (when installed) over a freshly decided
+  /// acquire: a won attempt whose grant never commits is reported as
+  /// `connection_lost`, not a win.
+  [[nodiscard]] acquire_result gate_acquire(acquire_result result,
+                                            const std::string& key);
+  /// Same for single-key lease ops: an `ok` that never commits becomes
+  /// `connection_lost`.
+  [[nodiscard]] lease_status gate_lease_op(const std::string& key,
+                                           lease_status status);
+  /// Multi-key variant (disconnect / reclaim_all): the gate is awaited
+  /// for command ordering, but the local count is returned regardless —
+  /// the leases already ended here, and if the commit fails this node is
+  /// being deposed anyway.
+  std::size_t gate_multi_release(std::size_t count);
   void prune_participated(worker& w);
   void sweeper_main();
   /// The registry's command hook: render one mutation into the watch
@@ -407,6 +451,11 @@ class service {
   std::mutex connect_mutex_;
   int next_session_ = 0;
   std::atomic<bool> stopped_{false};
+
+  /// Replication commit gate (cluster mode); empty in single-node use,
+  /// where every mutation is trivially durable the moment it applies.
+  std::function<bool(const std::string&)> commit_gate_;
+  std::atomic<bool> sweeper_suspended_{false};
 
   std::thread sweeper_;
   std::mutex sweeper_mutex_;
